@@ -1,0 +1,51 @@
+//! SIMD data-parallel algorithms on the POPS network.
+//!
+//! §1 of Mei & Rizzi surveys the algorithmic literature the POPS model had
+//! accumulated: common communication patterns (Gravenstreter & Melhem
+//! 1998), hypercube/mesh simulations, data sum, prefix sum and data
+//! movement operations (Sahni 2000b), and matrix multiplication (Sahni
+//! 2000a). Those algorithms are *why* general permutation routing matters:
+//! each is a sequence of permutations plus local computation.
+//!
+//! This crate rebuilds that application layer **on top of the paper's
+//! Theorem-2 router**: every data movement below is a permutation routed in
+//! the unified 1 / `2⌈d/g⌉` slots, executed against the machine-model
+//! simulator (so the slot counts reported are real executed slots, and any
+//! conflict would fail loudly), with the local computation done between
+//! slots exactly as the SIMD step of §1 prescribes.
+//!
+//! * [`machine::ValueMachine`] — per-processor values + simulation-backed
+//!   `permute`, the SIMD substrate;
+//! * [`reduce`] — data sum (all-processor reduction) via hypercube
+//!   exchanges;
+//! * [`scan`] — prefix sum via the classic hypercube sweep;
+//! * [`window`] — ring rotations: adjacent/consecutive sums;
+//! * [`matmul`] — Cannon's algorithm on the `N×N` torus embedding of §2;
+//! * [`total_exchange`] — personalized all-to-all as an (n−1)-relation;
+//! * [`sort`] — Batcher bitonic sort over hypercube exchanges.
+//!
+//! ```
+//! use pops_algorithms::{reduce::data_sum, ValueMachine};
+//! use pops_network::PopsTopology;
+//!
+//! // Sum 16 values on a POPS(4, 4): log2(16) = 4 exchange rounds of
+//! // 2 slots each, every round a Theorem-2-routed permutation.
+//! let topology = PopsTopology::new(4, 4);
+//! let mut machine = ValueMachine::new(topology, (1..=16u64).collect());
+//! let (total, slots) = data_sum(&mut machine).unwrap();
+//! assert_eq!(total, 136);
+//! assert_eq!(slots, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod matmul;
+pub mod reduce;
+pub mod scan;
+pub mod sort;
+pub mod total_exchange;
+pub mod window;
+
+pub use machine::ValueMachine;

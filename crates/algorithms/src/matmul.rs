@@ -1,0 +1,213 @@
+//! Cannon's matrix multiplication on the POPS torus embedding — the
+//! application Sahni (2000a) built for the POPS network, rebuilt on the
+//! general router.
+//!
+//! `m×m` matrices `A`, `B` live one element per processor under the
+//! paper's mesh mapping `(i, j) ↦ i + j·m` (§2). Cannon's algorithm:
+//!
+//! 1. **Align**: row `i` of `A` rotates left by `i`; column `j` of `B`
+//!    rotates up by `j` — two (non-uniform-shift) permutations.
+//! 2. **Multiply-accumulate** `m` times: `C(i,j) += A·B` locally, then `A`
+//!    rotates left by one and `B` up by one (unit torus shifts, the §2
+//!    mesh permutations) — `m − 1` shift pairs.
+//!
+//! Every data movement is a permutation routed by Theorem 2 and executed
+//! on the simulator; the total communication cost is
+//! `2·m·theorem2_slots(d, g)` slots (2 aligns + 2(m−1) shifts), and the
+//! result is verified against a direct `O(m³)` multiplication in the
+//! tests.
+
+use pops_core::verify::RoutingFailure;
+use pops_network::PopsTopology;
+use pops_permutation::Permutation;
+
+use crate::machine::ValueMachine;
+
+/// An `m×m` integer matrix, one element per POPS processor under the
+/// mapping `(i, j) ↦ i + j·m` used by the paper for mesh embeddings
+/// (column-major storage in the processor index space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TorusMatrix {
+    m: usize,
+    /// `data[i + j*m]` = element `(i, j)`.
+    data: Vec<i64>,
+}
+
+impl TorusMatrix {
+    /// Builds a matrix from a row-major element function.
+    pub fn from_fn(m: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut data = vec![0i64; m * m];
+        for j in 0..m {
+            for i in 0..m {
+                data[i + j * m] = f(i, j);
+            }
+        }
+        Self { m, data }
+    }
+
+    /// Side length `m`.
+    pub fn side(&self) -> usize {
+        self.m
+    }
+
+    /// Element `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        self.data[i + j * self.m]
+    }
+
+    /// Direct `O(m³)` multiplication (the correctness oracle).
+    pub fn multiply_direct(&self, other: &TorusMatrix) -> TorusMatrix {
+        assert_eq!(self.m, other.m);
+        let m = self.m;
+        TorusMatrix::from_fn(m, |i, j| {
+            (0..m).map(|k| self.get(i, k) * other.get(k, j)).sum()
+        })
+    }
+}
+
+/// The permutation rotating every row `i` left by `amount(i)` columns:
+/// element `(i, j)` moves to `(i, (j − amount(i)) mod m)`.
+fn row_rotation(m: usize, amount: impl Fn(usize) -> usize) -> Permutation {
+    Permutation::from_fn(m * m, |p| {
+        let i = p % m;
+        let j = p / m;
+        let nj = (j + m - amount(i) % m) % m;
+        i + nj * m
+    })
+}
+
+/// The permutation rotating every column `j` up by `amount(j)` rows:
+/// element `(i, j)` moves to `((i − amount(j)) mod m, j)`.
+fn col_rotation(m: usize, amount: impl Fn(usize) -> usize) -> Permutation {
+    Permutation::from_fn(m * m, |p| {
+        let i = p % m;
+        let j = p / m;
+        let ni = (i + m - amount(j) % m) % m;
+        ni + j * m
+    })
+}
+
+/// The result of a Cannon multiplication: the product and the
+/// communication cost in slots.
+#[derive(Debug, Clone)]
+pub struct CannonResult {
+    /// `C = A·B`.
+    pub product: TorusMatrix,
+    /// Total slots consumed by all routed permutations.
+    pub slots: usize,
+}
+
+/// Multiplies `a · b` with Cannon's algorithm on a POPS(d, g) with
+/// `d·g = m²`.
+///
+/// # Panics
+///
+/// Panics if the matrices disagree in size or `d·g != m²`.
+pub fn cannon_multiply(
+    a: &TorusMatrix,
+    b: &TorusMatrix,
+    topology: PopsTopology,
+) -> Result<CannonResult, RoutingFailure> {
+    assert_eq!(a.side(), b.side(), "matrix sizes must agree");
+    let m = a.side();
+    assert_eq!(topology.n(), m * m, "need one processor per element");
+
+    let mut ma = ValueMachine::new(topology, a.data.clone());
+    let mut mb = ValueMachine::new(topology, b.data.clone());
+    let mut c = vec![0i64; m * m];
+
+    // Alignment: A(i, j) -> (i, j−i); B(i, j) -> (i−j, j).
+    ma.permute(&row_rotation(m, |i| i))?;
+    mb.permute(&col_rotation(m, |j| j))?;
+
+    // m multiply-accumulate rounds, m−1 of them followed by unit shifts.
+    let shift_a = row_rotation(m, |_| 1);
+    let shift_b = col_rotation(m, |_| 1);
+    for round in 0..m {
+        for (cp, (&ap, &bp)) in c.iter_mut().zip(ma.values().iter().zip(mb.values())) {
+            *cp += ap * bp;
+        }
+        if round + 1 < m {
+            ma.permute(&shift_a)?;
+            mb.permute(&shift_b)?;
+        }
+    }
+
+    Ok(CannonResult {
+        product: TorusMatrix { m, data: c },
+        slots: ma.slots_used() + mb.slots_used(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::theorem2_slots;
+    use pops_permutation::SplitMix64;
+
+    fn random_matrix(m: usize, rng: &mut SplitMix64) -> TorusMatrix {
+        TorusMatrix::from_fn(m, |_, _| (rng.next_u64() % 19) as i64 - 9)
+    }
+
+    #[test]
+    fn cannon_matches_direct_on_square_pops() {
+        let mut rng = SplitMix64::new(88);
+        for (m, d, g) in [
+            (2usize, 2usize, 2usize),
+            (4, 4, 4),
+            (4, 2, 8),
+            (6, 6, 6),
+            (6, 9, 4),
+        ] {
+            let a = random_matrix(m, &mut rng);
+            let b = random_matrix(m, &mut rng);
+            let result = cannon_multiply(&a, &b, PopsTopology::new(d, g)).unwrap();
+            assert_eq!(result.product, a.multiply_direct(&b), "m={m} d={d} g={g}");
+            // 2 aligns + 2(m-1) shifts, each one routed permutation.
+            assert_eq!(
+                result.slots,
+                2 * m * theorem2_slots(d, g),
+                "m={m} d={d} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let mut rng = SplitMix64::new(89);
+        let m = 4;
+        let identity = TorusMatrix::from_fn(m, |i, j| i64::from(i == j));
+        let x = random_matrix(m, &mut rng);
+        let result = cannon_multiply(&identity, &x, PopsTopology::new(4, 4)).unwrap();
+        assert_eq!(result.product, x);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = TorusMatrix::from_fn(1, |_, _| 6);
+        let b = TorusMatrix::from_fn(1, |_, _| 7);
+        let result = cannon_multiply(&a, &b, PopsTopology::new(1, 1)).unwrap();
+        assert_eq!(result.product.get(0, 0), 42);
+        assert_eq!(result.slots, 2); // the two (identity) alignment routings
+    }
+
+    #[test]
+    fn rotations_are_valid_permutations() {
+        // row_rotation/col_rotation are constructed via Permutation::from_fn,
+        // which validates bijectivity; exercise composition sanity instead.
+        let m = 5;
+        let left1 = row_rotation(m, |_| 1);
+        let mut composed = Permutation::identity(m * m);
+        for _ in 0..m {
+            composed = left1.compose(&composed);
+        }
+        assert!(composed.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "one processor per element")]
+    fn rejects_mismatched_topology() {
+        let a = TorusMatrix::from_fn(2, |_, _| 1);
+        let _ = cannon_multiply(&a, &a, PopsTopology::new(2, 3));
+    }
+}

@@ -1,0 +1,100 @@
+//! Data sum — the all-processor reduction of Sahni (2000b), rebuilt on the
+//! general router.
+//!
+//! For `n = 2^D` processors, `D` hypercube exchange-and-accumulate rounds
+//! leave **every** processor holding the sum of all `n` inputs (the
+//! classic all-reduce butterfly). Each round's communication is the
+//! dimension-`b` exchange permutation `π(i) = i ^ 2^b`, routed by Theorem 2
+//! in 1 (d = 1) or `2⌈d/g⌉` slots — so the whole reduction costs
+//! `D · theorem2_slots(d, g)` slots regardless of how the hypercube is
+//! laid out on the POPS, which is exactly the §2 consequence of the paper.
+
+use pops_core::verify::RoutingFailure;
+use pops_permutation::families::hypercube::hypercube_exchange;
+
+use crate::machine::ValueMachine;
+
+/// All-reduce: combines every processor's value with `combine` (an
+/// associative, commutative operation) and leaves the total at **every**
+/// processor. Returns the communication slots consumed.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (the hypercube butterfly's domain —
+/// Sahni's setting; pad the input to apply it more generally).
+pub fn all_reduce<T: Clone>(
+    machine: &mut ValueMachine<T>,
+    mut combine: impl FnMut(&T, &T) -> T,
+) -> Result<usize, RoutingFailure> {
+    let n = machine.values().len();
+    assert!(
+        n.is_power_of_two(),
+        "all_reduce requires a power-of-two processor count, got {n}"
+    );
+    let before = machine.slots_used();
+    let dims = n.trailing_zeros();
+    for b in 0..dims {
+        let pi = hypercube_exchange(dims, b);
+        machine.exchange_combine(&pi, &mut combine)?;
+    }
+    Ok(machine.slots_used() - before)
+}
+
+/// Data sum to everyone: the `u64` specialization of [`all_reduce`] with
+/// addition, returning `(total, slots)`.
+pub fn data_sum(machine: &mut ValueMachine<u64>) -> Result<(u64, usize), RoutingFailure> {
+    let slots = all_reduce(machine, |a, b| a + b)?;
+    Ok((machine.values()[0], slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_network::PopsTopology;
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn data_sum_on_several_shapes() {
+        for (d, g) in [(1usize, 16usize), (4, 4), (8, 2), (2, 8), (16, 4)] {
+            let n = d * g;
+            let t = PopsTopology::new(d, g);
+            let mut m = ValueMachine::new(t, (1..=n as u64).collect());
+            let (total, slots) = data_sum(&mut m).unwrap();
+            let expect = (n as u64) * (n as u64 + 1) / 2;
+            assert_eq!(total, expect, "d={d} g={g}");
+            // Every processor holds the total.
+            assert!(m.values().iter().all(|&v| v == expect));
+            // Cost: log2(n) permutations.
+            let dims = n.trailing_zeros() as usize;
+            assert_eq!(slots, dims * m.slots_per_permutation(), "d={d} g={g}");
+        }
+    }
+
+    #[test]
+    fn all_reduce_with_max() {
+        let t = PopsTopology::new(4, 4);
+        let mut rng = SplitMix64::new(5);
+        let values: Vec<u64> = (0..16).map(|_| rng.next_u64() % 1000).collect();
+        let expect = *values.iter().max().unwrap();
+        let mut m = ValueMachine::new(t, values);
+        all_reduce(&mut m, |a, b| *a.max(b)).unwrap();
+        assert!(m.values().iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let t = PopsTopology::new(3, 3);
+        let mut m = ValueMachine::new(t, vec![0u64; 9]);
+        let _ = data_sum(&mut m);
+    }
+
+    #[test]
+    fn single_processor_is_trivial() {
+        let t = PopsTopology::new(1, 1);
+        let mut m = ValueMachine::new(t, vec![42u64]);
+        let (total, slots) = data_sum(&mut m).unwrap();
+        assert_eq!(total, 42);
+        assert_eq!(slots, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Prefix sum (scan) — Sahni (2000b)'s primitive, rebuilt on the general
+//! router.
+//!
+//! The classic hypercube sweep: every processor carries a pair
+//! `(prefix, total)`, initially `(x_i, x_i)`. In round `b` processor `j`
+//! exchanges `total` with its dimension-`b` partner `p = j ^ 2^b`; both
+//! add the partner's old total to their own, and the processor with the
+//! higher index (bit `b` set) also folds it into its prefix. After
+//! `log₂ n` rounds `prefix_j = x_0 + … + x_j` (inclusive scan). Each round
+//! is one hypercube exchange permutation — `theorem2_slots(d, g)` slots by
+//! the paper, independent of the layout.
+
+use pops_core::verify::RoutingFailure;
+use pops_network::PopsTopology;
+use pops_permutation::families::hypercube::hypercube_exchange;
+
+use crate::machine::ValueMachine;
+
+/// Per-processor scan state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScanState {
+    prefix: u64,
+    total: u64,
+}
+
+/// Inclusive prefix sum of `values` on a POPS(d, g): returns
+/// `(prefixes, slots)` with `prefixes[j] = values[0] + … + values[j]`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != d·g` or `n` is not a power of two.
+pub fn prefix_sum(
+    topology: PopsTopology,
+    values: &[u64],
+) -> Result<(Vec<u64>, usize), RoutingFailure> {
+    let n = topology.n();
+    assert_eq!(values.len(), n, "one value per processor");
+    assert!(
+        n.is_power_of_two(),
+        "prefix_sum requires a power-of-two processor count, got {n}"
+    );
+    let state: Vec<ScanState> = values
+        .iter()
+        .map(|&v| ScanState {
+            prefix: v,
+            total: v,
+        })
+        .collect();
+    let mut machine = ValueMachine::new(topology, state);
+    let dims = n.trailing_zeros();
+    for b in 0..dims {
+        let pi = hypercube_exchange(dims, b);
+        machine.exchange_combine_indexed(&pi, |dest, mine, arriving| {
+            let bit_set = dest & (1 << b) != 0;
+            ScanState {
+                prefix: mine.prefix + if bit_set { arriving.total } else { 0 },
+                total: mine.total + arriving.total,
+            }
+        })?;
+    }
+    let slots = machine.slots_used();
+    Ok((
+        machine
+            .into_values()
+            .into_iter()
+            .map(|s| s.prefix)
+            .collect(),
+        slots,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::theorem2_slots;
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let mut rng = SplitMix64::new(9);
+        for (d, g) in [(1usize, 16usize), (4, 4), (8, 2), (2, 16), (8, 8)] {
+            let n = d * g;
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64() % 100).collect();
+            let (prefixes, slots) = prefix_sum(PopsTopology::new(d, g), &values).unwrap();
+            let mut acc = 0u64;
+            let expect: Vec<u64> = values
+                .iter()
+                .map(|&v| {
+                    acc += v;
+                    acc
+                })
+                .collect();
+            assert_eq!(prefixes, expect, "d={d} g={g}");
+            let dims = n.trailing_zeros() as usize;
+            assert_eq!(slots, dims * theorem2_slots(d, g), "d={d} g={g}");
+        }
+    }
+
+    #[test]
+    fn all_ones_gives_ramp() {
+        let (prefixes, _) = prefix_sum(PopsTopology::new(4, 8), &[1u64; 32]).unwrap();
+        assert_eq!(prefixes, (1..=32u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_processor() {
+        let (prefixes, slots) = prefix_sum(PopsTopology::new(1, 1), &[7]).unwrap();
+        assert_eq!(prefixes, vec![7]);
+        assert_eq!(slots, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = prefix_sum(PopsTopology::new(3, 3), &[0; 9]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Bitonic sort on the POPS network.
+//!
+//! Batcher's bitonic sorting network sorts `n = 2^D` keys in
+//! `D(D+1)/2` compare-exchange stages, every stage's communication being a
+//! hypercube exchange `i ↔ i ^ 2^j` — exactly the §2 permutations Theorem
+//! 2 routes in the unified slot count. Sorting therefore costs
+//! `D(D+1)/2 · theorem2_slots(d, g)` slots on any POPS(d, g) with
+//! `d·g = n`, *independent of the processor layout* — the same
+//! layout-independence consequence the paper highlights for hypercube
+//! simulation.
+//!
+//! Each stage is one [`ValueMachine::exchange_combine_indexed`] call: the
+//! exchange permutation is an involution, so both partners receive each
+//! other's key and locally keep the min or the max according to their
+//! index bits (the SIMD local-computation half of the POPS step).
+
+use pops_core::verify::RoutingFailure;
+use pops_network::PopsTopology;
+use pops_permutation::families::hypercube::hypercube_exchange;
+
+use crate::machine::ValueMachine;
+
+/// Sorts `values` ascending on a POPS(d, g); returns `(sorted, slots)`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != d·g` or the length is not a power of two
+/// (Batcher's network's domain).
+pub fn bitonic_sort(
+    topology: PopsTopology,
+    values: &[u64],
+) -> Result<(Vec<u64>, usize), RoutingFailure> {
+    let n = topology.n();
+    assert_eq!(values.len(), n, "one key per processor");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort requires a power-of-two processor count, got {n}"
+    );
+    let dims = n.trailing_zeros();
+    let mut machine = ValueMachine::new(topology, values.to_vec());
+
+    // Batcher: block exponent kk (block size 2^kk), substage distance 2^j.
+    for kk in 1..=dims {
+        for j in (0..kk).rev() {
+            let pi = hypercube_exchange(dims, j);
+            let block_bit = if kk == dims { 0 } else { 1usize << kk };
+            let dist_bit = 1usize << j;
+            machine.exchange_combine_indexed(&pi, |i, mine, arriving| {
+                // Ascending block iff the block bit of i is clear; the
+                // final merge (kk == dims) is globally ascending.
+                let ascending = block_bit == 0 || i & block_bit == 0;
+                let lower_of_pair = i & dist_bit == 0;
+                let keep_min = ascending == lower_of_pair;
+                if keep_min {
+                    *mine.min(arriving)
+                } else {
+                    *mine.max(arriving)
+                }
+            })?;
+        }
+    }
+    let slots = machine.slots_used();
+    Ok((machine.into_values(), slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::theorem2_slots;
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn sorts_random_keys_on_several_shapes() {
+        let mut rng = SplitMix64::new(55);
+        for (d, g) in [(1usize, 16usize), (4, 4), (8, 2), (2, 16), (8, 8), (16, 4)] {
+            let n = d * g;
+            let values: Vec<u64> = (0..n).map(|_| rng.next_u64() % 1000).collect();
+            let (sorted, slots) = bitonic_sort(PopsTopology::new(d, g), &values).unwrap();
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect, "d={d} g={g}");
+            let dims = n.trailing_zeros() as usize;
+            assert_eq!(
+                slots,
+                dims * (dims + 1) / 2 * theorem2_slots(d, g),
+                "d={d} g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed_inputs() {
+        let t = PopsTopology::new(4, 8);
+        let asc: Vec<u64> = (0..32).collect();
+        let (sorted, _) = bitonic_sort(t, &asc).unwrap();
+        assert_eq!(sorted, asc);
+        let desc: Vec<u64> = (0..32).rev().collect();
+        let (sorted, _) = bitonic_sort(t, &desc).unwrap();
+        assert_eq!(sorted, asc);
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let t = PopsTopology::new(2, 4);
+        let values = [5u64, 1, 5, 1, 5, 1, 5, 1];
+        let (sorted, _) = bitonic_sort(t, &values).unwrap();
+        assert_eq!(sorted, vec![1, 1, 1, 1, 5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn single_key() {
+        let (sorted, slots) = bitonic_sort(PopsTopology::new(1, 1), &[9]).unwrap();
+        assert_eq!(sorted, vec![9]);
+        assert_eq!(slots, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = bitonic_sort(PopsTopology::new(3, 3), &[0; 9]);
+    }
+
+    #[test]
+    fn layout_independent_slot_count() {
+        // Same n, different (d, g): cost differs only through
+        // theorem2_slots — the layout-independence consequence of §2.
+        let mut rng = SplitMix64::new(56);
+        let n = 64usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let stages = 6 * 7 / 2;
+        for (d, g) in [(8usize, 8usize), (4, 16), (16, 4), (2, 32), (1, 64)] {
+            let (sorted, slots) = bitonic_sort(PopsTopology::new(d, g), &values).unwrap();
+            let mut expect = values.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, expect);
+            assert_eq!(slots, stages * theorem2_slots(d, g), "d={d} g={g}");
+        }
+    }
+}

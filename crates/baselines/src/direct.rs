@@ -1,0 +1,154 @@
+//! Direct (single-hop) routing — the baseline the two-hop Theorem-2
+//! routing is measured against (experiment T6).
+//!
+//! Every packet takes its unique one-hop path through coupler
+//! `c(group(π(i)), group(i))`. A coupler carries one packet per slot, so
+//! the schedule simply time-multiplexes each coupler's queue: the number of
+//! slots is exactly the **maximum entry of the moving-packet demand
+//! matrix**. No receiver ever conflicts (destinations are distinct), so
+//! this is the *optimal* direct routing.
+//!
+//! On group-uniform permutations the demand concentrates (`d` packets per
+//! used coupler) and the direct routing needs `d` slots, while Theorem 2
+//! needs only `2⌈d/g⌉` — the gap that motivates the paper's two-hop
+//! construction.
+
+use pops_core::single_slot::moving_demand;
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+/// The slot count of the optimal direct routing: the maximum moving-demand
+/// entry (0 for the identity).
+pub fn direct_slots(pi: &Permutation, topology: &PopsTopology) -> usize {
+    moving_demand(pi, topology)
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Builds the optimal direct schedule: packet `i` goes out in the slot
+/// equal to its position in its coupler's queue.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != topology.n()`.
+pub fn route_direct(pi: &Permutation, topology: &PopsTopology) -> Schedule {
+    assert_eq!(pi.len(), topology.n(), "size mismatch");
+    let slots_needed = direct_slots(pi, topology);
+    let mut slots = vec![SlotFrame::new(); slots_needed];
+    let mut queue_len = vec![0usize; topology.coupler_count()];
+    for i in 0..pi.len() {
+        let dest = pi.apply(i);
+        if dest == i {
+            continue;
+        }
+        let coupler = topology.coupler_between(i, dest);
+        let t = queue_len[coupler];
+        queue_len[coupler] += 1;
+        slots[t]
+            .transmissions
+            .push(Transmission::unicast(i, coupler, i, dest));
+    }
+    Schedule { slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::theorem2_slots;
+    use pops_network::Simulator;
+    use pops_permutation::families::{
+        group_rotation, matrix_transpose, random_permutation, vector_reversal,
+    };
+    use pops_permutation::SplitMix64;
+
+    fn check_direct(pi: &Permutation, d: usize, g: usize) -> usize {
+        let t = PopsTopology::new(d, g);
+        let schedule = route_direct(pi, &t);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&schedule)
+            .unwrap_or_else(|(i, e)| panic!("d={d} g={g} slot {i}: {e}"));
+        sim.verify_delivery(pi.as_slice())
+            .unwrap_or_else(|e| panic!("d={d} g={g}: {e}"));
+        schedule.slot_count()
+    }
+
+    #[test]
+    fn direct_routes_random_permutations() {
+        let mut rng = SplitMix64::new(120);
+        for (d, g) in [(1usize, 6usize), (3, 3), (4, 2), (6, 4)] {
+            let pi = random_permutation(d * g, &mut rng);
+            let slots = check_direct(&pi, d, g);
+            assert_eq!(slots, direct_slots(&pi, &PopsTopology::new(d, g)));
+        }
+    }
+
+    #[test]
+    fn group_rotation_needs_d_slots_direct() {
+        // The worst case for direct routing: whole groups move together.
+        let (d, g) = (6usize, 3usize);
+        let pi = group_rotation(d, g, 1);
+        assert_eq!(check_direct(&pi, d, g), d);
+        // …while Theorem 2 needs only 2⌈d/g⌉.
+        assert_eq!(theorem2_slots(d, g), 4);
+    }
+
+    #[test]
+    fn reversal_needs_d_slots_direct() {
+        let (d, g) = (8usize, 4usize);
+        let pi = vector_reversal(d * g);
+        assert_eq!(check_direct(&pi, d, g), d);
+    }
+
+    #[test]
+    fn transpose_direct_matches_sahni_bound() {
+        // Sahni 2000a: matrix transpose (power-of-two sizes) routes in
+        // ⌈d/g⌉ slots — achieved by direct routing because the transpose
+        // demand matrix is spread evenly across the couplers.
+        for (side, d, g) in [
+            (4usize, 4usize, 4usize),
+            (4, 2, 8),
+            (4, 8, 2),
+            (8, 8, 8),
+            (8, 4, 16),
+            (8, 16, 4),
+        ] {
+            let pi = matrix_transpose(side, side);
+            assert_eq!(pi.len(), d * g, "test shape {side} {d} {g}");
+            let slots = check_direct(&pi, d, g);
+            assert!(
+                slots <= d.div_ceil(g),
+                "side={side} d={d} g={g}: direct {slots} > ceil(d/g)"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_needs_zero_slots() {
+        let t = PopsTopology::new(3, 3);
+        let pi = Permutation::identity(9);
+        assert_eq!(direct_slots(&pi, &t), 0);
+        assert_eq!(route_direct(&pi, &t).slot_count(), 0);
+    }
+
+    #[test]
+    fn single_moving_packet_one_slot() {
+        let pi = Permutation::new(vec![2, 1, 0, 3]).unwrap();
+        assert_eq!(check_direct(&pi, 2, 2), 1);
+    }
+
+    #[test]
+    fn direct_never_beats_the_lower_bound_logic() {
+        // Sanity: direct slots >= ceil(moving packets / g^2).
+        let mut rng = SplitMix64::new(121);
+        for _ in 0..10 {
+            let (d, g) = (4usize, 3usize);
+            let t = PopsTopology::new(d, g);
+            let pi = random_permutation(d * g, &mut rng);
+            let moving = (0..pi.len()).filter(|&i| pi.apply(i) != i).count();
+            assert!(direct_slots(&pi, &t) >= moving.div_ceil(t.coupler_count()));
+        }
+    }
+}

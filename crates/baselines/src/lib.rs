@@ -1,0 +1,37 @@
+//! Baseline POPS routings the paper's Theorem 2 is compared against.
+//!
+//! * [`direct`] — optimal **single-hop** routing: every packet goes
+//!   straight through its unique coupler; slot count = maximum entry of
+//!   the moving-packet demand matrix. Fast when demand is spread out,
+//!   `d` slots when a whole group targets one group — the case that
+//!   motivates the paper's two-hop scheme.
+//! * [`structured`] — a reconstruction of the **specialized per-family
+//!   routers** of the pre-Theorem-2 literature (Sahni 2000a/b): for
+//!   group-uniform permutations a closed-form modular fair distribution
+//!   replaces the general edge-colouring construction, achieving the same
+//!   `2⌈d/g⌉` slot count with `O(n)` routing computation.
+//! * [`mod@compare`] — run every router on an instance (fully simulated and
+//!   verified) and tabulate slot counts; the backbone of experiments T3
+//!   and T6.
+
+//! ```
+//! use pops_baselines::compare;
+//! use pops_permutation::families::group_rotation;
+//!
+//! // A whole-group rotation: direct routing pays d slots, the paper's
+//! // two-hop scheme only 2*ceil(d/g).
+//! let c = compare(&group_rotation(8, 4, 1), 8, 4);
+//! assert_eq!(c.direct_slots, 8);
+//! assert_eq!(c.general_slots, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod direct;
+pub mod structured;
+
+pub use compare::{compare, Comparison};
+pub use direct::{direct_slots, route_direct};
+pub use structured::{route_structured, structured_fair_distribution, NotGroupUniform};

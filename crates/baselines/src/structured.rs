@@ -1,0 +1,259 @@
+//! The *structured* two-hop router for group-uniform permutations —
+//! a reconstruction of the hand-crafted per-family routings of Sahni
+//! (2000a) that the paper's Theorem 2 subsumes.
+//!
+//! Before Mei & Rizzi, each permutation family (vector reversal, group
+//! rotations, mesh row shifts, …) was routed by a bespoke construction
+//! exploiting its structure. The common structure is *group-uniformity*:
+//! `π` maps whole groups onto whole groups through a group map `Γ`. Then
+//! the list system's lists are constant (`L(h, i) = Γ(h)`), condition (3)
+//! of a fair distribution collapses into condition (1), and an explicit
+//! modular formula replaces the general edge-colouring machinery:
+//!
+//! * `d ≤ g`: `f(h, i) = (h + i) mod g` — per-source injective (`d ≤ g`
+//!   consecutive residues) and each target hit exactly `d` times;
+//! * `d > g`: `f(h, i) = (i + h) mod d` — a bijection per source, each
+//!   target hit exactly once per source.
+//!
+//! The resulting slot counts are identical to Theorem 2 (1 slot for
+//! `d = 1`, else `2⌈d/g⌉`), but the fair distribution costs `O(n)` instead
+//! of an edge colouring — exactly the trade the specialized literature
+//! made, and the comparison experiment T3 measures.
+
+use pops_core::fair_distribution::FairDistribution;
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+/// Error returned when the permutation is not group-uniform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotGroupUniform;
+
+impl std::fmt::Display for NotGroupUniform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "permutation is not group-uniform; use the general router"
+        )
+    }
+}
+
+impl std::error::Error for NotGroupUniform {}
+
+/// The closed-form fair distribution for a group-uniform permutation on
+/// POPS(d, g) — no edge colouring involved.
+///
+/// Returns a distribution satisfying equations (1)–(3) for the routing
+/// list system of `pi` (verified in tests against
+/// [`FairDistribution::verify`]).
+pub fn structured_fair_distribution(
+    pi: &Permutation,
+    d: usize,
+    g: usize,
+) -> Result<FairDistribution, NotGroupUniform> {
+    assert!(d > 0 && g > 0, "d and g must be positive");
+    assert_eq!(pi.len(), d * g, "size mismatch");
+    if !pi.is_group_uniform(d) {
+        return Err(NotGroupUniform);
+    }
+    let n2 = g.max(d);
+    let assignments = (0..g)
+        .map(|h| (0..d).map(|i| (h + i) % n2).collect())
+        .collect();
+    Ok(FairDistribution::from_assignments(n2, assignments))
+}
+
+/// Routes a group-uniform permutation in `2⌈d/g⌉` slots (1 slot if
+/// `d = 1`) using the closed-form fair distribution — the specialized
+/// baseline of experiment T3.
+///
+/// The schedule construction mirrors the Theorem-2 router, with the
+/// modular `f` substituted for the edge-coloured one.
+pub fn route_structured(
+    pi: &Permutation,
+    topology: PopsTopology,
+) -> Result<Schedule, NotGroupUniform> {
+    let d = topology.d();
+    let g = topology.g();
+    assert_eq!(pi.len(), topology.n(), "size mismatch");
+    if !pi.is_group_uniform(d) {
+        return Err(NotGroupUniform);
+    }
+    if d == 1 {
+        let transmissions = (0..topology.n())
+            .map(|i| {
+                Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i))
+            })
+            .collect();
+        return Ok(Schedule {
+            slots: vec![SlotFrame { transmissions }],
+        });
+    }
+
+    let fd = structured_fair_distribution(pi, d, g).expect("checked group-uniform above");
+    let mut slots = Vec::new();
+
+    if d <= g {
+        // One round of two slots, receivers assigned in source-group order
+        // per intermediate group (cf. the general router).
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); g];
+        for h in 0..g {
+            for i in 0..d {
+                incoming[fd.target(h, i)].push(topology.processor(h, i));
+            }
+        }
+        let mut slot1 = SlotFrame::new();
+        let mut slot2 = SlotFrame::new();
+        for (j, senders) in incoming.iter().enumerate() {
+            debug_assert_eq!(senders.len(), d);
+            for (k, &sender) in senders.iter().enumerate() {
+                let mid = topology.processor(j, k);
+                slot1.transmissions.push(Transmission::unicast(
+                    sender,
+                    topology.coupler_id(j, topology.group_of(sender)),
+                    sender,
+                    mid,
+                ));
+                let dest = pi.apply(sender);
+                slot2.transmissions.push(Transmission::unicast(
+                    mid,
+                    topology.coupler_between(mid, dest),
+                    sender,
+                    dest,
+                ));
+            }
+        }
+        slots.push(slot1);
+        slots.push(slot2);
+    } else {
+        // d > g: ⌈d/g⌉ rounds; f(h, ·) = (·+h) mod d is a bijection.
+        // inv[h][j] = i with f(h, i) = j, i.e. i = (j - h) mod d.
+        let rounds = d.div_ceil(g);
+        for q in 0..rounds {
+            let block = q * g..((q + 1) * g).min(d);
+            let full_round = block.len() == g;
+            let mut slot1 = SlotFrame::new();
+            let mut slot2 = SlotFrame::new();
+            let mut receivers_for_group: Vec<Vec<usize>> = Vec::with_capacity(g);
+            #[allow(clippy::needless_range_loop)] // r is a group id, not just an index
+            for r in 0..g {
+                if full_round {
+                    let mut senders: Vec<usize> = block
+                        .clone()
+                        .map(|j| topology.processor(r, (j + d - r % d) % d))
+                        .collect();
+                    senders.sort_unstable();
+                    receivers_for_group.push(senders);
+                } else {
+                    receivers_for_group.push((0..g).map(|h| topology.processor(r, h)).collect());
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // h is a group id, not just an index
+            for h in 0..g {
+                for j in block.clone() {
+                    let r = j - q * g;
+                    let i = (j + d - h % d) % d;
+                    let sender = topology.processor(h, i);
+                    let mid = receivers_for_group[r][h];
+                    slot1.transmissions.push(Transmission::unicast(
+                        sender,
+                        topology.coupler_id(r, h),
+                        sender,
+                        mid,
+                    ));
+                    let dest = pi.apply(sender);
+                    slot2.transmissions.push(Transmission::unicast(
+                        mid,
+                        topology.coupler_between(mid, dest),
+                        sender,
+                        dest,
+                    ));
+                }
+            }
+            slots.push(slot1);
+            slots.push(slot2);
+        }
+    }
+    Ok(Schedule { slots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::list_system::ListSystem;
+    use pops_core::theorem2_slots;
+    use pops_network::Simulator;
+    use pops_permutation::families::{group_rotation, random_group_uniform, vector_reversal};
+    use pops_permutation::SplitMix64;
+
+    fn check(pi: &Permutation, d: usize, g: usize) -> usize {
+        let t = PopsTopology::new(d, g);
+        let schedule = route_structured(pi, t).unwrap();
+        assert_eq!(schedule.slot_count(), theorem2_slots(d, g), "d={d} g={g}");
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&schedule)
+            .unwrap_or_else(|(i, e)| panic!("d={d} g={g} slot {i}: {e}"));
+        sim.verify_delivery(pi.as_slice())
+            .unwrap_or_else(|e| panic!("d={d} g={g}: {e}"));
+        schedule.slot_count()
+    }
+
+    #[test]
+    fn structured_fair_distribution_satisfies_theorem1_conditions() {
+        let mut rng = SplitMix64::new(130);
+        for (d, g) in [(2usize, 4usize), (4, 4), (6, 3), (8, 2), (1, 5), (5, 2)] {
+            let pi = random_group_uniform(d, g, &mut rng);
+            let fd = structured_fair_distribution(&pi, d, g).unwrap();
+            let ls = ListSystem::for_routing(&pi, d, g);
+            fd.verify(&ls)
+                .unwrap_or_else(|v| panic!("d={d} g={g}: {v}"));
+        }
+    }
+
+    #[test]
+    fn routes_vector_reversal() {
+        for (d, g) in [(4usize, 4usize), (2, 6), (8, 4), (6, 2), (5, 3)] {
+            let pi = vector_reversal(d * g);
+            check(&pi, d, g);
+        }
+    }
+
+    #[test]
+    fn routes_group_rotations() {
+        for (d, g) in [(3usize, 3usize), (6, 3), (4, 8), (7, 2)] {
+            let pi = group_rotation(d, g, 1);
+            check(&pi, d, g);
+        }
+    }
+
+    #[test]
+    fn routes_random_group_uniform() {
+        let mut rng = SplitMix64::new(131);
+        for (d, g) in [(2usize, 5usize), (5, 5), (9, 3), (4, 2)] {
+            let pi = random_group_uniform(d, g, &mut rng);
+            check(&pi, d, g);
+        }
+    }
+
+    #[test]
+    fn d1_single_slot() {
+        let pi = vector_reversal(7);
+        assert_eq!(check(&pi, 1, 7), 1);
+    }
+
+    #[test]
+    fn rejects_non_group_uniform() {
+        // A permutation mixing groups.
+        let pi = Permutation::new(vec![0, 2, 1, 3]).unwrap();
+        assert!(!pi.is_group_uniform(2));
+        assert_eq!(
+            route_structured(&pi, PopsTopology::new(2, 2)),
+            Err(NotGroupUniform)
+        );
+        assert!(structured_fair_distribution(&pi, 2, 2).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NotGroupUniform.to_string().contains("group-uniform"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Bench T8: the data-parallel application algorithms (communication is
+//! simulation-backed, so these times include the referee).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pops_algorithms::matmul::{cannon_multiply, TorusMatrix};
+use pops_algorithms::reduce::data_sum;
+use pops_algorithms::scan::prefix_sum;
+use pops_algorithms::ValueMachine;
+use pops_network::PopsTopology;
+use pops_permutation::SplitMix64;
+
+fn bench_data_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/data_sum");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(27);
+    for s in [8usize, 16] {
+        let n = s * s;
+        let topology = PopsTopology::new(s, s);
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64() % 100).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, vals| {
+            b.iter(|| {
+                let mut m = ValueMachine::new(topology, vals.clone());
+                data_sum(black_box(&mut m)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/prefix_sum");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(28);
+    for s in [8usize, 16] {
+        let n = s * s;
+        let topology = PopsTopology::new(s, s);
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64() % 100).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, vals| {
+            b.iter(|| prefix_sum(topology, black_box(vals)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cannon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms/cannon");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(29);
+    for m in [4usize, 8] {
+        let topology = PopsTopology::new(m, m);
+        let a = TorusMatrix::from_fn(m, |_, _| (rng.next_u64() % 9) as i64);
+        let b_mat = TorusMatrix::from_fn(m, |_, _| (rng.next_u64() % 9) as i64);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{m}")),
+            &(a, b_mat),
+            |bch, (a, b_mat)| {
+                bch.iter(|| cannon_multiply(black_box(a), black_box(b_mat), topology).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Short measurement windows so the full suite completes in minutes; the
+/// series shapes (not absolute precision) are what the experiments need.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_data_sum, bench_prefix_sum, bench_cannon
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Bench T11: collective patterns — schedule construction + value-level
+//! execution cost across network shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pops_collectives::{movement, CollectiveEngine};
+use pops_network::PopsTopology;
+
+fn bench_movement_builders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/build");
+    group.sample_size(20);
+    let t = PopsTopology::new(8, 8);
+    group.bench_function("scatter", |b| {
+        b.iter(|| movement::scatter(black_box(&t), 0));
+    });
+    group.bench_function("gather", |b| {
+        b.iter(|| movement::gather(black_box(&t), 0));
+    });
+    group.bench_function("all_gather", |b| {
+        b.iter(|| movement::all_gather(black_box(&t)));
+    });
+    group.bench_function("barrier", |b| {
+        b.iter(|| movement::barrier(black_box(&t), 0));
+    });
+    group.finish();
+}
+
+fn bench_engine_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/engine");
+    group.sample_size(10);
+    for g in [4usize, 8] {
+        let t = PopsTopology::new(4, g);
+        let n = t.n();
+        group.bench_with_input(
+            BenchmarkId::new("broadcast", t.to_string()),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let mut eng = CollectiveEngine::new(t);
+                    eng.broadcast(0, 1u64).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("scatter", t.to_string()), &t, |b, &t| {
+            b.iter(|| {
+                let mut eng = CollectiveEngine::new(t);
+                eng.scatter(0, (0..n as u64).collect()).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("shift", t.to_string()), &t, |b, &t| {
+            b.iter(|| {
+                let mut eng = CollectiveEngine::new(t);
+                eng.shift((0..n as u64).collect(), 1).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/all_to_all");
+    group.sample_size(10);
+    for (d, g) in [(2usize, 4usize), (4, 4)] {
+        let t = PopsTopology::new(d, g);
+        let n = t.n();
+        group.bench_with_input(BenchmarkId::from_parameter(t.to_string()), &t, |b, &t| {
+            let sends: Vec<Vec<u64>> = (0..n)
+                .map(|i| (0..n).map(|j| (i * n + j) as u64).collect())
+                .collect();
+            b.iter(|| {
+                let mut eng = CollectiveEngine::new(t);
+                eng.all_to_all(black_box(sends.clone())).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows so the full suite completes in minutes; the
+/// series shapes (not absolute precision) are what the experiments need.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_movement_builders, bench_engine_end_to_end, bench_all_to_all
+}
+criterion_main!(benches);

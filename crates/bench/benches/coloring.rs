@@ -1,0 +1,76 @@
+//! Bench T4: the three 1-factorization engines of Remark 1 on random
+//! k-regular bipartite multigraphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pops_bipartite::generators::random_regular_multigraph;
+use pops_bipartite::ColorerKind;
+use pops_permutation::SplitMix64;
+
+fn bench_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coloring/size");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(7);
+    for (n, k) in [(64usize, 8usize), (128, 16), (256, 32)] {
+        let g = random_regular_multigraph(n, k, &mut rng);
+        for kind in ColorerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("n{n}_k{k}")),
+                &g,
+                |b, g| {
+                    b.iter(|| kind.color(black_box(g)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_by_degree(c: &mut Criterion) {
+    // Fixed node count, growing degree: exposes each engine's dependence
+    // on k (König pays k matchings, Euler-split log k levels).
+    let mut group = c.benchmark_group("coloring/degree");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(8);
+    let n = 128usize;
+    for k in [4usize, 16, 64] {
+        let g = random_regular_multigraph(n, k, &mut rng);
+        for kind in ColorerKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.name(), k), &g, |b, g| {
+                b.iter(|| kind.color(black_box(g)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_power_of_two_degrees(c: &mut Criterion) {
+    // Euler-split's sweet spot: k = 2^j needs no matching peels at all.
+    let mut group = c.benchmark_group("coloring/pow2");
+    group.sample_size(15);
+    let mut rng = SplitMix64::new(9);
+    let n = 256usize;
+    for k in [15usize, 16, 17] {
+        let g = random_regular_multigraph(n, k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("euler-split", k), &g, |b, g| {
+            b.iter(|| ColorerKind::EulerSplit.color(black_box(g)));
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement windows so the full suite completes in minutes; the
+/// series shapes (not absolute precision) are what the experiments need.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_by_size, bench_by_degree, bench_power_of_two_degrees
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Bench T12: exact-optimum search effort across tiny shapes and
+//! permutation families (the cost of certifying §3.3 empirically).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pops_core::optimal::min_slots_two_hop;
+use pops_network::PopsTopology;
+use pops_permutation::families::{group_rotation, random_permutation, vector_reversal};
+use pops_permutation::SplitMix64;
+
+const BUDGET: u64 = 50_000_000;
+
+fn bench_by_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal/by_shape");
+    group.sample_size(10);
+    let mut rng = SplitMix64::new(555);
+    for (d, g) in [(2usize, 2usize), (2, 3), (3, 2), (3, 3)] {
+        let t = PopsTopology::new(d, g);
+        let pi = random_permutation(d * g, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(t.to_string()), &pi, |b, pi| {
+            b.iter(|| min_slots_two_hop(black_box(pi), t, BUDGET));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_families(c: &mut Criterion) {
+    // Concentrated-demand families backtrack the most.
+    let mut group = c.benchmark_group("optimal/families");
+    group.sample_size(10);
+    let t = PopsTopology::new(3, 2);
+    group.bench_function("group_rotation_3_2", |b| {
+        let pi = group_rotation(3, 2, 1);
+        b.iter(|| min_slots_two_hop(black_box(&pi), t, BUDGET));
+    });
+    group.bench_function("reversal_3_2", |b| {
+        let pi = vector_reversal(6);
+        b.iter(|| min_slots_two_hop(black_box(&pi), t, BUDGET));
+    });
+    let t33 = PopsTopology::new(3, 3);
+    group.bench_function("group_rotation_3_3", |b| {
+        let pi = group_rotation(3, 3, 1);
+        b.iter(|| min_slots_two_hop(black_box(&pi), t33, BUDGET));
+    });
+    group.finish();
+}
+
+/// Short measurement windows so the full suite completes in minutes; the
+/// series shapes (not absolute precision) are what the experiments need.
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_by_shape, bench_hard_families
+}
+criterion_main!(benches);

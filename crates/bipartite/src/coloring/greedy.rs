@@ -1,0 +1,114 @@
+//! First-fit greedy edge colouring — the *negative baseline* for
+//! experiment T4.
+//!
+//! Greedy first-fit assigns each edge the smallest colour free at both
+//! endpoints. It is fast and simple but only guarantees `2Δ − 1` colours —
+//! **not** the `Δ` König's theorem promises. That gap is why the paper's
+//! Theorem 1 needs a real 1-factorization: a fair distribution must use
+//! exactly `n₂` targets with fibres of exactly `Δ₂`, and a colouring with
+//! more than `n₂` colours does not even type-check as a fair distribution
+//! (some colour classes would be too small, breaking equation (2), i.e.
+//! overloading some intermediate group beyond its `d` processors).
+//!
+//! [`color_greedy`] is intentionally *not* a [`crate::coloring::ColorerKind`]
+//! variant — its contract is different (colour count is an output, not a
+//! guarantee).
+
+use crate::coloring::EdgeColoring;
+use crate::graph::BipartiteMultigraph;
+
+const NONE: usize = usize::MAX;
+
+/// First-fit greedy edge colouring in edge-id order. Returns a proper
+/// colouring using at most `2Δ − 1` colours (and exactly however many the
+/// instance forces; `num_colors` reports the count actually used).
+pub fn color_greedy(g: &BipartiteMultigraph) -> EdgeColoring {
+    let delta = g.max_degree();
+    if delta == 0 {
+        return EdgeColoring {
+            num_colors: 0,
+            colors: Vec::new(),
+        };
+    }
+    let palette = 2 * delta - 1;
+    let mut left_table = vec![NONE; g.left_count() * palette];
+    let mut right_table = vec![NONE; g.right_count() * palette];
+    let mut colors = vec![NONE; g.edge_count()];
+    let mut used = 0usize;
+    for (e, u, v) in g.edges() {
+        let c = (0..palette)
+            .find(|&c| left_table[u * palette + c] == NONE && right_table[v * palette + c] == NONE)
+            .expect("2Δ−1 colours always suffice for first-fit");
+        colors[e] = c;
+        left_table[u * palette + c] = e;
+        right_table[v * palette + c] = e;
+        used = used.max(c + 1);
+    }
+    EdgeColoring {
+        num_colors: used,
+        colors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{verify_proper, ColorerKind};
+    use crate::generators::{random_multigraph, random_regular_multigraph};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn greedy_is_proper_and_bounded_on_regular_graphs() {
+        let mut rng = SplitMix64::new(81);
+        for _ in 0..50 {
+            let g = random_regular_multigraph(8, 5, &mut rng);
+            let greedy = color_greedy(&g);
+            verify_proper(&g, &greedy).unwrap();
+            assert!(greedy.num_colors < 2 * 5);
+            assert!(greedy.num_colors >= 5, "cannot beat Δ");
+            // The real engines never overshoot.
+            assert_eq!(ColorerKind::EulerSplit.color(&g).num_colors, 5);
+        }
+    }
+
+    #[test]
+    fn greedy_overshoots_delta_on_an_adversarial_order() {
+        // The classic forcing instance: after (x,p)→0, (r,s)→0, (r,y)→1,
+        // the edge (x,y) sees colour 0 used at x and colour 1 at y, and
+        // first-fit spends a THIRD colour although Δ = 2. This is exactly
+        // why Theorem 1 needs a true 1-factorization, not a greedy pass.
+        let g = BipartiteMultigraph::from_edges(2, 3, [(0, 0), (1, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.max_degree(), 2);
+        let greedy = color_greedy(&g);
+        verify_proper(&g, &greedy).unwrap();
+        assert_eq!(greedy.num_colors, 3, "greedy forced over Δ");
+        // Every real engine colours it with Δ = 2.
+        for kind in ColorerKind::ALL {
+            assert_eq!(kind.color(&g).num_colors, 2, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn greedy_on_irregular_graphs() {
+        let mut rng = SplitMix64::new(82);
+        for _ in 0..20 {
+            let g = random_multigraph(6, 9, 35, &mut rng);
+            let coloring = color_greedy(&g);
+            verify_proper(&g, &coloring).unwrap();
+            assert!(coloring.num_colors < 2 * g.max_degree());
+        }
+    }
+
+    #[test]
+    fn greedy_empty_graph() {
+        let g = BipartiteMultigraph::new(3, 3);
+        assert_eq!(color_greedy(&g).num_colors, 0);
+    }
+
+    #[test]
+    fn greedy_matches_delta_on_a_star() {
+        // A star is interval-graph-easy: greedy is optimal there.
+        let g = BipartiteMultigraph::from_edges(1, 4, (0..4).map(|v| (0, v))).unwrap();
+        assert_eq!(color_greedy(&g).num_colors, 4);
+    }
+}

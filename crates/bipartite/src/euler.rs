@@ -1,0 +1,211 @@
+//! Euler partitions and the *Euler split* of even-degree bipartite
+//! multigraphs.
+//!
+//! The Euler split is the workhorse of the divide-and-conquer edge-colouring
+//! family (Gabow 1976; Kapoor–Rizzi 2000; Rizzi 2001 — the algorithms cited
+//! by Remark 1 of the paper): a multigraph in which every node has even
+//! degree decomposes into closed trails; walking each trail and assigning
+//! edges alternately to two buckets exactly halves every node's degree, so a
+//! `2k`-regular graph splits into two `k`-regular ones in `O(m)` time.
+
+use crate::graph::{BipartiteMultigraph, EdgeId};
+
+/// The result of [`euler_split`]: a partition of all edge ids into two sets
+/// such that each node's degree is exactly halved in each set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EulerSplit {
+    /// First half of the edges.
+    pub first: Vec<EdgeId>,
+    /// Second half of the edges.
+    pub second: Vec<EdgeId>,
+}
+
+/// Splits a bipartite multigraph in which **every node has even degree**
+/// into two halves with exactly halved degrees.
+///
+/// Works by decomposing the graph into closed trails (Hierholzer's
+/// algorithm, iterative) and assigning the edges of each trail alternately.
+/// In a bipartite graph every closed trail has even length, so the
+/// alternation is consistent around the trail and each visit to a node puts
+/// one incident edge in each half.
+///
+/// Runs in `O(n + m)` time.
+///
+/// # Errors
+///
+/// Returns `Err(node_with_odd_degree)` if some node has odd degree; the node
+/// is reported as `(side, index)` with `side == 0` for left.
+pub fn euler_split(g: &BipartiteMultigraph) -> Result<EulerSplit, (usize, usize)> {
+    let left_deg = g.left_degrees();
+    if let Some(u) = left_deg.iter().position(|&dg| dg % 2 != 0) {
+        return Err((0, u));
+    }
+    let right_deg = g.right_degrees();
+    if let Some(v) = right_deg.iter().position(|&dg| dg % 2 != 0) {
+        return Err((1, v));
+    }
+
+    // Unified node numbering: left nodes 0..L, right nodes L..L+R.
+    let offset = g.left_count();
+    let node_count = offset + g.right_count();
+    let m = g.edge_count();
+
+    // Incidence lists over unified nodes; each edge appears twice.
+    let mut incident: Vec<Vec<EdgeId>> = vec![Vec::new(); node_count];
+    for (e, u, v) in g.edges() {
+        incident[u].push(e);
+        incident[offset + v].push(e);
+    }
+    // Cursor into each incidence list, skipping used edges lazily.
+    let mut cursor = vec![0usize; node_count];
+    let mut used = vec![false; m];
+
+    let mut first = Vec::with_capacity(m / 2 + 1);
+    let mut second = Vec::with_capacity(m / 2 + 1);
+
+    // Hierholzer: from every node with unused incident edges, walk a closed
+    // trail (even degrees guarantee we can only get stuck back at the
+    // start), assigning alternately as we walk. Each closed trail in a
+    // bipartite graph has even length, so alternation is globally
+    // consistent at the trail's start node too.
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..node_count {
+        loop {
+            // Advance the cursor past used edges.
+            while cursor[start] < incident[start].len() && used[incident[start][cursor[start]]] {
+                cursor[start] += 1;
+            }
+            if cursor[start] == incident[start].len() {
+                break; // node exhausted
+            }
+            // Walk one closed trail starting (and necessarily ending) here.
+            // We collect the trail as edge ids, then assign alternately.
+            stack.clear();
+            let mut trail: Vec<EdgeId> = Vec::new();
+            let mut cur = start;
+            loop {
+                while cursor[cur] < incident[cur].len() && used[incident[cur][cursor[cur]]] {
+                    cursor[cur] += 1;
+                }
+                if cursor[cur] == incident[cur].len() {
+                    // Dead end: with all-even degrees this can only be the
+                    // start node, closing the trail.
+                    break;
+                }
+                let e = incident[cur][cursor[cur]];
+                used[e] = true;
+                trail.push(e);
+                let (eu, ev) = g.endpoints(e);
+                let other = if eu == cur { offset + ev } else { eu };
+                debug_assert!(eu == cur || offset + ev == cur);
+                cur = other;
+            }
+            debug_assert_eq!(cur, start, "even degrees force a closed trail");
+            debug_assert!(
+                trail.len().is_multiple_of(2),
+                "bipartite closed trails are even"
+            );
+            for (i, e) in trail.into_iter().enumerate() {
+                if i % 2 == 0 {
+                    first.push(e);
+                } else {
+                    second.push(e);
+                }
+            }
+        }
+    }
+
+    debug_assert_eq!(first.len() + second.len(), m);
+    Ok(EulerSplit { first, second })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random_regular_multigraph;
+    use pops_permutation::SplitMix64;
+
+    fn degrees_of(g: &BipartiteMultigraph, edges: &[EdgeId]) -> (Vec<usize>, Vec<usize>) {
+        let mut l = vec![0usize; g.left_count()];
+        let mut r = vec![0usize; g.right_count()];
+        for &e in edges {
+            let (u, v) = g.endpoints(e);
+            l[u] += 1;
+            r[v] += 1;
+        }
+        (l, r)
+    }
+
+    #[test]
+    fn splits_a_4_cycle() {
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let split = euler_split(&g).unwrap();
+        assert_eq!(split.first.len(), 2);
+        assert_eq!(split.second.len(), 2);
+        let (l, r) = degrees_of(&g, &split.first);
+        assert_eq!(l, vec![1, 1]);
+        assert_eq!(r, vec![1, 1]);
+    }
+
+    #[test]
+    fn splits_doubled_edges() {
+        // Two parallel edges form a closed trail of length 2.
+        let g = BipartiteMultigraph::from_edges(1, 1, [(0, 0), (0, 0)]).unwrap();
+        let split = euler_split(&g).unwrap();
+        assert_eq!(split.first.len(), 1);
+        assert_eq!(split.second.len(), 1);
+    }
+
+    #[test]
+    fn rejects_odd_degrees() {
+        let g = BipartiteMultigraph::from_edges(1, 1, [(0, 0)]).unwrap();
+        assert_eq!(euler_split(&g), Err((0, 0)));
+    }
+
+    #[test]
+    fn reports_odd_right_node() {
+        // Left degrees [2], right degrees [1, 1]: left is even, right odd.
+        let g = BipartiteMultigraph::from_edges(1, 2, [(0, 0), (0, 1)]).unwrap();
+        assert_eq!(euler_split(&g), Err((1, 0)));
+    }
+
+    #[test]
+    fn empty_graph_splits_trivially() {
+        let g = BipartiteMultigraph::new(3, 3);
+        let split = euler_split(&g).unwrap();
+        assert!(split.first.is_empty() && split.second.is_empty());
+    }
+
+    #[test]
+    fn halves_regular_graphs_exactly() {
+        let mut rng = SplitMix64::new(42);
+        for (n, k) in [(4usize, 2usize), (6, 4), (8, 6), (5, 2), (16, 8)] {
+            let g = random_regular_multigraph(n, k, &mut rng);
+            let split = euler_split(&g).unwrap();
+            for half in [&split.first, &split.second] {
+                let (l, r) = degrees_of(&g, half);
+                assert!(l.iter().all(|&dg| dg == k / 2), "n={n} k={k}");
+                assert!(r.iter().all(|&dg| dg == k / 2), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_all_edges() {
+        let mut rng = SplitMix64::new(7);
+        let g = random_regular_multigraph(10, 6, &mut rng);
+        let split = euler_split(&g).unwrap();
+        let mut all: Vec<EdgeId> = split.first.iter().chain(&split.second).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..g.edge_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        // Two disjoint 2-cycles (parallel edges).
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (0, 0), (1, 1), (1, 1)]).unwrap();
+        let split = euler_split(&g).unwrap();
+        let (l1, _) = degrees_of(&g, &split.first);
+        assert_eq!(l1, vec![1, 1]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The [`BipartiteMultigraph`] type: compact edge-list storage with
+//! on-demand adjacency, supporting parallel edges.
+//!
+//! Parallel edges are essential here: the Theorem-1 demand multigraph has
+//! `l(s, s′)` parallel edges between source `s` and the copy `s′` of each
+//! list element — as many as the list of `s` mentions `s′`.
+
+use std::fmt;
+
+/// Identifier of an edge: its insertion index. Stable across the lifetime of
+/// the graph (edges are never removed — algorithms work on edge-id subsets).
+pub type EdgeId = usize;
+
+/// Errors produced by graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A left endpoint is `>= left_count`.
+    LeftOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of left nodes.
+        count: usize,
+    },
+    /// A right endpoint is `>= right_count`.
+    RightOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of right nodes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::LeftOutOfRange { node, count } => {
+                write!(f, "left node {node} out of range (left_count = {count})")
+            }
+            GraphError::RightOutOfRange { node, count } => {
+                write!(f, "right node {node} out of range (right_count = {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A bipartite multigraph with `left_count` + `right_count` nodes.
+///
+/// Edges are stored as `(left, right)` pairs indexed by [`EdgeId`]; parallel
+/// edges are distinct entries. Node indices are `u32` internally (the POPS
+/// constructions never exceed a few million nodes) but the public API speaks
+/// `usize`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BipartiteMultigraph {
+    left_count: usize,
+    right_count: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl fmt::Debug for BipartiteMultigraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BipartiteMultigraph(left={}, right={}, edges={}",
+            self.left_count,
+            self.right_count,
+            self.edges.len()
+        )?;
+        if self.edges.len() <= 24 {
+            write!(f, " {:?}", self.edges)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl BipartiteMultigraph {
+    /// Creates an empty graph with the given node counts.
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        assert!(
+            left_count <= u32::MAX as usize && right_count <= u32::MAX as usize,
+            "node counts must fit in u32"
+        );
+        Self {
+            left_count,
+            right_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    pub fn from_edges(
+        left_count: usize,
+        right_count: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Self, GraphError> {
+        let mut g = Self::new(left_count, right_count);
+        for (u, v) in edges {
+            g.try_add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds an edge and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, left: usize, right: usize) -> EdgeId {
+        self.try_add_edge(left, right)
+            .expect("edge endpoint out of range")
+    }
+
+    /// Adds an edge, returning an error if an endpoint is out of range.
+    pub fn try_add_edge(&mut self, left: usize, right: usize) -> Result<EdgeId, GraphError> {
+        if left >= self.left_count {
+            return Err(GraphError::LeftOutOfRange {
+                node: left,
+                count: self.left_count,
+            });
+        }
+        if right >= self.right_count {
+            return Err(GraphError::RightOutOfRange {
+                node: right,
+                count: self.right_count,
+            });
+        }
+        let id = self.edges.len();
+        self.edges.push((left as u32, right as u32));
+        Ok(id)
+    }
+
+    /// Number of left-side nodes.
+    #[inline]
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right-side nodes.
+    #[inline]
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Number of edges (counting multiplicities).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(left, right)` endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a valid edge id.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (usize, usize) {
+        let (u, v) = self.edges[e];
+        (u as usize, v as usize)
+    }
+
+    /// Iterator over `(edge_id, left, right)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, usize, usize)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e, u as usize, v as usize))
+    }
+
+    /// Degree sequence of the left side.
+    pub fn left_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.left_count];
+        for &(u, _) in &self.edges {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// Degree sequence of the right side.
+    pub fn right_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.right_count];
+        for &(_, v) in &self.edges {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum degree over all nodes (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        let left_max = self.left_degrees().into_iter().max().unwrap_or(0);
+        let right_max = self.right_degrees().into_iter().max().unwrap_or(0);
+        left_max.max(right_max)
+    }
+
+    /// If the graph is `k`-regular (every node on both sides has degree
+    /// exactly `k`), returns `Some(k)`; otherwise `None`.
+    ///
+    /// The empty graph on equal-size node sets is 0-regular; a graph with
+    /// unequal side sizes and at least the possibility of edges can only be
+    /// 0-regular if it has no nodes of nonzero degree requirement — we
+    /// require `left_count == right_count` for `k > 0`.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.left_count != self.right_count {
+            // k-regularity with k > 0 forces equal sides (k·L = m = k·R).
+            let all_isolated = self.edges.is_empty();
+            return if all_isolated { Some(0) } else { None };
+        }
+        if self.left_count == 0 {
+            return Some(0);
+        }
+        let k = self.edge_count() / self.left_count;
+        if self.edge_count() != k * self.left_count {
+            return None;
+        }
+        let ok = self.left_degrees().iter().all(|&dg| dg == k)
+            && self.right_degrees().iter().all(|&dg| dg == k);
+        ok.then_some(k)
+    }
+
+    /// Per-left-node lists of incident edge ids.
+    pub fn left_adjacency(&self) -> Vec<Vec<EdgeId>> {
+        let mut adj = vec![Vec::new(); self.left_count];
+        for (e, &(u, _)) in self.edges.iter().enumerate() {
+            adj[u as usize].push(e);
+        }
+        adj
+    }
+
+    /// Per-right-node lists of incident edge ids.
+    pub fn right_adjacency(&self) -> Vec<Vec<EdgeId>> {
+        let mut adj = vec![Vec::new(); self.right_count];
+        for (e, &(_, v)) in self.edges.iter().enumerate() {
+            adj[v as usize].push(e);
+        }
+        adj
+    }
+
+    /// The subgraph induced by a set of edge ids, together with the mapping
+    /// from new edge ids back to the originals (`mapping[new] == old`).
+    /// Node sets are unchanged.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> (BipartiteMultigraph, Vec<EdgeId>) {
+        let mut g = BipartiteMultigraph::new(self.left_count, self.right_count);
+        let mut mapping = Vec::with_capacity(edge_ids.len());
+        for &e in edge_ids {
+            let (u, v) = self.endpoints(e);
+            g.add_edge(u, v);
+            mapping.push(e);
+        }
+        (g, mapping)
+    }
+
+    /// Multiplicity of the `(left, right)` node pair — the `l(s, s′)` of the
+    /// paper's list systems.
+    pub fn multiplicity(&self, left: usize, right: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| u as usize == left && v as usize == right)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4_minus() -> BipartiteMultigraph {
+        // 2x2 with a doubled edge: degrees L = [2, 2], R = [3, 1].
+        BipartiteMultigraph::from_edges(2, 2, [(0, 0), (0, 0), (1, 0), (1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn degrees_count_multiplicities() {
+        let g = k4_minus();
+        assert_eq!(g.left_degrees(), vec![2, 2]);
+        assert_eq!(g.right_degrees(), vec![3, 1]);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.multiplicity(0, 0), 2);
+        assert_eq!(g.multiplicity(1, 1), 1);
+        assert_eq!(g.multiplicity(0, 1), 0);
+    }
+
+    #[test]
+    fn regular_detection() {
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        assert_eq!(g.regular_degree(), Some(2));
+        assert_eq!(k4_minus().regular_degree(), None);
+    }
+
+    #[test]
+    fn regular_multigraph_with_parallel_edges() {
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (0, 0), (1, 1), (1, 1)]).unwrap();
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn empty_graph_is_zero_regular() {
+        assert_eq!(BipartiteMultigraph::new(3, 3).regular_degree(), Some(0));
+        assert_eq!(BipartiteMultigraph::new(0, 0).regular_degree(), Some(0));
+        assert_eq!(BipartiteMultigraph::new(2, 3).regular_degree(), Some(0));
+    }
+
+    #[test]
+    fn unequal_sides_with_edges_not_regular() {
+        let g = BipartiteMultigraph::from_edges(1, 2, [(0, 0), (0, 1)]).unwrap();
+        assert_eq!(g.regular_degree(), None);
+    }
+
+    #[test]
+    fn adjacency_lists_match_edges() {
+        let g = k4_minus();
+        let ladj = g.left_adjacency();
+        assert_eq!(ladj[0], vec![0, 1]);
+        assert_eq!(ladj[1], vec![2, 3]);
+        let radj = g.right_adjacency();
+        assert_eq!(radj[0], vec![0, 1, 2]);
+        assert_eq!(radj[1], vec![3]);
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_endpoints() {
+        let g = k4_minus();
+        let (sub, mapping) = g.edge_subgraph(&[1, 3]);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(sub.endpoints(0), g.endpoints(1));
+        assert_eq!(sub.endpoints(1), g.endpoints(3));
+        assert_eq!(mapping, vec![1, 3]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let mut g = BipartiteMultigraph::new(1, 1);
+        assert!(matches!(
+            g.try_add_edge(1, 0),
+            Err(GraphError::LeftOutOfRange { node: 1, count: 1 })
+        ));
+        assert!(matches!(
+            g.try_add_edge(0, 2),
+            Err(GraphError::RightOutOfRange { node: 2, count: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = GraphError::LeftOutOfRange { node: 5, count: 2 };
+        assert!(e.to_string().contains("left node 5"));
+    }
+
+    #[test]
+    fn debug_is_compact_for_large_graphs() {
+        let mut g = BipartiteMultigraph::new(10, 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                g.add_edge(i, j);
+            }
+        }
+        let s = format!("{g:?}");
+        assert!(s.contains("edges=100"));
+        assert!(!s.contains("(0, 0)"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Maximum and perfect matchings in bipartite multigraphs (Hopcroft–Karp).
+//!
+//! König's 1-factorization theorem — the engine of the paper's Theorem 1 —
+//! is proved constructively by peeling perfect matchings off a regular
+//! multigraph. Every k-regular bipartite multigraph with `k ≥ 1` has a
+//! perfect matching (Hall's condition holds by counting), so
+//! [`perfect_matching`] never fails on the graphs the routing constructs.
+
+use crate::graph::{BipartiteMultigraph, EdgeId};
+
+/// A matching: a set of edges no two of which share a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// The matched edge incident to each left node, if any.
+    pub left_match: Vec<Option<EdgeId>>,
+    /// The matched edge incident to each right node, if any.
+    pub right_match: Vec<Option<EdgeId>>,
+    /// The matched edge ids (one per matched pair).
+    pub edges: Vec<EdgeId>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` iff the matching covers every node on both sides.
+    pub fn is_perfect(&self, g: &BipartiteMultigraph) -> bool {
+        self.size() == g.left_count() && self.size() == g.right_count()
+    }
+
+    /// Validates the matching invariants against the graph it came from.
+    /// Used by tests and the property suites.
+    pub fn validate(&self, g: &BipartiteMultigraph) -> Result<(), String> {
+        let mut seen_left = vec![false; g.left_count()];
+        let mut seen_right = vec![false; g.right_count()];
+        for &e in &self.edges {
+            if e >= g.edge_count() {
+                return Err(format!("edge id {e} out of range"));
+            }
+            let (u, v) = g.endpoints(e);
+            if seen_left[u] {
+                return Err(format!("left node {u} matched twice"));
+            }
+            if seen_right[v] {
+                return Err(format!("right node {v} matched twice"));
+            }
+            seen_left[u] = true;
+            seen_right[v] = true;
+            if self.left_match[u] != Some(e) || self.right_match[v] != Some(e) {
+                return Err(format!("match arrays inconsistent at edge {e}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm in
+/// `O(m·√n)` time. Parallel edges are handled naturally (at most one of a
+/// parallel bundle can ever be matched).
+pub fn maximum_matching(g: &BipartiteMultigraph) -> Matching {
+    const UNREACHED: u32 = u32::MAX;
+
+    let left_n = g.left_count();
+    let adj = g.left_adjacency();
+
+    let mut match_left: Vec<Option<EdgeId>> = vec![None; left_n];
+    let mut match_right: Vec<Option<EdgeId>> = vec![None; g.right_count()];
+
+    // Greedy initialization: halves the number of augmenting phases in
+    // practice.
+    for u in 0..left_n {
+        for &e in &adj[u] {
+            let (_, v) = g.endpoints(e);
+            if match_right[v].is_none() {
+                match_left[u] = Some(e);
+                match_right[v] = Some(e);
+                break;
+            }
+        }
+    }
+
+    let mut dist = vec![UNREACHED; left_n];
+    let mut queue: Vec<usize> = Vec::with_capacity(left_n);
+    // Iterative DFS stack: (left node, index into its adjacency list).
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    loop {
+        // BFS phase: layer left nodes by alternating-path distance from the
+        // set of free left nodes.
+        queue.clear();
+        for u in 0..left_n {
+            if match_left[u].is_none() {
+                dist[u] = 0;
+                queue.push(u);
+            } else {
+                dist[u] = UNREACHED;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &e in &adj[u] {
+                let (_, v) = g.endpoints(e);
+                match match_right[v] {
+                    None => found_augmenting_layer = true,
+                    Some(me) => {
+                        let (w, _) = g.endpoints(me);
+                        if dist[w] == UNREACHED {
+                            dist[w] = dist[u] + 1;
+                            queue.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+
+        // DFS phase: find a maximal set of vertex-disjoint shortest
+        // augmenting paths and flip them.
+        for start in 0..left_n {
+            if match_left[start].is_some() {
+                continue;
+            }
+            // Iterative DFS from the free node `start` along layered edges.
+            stack.clear();
+            stack.push((start, 0));
+            // Records the edge chosen out of each left node on the path.
+            let mut path: Vec<EdgeId> = Vec::new();
+            let mut augmented = false;
+            while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+                if *idx >= adj[u].len() {
+                    // Exhausted: retreat; mark unreachable so other DFS
+                    // roots skip it this phase.
+                    dist[u] = UNREACHED;
+                    stack.pop();
+                    path.pop();
+                    continue;
+                }
+                let e = adj[u][*idx];
+                *idx += 1;
+                let (_, v) = g.endpoints(e);
+                match match_right[v] {
+                    None => {
+                        // Augmenting path found: flip along it.
+                        path.push(e);
+                        for &pe in path.iter().rev() {
+                            let (pu, pv) = g.endpoints(pe);
+                            match_left[pu] = Some(pe);
+                            match_right[pv] = Some(pe);
+                        }
+                        augmented = true;
+                        break;
+                    }
+                    Some(me) => {
+                        let (w, _) = g.endpoints(me);
+                        if dist[w] == dist[u] + 1 {
+                            path.push(e);
+                            stack.push((w, 0));
+                        }
+                    }
+                }
+            }
+            if augmented {
+                // Nodes on the used path keep their dist; they are matched
+                // now, so other roots won't reuse them as path interiors
+                // (interior reuse requires following their *old* matched
+                // edge, which no longer exists).
+            }
+        }
+    }
+
+    let edges: Vec<EdgeId> = match_left.iter().flatten().copied().collect();
+    Matching {
+        left_match: match_left,
+        right_match: match_right,
+        edges,
+    }
+}
+
+/// Error returned by [`perfect_matching`] when none exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoPerfectMatching {
+    /// Size of the maximum matching actually found.
+    pub maximum_size: usize,
+    /// Number of nodes per side that would need to be covered.
+    pub required: usize,
+}
+
+impl std::fmt::Display for NoPerfectMatching {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no perfect matching: maximum matching covers {} of {} nodes",
+            self.maximum_size, self.required
+        )
+    }
+}
+
+impl std::error::Error for NoPerfectMatching {}
+
+/// Finds a perfect matching, or reports that none exists.
+///
+/// On the k-regular (k ≥ 1) multigraphs produced by the Theorem-1
+/// construction this always succeeds.
+pub fn perfect_matching(g: &BipartiteMultigraph) -> Result<Matching, NoPerfectMatching> {
+    if g.left_count() != g.right_count() {
+        return Err(NoPerfectMatching {
+            maximum_size: 0,
+            required: g.left_count().max(g.right_count()),
+        });
+    }
+    let m = maximum_matching(g);
+    if m.is_perfect(g) {
+        Ok(m)
+    } else {
+        Err(NoPerfectMatching {
+            maximum_size: m.size(),
+            required: g.left_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_bipartite, random_regular_multigraph};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn perfect_matching_in_complete_bipartite() {
+        let mut g = BipartiteMultigraph::new(4, 4);
+        for u in 0..4 {
+            for v in 0..4 {
+                g.add_edge(u, v);
+            }
+        }
+        let m = perfect_matching(&g).unwrap();
+        assert_eq!(m.size(), 4);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn maximum_matching_in_path() {
+        // Path L0 - R0 - L1 - R1: maximum matching has size 2.
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (1, 0), (1, 1)]).unwrap();
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 2);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn detects_no_perfect_matching() {
+        // Two left nodes share a single right neighbour.
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0), (1, 0)]).unwrap();
+        let err = perfect_matching(&g).unwrap_err();
+        assert_eq!(err.maximum_size, 1);
+        assert!(err.to_string().contains("covers 1 of 2"));
+    }
+
+    #[test]
+    fn unequal_sides_never_perfect() {
+        let g = BipartiteMultigraph::from_edges(1, 2, [(0, 0), (0, 1)]).unwrap();
+        assert!(perfect_matching(&g).is_err());
+    }
+
+    #[test]
+    fn parallel_edges_matched_at_most_once() {
+        let g = BipartiteMultigraph::from_edges(1, 1, [(0, 0), (0, 0), (0, 0)]).unwrap();
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 1);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = BipartiteMultigraph::new(0, 0);
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 0);
+        assert!(m.is_perfect(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_skipped() {
+        let g = BipartiteMultigraph::from_edges(3, 3, [(0, 0), (1, 1)]).unwrap();
+        let m = maximum_matching(&g);
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn regular_multigraphs_always_have_perfect_matchings() {
+        let mut rng = SplitMix64::new(11);
+        for (n, k) in [(3usize, 1usize), (5, 3), (8, 4), (16, 7), (32, 5), (10, 10)] {
+            let g = random_regular_multigraph(n, k, &mut rng);
+            let m = perfect_matching(&g).unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            m.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn maximum_matching_matches_brute_force_on_small_graphs() {
+        // Exhaustive check on random graphs with <= 6+6 nodes.
+        fn brute_force(g: &BipartiteMultigraph) -> usize {
+            fn rec(
+                g: &BipartiteMultigraph,
+                adj: &[Vec<EdgeId>],
+                u: usize,
+                used_right: &mut Vec<bool>,
+            ) -> usize {
+                if u == g.left_count() {
+                    return 0;
+                }
+                // Skip u.
+                let mut best = rec(g, adj, u + 1, used_right);
+                for &e in &adj[u] {
+                    let (_, v) = g.endpoints(e);
+                    if !used_right[v] {
+                        used_right[v] = true;
+                        best = best.max(1 + rec(g, adj, u + 1, used_right));
+                        used_right[v] = false;
+                    }
+                }
+                best
+            }
+            let adj = g.left_adjacency();
+            rec(g, &adj, 0, &mut vec![false; g.right_count()])
+        }
+
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..40 {
+            let g = random_bipartite(5, 6, 0.4, &mut rng);
+            let hk = maximum_matching(&g);
+            hk.validate(&g).unwrap();
+            assert_eq!(hk.size(), brute_force(&g), "graph: {g:?}");
+        }
+    }
+}

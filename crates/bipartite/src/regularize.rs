@@ -1,0 +1,329 @@
+//! Padding bipartite multigraphs to regularity.
+//!
+//! Two paddings live here:
+//!
+//! * [`pad_to_regular`] — the generic embedding of an arbitrary bipartite
+//!   multigraph into a `Δ`-regular one, used by the colouring engines so
+//!   they can run their regular-graph decompositions on any input;
+//! * [`theorem1_pad`] — the **exact padding from the proof of Theorem 1**
+//!   of the paper: given the `Δ₁`-regular demand graph `G = (S, S′)` on
+//!   `n₁ + n₁` nodes and a colour budget `n₂` (with `n₂ ≥ Δ₁` and
+//!   `n₂ | n₁Δ₁`), add node sets `V`, `V′` of size `n₁ − Δ₂` each
+//!   (`Δ₂ = n₁Δ₁/n₂`) and biregular pad graphs `H₁ = (V, S′)`,
+//!   `H₂ = (V′, S)` with degrees `(n₂, n₂−Δ₁)`, so the union is
+//!   `n₂`-regular. Crucially every pad edge touches **exactly one** pad
+//!   node, so every perfect matching of the padded graph contains exactly
+//!   `|V| + |V′|` pad edges and therefore exactly `Δ₂` real edges — the
+//!   equal-colour-class-size property that makes the fair distribution
+//!   *fair* (equation (2) of the paper).
+
+use crate::graph::{BipartiteMultigraph, EdgeId};
+
+/// A padded graph: the original edges keep their ids (`0..real_edge_count`),
+/// pad edges are appended after them.
+#[derive(Debug, Clone)]
+pub struct Padded {
+    /// The padded (regular) graph.
+    pub graph: BipartiteMultigraph,
+    /// Number of original edges; ids `>= real_edge_count` are pad edges.
+    pub real_edge_count: usize,
+    /// The degree the padded graph is regular with.
+    pub degree: usize,
+}
+
+impl Padded {
+    /// `true` iff `e` is one of the original (non-pad) edges.
+    #[inline]
+    pub fn is_real(&self, e: EdgeId) -> bool {
+        e < self.real_edge_count
+    }
+}
+
+/// Embeds an arbitrary bipartite multigraph into a `degree`-regular
+/// multigraph on `N + N` nodes, `N = max(left, right, ceil(m/degree))`,
+/// preserving original edge ids.
+///
+/// The original nodes keep their indices; new nodes are appended. Deficient
+/// left and right nodes are connected greedily (the total deficits on the
+/// two sides are equal, so the greedy pairing terminates with all degrees
+/// exactly `degree`).
+///
+/// # Panics
+///
+/// Panics if `degree` is smaller than the maximum degree of `g`.
+pub fn pad_to_regular(g: &BipartiteMultigraph, degree: usize) -> Padded {
+    let max_deg = g.max_degree();
+    assert!(
+        degree >= max_deg,
+        "cannot pad to degree {degree}: graph has a node of degree {max_deg}"
+    );
+    let m = g.edge_count();
+    let min_nodes = if degree == 0 { 0 } else { m.div_ceil(degree) };
+    let n = g.left_count().max(g.right_count()).max(min_nodes);
+
+    let mut padded = BipartiteMultigraph::new(n, n);
+    for (_, u, v) in g.edges() {
+        padded.add_edge(u, v);
+    }
+
+    let mut left_deficit: Vec<usize> = {
+        let mut d = g.left_degrees();
+        d.resize(n, 0);
+        d.iter().map(|&dg| degree - dg).collect()
+    };
+    let mut right_deficit: Vec<usize> = {
+        let mut d = g.right_degrees();
+        d.resize(n, 0);
+        d.iter().map(|&dg| degree - dg).collect()
+    };
+    debug_assert_eq!(
+        left_deficit.iter().sum::<usize>(),
+        right_deficit.iter().sum::<usize>()
+    );
+
+    let mut ru = 0usize; // right cursor
+    #[allow(clippy::needless_range_loop)] // u indexes a slice mutated in the body
+    for u in 0..n {
+        while left_deficit[u] > 0 {
+            while ru < n && right_deficit[ru] == 0 {
+                ru += 1;
+            }
+            debug_assert!(ru < n, "total deficits are equal");
+            let take = left_deficit[u].min(right_deficit[ru]);
+            for _ in 0..take {
+                padded.add_edge(u, ru);
+            }
+            left_deficit[u] -= take;
+            right_deficit[ru] -= take;
+        }
+    }
+
+    debug_assert_eq!(padded.regular_degree(), Some(degree));
+    Padded {
+        graph: padded,
+        real_edge_count: m,
+        degree,
+    }
+}
+
+/// The Theorem-1 padding (see module docs). `g` must be `Δ₁`-regular on
+/// `n₁ + n₁` nodes; `colors` is the paper's `n₂`.
+///
+/// Returns a `colors`-regular multigraph on `(n₁ + p) + (n₁ + p)` nodes,
+/// `p = n₁ − Δ₂`, in which every pad edge is incident to exactly one pad
+/// node, so each colour class of any proper `colors`-colouring contains
+/// exactly `Δ₂` real edges.
+///
+/// # Panics
+///
+/// Panics if `g` is not regular with equal sides, if `colors < Δ₁`, or if
+/// `colors` does not divide `n₁ · Δ₁`.
+pub fn theorem1_pad(g: &BipartiteMultigraph, colors: usize) -> Padded {
+    let n1 = g.left_count();
+    assert_eq!(
+        n1,
+        g.right_count(),
+        "Theorem 1 demand graph has equal sides"
+    );
+    let delta1 = g
+        .regular_degree()
+        .expect("Theorem 1 demand graph must be regular");
+    assert!(
+        colors >= delta1,
+        "colour budget n2={colors} below list length Δ1={delta1}"
+    );
+    if delta1 == 0 {
+        // No real edges: pad to a `colors`-regular graph on pad nodes only
+        // when colors > 0; with n1 nodes per side all deficient.
+        let padded = pad_to_regular(g, colors);
+        return Padded {
+            real_edge_count: 0,
+            degree: colors,
+            graph: padded.graph,
+        };
+    }
+    assert_eq!(
+        (n1 * delta1) % colors,
+        0,
+        "properness requires n2 | n1·Δ1 (n1={n1}, Δ1={delta1}, n2={colors})"
+    );
+    let delta2 = n1 * delta1 / colors;
+    assert!(delta2 <= n1, "Δ2 = n1Δ1/n2 exceeds n1; inconsistent sizes");
+    let pad = n1 - delta2;
+
+    // Node layout: left = S (0..n1) ++ V (n1..n1+pad);
+    //              right = S' (0..n1) ++ V' (n1..n1+pad).
+    let mut padded = BipartiteMultigraph::new(n1 + pad, n1 + pad);
+    for (_, u, v) in g.edges() {
+        padded.add_edge(u, v);
+    }
+
+    // H1 = (V, S'): V-degrees = colors, S'-degrees = colors - delta1.
+    // Built by the round-robin degree-sequence pairing: list the V slots
+    // (each pad node `colors` times) against the S' slots (each real right
+    // node `colors − Δ1` times); both sequences have length pad·colors.
+    add_biregular(
+        &mut padded,
+        (n1..n1 + pad).collect::<Vec<_>>(),
+        colors,
+        (0..n1).collect::<Vec<_>>(),
+        colors - delta1,
+        true,
+    );
+    // H2 = (V', S): symmetric, V' on the right.
+    add_biregular(
+        &mut padded,
+        (n1..n1 + pad).collect::<Vec<_>>(),
+        colors,
+        (0..n1).collect::<Vec<_>>(),
+        colors - delta1,
+        false,
+    );
+
+    debug_assert_eq!(padded.regular_degree(), Some(colors));
+    Padded {
+        graph: padded,
+        real_edge_count: g.edge_count(),
+        degree: colors,
+    }
+}
+
+/// Adds a biregular bipartite pad between `a_nodes` (degree `a_deg` each)
+/// and `b_nodes` (degree `b_deg` each). When `a_on_left` is true the
+/// `a_nodes` are left indices and `b_nodes` right indices; otherwise
+/// swapped. Requires `|a|·a_deg == |b|·b_deg`.
+fn add_biregular(
+    g: &mut BipartiteMultigraph,
+    a_nodes: Vec<usize>,
+    a_deg: usize,
+    b_nodes: Vec<usize>,
+    b_deg: usize,
+    a_on_left: bool,
+) {
+    debug_assert_eq!(a_nodes.len() * a_deg, b_nodes.len() * b_deg);
+    let total = a_nodes.len() * a_deg;
+    for slot in 0..total {
+        let a = a_nodes[slot / a_deg.max(1)];
+        let b = b_nodes[slot / b_deg.max(1)];
+        if a_on_left {
+            g.add_edge(a, b);
+        } else {
+            g.add_edge(b, a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_multigraph, random_regular_multigraph};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn pad_to_regular_basic() {
+        let g = BipartiteMultigraph::from_edges(2, 3, [(0, 0), (0, 1), (1, 2)]).unwrap();
+        let padded = pad_to_regular(&g, 2);
+        assert_eq!(padded.graph.regular_degree(), Some(2));
+        assert_eq!(padded.real_edge_count, 3);
+        // Original edges keep ids and endpoints.
+        for e in 0..3 {
+            assert_eq!(padded.graph.endpoints(e), g.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn pad_to_regular_on_random_inputs() {
+        let mut rng = SplitMix64::new(10);
+        for _ in 0..20 {
+            let g = random_multigraph(5, 9, 30, &mut rng);
+            let delta = g.max_degree();
+            let padded = pad_to_regular(&g, delta);
+            assert_eq!(padded.graph.regular_degree(), Some(delta));
+        }
+    }
+
+    #[test]
+    fn pad_already_regular_is_identity_shape() {
+        let mut rng = SplitMix64::new(3);
+        let g = random_regular_multigraph(6, 4, &mut rng);
+        let padded = pad_to_regular(&g, 4);
+        assert_eq!(padded.graph.edge_count(), g.edge_count());
+        assert_eq!(padded.graph.left_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pad")]
+    fn pad_below_max_degree_panics() {
+        let g = BipartiteMultigraph::from_edges(1, 1, [(0, 0), (0, 0)]).unwrap();
+        let _ = pad_to_regular(&g, 1);
+    }
+
+    #[test]
+    fn theorem1_pad_case_d_le_g() {
+        // The d <= g routing case: n1 = g, Δ1 = d, n2 = g, Δ2 = d.
+        let mut rng = SplitMix64::new(20);
+        let (g_groups, d) = (7usize, 3usize);
+        let demand = random_regular_multigraph(g_groups, d, &mut rng);
+        let padded = theorem1_pad(&demand, g_groups);
+        assert_eq!(padded.graph.regular_degree(), Some(g_groups));
+        assert_eq!(padded.graph.left_count(), g_groups + (g_groups - d));
+        assert_eq!(padded.real_edge_count, g_groups * d);
+        // Pad edges touch exactly one pad node each.
+        for (e, u, v) in padded.graph.edges() {
+            if !padded.is_real(e) {
+                let u_pad = u >= g_groups;
+                let v_pad = v >= g_groups;
+                assert!(
+                    u_pad ^ v_pad,
+                    "pad edge {e} must touch exactly one pad node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_pad_case_d_gt_g_is_trivial() {
+        // d > g: n1 = g, Δ1 = d, n2 = d ⇒ Δ2 = g ⇒ no pad nodes.
+        let mut rng = SplitMix64::new(21);
+        let (g_groups, d) = (3usize, 8usize);
+        let demand = random_regular_multigraph(g_groups, d, &mut rng);
+        let padded = theorem1_pad(&demand, d);
+        assert_eq!(padded.graph.left_count(), g_groups);
+        assert_eq!(padded.graph.edge_count(), demand.edge_count());
+        assert_eq!(padded.graph.regular_degree(), Some(d));
+    }
+
+    #[test]
+    fn theorem1_pad_equal_budget_no_pad() {
+        // Δ1 == n2: H graphs have degree 0, V empty.
+        let mut rng = SplitMix64::new(22);
+        let demand = random_regular_multigraph(5, 5, &mut rng);
+        let padded = theorem1_pad(&demand, 5);
+        assert_eq!(padded.graph.edge_count(), 25);
+        assert_eq!(padded.graph.left_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "properness")]
+    fn theorem1_pad_rejects_improper_sizes() {
+        let mut rng = SplitMix64::new(23);
+        // n1=4, Δ1=3, n2=5: 5 does not divide 12.
+        let demand = random_regular_multigraph(4, 3, &mut rng);
+        let _ = theorem1_pad(&demand, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be regular")]
+    fn theorem1_pad_rejects_irregular() {
+        let g = BipartiteMultigraph::from_edges(2, 2, [(0, 0)]).unwrap();
+        let _ = theorem1_pad(&g, 2);
+    }
+
+    #[test]
+    fn theorem1_pad_zero_degree() {
+        let g = BipartiteMultigraph::new(3, 3);
+        let padded = theorem1_pad(&g, 2);
+        assert_eq!(padded.real_edge_count, 0);
+        assert_eq!(padded.graph.regular_degree(), Some(2));
+    }
+}

@@ -1,0 +1,543 @@
+//! The CLI subcommands. Every command renders into a `String` so the unit
+//! tests can assert on output without capturing stdout.
+
+use std::fmt::Write as _;
+
+use pops_baselines::compare;
+use pops_bipartite::ColorerKind;
+use pops_core::bounds::{proposition1, proposition2, proposition3};
+use pops_core::diagnostics::render_plan;
+use pops_core::fault_routing::route_with_faults;
+use pops_core::optimal::min_slots_two_hop;
+use pops_core::router::route;
+use pops_core::{lower_bound, theorem2_slots};
+use pops_network::{viz, FaultSet, PopsTopology, Simulator};
+use pops_permutation::families::random_permutation;
+use pops_permutation::SplitMix64;
+
+use crate::opts::{err, CliError, Opts};
+use crate::spec;
+
+/// Top-level help text.
+pub const HELP: &str = "\
+pops — Partitioned Optical Passive Stars permutation routing
+       (Mei & Rizzi, IPPS 2002 — full reproduction)
+
+USAGE: pops <command> [--option value]...
+
+COMMANDS
+  topology  --d D --g G                      render the wiring (Figure 2 style)
+  route     --d D --g G [perm] [--engine E]  route a permutation (Theorem 2)
+            [--schedule] [--compare] [--gantt]
+  bounds    --d D --g G [perm]               Propositions 1-3 lower bounds
+  optimal   --d D --g G [perm] [--budget B]  exact minimum slots (tiny n)
+  faults    --d D --g G [perm] --fail a,b,c  route around failed couplers
+  sweep     [--max-d D] [--max-g G]          Theorem-2 slot-count sweep
+  collectives --d D --g G                    slot costs vs lower bounds
+  families                                   list the permutation families
+  help                                       this message
+
+PERMUTATION SELECTION ([perm] above)
+  --perm 5,4,3,2,1,0       explicit image vector (length d*g)
+  --family NAME            a named family (see `pops families`)
+  --seed S                 seed for the random families (default 42)
+
+ENGINES (--engine): koenig | alternating | euler (default)
+";
+
+/// Dispatches a parsed command line.
+pub fn run(opts: &Opts) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "topology" => cmd_topology(opts),
+        "route" => cmd_route(opts),
+        "bounds" => cmd_bounds(opts),
+        "optimal" => cmd_optimal(opts),
+        "faults" => cmd_faults(opts),
+        "sweep" => cmd_sweep(opts),
+        "collectives" => cmd_collectives(opts),
+        "families" => Ok(format!("families:\n{}\n", spec::FAMILY_HELP)),
+        "" | "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(err(format!("unknown command '{other}'; try `pops help`"))),
+    }
+}
+
+fn shape(opts: &Opts) -> Result<PopsTopology, CliError> {
+    let d = opts.usize_req("d")?;
+    let g = opts.usize_req("g")?;
+    if d == 0 || g == 0 {
+        return Err(err("--d and --g must be positive"));
+    }
+    if d * g > 1 << 20 {
+        return Err(err("network too large (n > 2^20)"));
+    }
+    Ok(PopsTopology::new(d, g))
+}
+
+fn engine(opts: &Opts) -> Result<ColorerKind, CliError> {
+    match opts.get("engine").unwrap_or("euler") {
+        "koenig" => Ok(ColorerKind::Koenig),
+        "alternating" => Ok(ColorerKind::AlternatingPath),
+        "euler" => Ok(ColorerKind::EulerSplit),
+        other => Err(err(format!(
+            "unknown engine '{other}' (koenig|alternating|euler)"
+        ))),
+    }
+}
+
+fn cmd_topology(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    let mut out = viz::render_topology(&t);
+    let _ = writeln!(
+        out,
+        "n = {} processors, {} couplers, diameter {}, theorem-2 permutation cost {} slot(s)",
+        t.n(),
+        t.coupler_count(),
+        t.diameter(),
+        theorem2_slots(t.d(), t.g())
+    );
+    Ok(out)
+}
+
+fn cmd_route(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    let pi = spec::resolve(opts, t.d(), t.g())?;
+    let kind = engine(opts)?;
+    let plan = route(&pi, t, kind);
+    let mut sim = Simulator::with_unit_packets(t);
+    sim.execute_schedule(&plan.schedule)
+        .map_err(|(slot, e)| err(format!("schedule illegal at slot {slot}: {e}")))?;
+    sim.verify_delivery(pi.as_slice())
+        .map_err(|e| err(format!("misdelivery: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{t}: routed in {} slot(s)", plan.schedule.slot_count());
+    let _ = writeln!(
+        out,
+        "theorem-2 bound: {}   lower bound: {}   engine: {}",
+        theorem2_slots(t.d(), t.g()),
+        lower_bound(&pi, t.d(), t.g()),
+        kind.name()
+    );
+    let _ = writeln!(out, "delivery verified on the slot-level simulator");
+    if opts.flag("compare") {
+        let c = compare(&pi, t.d(), t.g());
+        let _ = writeln!(
+            out,
+            "direct (single-hop) routing: {} slot(s){}",
+            c.direct_slots,
+            if c.single_slot_routable {
+                " — single-slot routable"
+            } else {
+                ""
+            }
+        );
+        if let Some(s) = c.structured_slots {
+            let _ = writeln!(out, "structured (Sahni-style) routing: {s} slot(s)");
+        }
+    }
+    if opts.flag("schedule") {
+        let _ = writeln!(out, "\n{}", render_plan(&plan, &pi));
+    }
+    if opts.flag("gantt") {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            pops_core::diagnostics::render_gantt(&plan.schedule, &t)
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    let (d, g) = (t.d(), t.g());
+    let pi = spec::resolve(opts, d, g)?;
+    let fmt = |p: Option<usize>| p.map_or("n/a (hypothesis fails)".into(), |x| x.to_string());
+    let mut out = String::new();
+    let _ = writeln!(out, "{t}, n = {}", t.n());
+    let _ = writeln!(
+        out,
+        "proposition 1 (derangement counting) : {}",
+        fmt(proposition1(&pi, d, g))
+    );
+    let _ = writeln!(
+        out,
+        "proposition 2 (corrected, inter-group): {}",
+        fmt(proposition2(&pi, d, g))
+    );
+    let _ = writeln!(
+        out,
+        "proposition 3 (two-hop counting)      : {}",
+        fmt(proposition3(&pi, d, g))
+    );
+    let _ = writeln!(
+        out,
+        "combined lower bound                  : {}",
+        lower_bound(&pi, d, g)
+    );
+    let _ = writeln!(
+        out,
+        "theorem-2 upper bound                 : {}",
+        theorem2_slots(d, g)
+    );
+    Ok(out)
+}
+
+fn cmd_optimal(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    if t.n() > 12 {
+        return Err(err(format!(
+            "exact search is exponential; n = {} > 12 (use --d/--g smaller)",
+            t.n()
+        )));
+    }
+    let pi = spec::resolve(opts, t.d(), t.g())?;
+    let budget = opts.u64_or("budget", 50_000_000)?;
+    let out = min_slots_two_hop(&pi, t, budget);
+    let mut s = String::new();
+    match out.slots {
+        Some(opt) => {
+            let _ = writeln!(
+                s,
+                "{t}: exact minimum (two-hop class) = {opt} slot(s)   [{} nodes searched]",
+                out.nodes
+            );
+            let _ = writeln!(
+                s,
+                "theorem-2 spends {}; combined lower bound {}",
+                theorem2_slots(t.d(), t.g()),
+                lower_bound(&pi, t.d(), t.g())
+            );
+        }
+        None => {
+            let _ = writeln!(
+                s,
+                "budget exhausted after {} nodes — raise --budget",
+                out.nodes
+            );
+        }
+    }
+    Ok(s)
+}
+
+fn cmd_faults(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    let pi = spec::resolve(opts, t.d(), t.g())?;
+    let failed = opts
+        .usize_list("fail")?
+        .ok_or_else(|| err("--fail a,b,c is required (coupler ids)"))?;
+    let mut faults = FaultSet::none(&t);
+    for c in failed {
+        if c >= t.coupler_count() {
+            return Err(err(format!(
+                "coupler {c} out of range (couplers: 0..{})",
+                t.coupler_count()
+            )));
+        }
+        faults.fail_coupler(c);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{t} with {} failed coupler(s): {:?}",
+        faults.failed_count(),
+        faults.iter_failed().collect::<Vec<_>>()
+    );
+    match route_with_faults(&pi, t, &faults) {
+        Ok(routing) => {
+            let mut sim = Simulator::with_unit_packets_and_faults(t, faults.clone());
+            sim.execute_schedule(&routing.schedule)
+                .map_err(|(slot, e)| err(format!("schedule illegal at slot {slot}: {e}")))?;
+            sim.verify_delivery(pi.as_slice())
+                .map_err(|e| err(format!("misdelivery: {e}")))?;
+            let _ = writeln!(
+                out,
+                "routed in {} slot(s), longest detour {} hop(s) (healthy theorem-2: {})",
+                routing.slots(),
+                routing.max_hops(),
+                theorem2_slots(t.d(), t.g())
+            );
+            let _ = writeln!(out, "delivery verified with the faults injected");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "unroutable: {e}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<String, CliError> {
+    let max_d = opts.usize_or("max-d", 8)?;
+    let max_g = opts.usize_or("max-g", 8)?;
+    let seed = opts.u64_or("seed", 42)?;
+    if max_d == 0 || max_g == 0 {
+        return Err(err("--max-d and --max-g must be positive"));
+    }
+    if max_d * max_g > 4096 {
+        return Err(err("sweep too large; keep max-d * max-g <= 4096"));
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>4} {:>6} {:>7} {:>10} {:>9}",
+        "d", "g", "n", "slots", "theorem2", "verified"
+    );
+    for d in 1..=max_d {
+        for g in 1..=max_g {
+            let t = PopsTopology::new(d, g);
+            let pi = random_permutation(t.n(), &mut rng);
+            let plan = route(&pi, t, ColorerKind::default());
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(&plan.schedule)
+                .map_err(|(slot, e)| err(format!("slot {slot}: {e}")))?;
+            sim.verify_delivery(pi.as_slice())
+                .map_err(|e| err(format!("misdelivery: {e}")))?;
+            let slots = plan.schedule.slot_count();
+            let _ = writeln!(
+                out,
+                "{:>4} {:>4} {:>6} {:>7} {:>10} {:>9}",
+                d,
+                g,
+                t.n(),
+                slots,
+                theorem2_slots(d, g),
+                if slots == theorem2_slots(d, g) {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_collectives(opts: &Opts) -> Result<String, CliError> {
+    use pops_collectives::cost;
+    let t = shape(opts)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "collective slot costs on {t} (n = {}):", t.n());
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>12} {:>8}",
+        "collective", "slots", "lower bound", "slack"
+    );
+    let rows: [(&str, usize, usize); 7] = [
+        (
+            "broadcast",
+            cost::broadcast_slots(&t),
+            cost::broadcast_lower_bound(&t),
+        ),
+        (
+            "scatter",
+            cost::scatter_slots(&t),
+            cost::scatter_lower_bound(&t),
+        ),
+        (
+            "gather",
+            cost::gather_slots(&t),
+            cost::gather_lower_bound(&t),
+        ),
+        (
+            "all-gather",
+            cost::all_gather_slots(&t),
+            cost::all_gather_lower_bound(&t),
+        ),
+        (
+            "barrier",
+            cost::barrier_slots(&t),
+            cost::barrier_lower_bound(&t),
+        ),
+        ("circular shift", cost::shift_slots(&t), 1),
+        (
+            "all-to-all",
+            cost::all_to_all_slots(&t),
+            cost::all_to_all_lower_bound(&t),
+        ),
+    ];
+    for (name, slots, bound) in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>12} {:>8}",
+            name,
+            slots,
+            bound,
+            if slots == bound {
+                "0".to_string()
+            } else {
+                format!("+{}", slots - bound)
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(costs are exact slot counts of the pops-collectives schedules;\n\
+         bounds follow from the one-send/one-receive/g^2-couplers machine model)"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> Result<String, CliError> {
+        run(&Opts::parse(words.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let out = run_words(&["help"]).unwrap();
+        for cmd in ["topology", "route", "bounds", "optimal", "faults", "sweep"] {
+            assert!(out.contains(cmd), "missing {cmd}");
+        }
+    }
+
+    #[test]
+    fn empty_command_prints_help() {
+        assert!(run_words(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_suggests_help() {
+        assert!(run_words(&["frobnicate"]).unwrap_err().0.contains("pops help"));
+    }
+
+    #[test]
+    fn topology_renders() {
+        let out = run_words(&["topology", "--d", "3", "--g", "2"]).unwrap();
+        assert!(out.contains("c(1, 0)") || out.contains("c(1,0)"), "{out}");
+        assert!(out.contains("n = 6"));
+    }
+
+    #[test]
+    fn route_reversal_reports_slots() {
+        let out = run_words(&[
+            "route", "--d", "4", "--g", "2", "--family", "reversal", "--compare",
+        ])
+        .unwrap();
+        assert!(out.contains("routed in 4 slot(s)"), "{out}");
+        assert!(out.contains("delivery verified"));
+        assert!(out.contains("direct (single-hop)"));
+    }
+
+    #[test]
+    fn route_schedule_flag_prints_slots() {
+        let out = run_words(&[
+            "route", "--d", "2", "--g", "2", "--family", "reversal", "--schedule",
+        ])
+        .unwrap();
+        assert!(out.contains("slot"), "{out}");
+    }
+
+    #[test]
+    fn route_gantt_renders_grid() {
+        let out = run_words(&[
+            "route", "--d", "4", "--g", "4", "--family", "reversal", "--gantt",
+        ])
+        .unwrap();
+        assert!(out.contains("coupler occupancy"), "{out}");
+        assert!(out.contains("|##|"));
+    }
+
+    #[test]
+    fn route_explicit_perm() {
+        let out = run_words(&["route", "--d", "1", "--g", "4", "--perm", "1,2,3,0"]).unwrap();
+        assert!(out.contains("routed in 1 slot(s)"));
+    }
+
+    #[test]
+    fn bounds_reports_corrected_prop2() {
+        let out = run_words(&[
+            "bounds", "--d", "3", "--g", "2", "--family", "group-rotation",
+        ])
+        .unwrap();
+        assert!(out.contains("proposition 2 (corrected, inter-group): 3"), "{out}");
+        assert!(out.contains("theorem-2 upper bound                 : 4"));
+    }
+
+    #[test]
+    fn optimal_finds_the_prop2_counterexample() {
+        let out = run_words(&[
+            "optimal", "--d", "3", "--g", "2", "--family", "group-rotation",
+        ])
+        .unwrap();
+        assert!(out.contains("exact minimum (two-hop class) = 3"), "{out}");
+    }
+
+    #[test]
+    fn optimal_rejects_large_n() {
+        let err = run_words(&["optimal", "--d", "8", "--g", "8"]).unwrap_err();
+        assert!(err.0.contains("exponential"));
+    }
+
+    #[test]
+    fn faults_route_with_detour() {
+        let out = run_words(&[
+            "faults", "--d", "2", "--g", "3", "--family", "reversal", "--fail", "6",
+        ])
+        .unwrap();
+        assert!(out.contains("delivery verified with the faults injected"), "{out}");
+    }
+
+    #[test]
+    fn faults_report_disconnection() {
+        // Fail every coupler into group 1 on POPS(2, 3): c(1,0)=3, c(1,1)=4, c(1,2)=5.
+        let out = run_words(&[
+            "faults", "--d", "2", "--g", "3", "--family", "reversal", "--fail", "3,4,5",
+        ])
+        .unwrap();
+        assert!(out.contains("unroutable"), "{out}");
+    }
+
+    #[test]
+    fn faults_validate_coupler_ids() {
+        let err = run_words(&[
+            "faults", "--d", "2", "--g", "2", "--family", "reversal", "--fail", "99",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("out of range"));
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let out = run_words(&["sweep", "--max-d", "3", "--max-g", "3"]).unwrap();
+        assert_eq!(out.matches(" ok").count(), 9, "{out}");
+        assert!(!out.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn collectives_table_shows_optimal_single_root_patterns() {
+        let out = run_words(&["collectives", "--d", "4", "--g", "4"]).unwrap();
+        assert!(out.contains("scatter"), "{out}");
+        assert!(out.contains("broadcast                     1            1        0"));
+        assert!(out.contains("all-to-all"));
+        // n = 16: scatter is 15/15 → slack 0.
+        assert!(out.contains("scatter                      15           15        0"));
+    }
+
+    #[test]
+    fn collectives_requires_shape() {
+        assert!(run_words(&["collectives"]).is_err());
+    }
+
+    #[test]
+    fn families_lists_them() {
+        let out = run_words(&["families"]).unwrap();
+        assert!(out.contains("reversal"));
+        assert!(out.contains("group-deranged"));
+    }
+
+    #[test]
+    fn engine_selection() {
+        for eng in ["koenig", "alternating", "euler"] {
+            let out = run_words(&[
+                "route", "--d", "3", "--g", "3", "--family", "random", "--engine", eng,
+            ])
+            .unwrap();
+            assert!(out.contains("routed in 2 slot(s)"), "{eng}: {out}");
+        }
+        assert!(run_words(&["route", "--d", "2", "--g", "2", "--engine", "x"]).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! `pops` — command-line explorer for the POPS routing reproduction.
+//!
+//! ```text
+//! pops help
+//! pops topology --d 3 --g 2
+//! pops route --d 8 --g 8 --family reversal --compare
+//! pops bounds --d 3 --g 2 --family group-rotation
+//! pops optimal --d 3 --g 2 --family group-rotation
+//! pops faults --d 2 --g 3 --family reversal --fail 3
+//! pops sweep --max-d 6 --max-g 6
+//! ```
+
+mod commands;
+mod opts;
+mod spec;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match opts::Opts::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! A small `--key value` / `--flag` argument parser.
+//!
+//! No external dependency: the CLI's entire grammar is flat key-value
+//! pairs after a single subcommand, so a hand-rolled parser stays
+//! readable and testable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand and its `--key [value]` options.
+#[derive(Debug, Clone, Default)]
+pub struct Opts {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// A command-line error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Convenience constructor used across the command modules.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl Opts {
+    /// Parses `args` (without the program name). The first argument is the
+    /// subcommand; the rest are `--key value` pairs, where a key followed
+    /// by another `--key` (or the end) is treated as a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().unwrap_or_default();
+        let mut options = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --option, got '{arg}'")))?;
+            if key.is_empty() {
+                return Err(err("empty option name '--'"));
+            }
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => String::from("true"),
+            };
+            if options.insert(key.to_string(), value).is_some() {
+                return Err(err(format!("option --{key} given twice")));
+            }
+        }
+        Ok(Self { command, options })
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required `usize` option.
+    pub fn usize_req(&self, key: &str) -> Result<usize, CliError> {
+        self.get(key)
+            .ok_or_else(|| err(format!("missing required option --{key}")))?
+            .parse()
+            .map_err(|_| err(format!("--{key} expects a non-negative integer")))
+    }
+
+    /// An optional `usize` option with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key} expects a non-negative integer"))),
+        }
+    }
+
+    /// An optional `u64` option with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key} expects a non-negative integer"))),
+        }
+    }
+
+    /// A boolean flag (present, or explicitly `--key true/false`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// A comma-separated list of `usize`.
+    pub fn usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .map_err(|_| err(format!("--{key}: '{x}' is not an integer")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Opts, CliError> {
+        Opts::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_pairs() {
+        let o = parse(&["route", "--d", "4", "--g", "2", "--verify"]).unwrap();
+        assert_eq!(o.command, "route");
+        assert_eq!(o.usize_req("d").unwrap(), 4);
+        assert_eq!(o.usize_req("g").unwrap(), 2);
+        assert!(o.flag("verify"));
+        assert!(!o.flag("missing"));
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let o = parse(&["route", "--d", "4"]).unwrap();
+        assert!(o.usize_req("g").unwrap_err().0.contains("--g"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&["route"]).unwrap();
+        assert_eq!(o.usize_or("seed", 42).unwrap(), 42);
+        assert_eq!(o.u64_or("budget", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn non_option_rejected() {
+        assert!(parse(&["x", "stray"]).is_err());
+    }
+
+    #[test]
+    fn lists_parse() {
+        let o = parse(&["faults", "--fail", "1,2, 3"]).unwrap();
+        assert_eq!(o.usize_list("fail").unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(o.usize_list("other").unwrap(), None);
+        let bad = parse(&["faults", "--fail", "1,x"]).unwrap();
+        assert!(bad.usize_list("fail").is_err());
+    }
+
+    #[test]
+    fn empty_command_line() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.command, "");
+    }
+}

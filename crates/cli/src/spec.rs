@@ -1,0 +1,164 @@
+//! Resolving a permutation from command-line options.
+//!
+//! Accepted forms (on a POPS(d, g) with `n = d·g`):
+//!
+//! * `--perm 5,4,3,2,1,0` — an explicit image vector;
+//! * `--family NAME [--seed S] [--shift K] [--stage B]` — one of the named
+//!   families of the paper's §2 plus the random generators.
+
+use pops_permutation::families::{
+    bit_reversal, group_rotation, hypercube_exchange, matrix_transpose, perfect_shuffle,
+    random_derangement, random_group_deranged, random_permutation, rotation, vector_reversal,
+};
+use pops_permutation::{Permutation, SplitMix64};
+
+use crate::opts::{err, CliError, Opts};
+
+/// The families `--family` understands, with the options they read.
+pub const FAMILY_HELP: &str = "\
+  identity                      the identity permutation
+  reversal                      vector reversal pi(i) = n-1-i        (§2)
+  transpose                     matrix transpose (n must be a square) (§2)
+  shuffle                       perfect shuffle (n a power of two)    (§2)
+  bit-reversal                  index bit reversal (n a power of two) (§2)
+  hypercube --stage B           exchange along hypercube dimension B  (§2)
+  rotation --shift K            pi(i) = (i+K) mod n
+  group-rotation --shift K      shifts whole groups: worst-case demand
+  random --seed S               uniform random permutation
+  derangement --seed S          uniform random fixed-point-free
+  group-deranged --seed S       random group-uniform, group-deranged";
+
+/// Builds the permutation requested by `opts` for an `n`-processor,
+/// `d`-per-group network.
+pub fn resolve(opts: &Opts, d: usize, g: usize) -> Result<Permutation, CliError> {
+    let n = d * g;
+    if let Some(image) = opts.usize_list("perm")? {
+        if image.len() != n {
+            return Err(err(format!(
+                "--perm has {} entries but n = d*g = {n}",
+                image.len()
+            )));
+        }
+        return Permutation::new(image).map_err(|e| err(format!("--perm: {e}")));
+    }
+    let family = opts.get("family").unwrap_or("random");
+    let seed = opts.u64_or("seed", 42)?;
+    let mut rng = SplitMix64::new(seed);
+    let is_pow2 = n.is_power_of_two();
+    match family {
+        "identity" => Ok(Permutation::identity(n)),
+        "reversal" => Ok(vector_reversal(n)),
+        "transpose" => {
+            let side = (n as f64).sqrt().round() as usize;
+            if side * side != n {
+                return Err(err(format!("transpose needs square n, got {n}")));
+            }
+            Ok(matrix_transpose(side, side))
+        }
+        "shuffle" => {
+            if !is_pow2 {
+                return Err(err(format!("shuffle needs a power-of-two n, got {n}")));
+            }
+            Ok(perfect_shuffle(n))
+        }
+        "bit-reversal" => {
+            if !is_pow2 {
+                return Err(err(format!("bit-reversal needs a power-of-two n, got {n}")));
+            }
+            Ok(bit_reversal(n))
+        }
+        "hypercube" => {
+            if !is_pow2 {
+                return Err(err(format!("hypercube needs a power-of-two n, got {n}")));
+            }
+            let dims = n.trailing_zeros();
+            let stage = opts.usize_or("stage", 0)? as u32;
+            if stage >= dims {
+                return Err(err(format!("--stage must be < {dims}")));
+            }
+            Ok(hypercube_exchange(dims, stage))
+        }
+        "rotation" => Ok(rotation(n, opts.usize_or("shift", 1)?)),
+        "group-rotation" => Ok(group_rotation(d, g, opts.usize_or("shift", 1)?)),
+        "random" => Ok(random_permutation(n, &mut rng)),
+        "derangement" => Ok(random_derangement(n, &mut rng)),
+        "group-deranged" => Ok(random_group_deranged(d, g, &mut rng)),
+        other => Err(err(format!(
+            "unknown family '{other}'; known families:\n{FAMILY_HELP}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(words: &[&str]) -> Opts {
+        Opts::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn explicit_perm_wins() {
+        let o = opts(&["route", "--perm", "1,0,3,2", "--family", "reversal"]);
+        let pi = resolve(&o, 2, 2).unwrap();
+        assert_eq!(pi.as_slice(), &[1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn explicit_perm_length_checked() {
+        let o = opts(&["route", "--perm", "1,0"]);
+        assert!(resolve(&o, 2, 2).unwrap_err().0.contains("n = d*g"));
+    }
+
+    #[test]
+    fn families_build() {
+        for fam in [
+            "identity",
+            "reversal",
+            "rotation",
+            "group-rotation",
+            "random",
+            "derangement",
+            "group-deranged",
+        ] {
+            let o = opts(&["route", "--family", fam]);
+            let pi = resolve(&o, 2, 3).unwrap();
+            assert_eq!(pi.len(), 6, "{fam}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_families_guarded() {
+        let o = opts(&["route", "--family", "shuffle"]);
+        assert!(resolve(&o, 2, 3).is_err());
+        assert!(resolve(&o, 2, 4).is_ok());
+    }
+
+    #[test]
+    fn transpose_needs_square() {
+        let o = opts(&["route", "--family", "transpose"]);
+        assert!(resolve(&o, 2, 3).is_err());
+        assert_eq!(resolve(&o, 2, 2).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = resolve(&opts(&["r", "--family", "random", "--seed", "7"]), 3, 3).unwrap();
+        let b = resolve(&opts(&["r", "--family", "random", "--seed", "7"]), 3, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_family_lists_help() {
+        let o = opts(&["route", "--family", "nope"]);
+        assert!(resolve(&o, 2, 2).unwrap_err().0.contains("known families"));
+    }
+
+    #[test]
+    fn hypercube_stage_bounds() {
+        let o = opts(&["r", "--family", "hypercube", "--stage", "9"]);
+        assert!(resolve(&o, 2, 4).is_err());
+        let o = opts(&["r", "--family", "hypercube", "--stage", "2"]);
+        assert_eq!(resolve(&o, 2, 4).unwrap().apply(0), 4);
+    }
+}

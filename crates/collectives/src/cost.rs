@@ -1,0 +1,171 @@
+//! Slot-cost model and lower bounds for every collective.
+//!
+//! Costs are exact slot counts of the schedules built by [`crate::movement`]
+//! (asserted by the tests there); lower bounds follow from the §1 machine
+//! model by the same counting style as the paper's Propositions 1–3:
+//!
+//! * a processor transmits at most one **distinct** packet per slot (it may
+//!   drive several couplers, but with the same packet — the SIMD send rule);
+//! * a processor reads at most one coupler per slot;
+//! * a slot moves at most `g²` packets network-wide (one per coupler).
+
+use pops_core::router::theorem2_slots;
+use pops_network::PopsTopology;
+
+/// Slots used by the one-to-all broadcast of §1: always exactly 1.
+pub fn broadcast_slots(_topology: &PopsTopology) -> usize {
+    1
+}
+
+/// Lower bound for broadcast: the data must move at least once.
+pub fn broadcast_lower_bound(_topology: &PopsTopology) -> usize {
+    1
+}
+
+/// Slots used by the scatter schedule: `n − 1` (the root keeps its own
+/// piece; every other piece is a distinct packet and the root can emit only
+/// one distinct packet per slot).
+pub fn scatter_slots(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Lower bound for scatter, and the reason it is `n − 1`: all `n − 1`
+/// foreign pieces start at the root, and per slot the root transmits at
+/// most one distinct packet — however many couplers it drives, they all
+/// carry the same signal.
+pub fn scatter_lower_bound(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Slots used by the gather schedule: `n − 1` (the root reads at most one
+/// coupler per slot).
+pub fn gather_slots(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Lower bound for gather: `n − 1` packets must each be read by the root,
+/// one read per slot.
+pub fn gather_lower_bound(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Slots used by the all-gather schedule (`n` one-to-all rounds).
+pub fn all_gather_slots(topology: &PopsTopology) -> usize {
+    topology.n()
+}
+
+/// Lower bound for all-gather: every processor must receive `n − 1`
+/// foreign packets at one packet per slot.
+pub fn all_gather_lower_bound(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Slots used by the barrier (gather to the root, then a one-slot
+/// broadcast of the release token): `(n − 1) + 1 = n`.
+pub fn barrier_slots(topology: &PopsTopology) -> usize {
+    topology.n()
+}
+
+/// Lower bound for a barrier: the root must *hear from* `n − 1` processors
+/// (one read per slot) before anyone may be released.
+pub fn barrier_lower_bound(topology: &PopsTopology) -> usize {
+    topology.n() - 1
+}
+
+/// Slots used by a routed circular shift: [`theorem2_slots`], i.e. 1 when
+/// `d = 1` and `2⌈d/g⌉` otherwise — a shift is a permutation and inherits
+/// the paper's bound.
+pub fn shift_slots(topology: &PopsTopology) -> usize {
+    theorem2_slots(topology.d(), topology.g())
+}
+
+/// Slots used by the rotation-based all-to-all personalized exchange:
+/// `n − 1` routed rotations.
+pub fn all_to_all_slots(topology: &PopsTopology) -> usize {
+    (topology.n() - 1) * theorem2_slots(topology.d(), topology.g())
+}
+
+/// Lower bound for all-to-all personalized exchange:
+/// `max(n − 1, ⌈n(n−1)/g²⌉)`.
+///
+/// * receive bound — every processor must read `n − 1` distinct foreign
+///   packets, one per slot;
+/// * bandwidth bound — `n(n − 1)` packets must cross couplers and a slot
+///   carries at most `g²` (the counting argument of Proposition 1, applied
+///   to an (n−1)-relation).
+pub fn all_to_all_lower_bound(topology: &PopsTopology) -> usize {
+    let n = topology.n();
+    let g2 = topology.g() * topology.g();
+    let traffic = n * (n - 1);
+    (n - 1).max(traffic.div_ceil(g2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shapes() -> Vec<PopsTopology> {
+        [
+            (1, 1),
+            (1, 8),
+            (2, 2),
+            (3, 3),
+            (8, 2),
+            (2, 8),
+            (5, 3),
+            (16, 16),
+        ]
+        .into_iter()
+        .map(|(d, g)| PopsTopology::new(d, g))
+        .collect()
+    }
+
+    #[test]
+    fn costs_dominate_lower_bounds_everywhere() {
+        for t in shapes() {
+            assert!(broadcast_slots(&t) >= broadcast_lower_bound(&t), "{t}");
+            assert!(scatter_slots(&t) >= scatter_lower_bound(&t), "{t}");
+            assert!(gather_slots(&t) >= gather_lower_bound(&t), "{t}");
+            assert!(all_gather_slots(&t) >= all_gather_lower_bound(&t), "{t}");
+            assert!(barrier_slots(&t) >= barrier_lower_bound(&t), "{t}");
+            if t.n() > 1 {
+                assert!(all_to_all_slots(&t) >= all_to_all_lower_bound(&t), "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_root_patterns_are_optimal() {
+        for t in shapes() {
+            assert_eq!(scatter_slots(&t), scatter_lower_bound(&t));
+            assert_eq!(gather_slots(&t), gather_lower_bound(&t));
+            assert_eq!(broadcast_slots(&t), broadcast_lower_bound(&t));
+        }
+    }
+
+    #[test]
+    fn all_gather_and_barrier_within_one_of_optimal() {
+        for t in shapes() {
+            assert_eq!(all_gather_slots(&t) - all_gather_lower_bound(&t), 1);
+            assert_eq!(barrier_slots(&t) - barrier_lower_bound(&t), 1);
+        }
+    }
+
+    #[test]
+    fn all_to_all_bandwidth_bound_kicks_in_on_fat_groups() {
+        // POPS(8, 2): n = 16, g² = 4, traffic = 240 → bandwidth bound 60
+        // exceeds the receive bound 15.
+        let t = PopsTopology::new(8, 2);
+        assert_eq!(all_to_all_lower_bound(&t), 60);
+        // POPS(2, 8): n = 16, g² = 64 → receive bound 15 dominates ⌈240/64⌉ = 4.
+        let t = PopsTopology::new(2, 8);
+        assert_eq!(all_to_all_lower_bound(&t), 15);
+    }
+
+    #[test]
+    fn shift_cost_matches_theorem2() {
+        assert_eq!(shift_slots(&PopsTopology::new(1, 9)), 1);
+        assert_eq!(shift_slots(&PopsTopology::new(3, 3)), 2);
+        assert_eq!(shift_slots(&PopsTopology::new(8, 2)), 8);
+    }
+}

@@ -1,0 +1,49 @@
+//! Collective communication patterns on the POPS(d, g) network.
+//!
+//! §1 of Mei & Rizzi cites Gravenstreter & Melhem, *Realizing Common
+//! Communication Patterns in Partitioned Optical Passive Stars Networks*
+//! (IEEE ToC 1998), as the motivation for studying data movement on POPS.
+//! This crate rebuilds that pattern library on top of the paper's general
+//! permutation router: every collective below is
+//!
+//! 1. expressed as an executable machine-level [`Schedule`] (packet layer,
+//!    [`movement`]),
+//! 2. paired with a closed-form **slot-cost model** and a **lower bound**
+//!    ([`cost`]) so optimality (or the gap) is checkable per pattern, and
+//! 3. lifted to typed payloads ([`values`]) where every data movement is
+//!    first executed on the conflict-checking simulator of `pops-network`
+//!    before any value moves — correctness is demonstrated on the machine
+//!    model, never assumed.
+//!
+//! | Collective | Slots | Lower bound | Optimal? |
+//! |---|---|---|---|
+//! | broadcast | 1 | 1 | yes |
+//! | multicast | 1 | 1 | yes |
+//! | scatter | n − 1 | n − 1 | yes |
+//! | gather | n − 1 | n − 1 | yes |
+//! | all-gather | n | n − 1 | within +1 |
+//! | barrier | n | n − 1 | within +1 |
+//! | circular shift | 2⌈d/g⌉ (1 if d = 1) | 1 | paper's factor-2 band |
+//! | all-to-all personalized | (n−1)·2⌈d/g⌉ | max(n−1, ⌈n(n−1)/g²⌉) | see [`cost`] |
+//! | reduce (to root) | n − 1 | n − 1 | yes (receive bound) |
+//! | reduce-scatter | (n−1)·2⌈d/g⌉ | as all-to-all | see [`cost`] |
+//!
+//! The shift and all-to-all rows inherit the paper's Theorem-2 guarantee;
+//! the single-root patterns are limited by the §1 machine model itself
+//! (one distinct packet sent, one packet received, per processor per slot),
+//! which is where their `n − 1` bounds come from.
+//!
+//! [`Schedule`]: pops_network::Schedule
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod movement;
+pub mod values;
+
+pub use movement::{
+    all_gather, all_to_all_personalized, barrier, circular_shift, gather, multicast, scatter,
+    AllToAllPlan,
+};
+pub use values::{CollectiveEngine, CollectiveError};

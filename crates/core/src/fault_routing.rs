@@ -1,0 +1,398 @@
+//! Fault-aware permutation routing (extension).
+//!
+//! The paper assumes a healthy POPS(d, g). When couplers fail
+//! ([`pops_network::fault::FaultSet`]), the Theorem-2 construction no
+//! longer applies — its two fixed hops use arbitrary couplers — but the
+//! network often remains connected at the *group* level, with some pairs
+//! needing multi-hop detours. This module provides a **greedy
+//! distance-decreasing router** for that regime:
+//!
+//! * compute group-level shortest-hop distances over the alive couplers;
+//! * slot by slot, move every movable packet one hop along a shortest
+//!   alive path, respecting the machine model (one sender per coupler, one
+//!   distinct packet per sender, one read per processor);
+//! * the final hop of each packet delivers it to its exact destination
+//!   processor; earlier hops park it at any free processor of the
+//!   intermediate group.
+//!
+//! Every packet's hop count equals its group distance, so the schedule is
+//! hop-optimal per packet; *slot* optimality is not claimed (the healthy
+//! special case is exactly the online greedy baseline that experiment T10
+//! compares against Theorem 2's offline 2⌈d/g⌉).
+//!
+//! With zero faults this router also serves as the **online greedy
+//! baseline**: it never plans ahead, so group-concentrated permutations
+//! serialize on the single useful coupler and cost up to `d` slots where
+//! Theorem 2 pays `2⌈d/g⌉` — the gap the paper's machinery exists to close.
+
+use std::fmt;
+
+use pops_network::fault::{FaultSet, UNREACHABLE};
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+/// Why fault-aware routing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultRoutingError {
+    /// No alive path for a packet's required group-to-group journey.
+    Disconnected {
+        /// Source group of the stranded packet.
+        src_group: usize,
+        /// Destination group it cannot reach.
+        dst_group: usize,
+    },
+    /// Defensive guard: a slot elapsed with pending packets and no
+    /// progress (cannot happen for connected fault sets; kept so the loop
+    /// is provably finite).
+    Stalled {
+        /// Slot index at which progress stopped.
+        slot: usize,
+        /// Packets still undelivered.
+        undelivered: usize,
+    },
+}
+
+impl fmt::Display for FaultRoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultRoutingError::Disconnected {
+                src_group,
+                dst_group,
+            } => write!(
+                f,
+                "no alive coupler path from group {src_group} to group {dst_group}"
+            ),
+            FaultRoutingError::Stalled { slot, undelivered } => {
+                write!(f, "no progress at slot {slot} with {undelivered} packets pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultRoutingError {}
+
+/// A fault-aware routing: the executable schedule plus per-packet hop
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct FaultRouting {
+    /// The schedule (execute with the same [`FaultSet`] injected — the
+    /// tests do).
+    pub schedule: Schedule,
+    /// Hops taken by each packet (equals its alive-graph group distance).
+    pub hops: Vec<usize>,
+}
+
+impl FaultRouting {
+    /// Slots used.
+    pub fn slots(&self) -> usize {
+        self.schedule.slot_count()
+    }
+
+    /// The longest single-packet journey, in hops (1 on a healthy network
+    /// for inter-group traffic; grows with detours).
+    pub fn max_hops(&self) -> usize {
+        self.hops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Remaining hop count for a packet at `pos` with destination `dest`.
+fn need(
+    topology: &PopsTopology,
+    faults: &FaultSet,
+    dist: &[Vec<usize>],
+    pos: usize,
+    dest: usize,
+) -> usize {
+    if pos == dest {
+        return 0;
+    }
+    let a = topology.group_of(pos);
+    let b = topology.group_of(dest);
+    if a != b {
+        dist[a][b]
+    } else {
+        // Wrong processor of the right group: must leave on some alive
+        // coupler and come back in (possibly the group's own self-loop).
+        faults.group_distance_ge1(topology, dist, a, b)
+    }
+}
+
+/// Routes `pi` on `topology` with `faults` injected, greedily moving every
+/// packet one distance-decreasing hop per slot.
+///
+/// Returns the executable schedule (slot counts degrade gracefully with
+/// the fault count — experiment T10) or an error naming a disconnected
+/// group pair.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != topology.n()`.
+pub fn route_with_faults(
+    pi: &Permutation,
+    topology: PopsTopology,
+    faults: &FaultSet,
+) -> Result<FaultRouting, FaultRoutingError> {
+    let n = topology.n();
+    assert_eq!(pi.len(), n, "permutation length must equal n");
+    let g = topology.g();
+    let dist = faults.group_distances(&topology);
+
+    // Feasibility: every packet's journey must be finite.
+    for i in 0..n {
+        let dest = pi.apply(i);
+        if need(&topology, faults, &dist, i, dest) == UNREACHABLE {
+            return Err(FaultRoutingError::Disconnected {
+                src_group: topology.group_of(i),
+                dst_group: topology.group_of(dest),
+            });
+        }
+    }
+
+    let mut position: Vec<usize> = (0..n).collect();
+    let mut hops = vec![0usize; n];
+    let mut pending: Vec<usize> = (0..n).filter(|&p| pi.apply(p) != p).collect();
+    let mut schedule = Schedule::new();
+    // Hop-optimality makes total hops ≤ n·(g + 1); each slot below moves at
+    // least the highest-priority packet, so this cap is unreachable.
+    let slot_cap = n * (g + 1) + 1;
+
+    while !pending.is_empty() {
+        if schedule.slot_count() >= slot_cap {
+            return Err(FaultRoutingError::Stalled {
+                slot: schedule.slot_count(),
+                undelivered: pending.len(),
+            });
+        }
+        // Furthest-behind packets schedule first (ties by id, for
+        // determinism).
+        pending.sort_unstable_by_key(|&p| {
+            let d = need(&topology, faults, &dist, position[p], pi.apply(p));
+            (usize::MAX - d, p)
+        });
+
+        let mut frame = SlotFrame::new();
+        let mut sender_busy = vec![false; n];
+        let mut coupler_busy = vec![false; topology.coupler_count()];
+        let mut receiver_busy = vec![false; n];
+        let mut moved: Vec<(usize, usize)> = Vec::new(); // (packet, new position)
+
+        for &p in &pending {
+            let pos = position[p];
+            if sender_busy[pos] {
+                continue; // the holder already transmits another packet
+            }
+            let dest = pi.apply(p);
+            let remaining = need(&topology, faults, &dist, pos, dest);
+            debug_assert!(remaining >= 1);
+            let a = topology.group_of(pos);
+            let b = topology.group_of(dest);
+
+            if remaining == 1 {
+                // Final hop: must land exactly on `dest`.
+                let c = topology.coupler_id(b, a);
+                if !faults.is_failed(c) && !coupler_busy[c] && !receiver_busy[dest] {
+                    coupler_busy[c] = true;
+                    receiver_busy[dest] = true;
+                    sender_busy[pos] = true;
+                    frame
+                        .transmissions
+                        .push(Transmission::unicast(pos, c, p, dest));
+                    moved.push((p, dest));
+                }
+                continue;
+            }
+
+            // Intermediate hop: any alive unused coupler a → r that keeps
+            // the packet on a shortest path, parking at any free processor
+            // of r.
+            'groups: for step in 0..g {
+                let r = (a + step + 1) % g; // deterministic scan, skewed off a
+                let c = topology.coupler_id(r, a);
+                if faults.is_failed(c) || coupler_busy[c] {
+                    continue;
+                }
+                let new_remaining = if r == b {
+                    // Arriving in the destination group at (generally) the
+                    // wrong processor does not finish the journey.
+                    faults.group_distance_ge1(&topology, &dist, r, b)
+                } else {
+                    dist[r][b]
+                };
+                if new_remaining.saturating_add(1) != remaining {
+                    continue;
+                }
+                for recv in topology.processors_of(r) {
+                    if !receiver_busy[recv] {
+                        coupler_busy[c] = true;
+                        receiver_busy[recv] = true;
+                        sender_busy[pos] = true;
+                        frame
+                            .transmissions
+                            .push(Transmission::unicast(pos, c, p, recv));
+                        moved.push((p, recv));
+                        break 'groups;
+                    }
+                }
+            }
+        }
+
+        if frame.transmissions.is_empty() {
+            return Err(FaultRoutingError::Stalled {
+                slot: schedule.slot_count(),
+                undelivered: pending.len(),
+            });
+        }
+        for &(p, new_pos) in &moved {
+            position[p] = new_pos;
+            hops[p] += 1;
+        }
+        schedule.slots.push(frame);
+        pending.retain(|&p| position[p] != pi.apply(p));
+    }
+
+    Ok(FaultRouting { schedule, hops })
+}
+
+/// The healthy-network greedy baseline: [`route_with_faults`] with no
+/// faults. Online and plan-free — the comparison point showing why the
+/// paper's offline two-phase construction earns its keep (experiment T10).
+pub fn route_greedy(pi: &Permutation, topology: PopsTopology) -> FaultRouting {
+    route_with_faults(pi, topology, &FaultSet::none(&topology))
+        .expect("healthy network is always connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_permutation::families::{group_rotation, random_permutation, vector_reversal};
+    use pops_permutation::SplitMix64;
+    use pops_network::Simulator;
+
+    /// Executes `routing` under `faults` and checks delivery.
+    fn verify(
+        pi: &Permutation,
+        topology: PopsTopology,
+        faults: &FaultSet,
+        routing: &FaultRouting,
+    ) {
+        let mut sim = Simulator::with_unit_packets_and_faults(topology, faults.clone());
+        sim.execute_schedule(&routing.schedule).unwrap();
+        let dest: Vec<usize> = (0..topology.n()).map(|i| pi.apply(i)).collect();
+        sim.verify_delivery(&dest).unwrap();
+    }
+
+    #[test]
+    fn healthy_network_routes_and_delivers() {
+        let t = PopsTopology::new(3, 3);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10 {
+            let pi = random_permutation(9, &mut rng);
+            let routing = route_greedy(&pi, t);
+            verify(&pi, t, &FaultSet::none(&t), &routing);
+            assert!(routing.max_hops() <= 2); // direct or one intra-group correction
+        }
+    }
+
+    #[test]
+    fn greedy_serializes_on_concentrated_demand() {
+        // Group rotation: all d packets of each group target the next
+        // group; only one coupler is useful per group, so greedy needs
+        // d slots of final hops — worse than Theorem 2's 2⌈d/g⌉ when
+        // d > 2⌈d/g⌉.
+        let t = PopsTopology::new(6, 3);
+        let pi = group_rotation(6, 3, 1);
+        let routing = route_greedy(&pi, t);
+        verify(&pi, t, &FaultSet::none(&t), &routing);
+        assert_eq!(routing.slots(), 6); // d slots
+        assert_eq!(pops_core_theorem2(6, 3), 4); // vs 2⌈6/3⌉
+    }
+
+    fn pops_core_theorem2(d: usize, g: usize) -> usize {
+        crate::router::theorem2_slots(d, g)
+    }
+
+    #[test]
+    fn detours_around_a_failed_coupler() {
+        let t = PopsTopology::new(2, 3);
+        let mut faults = FaultSet::none(&t);
+        // Vector reversal sends group 0 → group 2; kill that direct path.
+        faults.fail_group_pair(&t, 2, 0);
+        let pi = vector_reversal(6);
+        let routing = route_with_faults(&pi, t, &faults).unwrap();
+        verify(&pi, t, &faults, &routing);
+        // Packets from group 0 to group 2 take 2 hops now.
+        assert!(routing.max_hops() >= 2);
+    }
+
+    #[test]
+    fn survives_heavy_fault_load_while_connected() {
+        let t = PopsTopology::new(2, 4);
+        let mut rng = SplitMix64::new(99);
+        // Fail couplers greedily while the network stays fully routable.
+        let mut faults = FaultSet::none(&t);
+        let mut failed = 0;
+        for c in [1usize, 2, 6, 9, 11, 14, 3, 7, 12, 5] {
+            let mut trial = faults.clone();
+            trial.fail_coupler(c);
+            if trial.fully_routable(&t) {
+                faults = trial;
+                failed += 1;
+            }
+            if failed == 6 {
+                break;
+            }
+        }
+        assert!(failed >= 4, "expected to fail several couplers, got {failed}");
+        for _ in 0..10 {
+            let pi = random_permutation(8, &mut rng);
+            let routing = route_with_faults(&pi, t, &faults).unwrap();
+            verify(&pi, t, &faults, &routing);
+        }
+    }
+
+    #[test]
+    fn disconnection_is_reported() {
+        let t = PopsTopology::new(2, 3);
+        let mut faults = FaultSet::none(&t);
+        for src in 0..3 {
+            faults.fail_group_pair(&t, 1, src);
+        }
+        let pi = vector_reversal(6);
+        let err = route_with_faults(&pi, t, &faults).unwrap_err();
+        assert!(matches!(err, FaultRoutingError::Disconnected { dst_group: 1, .. }));
+    }
+
+    #[test]
+    fn identity_needs_no_slots() {
+        let t = PopsTopology::new(2, 2);
+        let routing = route_greedy(&Permutation::identity(4), t);
+        assert_eq!(routing.slots(), 0);
+        assert_eq!(routing.max_hops(), 0);
+    }
+
+    #[test]
+    fn fixed_points_never_move() {
+        let t = PopsTopology::new(2, 3);
+        // A transposition of processors 0 and 5; everyone else fixed.
+        let mut image: Vec<usize> = (0..6).collect();
+        image.swap(0, 5);
+        let pi = Permutation::new(image).unwrap();
+        let routing = route_greedy(&pi, t);
+        verify(&pi, t, &FaultSet::none(&t), &routing);
+        for (p, &h) in routing.hops.iter().enumerate() {
+            assert_eq!(h > 0, p == 0 || p == 5, "packet {p}");
+        }
+    }
+
+    #[test]
+    fn wrong_processor_same_group_with_failed_self_loop() {
+        let t = PopsTopology::new(3, 2);
+        let mut faults = FaultSet::none(&t);
+        faults.fail_group_pair(&t, 0, 0); // group 0 cannot talk to itself
+        // Rotate within group 0: 0 → 1 → 2 → 0.
+        let pi = Permutation::new(vec![1, 2, 0, 3, 4, 5]).unwrap();
+        let routing = route_with_faults(&pi, t, &faults).unwrap();
+        verify(&pi, t, &faults, &routing);
+        assert!(routing.max_hops() >= 2); // detour via group 1
+    }
+}

@@ -1,0 +1,272 @@
+//! List systems — the abstraction of §3.1 of the paper.
+//!
+//! A *list system* is a triple `(S, T, L)`: `S` a set of `n₁` source nodes,
+//! `T` a set of `n₂` target nodes, and `L` assigning to every source a list
+//! of `Δ₁ ≤ n₂` (not necessarily distinct) elements **of S**. `l(s, s′)`
+//! counts occurrences of `s′` in the list of `s`. The system is *proper*
+//! when `n₂ | n₁Δ₁` and every `s′` appears exactly `Δ₁` times across all
+//! lists.
+//!
+//! Permutation routing instantiates this with `S = N_g` (the groups),
+//! `L(h, i) = group(π(i + h·d))` (the destination groups of group `h`'s
+//! packets), and `T = N_g` when `d ≤ g` or `T = N_d` when `d > g`; both are
+//! proper because `π` is a permutation ([`ListSystem::for_routing`]).
+
+use std::fmt;
+
+use pops_permutation::{group_of, Permutation};
+
+/// A list system `(S, T, L)` with `S = N_{n1}`, `T = N_{n2}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListSystem {
+    n2: usize,
+    /// `lists[s][i]` = the `i`-th element (in `S`) of source `s`'s list.
+    /// All lists have equal length `Δ₁`.
+    lists: Vec<Vec<usize>>,
+}
+
+/// Why a [`ListSystem`] failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListSystemError {
+    /// Lists have differing lengths.
+    RaggedLists {
+        /// Length of list 0.
+        first: usize,
+        /// Index of a list with a different length.
+        source: usize,
+        /// That list's length.
+        len: usize,
+    },
+    /// A list entry is not a valid source index.
+    EntryOutOfRange {
+        /// The source whose list is bad.
+        source: usize,
+        /// The position in the list.
+        position: usize,
+        /// The offending entry.
+        entry: usize,
+    },
+    /// `Δ₁ > n₂` (lists longer than the target set).
+    ListTooLong {
+        /// The list length Δ₁.
+        delta1: usize,
+        /// The target count n₂.
+        n2: usize,
+    },
+}
+
+impl fmt::Display for ListSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListSystemError::RaggedLists { first, source, len } => write!(
+                f,
+                "list of source {source} has length {len}, expected {first}"
+            ),
+            ListSystemError::EntryOutOfRange {
+                source,
+                position,
+                entry,
+            } => write!(
+                f,
+                "entry {entry} at position {position} of source {source}'s list is not a source"
+            ),
+            ListSystemError::ListTooLong { delta1, n2 } => {
+                write!(f, "list length Δ1={delta1} exceeds target count n2={n2}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ListSystemError {}
+
+impl ListSystem {
+    /// Creates a list system from explicit lists. All lists must have equal
+    /// length `Δ₁ ≤ n₂`, with entries in `0..lists.len()`.
+    pub fn new(n2: usize, lists: Vec<Vec<usize>>) -> Result<Self, ListSystemError> {
+        let n1 = lists.len();
+        let delta1 = lists.first().map_or(0, Vec::len);
+        if delta1 > n2 {
+            return Err(ListSystemError::ListTooLong { delta1, n2 });
+        }
+        for (s, list) in lists.iter().enumerate() {
+            if list.len() != delta1 {
+                return Err(ListSystemError::RaggedLists {
+                    first: delta1,
+                    source: s,
+                    len: list.len(),
+                });
+            }
+            for (i, &entry) in list.iter().enumerate() {
+                if entry >= n1 {
+                    return Err(ListSystemError::EntryOutOfRange {
+                        source: s,
+                        position: i,
+                        entry,
+                    });
+                }
+            }
+        }
+        Ok(Self { n2, lists })
+    }
+
+    /// The routing list system of Theorem 2: `S = N_g`,
+    /// `L(h, i) = group(π(i + h·d))`, and `T = N_g` if `d ≤ g` else `N_d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d·g != π.len()` or `d == 0 || g == 0`.
+    pub fn for_routing(pi: &Permutation, d: usize, g: usize) -> Self {
+        assert!(d > 0 && g > 0, "d and g must be positive");
+        assert_eq!(d * g, pi.len(), "permutation length must equal n = d*g");
+        let n2 = g.max(d);
+        let lists = (0..g)
+            .map(|h| (0..d).map(|i| group_of(pi.apply(h * d + i), d)).collect())
+            .collect();
+        Self { n2, lists }
+    }
+
+    /// Number of sources `n₁`.
+    pub fn n1(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of targets `n₂`.
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+
+    /// List length `Δ₁`.
+    pub fn delta1(&self) -> usize {
+        self.lists.first().map_or(0, Vec::len)
+    }
+
+    /// `Δ₂ = n₁Δ₁ / n₂` — the size of each target's fibre in a fair
+    /// distribution. Only meaningful for proper systems.
+    pub fn delta2(&self) -> usize {
+        (self.n1() * self.delta1())
+            .checked_div(self.n2)
+            .unwrap_or(0)
+    }
+
+    /// The `i`-th entry of source `s`'s list — the paper's `L(s, i)`.
+    pub fn entry(&self, s: usize, i: usize) -> usize {
+        self.lists[s][i]
+    }
+
+    /// The full list of source `s`.
+    pub fn list(&self, s: usize) -> &[usize] {
+        &self.lists[s]
+    }
+
+    /// `l(s, s′)` — multiplicity of `s′` in the list of `s`.
+    pub fn multiplicity(&self, s: usize, s_prime: usize) -> usize {
+        self.lists[s].iter().filter(|&&e| e == s_prime).count()
+    }
+
+    /// Properness check: `n₂ | n₁Δ₁` and `Σ_s l(s, s′) = Δ₁` for all `s′`.
+    pub fn is_proper(&self) -> bool {
+        let n1 = self.n1();
+        let delta1 = self.delta1();
+        // n2 must divide n1*Δ1 (with n2 == 0 only the empty system passes).
+        if !(n1 * delta1).is_multiple_of(self.n2) {
+            return n1 * delta1 == 0;
+        }
+        let mut counts = vec![0usize; n1];
+        for list in &self.lists {
+            for &e in list {
+                counts[e] += 1;
+            }
+        }
+        counts.iter().all(|&c| c == delta1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_permutation::families::{random_permutation, vector_reversal};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn proper_example_from_construction() {
+        // Each of 3 sources appears exactly twice across all lists.
+        let ls = ListSystem::new(3, vec![vec![0, 1], vec![1, 2], vec![2, 0]]).unwrap();
+        assert!(ls.is_proper());
+        assert_eq!(ls.delta1(), 2);
+        assert_eq!(ls.delta2(), 2);
+        assert_eq!(ls.multiplicity(0, 1), 1);
+    }
+
+    #[test]
+    fn improper_when_counts_unbalanced() {
+        let ls = ListSystem::new(3, vec![vec![0, 0], vec![0, 2], vec![2, 1]]).unwrap();
+        assert!(!ls.is_proper());
+    }
+
+    #[test]
+    fn improper_when_divisibility_fails() {
+        // n1*Δ1 = 4, n2 = 3: 3 does not divide 4.
+        let ls = ListSystem::new(3, vec![vec![0, 1], vec![1, 0]]).unwrap();
+        assert!(!ls.is_proper());
+    }
+
+    #[test]
+    fn rejects_ragged_lists() {
+        let err = ListSystem::new(3, vec![vec![0, 1], vec![0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ListSystemError::RaggedLists { source: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_entries() {
+        let err = ListSystem::new(3, vec![vec![0, 5], vec![0, 1]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ListSystemError::EntryOutOfRange { entry: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_overlong_lists() {
+        let err = ListSystem::new(1, vec![vec![0, 0]]).unwrap_err();
+        assert!(matches!(
+            err,
+            ListSystemError::ListTooLong { delta1: 2, n2: 1 }
+        ));
+    }
+
+    #[test]
+    fn routing_system_is_always_proper() {
+        let mut rng = SplitMix64::new(14);
+        for (d, g) in [(1usize, 5usize), (2, 4), (4, 4), (6, 3), (8, 2), (5, 5)] {
+            let pi = random_permutation(d * g, &mut rng);
+            let ls = ListSystem::for_routing(&pi, d, g);
+            assert!(ls.is_proper(), "d={d} g={g}");
+            assert_eq!(ls.n1(), g);
+            assert_eq!(ls.delta1(), d);
+            assert_eq!(ls.n2(), g.max(d));
+            // Δ2 as in the paper: d when d<=g, g when d>g.
+            assert_eq!(ls.delta2(), if d <= g { d } else { g });
+        }
+    }
+
+    #[test]
+    fn routing_system_entries_are_destination_groups() {
+        let d = 3;
+        let g = 4;
+        let pi = vector_reversal(d * g);
+        let ls = ListSystem::for_routing(&pi, d, g);
+        // Reversal sends group h to group g-1-h: list of h is constant.
+        for h in 0..g {
+            assert_eq!(ls.list(h), &[g - 1 - h; 3][..]);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let err = ListSystem::new(2, vec![vec![0], vec![0, 1]]).unwrap_err();
+        assert!(err.to_string().contains("length"));
+    }
+}

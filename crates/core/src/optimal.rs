@@ -1,0 +1,442 @@
+//! Exact minimum-slot search for tiny instances — the empirical yardstick
+//! for §3.3.
+//!
+//! The paper brackets its algorithm between lower bounds (Propositions
+//! 1–3) and the `2⌈d/g⌉` upper bound, concluding the routing is "at most
+//! the double of the optimum" for fixed-point-free permutations. This
+//! module measures where the *true* optimum falls on instances small
+//! enough to search exhaustively, so the experiment harness (T12) can
+//! report the actual gap distribution rather than just the bracket.
+//!
+//! # Strategy class
+//!
+//! The search is exact over **at-most-two-hop strategies**: each packet
+//! either stays (fixed point), moves once directly to its destination, or
+//! moves once to an intermediate processor and once more to its
+//! destination — the class the paper's own algorithm (and every published
+//! POPS routing) lives in. Because the coupler mesh is complete, an
+//! intermediate parking spot can be chosen in *any* group, which is what
+//! third hops would otherwise buy; a three-hop plan also consumes strictly
+//! more coupler-slots and receive-slots than a two-hop plan with a free
+//! choice of park. The returned value is therefore the exact optimum of
+//! the two-hop class, written `OPT₂`; it upper-bounds the unrestricted
+//! optimum and is itself lower-bounded by [`crate::bounds::lower_bound`] —
+//! both comparisons are reported by the harness.
+//!
+//! The search is a depth-first assignment of per-packet plans with
+//! per-slot resource tracking (couplers, senders, receivers — u64
+//! bitsets), most-contended packets first, with a node budget for graceful
+//! bail-out. Feasibility at `t = 2⌈d/g⌉` is guaranteed (Theorem 2's
+//! schedule belongs to the class), so the iterative deepening always
+//! terminates within the paper's bound.
+
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+use crate::router::theorem2_slots;
+
+/// Outcome of an exact search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The minimum slot count over two-hop strategies, if the search
+    /// completed within budget.
+    pub slots: Option<usize>,
+    /// Plan assignments attempted (search effort).
+    pub nodes: u64,
+    /// A witness: an executable schedule achieving `slots` (absent iff
+    /// `slots` is). The tests run it on the simulator, so every optimum
+    /// the search reports is machine-executed, not just counted.
+    pub schedule: Option<Schedule>,
+}
+
+/// Per-slot resource occupancy, as bitsets (supports `n ≤ 64`, `g² ≤ 64`).
+struct Resources {
+    senders: Vec<u64>,
+    receivers: Vec<u64>,
+    couplers: Vec<u64>,
+}
+
+impl Resources {
+    fn new(slots: usize) -> Self {
+        Self {
+            senders: vec![0; slots],
+            receivers: vec![0; slots],
+            couplers: vec![0; slots],
+        }
+    }
+
+    /// Tries to reserve the move `from → to` at `slot`; `true` on success.
+    fn try_move(&mut self, t: &PopsTopology, slot: usize, from: usize, to: usize) -> bool {
+        let c = t.coupler_id(t.group_of(to), t.group_of(from));
+        let (sb, rb, cb) = (1u64 << from, 1u64 << to, 1u64 << c);
+        if self.senders[slot] & sb != 0
+            || self.receivers[slot] & rb != 0
+            || self.couplers[slot] & cb != 0
+        {
+            return false;
+        }
+        self.senders[slot] |= sb;
+        self.receivers[slot] |= rb;
+        self.couplers[slot] |= cb;
+        true
+    }
+
+    fn undo_move(&mut self, t: &PopsTopology, slot: usize, from: usize, to: usize) {
+        let c = t.coupler_id(t.group_of(to), t.group_of(from));
+        self.senders[slot] &= !(1u64 << from);
+        self.receivers[slot] &= !(1u64 << to);
+        self.couplers[slot] &= !(1u64 << c);
+    }
+}
+
+struct Search<'a> {
+    topology: PopsTopology,
+    pi: &'a Permutation,
+    movers: Vec<usize>,
+    slots: usize,
+    nodes: u64,
+    budget: u64,
+    /// Per-mover moves `(slot, from, to)` of the plan currently explored;
+    /// a completed stack is the witness.
+    stack: Vec<Vec<(usize, usize, usize)>>,
+}
+
+impl Search<'_> {
+    /// `Some(true)`: all movers planned. `Some(false)`: exhausted the
+    /// space. `None`: node budget hit.
+    fn dfs(&mut self, idx: usize, res: &mut Resources) -> Option<bool> {
+        if idx == self.movers.len() {
+            return Some(true);
+        }
+        let p = self.movers[idx];
+        let src = p;
+        let dst = self.pi.apply(p);
+        let n = self.topology.n();
+
+        // Direct plans: one move src → dst in some slot.
+        for s in 0..self.slots {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                return None;
+            }
+            if res.try_move(&self.topology, s, src, dst) {
+                self.stack.push(vec![(s, src, dst)]);
+                match self.dfs(idx + 1, res) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => return None,
+                }
+                self.stack.pop();
+                res.undo_move(&self.topology, s, src, dst);
+            }
+        }
+
+        // Two-move plans: src → park at slot s1, park → dst at slot s2.
+        for s1 in 0..self.slots {
+            for s2 in (s1 + 1)..self.slots {
+                for park in 0..n {
+                    if park == src || park == dst {
+                        continue;
+                    }
+                    self.nodes += 1;
+                    if self.nodes > self.budget {
+                        return None;
+                    }
+                    if !res.try_move(&self.topology, s1, src, park) {
+                        continue;
+                    }
+                    if res.try_move(&self.topology, s2, park, dst) {
+                        self.stack.push(vec![(s1, src, park), (s2, park, dst)]);
+                        match self.dfs(idx + 1, res) {
+                            Some(true) => return Some(true),
+                            Some(false) => {}
+                            None => return None,
+                        }
+                        self.stack.pop();
+                        res.undo_move(&self.topology, s2, park, dst);
+                    }
+                    res.undo_move(&self.topology, s1, src, park);
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Decides whether `pi` routes in `slots` slots under two-hop strategies.
+///
+/// `None` if the node budget was exhausted before a decision.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != n`, or if `n > 64` / `g² > 64` (bitset limit —
+/// exhaustive search is only meaningful on tiny instances anyway).
+pub fn routable_in(
+    pi: &Permutation,
+    topology: PopsTopology,
+    slots: usize,
+    budget: u64,
+) -> (Option<bool>, u64) {
+    let (verdict, nodes, _) = routable_in_with_witness(pi, topology, slots, budget);
+    (verdict, nodes)
+}
+
+/// Like [`routable_in`], additionally returning the witness schedule on a
+/// positive answer.
+pub fn routable_in_with_witness(
+    pi: &Permutation,
+    topology: PopsTopology,
+    slots: usize,
+    budget: u64,
+) -> (Option<bool>, u64, Option<Schedule>) {
+    let n = topology.n();
+    assert_eq!(pi.len(), n, "permutation length must equal n");
+    assert!(n <= 64, "exhaustive search supports n ≤ 64");
+    assert!(topology.coupler_count() <= 64, "exhaustive search supports g² ≤ 64");
+
+    let mut movers: Vec<usize> = (0..n).filter(|&p| pi.apply(p) != p).collect();
+    if movers.is_empty() {
+        return (Some(true), 0, Some(Schedule::new()));
+    }
+    if slots == 0 {
+        return (Some(false), 0, None);
+    }
+    // Most-contended packets first: couplers are the scarce resource, so
+    // order by how many packets share the same (source group, destination
+    // group) pair, descending.
+    let g = topology.g();
+    let mut pair_load = vec![0usize; g * g];
+    for &p in &movers {
+        let a = topology.group_of(p);
+        let b = topology.group_of(pi.apply(p));
+        pair_load[b * g + a] += 1;
+    }
+    movers.sort_by_key(|&p| {
+        let a = topology.group_of(p);
+        let b = topology.group_of(pi.apply(p));
+        (usize::MAX - pair_load[b * g + a], p)
+    });
+
+    let mut search = Search {
+        topology,
+        pi,
+        movers,
+        slots,
+        nodes: 0,
+        budget,
+        stack: Vec::new(),
+    };
+    let mut res = Resources::new(slots);
+    let verdict = search.dfs(0, &mut res);
+    let witness = (verdict == Some(true)).then(|| {
+        let mut frames = vec![SlotFrame::new(); slots];
+        for plan in &search.stack {
+            for &(s, from, to) in plan {
+                // The packet id is the mover's source processor; for the
+                // second hop of a two-move plan the sender is the park.
+                let packet = plan[0].1;
+                let c = topology.coupler_id(topology.group_of(to), topology.group_of(from));
+                frames[s]
+                    .transmissions
+                    .push(Transmission::unicast(from, c, packet, to));
+            }
+        }
+        Schedule { slots: frames }
+    });
+    (verdict, search.nodes, witness)
+}
+
+/// The exact minimum slot count of `pi` over two-hop strategies (`OPT₂`),
+/// found by iterative deepening from 1 to the Theorem-2 bound (which is
+/// always feasible, so the search always terminates when within budget).
+///
+/// # Panics
+///
+/// Same limits as [`routable_in`].
+pub fn min_slots_two_hop(pi: &Permutation, topology: PopsTopology, budget: u64) -> SearchOutcome {
+    let mut total_nodes = 0u64;
+    if pi.is_identity() {
+        return SearchOutcome {
+            slots: Some(0),
+            nodes: 0,
+            schedule: Some(Schedule::new()),
+        };
+    }
+    let ceiling = theorem2_slots(topology.d(), topology.g());
+    for t in 1..=ceiling {
+        let (verdict, nodes, witness) =
+            routable_in_with_witness(pi, topology, t, budget.saturating_sub(total_nodes));
+        total_nodes += nodes;
+        match verdict {
+            Some(true) => {
+                return SearchOutcome {
+                    slots: Some(t),
+                    nodes: total_nodes,
+                    schedule: witness,
+                }
+            }
+            Some(false) => {}
+            None => {
+                return SearchOutcome {
+                    slots: None,
+                    nodes: total_nodes,
+                    schedule: None,
+                }
+            }
+        }
+    }
+    // Theorem 2's own schedule is a two-hop strategy in `ceiling` slots;
+    // the loop above must have accepted at t = ceiling.
+    unreachable!("2⌈d/g⌉ slots are always sufficient (Theorem 2)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::lower_bound;
+    use crate::single_slot::is_single_slot_routable;
+    use pops_permutation::families::{group_rotation, random_permutation, vector_reversal};
+    use pops_permutation::{permutations_of, SplitMix64};
+
+    const BUDGET: u64 = 50_000_000;
+
+    #[test]
+    fn identity_needs_zero_slots() {
+        let t = PopsTopology::new(2, 2);
+        let out = min_slots_two_hop(&Permutation::identity(4), t, BUDGET);
+        assert_eq!(out.slots, Some(0));
+    }
+
+    #[test]
+    fn single_slot_routable_iff_search_says_one() {
+        // Cross-validate the search against the Gravenstreter–Melhem
+        // characterization on every permutation of POPS(2, 2).
+        let t = PopsTopology::new(2, 2);
+        for pi in permutations_of(4) {
+            let (verdict, _) = routable_in(&pi, t, 1, BUDGET);
+            assert_eq!(
+                verdict,
+                Some(is_single_slot_routable(&pi, &t)),
+                "π = {:?}",
+                pi.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_brackets_hold_on_all_small_permutations() {
+        for (d, g) in [(2usize, 2usize), (2, 3), (3, 2)] {
+            let t = PopsTopology::new(d, g);
+            let ceiling = theorem2_slots(d, g);
+            for pi in permutations_of(d * g) {
+                let out = min_slots_two_hop(&pi, t, BUDGET);
+                let opt = out.slots.expect("budget is ample for n = 6");
+                assert!(opt <= ceiling, "π = {:?}", pi.as_slice());
+                assert!(
+                    opt >= lower_bound(&pi, d, g),
+                    "optimum below the Props 1–3 bound for π = {:?}",
+                    pi.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_reversal_even_g_is_tight() {
+        // Proposition 2: reversal with even g needs the full 2⌈d/g⌉ —
+        // the search must agree exactly.
+        let t = PopsTopology::new(2, 2);
+        let out = min_slots_two_hop(&vector_reversal(4), t, BUDGET);
+        assert_eq!(out.slots, Some(2));
+        let t = PopsTopology::new(4, 2);
+        let out = min_slots_two_hop(&vector_reversal(8), t, BUDGET);
+        assert_eq!(out.slots, Some(4));
+    }
+
+    #[test]
+    fn prop2_stated_form_refuted_on_pops_3_2() {
+        // The paper's Proposition 2 claims the wholesale group swap on
+        // POPS(3, 2) needs 2⌈3/2⌉ = 4 slots. The optimum is 3: ship one
+        // packet each way per slot through c(1, 0) / c(0, 1) — confirmed
+        // exactly by the search, matching the corrected ⌈d/(g−1)⌉ bound.
+        let t = PopsTopology::new(3, 2);
+        let pi = group_rotation(3, 2, 1);
+        let out = min_slots_two_hop(&pi, t, BUDGET);
+        assert_eq!(out.slots, Some(3));
+        assert_eq!(lower_bound(&pi, 3, 2), 3); // corrected bound is tight
+        assert_eq!(theorem2_slots(3, 2), 4); // Theorem 2 overshoots by 1 here
+    }
+
+    #[test]
+    fn single_slot_spread_beats_the_theorem2_bound() {
+        // A derangement whose demand matrix is all-ones is single-slot
+        // routable, while Theorem 2 spends its uniform 2⌈d/g⌉.
+        let t = PopsTopology::new(2, 3);
+        let pi = Permutation::new(vec![2, 4, 0, 5, 1, 3]).unwrap();
+        assert!(is_single_slot_routable(&pi, &t));
+        let out = min_slots_two_hop(&pi, t, BUDGET);
+        assert_eq!(out.slots, Some(1));
+        assert_eq!(theorem2_slots(2, 3), 2);
+    }
+
+    #[test]
+    fn witness_schedules_execute_and_deliver() {
+        // Every optimum the search reports comes with a schedule; run each
+        // on the machine-model simulator and check exact delivery.
+        use pops_network::Simulator;
+        let t = PopsTopology::new(3, 2);
+        let mut rng = SplitMix64::new(2025);
+        for _ in 0..25 {
+            let pi = random_permutation(6, &mut rng);
+            let out = min_slots_two_hop(&pi, t, BUDGET);
+            let schedule = out.schedule.expect("witness accompanies the optimum");
+            assert_eq!(schedule.slot_count(), out.slots.unwrap());
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(&schedule).expect("witness is legal");
+            sim.verify_delivery(pi.as_slice()).expect("witness delivers");
+        }
+    }
+
+    #[test]
+    fn counterexample_witness_is_three_legal_slots() {
+        use pops_network::Simulator;
+        let t = PopsTopology::new(3, 2);
+        let pi = group_rotation(3, 2, 1);
+        let out = min_slots_two_hop(&pi, t, BUDGET);
+        let schedule = out.schedule.expect("witness");
+        assert_eq!(schedule.slot_count(), 3);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&schedule).expect("legal");
+        sim.verify_delivery(pi.as_slice()).expect("delivers");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_wrong() {
+        // Group rotation concentrates demand, so deciding t = 1 already
+        // needs more than a 3-node search.
+        let t = PopsTopology::new(3, 3);
+        let pi = group_rotation(3, 3, 1);
+        let out = min_slots_two_hop(&pi, t, 3);
+        assert!(out.slots.is_none());
+        assert!(out.nodes >= 3);
+    }
+
+    #[test]
+    fn random_9_processor_instances_solve_within_budget() {
+        let t = PopsTopology::new(3, 3);
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..20 {
+            let pi = random_permutation(9, &mut rng);
+            let out = min_slots_two_hop(&pi, t, BUDGET);
+            let opt = out.slots.expect("budget should suffice at n = 9");
+            assert!((1..=2).contains(&opt));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≤ 64")]
+    fn oversized_instances_rejected() {
+        let t = PopsTopology::new(9, 9);
+        let _ = routable_in(&Permutation::identity(81), t, 1, 100);
+    }
+}

@@ -1,0 +1,395 @@
+//! The **Theorem 2** router: any permutation routes on POPS(d, g) in one
+//! slot when `d = 1` and `2⌈d/g⌉` slots when `d > 1`.
+//!
+//! Three cases, exactly as in the paper's proof:
+//!
+//! * **`d = 1`** — the network is a clique (diameter 1, `n²` couplers):
+//!   every packet goes directly through its private coupler in one slot.
+//! * **`1 < d ≤ g`** — compute a fair distribution `f : N_g × N_d → N_g`
+//!   for the routing list system. Slot 1 sends the packet of processor
+//!   `i + h·d` through coupler `c(f(h,i), h)`; equation (1) rules out
+//!   coupler conflicts, equation (2) delivers exactly `d` packets per group
+//!   (assigned to its `d` processors in source-group order), and equation
+//!   (3) makes the result *fairly distributed*, so slot 2 delivers directly
+//!   (Fact 1). Two slots total.
+//! * **`d > g`** — the fair distribution has `T = N_d`, so `f(h, ·)` is a
+//!   bijection on `N_d`. Round `q` (of `⌈d/g⌉`) moves, for each source
+//!   group `h`, the `g` packets with `f`-value in `[q·g, (q+1)·g)`: the
+//!   packet with `f = q·g + r` goes through coupler `c(r, h)`. All `g`
+//!   packets arriving at group `r` share that `f`-value, hence by equation
+//!   (3) have pairwise distinct destination groups — the round's second
+//!   slot delivers them conflict-free. Receivers are chosen among the
+//!   processors of group `r` that already sent, preserving the paper's
+//!   one-packet-per-processor invariant. The last round moves
+//!   `g·(d mod g)` packets when `g ∤ d`.
+
+use pops_bipartite::ColorerKind;
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+use crate::fair_distribution::FairDistribution;
+use crate::list_system::ListSystem;
+
+/// The slot count Theorem 2 guarantees: 1 when `d = 1`, else `2⌈d/g⌉`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `g == 0`.
+pub fn theorem2_slots(d: usize, g: usize) -> usize {
+    assert!(d > 0 && g > 0, "d and g must be positive");
+    if d == 1 {
+        1
+    } else {
+        2 * d.div_ceil(g)
+    }
+}
+
+/// A computed routing: the machine-level schedule plus the artefacts of the
+/// construction (for inspection, examples, and the experiment harness).
+#[derive(Debug, Clone)]
+pub struct RoutingPlan {
+    /// The topology routed on.
+    pub topology: PopsTopology,
+    /// The executable schedule; `schedule.slot_count()` equals
+    /// [`theorem2_slots`] for the topology.
+    pub schedule: Schedule,
+    /// The fair distribution used (absent for the trivial `d = 1` case).
+    pub fair_distribution: Option<FairDistribution>,
+    /// The routing list system (absent for `d = 1`).
+    pub list_system: Option<ListSystem>,
+    /// Intermediate processor of each packet after its first hop
+    /// (`intermediate[p] == p`'s position between the two hops; for `d = 1`
+    /// this is just the destination).
+    pub intermediate: Vec<usize>,
+}
+
+/// Routes permutation `pi` on `topology` per Theorem 2.
+///
+/// `colorer` selects the 1-factorization engine used by the underlying
+/// Theorem-1 construction; the schedule's slot count is identical for all
+/// engines.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != topology.n()`.
+pub fn route(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
+    assert_eq!(
+        pi.len(),
+        topology.n(),
+        "permutation length {} does not match {} with n = {}",
+        pi.len(),
+        topology,
+        topology.n()
+    );
+    let d = topology.d();
+    let g = topology.g();
+    if d == 1 {
+        route_d1(pi, topology)
+    } else if d <= g {
+        route_d_le_g(pi, topology, colorer)
+    } else {
+        route_d_gt_g(pi, topology, colorer)
+    }
+}
+
+/// `d = 1`: POPS(1, n) is fully interconnected; one slot suffices.
+fn route_d1(pi: &Permutation, topology: PopsTopology) -> RoutingPlan {
+    let transmissions = (0..topology.n())
+        .map(|i| Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i)))
+        .collect();
+    RoutingPlan {
+        topology,
+        schedule: Schedule {
+            slots: vec![SlotFrame { transmissions }],
+        },
+        fair_distribution: None,
+        list_system: None,
+        intermediate: pi.as_slice().to_vec(),
+    }
+}
+
+/// `1 < d ≤ g`: two slots via a fair distribution with `T = N_g`.
+fn route_d_le_g(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
+    let d = topology.d();
+    let g = topology.g();
+    let ls = ListSystem::for_routing(pi, d, g);
+    let fd = FairDistribution::compute(&ls, colorer);
+
+    // Group the entries by intermediate group; within a group the entries
+    // arrive from pairwise distinct source groups (equation (1)), and the
+    // push order below visits h ascending, so each list is sorted by h.
+    let mut incoming: Vec<Vec<(usize, usize)>> = vec![Vec::new(); g];
+    for h in 0..g {
+        for i in 0..d {
+            incoming[fd.target(h, i)].push((h, i));
+        }
+    }
+    debug_assert!(incoming.iter().all(|v| v.len() == d), "equation (2)");
+
+    // intermediate[p]: where packet p sits after slot 1.
+    let mut intermediate = vec![usize::MAX; topology.n()];
+    let mut slot1 = SlotFrame::new();
+    for (j, entries) in incoming.iter().enumerate() {
+        for (k, &(h, i)) in entries.iter().enumerate() {
+            let sender = topology.processor(h, i);
+            let receiver = topology.processor(j, k);
+            intermediate[sender] = receiver;
+            slot1.transmissions.push(Transmission::unicast(
+                sender,
+                topology.coupler_id(j, h),
+                sender,
+                receiver,
+            ));
+        }
+    }
+
+    // Slot 2: every packet is one hop from home (Fact 1).
+    let slot2 = delivery_slot(
+        pi,
+        &topology,
+        (0..topology.n()).map(|p| (p, intermediate[p])),
+    );
+
+    RoutingPlan {
+        topology,
+        schedule: Schedule {
+            slots: vec![slot1, slot2],
+        },
+        fair_distribution: Some(fd),
+        list_system: Some(ls),
+        intermediate,
+    }
+}
+
+/// `d > g`: `⌈d/g⌉` rounds of two slots via a fair distribution with
+/// `T = N_d`.
+fn route_d_gt_g(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
+    let d = topology.d();
+    let g = topology.g();
+    let ls = ListSystem::for_routing(pi, d, g);
+    let fd = FairDistribution::compute(&ls, colorer);
+    // inv[h][j] = the entry index i with f(h, i) = j (total: bijection).
+    let inv = fd.inverse_per_source();
+
+    let rounds = d.div_ceil(g);
+    let mut slots = Vec::with_capacity(2 * rounds);
+    let mut intermediate = vec![usize::MAX; topology.n()];
+
+    for q in 0..rounds {
+        let block = q * g..((q + 1) * g).min(d);
+        let full_round = block.len() == g;
+
+        // Receivers per destination group r: the packet arriving from
+        // source group h is read by
+        //   - full rounds: the h-th smallest processor of group r that
+        //     sends in this very round (there are exactly g of them, one
+        //     per block value, and they are empty once slot 1 fires);
+        //   - last partial round: processor r·d + h — by now *every*
+        //     processor has sent its original packet, so all are free.
+        let mut slot1 = SlotFrame::new();
+        let mut receivers_for_group: Vec<Vec<usize>> = Vec::with_capacity(g);
+        #[allow(clippy::needless_range_loop)] // r is a group id, not just an index
+        for r in 0..g {
+            if full_round {
+                let mut senders: Vec<usize> = block
+                    .clone()
+                    .map(|j| topology.processor(r, inv[r][j]))
+                    .collect();
+                senders.sort_unstable();
+                receivers_for_group.push(senders);
+            } else {
+                receivers_for_group.push((0..g).map(|h| topology.processor(r, h)).collect());
+            }
+        }
+
+        for h in 0..g {
+            for j in block.clone() {
+                let r = j - q * g;
+                let sender = topology.processor(h, inv[h][j]);
+                let receiver = receivers_for_group[r][h];
+                intermediate[sender] = receiver;
+                slot1.transmissions.push(Transmission::unicast(
+                    sender,
+                    topology.coupler_id(r, h),
+                    sender,
+                    receiver,
+                ));
+            }
+        }
+
+        // Second slot of the round: the g² (or g·(d mod g)) moved packets
+        // are fairly distributed (equation (6)) — deliver them.
+        let moved: Vec<(usize, usize)> = slot1
+            .transmissions
+            .iter()
+            .map(|t| (t.packet, t.receivers[0]))
+            .collect();
+        let slot2 = delivery_slot(pi, &topology, moved.into_iter());
+
+        slots.push(slot1);
+        slots.push(slot2);
+    }
+
+    RoutingPlan {
+        topology,
+        schedule: Schedule { slots },
+        fair_distribution: Some(fd),
+        list_system: Some(ls),
+        intermediate,
+    }
+}
+
+/// Builds the delivery slot of Fact 1: each `(packet, holder)` pair sends
+/// the packet home through the unique coupler `c(group(π(p)), group(holder))`.
+fn delivery_slot(
+    pi: &Permutation,
+    topology: &PopsTopology,
+    placements: impl Iterator<Item = (usize, usize)>,
+) -> SlotFrame {
+    let mut slot = SlotFrame::new();
+    for (packet, holder) in placements {
+        let dest = pi.apply(packet);
+        slot.transmissions.push(Transmission::unicast(
+            holder,
+            topology.coupler_between(holder, dest),
+            packet,
+            dest,
+        ));
+    }
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_network::Simulator;
+    use pops_permutation::families::{random_permutation, vector_reversal};
+    use pops_permutation::SplitMix64;
+
+    /// Routes and fully simulates, asserting delivery, slot count, and the
+    /// one-packet-per-processor invariant after every slot.
+    fn check(pi: &Permutation, d: usize, g: usize, colorer: ColorerKind) {
+        let topology = PopsTopology::new(d, g);
+        let plan = route(pi, topology, colorer);
+        assert_eq!(
+            plan.schedule.slot_count(),
+            theorem2_slots(d, g),
+            "slot count d={d} g={g}"
+        );
+        let mut sim = Simulator::with_unit_packets(topology);
+        for (idx, frame) in plan.schedule.slots.iter().enumerate() {
+            sim.execute_frame(frame)
+                .unwrap_or_else(|e| panic!("d={d} g={g} slot {idx}: {e}"));
+            assert!(
+                sim.in_transit_at_most_one(pi.as_slice()),
+                "storage invariant broken after slot {idx} (d={d} g={g})"
+            );
+        }
+        sim.verify_delivery(pi.as_slice())
+            .unwrap_or_else(|e| panic!("d={d} g={g}: {e}"));
+    }
+
+    #[test]
+    fn d1_routes_in_one_slot() {
+        let mut rng = SplitMix64::new(80);
+        for g in [1usize, 2, 5, 16] {
+            let pi = random_permutation(g, &mut rng);
+            check(&pi, 1, g, ColorerKind::default());
+        }
+    }
+
+    #[test]
+    fn d_le_g_routes_in_two_slots() {
+        let mut rng = SplitMix64::new(81);
+        for (d, g) in [(2usize, 2usize), (2, 4), (3, 5), (4, 4), (5, 8), (7, 7)] {
+            let pi = random_permutation(d * g, &mut rng);
+            check(&pi, d, g, ColorerKind::default());
+        }
+    }
+
+    #[test]
+    fn d_gt_g_routes_in_two_ceil_d_over_g_slots() {
+        let mut rng = SplitMix64::new(82);
+        for (d, g) in [(4usize, 2usize), (6, 3), (8, 4), (5, 2), (7, 3), (9, 4)] {
+            let pi = random_permutation(d * g, &mut rng);
+            check(&pi, d, g, ColorerKind::default());
+        }
+    }
+
+    #[test]
+    fn partial_last_round_cases() {
+        // g does not divide d: exercises the g·(d mod g) partial round.
+        let mut rng = SplitMix64::new(83);
+        for (d, g) in [(3usize, 2usize), (5, 3), (7, 2), (11, 4), (13, 5)] {
+            let pi = random_permutation(d * g, &mut rng);
+            check(&pi, d, g, ColorerKind::default());
+        }
+    }
+
+    #[test]
+    fn single_group_edge_case() {
+        // POPS(d, 1): one coupler; Theorem 2 gives 2d slots.
+        let mut rng = SplitMix64::new(84);
+        let d = 4;
+        let pi = random_permutation(d, &mut rng);
+        check(&pi, d, 1, ColorerKind::default());
+    }
+
+    #[test]
+    fn identity_and_reversal_route_correctly() {
+        for (d, g) in [(3usize, 3usize), (4, 2), (2, 4)] {
+            check(&Permutation::identity(d * g), d, g, ColorerKind::default());
+            check(&vector_reversal(d * g), d, g, ColorerKind::default());
+        }
+    }
+
+    #[test]
+    fn all_coloring_engines_give_valid_routings() {
+        let mut rng = SplitMix64::new(85);
+        for kind in ColorerKind::ALL {
+            let pi = random_permutation(24, &mut rng);
+            check(&pi, 4, 6, kind); // d <= g
+            let pi = random_permutation(24, &mut rng);
+            check(&pi, 6, 4, kind); // d > g
+        }
+    }
+
+    #[test]
+    fn figure3_permutation_routes_in_two_slots() {
+        let pi = Permutation::new(vec![5, 1, 7, 2, 0, 6, 3, 8, 4]).unwrap();
+        check(&pi, 3, 3, ColorerKind::default());
+    }
+
+    #[test]
+    fn plan_exposes_construction_artefacts() {
+        let pi = vector_reversal(12);
+        let plan = route(&pi, PopsTopology::new(3, 4), ColorerKind::default());
+        assert!(plan.fair_distribution.is_some());
+        assert!(plan.list_system.is_some());
+        assert_eq!(plan.intermediate.len(), 12);
+        let plan1 = route(
+            &vector_reversal(4),
+            PopsTopology::new(1, 4),
+            ColorerKind::default(),
+        );
+        assert!(plan1.fair_distribution.is_none());
+    }
+
+    #[test]
+    fn theorem2_slots_formula() {
+        assert_eq!(theorem2_slots(1, 10), 1);
+        assert_eq!(theorem2_slots(2, 10), 2);
+        assert_eq!(theorem2_slots(10, 10), 2);
+        assert_eq!(theorem2_slots(11, 10), 4);
+        assert_eq!(theorem2_slots(20, 10), 4);
+        assert_eq!(theorem2_slots(21, 10), 6);
+        assert_eq!(theorem2_slots(5, 1), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_mismatched_sizes() {
+        let pi = Permutation::identity(5);
+        let _ = route(&pi, PopsTopology::new(2, 3), ColorerKind::default());
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-slot routability — the Gravenstreter–Melhem characterization
+//! (§2 of the paper).
+//!
+//! A permutation routes in **one** slot iff no coupler is demanded twice:
+//! the group-to-group demand matrix of `π` must be 0/1 ("if two packets
+//! originating at the same group are to be routed to the same destination
+//! group, then one slot is obviously not enough"). Receiver conflicts
+//! cannot occur for a permutation (destinations are distinct), so the
+//! demand condition is also sufficient. When `d = 1` the condition holds
+//! vacuously — the `d = 1` case of Theorem 2.
+
+use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+/// `true` iff `pi` is routable in a single slot on `topology`: the demand
+/// matrix restricted to the packets that actually move (`π(i) ≠ i`) has no
+/// entry above 1. Packets already at their destination never touch a
+/// coupler, so they do not count against the demand.
+///
+/// # Panics
+///
+/// Panics if `pi.len() != topology.n()`.
+pub fn is_single_slot_routable(pi: &Permutation, topology: &PopsTopology) -> bool {
+    assert_eq!(pi.len(), topology.n(), "size mismatch");
+    moving_demand(pi, topology)
+        .iter()
+        .flatten()
+        .all(|&c| c <= 1)
+}
+
+/// The group-to-group demand matrix of the *moving* packets of `pi`
+/// (fixed points excluded) — the per-coupler load of a direct routing.
+pub fn moving_demand(pi: &Permutation, topology: &PopsTopology) -> Vec<Vec<usize>> {
+    assert_eq!(pi.len(), topology.n(), "size mismatch");
+    let g = topology.g();
+    let mut demand = vec![vec![0usize; g]; g];
+    for i in 0..pi.len() {
+        let dest = pi.apply(i);
+        if dest != i {
+            demand[topology.group_of(i)][topology.group_of(dest)] += 1;
+        }
+    }
+    demand
+}
+
+/// Builds the one-slot direct schedule if `pi` is single-slot routable,
+/// else `None`. Fixed points stay put (no transmission); the identity
+/// permutation yields a single empty slot.
+pub fn route_single_slot(pi: &Permutation, topology: &PopsTopology) -> Option<Schedule> {
+    if !is_single_slot_routable(pi, topology) {
+        return None;
+    }
+    let transmissions = (0..topology.n())
+        .filter(|&i| pi.apply(i) != i)
+        .map(|i| Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i)))
+        .collect();
+    Some(Schedule {
+        slots: vec![SlotFrame { transmissions }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_network::Simulator;
+    use pops_permutation::families::{group_rotation, matrix_transpose, random_permutation};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn d1_always_single_slot() {
+        let mut rng = SplitMix64::new(100);
+        let t = PopsTopology::new(1, 8);
+        for _ in 0..10 {
+            let pi = random_permutation(8, &mut rng);
+            assert!(is_single_slot_routable(&pi, &t));
+            let schedule = route_single_slot(&pi, &t).unwrap();
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(&schedule).unwrap();
+            sim.verify_delivery(pi.as_slice()).unwrap();
+        }
+    }
+
+    #[test]
+    fn transpose_on_matching_block_is_single_slot() {
+        // 4x4 transpose on POPS(4, 4): demand matrix is all-ones.
+        let t = PopsTopology::new(4, 4);
+        let pi = matrix_transpose(4, 4);
+        assert!(is_single_slot_routable(&pi, &t));
+        let schedule = route_single_slot(&pi, &t).unwrap();
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        assert_eq!(schedule.slot_count(), 1);
+    }
+
+    #[test]
+    fn group_rotation_is_not_single_slot_for_d_gt_1() {
+        // All d packets of a group share a destination group.
+        let t = PopsTopology::new(3, 3);
+        let pi = group_rotation(3, 3, 1);
+        assert!(!is_single_slot_routable(&pi, &t));
+        assert!(route_single_slot(&pi, &t).is_none());
+    }
+
+    #[test]
+    fn identity_is_single_slot() {
+        let t = PopsTopology::new(3, 2);
+        let pi = Permutation::identity(6);
+        assert!(is_single_slot_routable(&pi, &t));
+    }
+
+    #[test]
+    fn figure3_permutation_needs_two_slots() {
+        // §3: packets of processors 4 and 5 (group 1) both target group 0 —
+        // the unavoidable conflict on coupler c(0, 1) the paper points out.
+        let t = PopsTopology::new(3, 3);
+        let pi = Permutation::new(vec![5, 1, 7, 2, 0, 6, 3, 8, 4]).unwrap();
+        assert!(!is_single_slot_routable(&pi, &t));
+        let demand = pi.demand_matrix(3);
+        assert_eq!(demand[1][0], 2, "group 1 sends two packets to group 0");
+    }
+}

@@ -1,0 +1,230 @@
+//! Coupler fault injection.
+//!
+//! The paper's model assumes a fully healthy POPS(d, g); an optical star
+//! coupler, however, is a single physical device, and coupler failure is
+//! the natural fault unit of the architecture (a failed `c(b, a)` severs
+//! the one-hop path from group `a` to group `b` but nothing else — the
+//! diameter-1 property degrades gracefully to multi-hop paths through
+//! intermediate groups).
+//!
+//! [`FaultSet`] records which couplers are down. The simulator, when given
+//! a fault set ([`crate::Simulator::with_unit_packets_and_faults`] /
+//! [`crate::Simulator::inject_faults`]), rejects any transmission on a
+//! failed coupler — so fault-aware routing (in `pops-core`) is refereed
+//! exactly like healthy routing. Group-level reachability over the alive
+//! couplers is computed here ([`FaultSet::group_distances`]) because both
+//! the router and the experiments need it.
+
+use crate::topology::{CouplerId, GroupId, PopsTopology};
+
+/// Distance marker for unreachable group pairs.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// A set of failed couplers of a POPS(d, g) network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSet {
+    g: usize,
+    failed: Vec<bool>,
+}
+
+impl FaultSet {
+    /// No faults on a `g`-group network.
+    pub fn none(topology: &PopsTopology) -> Self {
+        Self {
+            g: topology.g(),
+            failed: vec![false; topology.coupler_count()],
+        }
+    }
+
+    /// Marks coupler `c` failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn fail_coupler(&mut self, c: CouplerId) {
+        assert!(c < self.failed.len(), "coupler {c} out of range");
+        self.failed[c] = true;
+    }
+
+    /// Marks the coupler `c(dest_group, src_group)` failed.
+    pub fn fail_group_pair(
+        &mut self,
+        topology: &PopsTopology,
+        dest_group: GroupId,
+        src_group: GroupId,
+    ) {
+        self.fail_coupler(topology.coupler_id(dest_group, src_group));
+    }
+
+    /// Whether coupler `c` is failed.
+    #[inline]
+    pub fn is_failed(&self, c: CouplerId) -> bool {
+        self.failed.get(c).copied().unwrap_or(false)
+    }
+
+    /// Number of failed couplers.
+    pub fn failed_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
+    }
+
+    /// `true` iff no coupler is failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed_count() == 0
+    }
+
+    /// The failed coupler ids, ascending.
+    pub fn iter_failed(&self) -> impl Iterator<Item = CouplerId> + '_ {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &f)| f.then_some(c))
+    }
+
+    /// Group-level shortest-hop distances over the **alive** couplers.
+    ///
+    /// Entry `[a][b]` is the minimum number of slots a packet needs to get
+    /// from (any processor of) group `a` into group `b`; `[a][a]` is `0`.
+    /// Alive coupler `c(b, a)` contributes the directed edge `a → b` (note
+    /// a self-loop `c(a, a)` exists per group and may also fail).
+    /// Unreachable pairs get [`UNREACHABLE`].
+    pub fn group_distances(&self, topology: &PopsTopology) -> Vec<Vec<usize>> {
+        let g = topology.g();
+        assert_eq!(g, self.g, "fault set built for a different group count");
+        let mut dist = vec![vec![UNREACHABLE; g]; g];
+        // Adjacency: a → b iff c(b, a) alive.
+        let alive_out: Vec<Vec<GroupId>> = (0..g)
+            .map(|a| {
+                (0..g)
+                    .filter(|&b| !self.is_failed(topology.coupler_id(b, a)))
+                    .collect()
+            })
+            .collect();
+        for (start, row) in dist.iter_mut().enumerate() {
+            row[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(a) = queue.pop_front() {
+                for &b in &alive_out[a] {
+                    if row[b] == UNREACHABLE {
+                        row[b] = row[a] + 1;
+                        queue.push_back(b);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest **non-empty** path length from group `a` to group `b` over
+    /// alive couplers — the number of slots a packet at the wrong processor
+    /// of its destination group still needs (it must traverse at least one
+    /// coupler to move at all). [`UNREACHABLE`] if no such path exists.
+    pub fn group_distance_ge1(
+        &self,
+        topology: &PopsTopology,
+        dist: &[Vec<usize>],
+        a: GroupId,
+        b: GroupId,
+    ) -> usize {
+        let g = topology.g();
+        (0..g)
+            .filter(|&r| !self.is_failed(topology.coupler_id(r, a)))
+            .map(|r| dist[r][b].saturating_add(1))
+            .min()
+            .unwrap_or(UNREACHABLE)
+    }
+
+    /// `true` iff every ordered group pair can still communicate (the
+    /// network remains routable for arbitrary permutations), including
+    /// every group reaching *back into itself* through at least one
+    /// coupler (needed for intra-group traffic).
+    pub fn fully_routable(&self, topology: &PopsTopology) -> bool {
+        let dist = self.group_distances(topology);
+        let g = topology.g();
+        (0..g).all(|a| {
+            (0..g).all(|b| {
+                dist[a][b] != UNREACHABLE
+                    && self.group_distance_ge1(topology, &dist, a, b) != UNREACHABLE
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_means_all_distances_at_most_one() {
+        let t = PopsTopology::new(2, 4);
+        let f = FaultSet::none(&t);
+        assert!(f.is_empty());
+        let dist = f.group_distances(&t);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(dist[a][b], usize::from(a != b));
+                assert_eq!(f.group_distance_ge1(&t, &dist, a, b), 1);
+            }
+        }
+        assert!(f.fully_routable(&t));
+    }
+
+    #[test]
+    fn single_failure_forces_a_two_hop_detour() {
+        let t = PopsTopology::new(2, 3);
+        let mut f = FaultSet::none(&t);
+        f.fail_group_pair(&t, 1, 0); // c(1, 0): group 0 can no longer reach 1 directly
+        assert_eq!(f.failed_count(), 1);
+        let dist = f.group_distances(&t);
+        assert_eq!(dist[0][1], 2); // 0 → 2 → 1 (or 0 → 0 → 1)
+        assert_eq!(dist[1][0], 1); // reverse direction unaffected
+        assert!(f.fully_routable(&t));
+    }
+
+    #[test]
+    fn failed_self_loop_still_routable_via_detour() {
+        let t = PopsTopology::new(3, 2);
+        let mut f = FaultSet::none(&t);
+        f.fail_group_pair(&t, 0, 0); // intra-group coupler of group 0
+        let dist = f.group_distances(&t);
+        assert_eq!(dist[0][0], 0); // "already there" costs nothing…
+        assert_eq!(f.group_distance_ge1(&t, &dist, 0, 0), 2); // …but moving within group 0 now takes 2 hops
+        assert!(f.fully_routable(&t));
+    }
+
+    #[test]
+    fn severing_all_inbound_couplers_disconnects() {
+        let t = PopsTopology::new(2, 3);
+        let mut f = FaultSet::none(&t);
+        for src in 0..3 {
+            f.fail_group_pair(&t, 1, src); // nothing can enter group 1
+        }
+        let dist = f.group_distances(&t);
+        assert_eq!(dist[0][1], UNREACHABLE);
+        assert!(!f.fully_routable(&t));
+    }
+
+    #[test]
+    fn pops_g1_with_failed_coupler_is_dead() {
+        let t = PopsTopology::new(4, 1);
+        let mut f = FaultSet::none(&t);
+        f.fail_coupler(0);
+        assert!(!f.fully_routable(&t));
+    }
+
+    #[test]
+    fn iter_failed_lists_exactly_the_failures() {
+        let t = PopsTopology::new(2, 3);
+        let mut f = FaultSet::none(&t);
+        f.fail_coupler(2);
+        f.fail_coupler(7);
+        assert_eq!(f.iter_failed().collect::<Vec<_>>(), vec![2, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coupler_rejected() {
+        let t = PopsTopology::new(2, 2);
+        let mut f = FaultSet::none(&t);
+        f.fail_coupler(100);
+    }
+}

@@ -1,0 +1,137 @@
+//! Canonical communication patterns from §1 of the paper.
+//!
+//! Beyond permutation routing (the subject of the paper, implemented in
+//! `pops-core`), the POPS network supports several one-slot primitives that
+//! the introduction walks through; they are reproduced here and exercised
+//! by experiment F1 and the quickstart example.
+
+use crate::slot::{PacketId, SlotFrame, Transmission};
+use crate::topology::{PopsTopology, ProcessorId};
+
+/// The one-slot **one-to-all** broadcast of §1: the `speaker` sends
+/// `packet` to all couplers `c(a, group(speaker))`, `a ∈ {0, …, g−1}`, and
+/// every processor (speaker's group included, speaker itself included)
+/// reads the coupler fed by the speaker's group.
+pub fn one_to_all(topology: &PopsTopology, speaker: ProcessorId, packet: PacketId) -> SlotFrame {
+    let src_group = topology.group_of(speaker);
+    let transmissions = (0..topology.g())
+        .map(|dest_group| Transmission {
+            sender: speaker,
+            coupler: topology.coupler_id(dest_group, src_group),
+            packet,
+            receivers: topology.processors_of(dest_group).collect(),
+        })
+        .collect();
+    SlotFrame { transmissions }
+}
+
+/// A one-slot **point-to-point** send exploiting the diameter-1 property of
+/// §1: `src` reaches `dst` through the unique coupler
+/// `c(group(dst), group(src))`.
+pub fn point_to_point(
+    topology: &PopsTopology,
+    src: ProcessorId,
+    dst: ProcessorId,
+    packet: PacketId,
+) -> SlotFrame {
+    SlotFrame {
+        transmissions: vec![Transmission::unicast(
+            src,
+            topology.coupler_between(src, dst),
+            packet,
+            dst,
+        )],
+    }
+}
+
+/// The **all-to-all broadcast** (each processor's packet replicated to
+/// every processor): `n` one-to-all slots, one speaker per slot.
+///
+/// This is slot-optimal up to a constant: every processor must receive
+/// `n − 1` foreign packets and can read at most one coupler per slot, so
+/// at least `n − 1` slots are necessary; the schedule below uses `n`.
+pub fn all_to_all_broadcast(topology: &PopsTopology) -> crate::slot::Schedule {
+    let slots = (0..topology.n())
+        .map(|speaker| one_to_all(topology, speaker, speaker))
+        .collect();
+    crate::slot::Schedule { slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+
+    #[test]
+    fn one_to_all_reaches_everyone_in_one_slot() {
+        let t = PopsTopology::new(3, 3);
+        let mut sim = Simulator::with_unit_packets(t);
+        let frame = one_to_all(&t, 4, 4);
+        sim.execute_frame(&frame).unwrap();
+        let mut holders: Vec<_> = sim.holders_of(4).to_vec();
+        holders.sort_unstable();
+        assert_eq!(holders, (0..9).collect::<Vec<_>>());
+        assert_eq!(sim.slots_elapsed(), 1);
+    }
+
+    #[test]
+    fn one_to_all_uses_g_couplers() {
+        let t = PopsTopology::new(4, 5);
+        let frame = one_to_all(&t, 0, 0);
+        assert_eq!(frame.couplers_used(), 5);
+        assert_eq!(frame.deliveries(), t.n());
+    }
+
+    #[test]
+    fn figure1_coupler_semantics() {
+        // Figure 1: a 4x4 OPS coupler — model as POPS(4, 1): source m
+        // broadcasts to all four destinations in one slot.
+        let t = PopsTopology::new(4, 1);
+        let mut sim = Simulator::with_unit_packets(t);
+        let frame = one_to_all(&t, 2, 2);
+        sim.execute_frame(&frame).unwrap();
+        assert_eq!(sim.holders_of(2).len(), 4);
+    }
+
+    #[test]
+    fn point_to_point_single_slot() {
+        let t = PopsTopology::new(3, 2);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_frame(&point_to_point(&t, 1, 5, 1)).unwrap();
+        assert_eq!(sim.holders_of(1), &[5]);
+    }
+
+    #[test]
+    fn point_to_point_within_group() {
+        let t = PopsTopology::new(3, 2);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_frame(&point_to_point(&t, 0, 2, 0)).unwrap();
+        assert_eq!(sim.holders_of(0), &[2]);
+    }
+
+    #[test]
+    fn all_to_all_broadcast_replicates_everything() {
+        let t = PopsTopology::new(2, 3);
+        let n = t.n();
+        let mut sim = Simulator::with_unit_packets(t);
+        let schedule = all_to_all_broadcast(&t);
+        assert_eq!(schedule.slot_count(), n);
+        sim.execute_schedule(&schedule).unwrap();
+        for packet in 0..n {
+            assert_eq!(sim.holders_of(packet).len(), n, "packet {packet}");
+        }
+        // Every processor holds all n packets.
+        for p in 0..n {
+            let mut held = sim.packets_at(p).to_vec();
+            held.sort_unstable();
+            assert_eq!(held, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn all_to_all_broadcast_delivery_volume() {
+        let t = PopsTopology::new(3, 3);
+        let schedule = all_to_all_broadcast(&t);
+        assert_eq!(schedule.total_deliveries(), t.n() * t.n());
+    }
+}

@@ -1,0 +1,712 @@
+//! The slot-level POPS simulator: executes [`SlotFrame`]s against the
+//! machine model of §1 of the paper, detecting every conflict the model
+//! forbids.
+//!
+//! The legality rules enforced per slot:
+//!
+//! 1. **Coupler contention** — at most one processor sends on each coupler
+//!    ("there shouldn't be any pair of processors sending a packet to the
+//!    same coupler");
+//! 2. **One packet per sender** — a processor sends (the same) one packet to
+//!    a *subset of its transmitters*; driving two couplers with different
+//!    packets in one slot is impossible in the SIMD model;
+//! 3. **Receive contention** — each processor receives from at most one of
+//!    its receivers per slot;
+//! 4. **Wiring** — a coupler's sender must be in its source group and every
+//!    reader in its destination group;
+//! 5. **Possession** — the sender must actually hold the packet it sends.
+//!
+//! Execution is transactional: a frame either validates completely and is
+//! applied, or the simulator state is untouched and the violation returned.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::fault::FaultSet;
+use crate::slot::{PacketId, Schedule, SlotFrame};
+use crate::stats::{ScheduleStats, SlotRecord};
+use crate::topology::{CouplerId, PopsTopology, ProcessorId};
+
+/// A violation of the POPS slot rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Two transmissions drive the same coupler.
+    CouplerContention {
+        /// The contended coupler.
+        coupler: CouplerId,
+        /// First offending sender.
+        first_sender: ProcessorId,
+        /// Second offending sender.
+        second_sender: ProcessorId,
+    },
+    /// One processor sends two *different* packets in the same slot.
+    MultiplePacketsFromSender {
+        /// The offending sender.
+        sender: ProcessorId,
+        /// First packet sent.
+        first_packet: PacketId,
+        /// Second, different, packet sent.
+        second_packet: PacketId,
+    },
+    /// A processor reads more than one coupler in the same slot.
+    ReceiveContention {
+        /// The offending receiver.
+        receiver: ProcessorId,
+    },
+    /// The sender is not wired to the coupler (wrong source group).
+    SenderNotInSourceGroup {
+        /// The offending sender.
+        sender: ProcessorId,
+        /// The coupler it tried to drive.
+        coupler: CouplerId,
+    },
+    /// A receiver is not wired to the coupler (wrong destination group).
+    ReceiverNotInDestGroup {
+        /// The offending receiver.
+        receiver: ProcessorId,
+        /// The coupler it tried to read.
+        coupler: CouplerId,
+    },
+    /// The sender does not hold the packet it tries to send.
+    PacketNotHeld {
+        /// The offending sender.
+        sender: ProcessorId,
+        /// The packet it does not hold.
+        packet: PacketId,
+    },
+    /// A transmission lists no receivers — the packet would vanish.
+    NoReceivers {
+        /// The sender of the receiver-less transmission.
+        sender: ProcessorId,
+        /// The coupler driven.
+        coupler: CouplerId,
+    },
+    /// A packet id outside `0..packet_count`.
+    UnknownPacket {
+        /// The unknown packet id.
+        packet: PacketId,
+    },
+    /// A transmission drives a coupler marked failed by the injected
+    /// [`FaultSet`].
+    FailedCoupler {
+        /// The sender that tried to drive it.
+        sender: ProcessorId,
+        /// The failed coupler.
+        coupler: CouplerId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CouplerContention {
+                coupler,
+                first_sender,
+                second_sender,
+            } => write!(
+                f,
+                "coupler {coupler} driven by both processor {first_sender} and {second_sender}"
+            ),
+            SimError::MultiplePacketsFromSender {
+                sender,
+                first_packet,
+                second_packet,
+            } => write!(
+                f,
+                "processor {sender} sends two different packets ({first_packet}, {second_packet}) in one slot"
+            ),
+            SimError::ReceiveContention { receiver } => {
+                write!(f, "processor {receiver} reads more than one coupler in one slot")
+            }
+            SimError::SenderNotInSourceGroup { sender, coupler } => {
+                write!(f, "processor {sender} has no transmitter on coupler {coupler}")
+            }
+            SimError::ReceiverNotInDestGroup { receiver, coupler } => {
+                write!(f, "processor {receiver} has no receiver on coupler {coupler}")
+            }
+            SimError::PacketNotHeld { sender, packet } => {
+                write!(f, "processor {sender} does not hold packet {packet}")
+            }
+            SimError::NoReceivers { sender, coupler } => write!(
+                f,
+                "transmission from {sender} on coupler {coupler} has no receivers"
+            ),
+            SimError::UnknownPacket { packet } => write!(f, "unknown packet id {packet}"),
+            SimError::FailedCoupler { sender, coupler } => {
+                write!(f, "processor {sender} drives failed coupler {coupler}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The simulator: topology plus the current placement of every packet.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    topology: PopsTopology,
+    /// Packets currently held by each processor (a processor may hold
+    /// several — e.g. mid-round in the `d > g` routing the not-yet-moved
+    /// original plus a received intermediate would violate the paper's
+    /// invariant, which is why the router assigns receivers among the
+    /// processors that just sent; the simulator itself permits it and the
+    /// tests assert the router never triggers it).
+    holdings: Vec<Vec<PacketId>>,
+    /// Current holder(s) of each packet (broadcast may replicate a packet).
+    locations: Vec<Vec<ProcessorId>>,
+    history: Vec<SlotRecord>,
+    faults: FaultSet,
+}
+
+impl Simulator {
+    /// Creates a simulator with packet `i` initially at processor `i` — the
+    /// permutation-routing initial condition (`n` packets).
+    pub fn with_unit_packets(topology: PopsTopology) -> Self {
+        let n = topology.n();
+        Self {
+            topology,
+            holdings: (0..n).map(|i| vec![i]).collect(),
+            locations: (0..n).map(|i| vec![i]).collect(),
+            history: Vec::new(),
+            faults: FaultSet::none(&topology),
+        }
+    }
+
+    /// Creates a simulator with an explicit initial placement:
+    /// `placement[p]` is the processor initially holding packet `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a placement is out of processor range.
+    pub fn with_placement(topology: PopsTopology, placement: &[ProcessorId]) -> Self {
+        let n = topology.n();
+        let mut holdings: Vec<Vec<PacketId>> = vec![Vec::new(); n];
+        let mut locations = Vec::with_capacity(placement.len());
+        for (packet, &proc) in placement.iter().enumerate() {
+            assert!(proc < n, "placement of packet {packet} out of range");
+            holdings[proc].push(packet);
+            locations.push(vec![proc]);
+        }
+        Self {
+            topology,
+            holdings,
+            locations,
+            history: Vec::new(),
+            faults: FaultSet::none(&topology),
+        }
+    }
+
+    /// Creates a unit-packet simulator with `faults` injected from slot 0.
+    pub fn with_unit_packets_and_faults(topology: PopsTopology, faults: FaultSet) -> Self {
+        let mut sim = Self::with_unit_packets(topology);
+        sim.faults = faults;
+        sim
+    }
+
+    /// Injects (replaces) the fault set; subsequent frames driving a failed
+    /// coupler are rejected with [`SimError::FailedCoupler`].
+    pub fn inject_faults(&mut self, faults: FaultSet) {
+        self.faults = faults;
+    }
+
+    /// The currently injected fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The topology simulated.
+    pub fn topology(&self) -> &PopsTopology {
+        &self.topology
+    }
+
+    /// Number of distinct packets tracked.
+    pub fn packet_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Packets currently held by `proc`.
+    pub fn packets_at(&self, proc: ProcessorId) -> &[PacketId] {
+        &self.holdings[proc]
+    }
+
+    /// Current holders of `packet` (more than one after a broadcast).
+    pub fn holders_of(&self, packet: PacketId) -> &[ProcessorId] {
+        &self.locations[packet]
+    }
+
+    /// Number of slots executed so far.
+    pub fn slots_elapsed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Per-slot records of everything executed so far.
+    pub fn history(&self) -> &[SlotRecord] {
+        &self.history
+    }
+
+    /// Aggregated statistics over the executed history.
+    pub fn stats(&self) -> ScheduleStats {
+        ScheduleStats::from_records(&self.topology, &self.history)
+    }
+
+    /// Validates `frame` against the slot rules without changing state.
+    pub fn validate_frame(&self, frame: &SlotFrame) -> Result<(), SimError> {
+        let mut coupler_sender: HashMap<CouplerId, ProcessorId> = HashMap::new();
+        let mut sender_packet: HashMap<ProcessorId, PacketId> = HashMap::new();
+        let mut receiver_seen: HashMap<ProcessorId, ()> = HashMap::new();
+
+        for t in &frame.transmissions {
+            if t.packet >= self.locations.len() {
+                return Err(SimError::UnknownPacket { packet: t.packet });
+            }
+            // Fault rule: a failed coupler carries no signal.
+            if self.faults.is_failed(t.coupler) {
+                return Err(SimError::FailedCoupler {
+                    sender: t.sender,
+                    coupler: t.coupler,
+                });
+            }
+            // Rule 4a: sender wiring.
+            if self.topology.group_of(t.sender) != self.topology.coupler_src_group(t.coupler) {
+                return Err(SimError::SenderNotInSourceGroup {
+                    sender: t.sender,
+                    coupler: t.coupler,
+                });
+            }
+            // Rule 1: coupler contention (the same sender driving the same
+            // coupler twice is also contention — the coupler carries one
+            // signal per slot).
+            if let Some(&prev) = coupler_sender.get(&t.coupler) {
+                return Err(SimError::CouplerContention {
+                    coupler: t.coupler,
+                    first_sender: prev,
+                    second_sender: t.sender,
+                });
+            }
+            coupler_sender.insert(t.coupler, t.sender);
+            // Rule 2: one packet per sender.
+            if let Some(&prev) = sender_packet.get(&t.sender) {
+                if prev != t.packet {
+                    return Err(SimError::MultiplePacketsFromSender {
+                        sender: t.sender,
+                        first_packet: prev,
+                        second_packet: t.packet,
+                    });
+                }
+            } else {
+                sender_packet.insert(t.sender, t.packet);
+            }
+            // Rule 5: possession.
+            if !self.holdings[t.sender].contains(&t.packet) {
+                return Err(SimError::PacketNotHeld {
+                    sender: t.sender,
+                    packet: t.packet,
+                });
+            }
+            // Receivers: wiring + contention + non-emptiness.
+            if t.receivers.is_empty() {
+                return Err(SimError::NoReceivers {
+                    sender: t.sender,
+                    coupler: t.coupler,
+                });
+            }
+            for &r in &t.receivers {
+                if self.topology.group_of(r) != self.topology.coupler_dest_group(t.coupler) {
+                    return Err(SimError::ReceiverNotInDestGroup {
+                        receiver: r,
+                        coupler: t.coupler,
+                    });
+                }
+                if receiver_seen.insert(r, ()).is_some() {
+                    return Err(SimError::ReceiveContention { receiver: r });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates and executes one slot. On error the state is unchanged.
+    pub fn execute_frame(&mut self, frame: &SlotFrame) -> Result<&SlotRecord, SimError> {
+        self.validate_frame(frame)?;
+
+        // Phase 1: packets leave their senders (each distinct sender emits
+        // its one packet once, even when driving several couplers).
+        let mut emitted: HashMap<ProcessorId, PacketId> = HashMap::new();
+        for t in &frame.transmissions {
+            emitted.entry(t.sender).or_insert(t.packet);
+        }
+        for (&sender, &packet) in &emitted {
+            let pos = self.holdings[sender]
+                .iter()
+                .position(|&p| p == packet)
+                .expect("validated possession");
+            self.holdings[sender].swap_remove(pos);
+            let lpos = self.locations[packet]
+                .iter()
+                .position(|&h| h == sender)
+                .expect("locations mirror holdings");
+            self.locations[packet].swap_remove(lpos);
+        }
+
+        // Phase 2: packets arrive at their readers.
+        for t in &frame.transmissions {
+            for &r in &t.receivers {
+                self.holdings[r].push(t.packet);
+                self.locations[t.packet].push(r);
+            }
+        }
+
+        self.history.push(SlotRecord {
+            couplers_used: frame.couplers_used(),
+            deliveries: frame.deliveries(),
+        });
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Executes a whole schedule, stopping at the first violation.
+    /// Returns the number of slots executed on success.
+    pub fn execute_schedule(&mut self, schedule: &Schedule) -> Result<usize, (usize, SimError)> {
+        for (idx, frame) in schedule.slots.iter().enumerate() {
+            self.execute_frame(frame).map_err(|e| (idx, e))?;
+        }
+        Ok(schedule.slots.len())
+    }
+
+    /// Checks that packet `p` sits exactly at `destinations[p]` for all `p`
+    /// (single copy each) — the success criterion of a permutation routing.
+    pub fn verify_delivery(&self, destinations: &[ProcessorId]) -> Result<(), DeliveryError> {
+        if destinations.len() != self.locations.len() {
+            return Err(DeliveryError::CountMismatch {
+                packets: self.locations.len(),
+                destinations: destinations.len(),
+            });
+        }
+        for (packet, &want) in destinations.iter().enumerate() {
+            let holders = &self.locations[packet];
+            if holders.len() != 1 || holders[0] != want {
+                return Err(DeliveryError::Misplaced {
+                    packet,
+                    expected: want,
+                    actual: holders.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` iff every processor holds at most one packet — the invariant
+    /// the paper notes for the Theorem-2 routing ("at each step of
+    /// computation each processor stores exactly one packet").
+    pub fn at_most_one_packet_each(&self) -> bool {
+        self.holdings.iter().all(|h| h.len() <= 1)
+    }
+
+    /// `true` iff every processor holds at most one packet that is **not**
+    /// already at its final destination (`destinations[p]` per packet).
+    ///
+    /// This is the storage invariant of the multi-round (`d > g`) routing:
+    /// a processor may accumulate its own not-yet-sent packet alongside
+    /// packets *delivered* to it, but never two packets still in transit.
+    pub fn in_transit_at_most_one(&self, destinations: &[ProcessorId]) -> bool {
+        self.holdings.iter().enumerate().all(|(proc, held)| {
+            held.iter()
+                .filter(|&&pkt| destinations.get(pkt) != Some(&proc))
+                .count()
+                <= 1
+        })
+    }
+}
+
+/// Failure of the end-of-routing delivery check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryError {
+    /// Destination vector length differs from packet count.
+    CountMismatch {
+        /// Tracked packets.
+        packets: usize,
+        /// Provided destinations.
+        destinations: usize,
+    },
+    /// A packet is not (only) at its destination.
+    Misplaced {
+        /// The packet.
+        packet: PacketId,
+        /// Where it should be.
+        expected: ProcessorId,
+        /// Where it actually is.
+        actual: Vec<ProcessorId>,
+    },
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryError::CountMismatch {
+                packets,
+                destinations,
+            } => write!(f, "{destinations} destinations for {packets} packets"),
+            DeliveryError::Misplaced {
+                packet,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "packet {packet} expected at {expected}, found at {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::Transmission;
+
+    fn pops32() -> PopsTopology {
+        PopsTopology::new(3, 2)
+    }
+
+    #[test]
+    fn single_hop_delivery() {
+        // Figure 2 network: send packet 0 from processor 0 (group 0) to
+        // processor 4 (group 1) through coupler c(1, 0).
+        let t = pops32();
+        let mut sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 0, 4)],
+        };
+        sim.execute_frame(&frame).unwrap();
+        // Processor 4 keeps its own packet 4 and gains packet 0.
+        assert_eq!(sim.packets_at(4), &[4, 0]);
+        assert!(sim.packets_at(0).is_empty());
+        assert_eq!(sim.holders_of(0), &[4]);
+        assert_eq!(sim.slots_elapsed(), 1);
+    }
+
+    #[test]
+    fn coupler_contention_detected() {
+        let t = pops32();
+        let mut sim = Simulator::with_unit_packets(t);
+        let c = t.coupler_id(1, 0);
+        let frame = SlotFrame {
+            transmissions: vec![
+                Transmission::unicast(0, c, 0, 3),
+                Transmission::unicast(1, c, 1, 4),
+            ],
+        };
+        let err = sim.execute_frame(&frame).unwrap_err();
+        assert!(matches!(err, SimError::CouplerContention { coupler, .. } if coupler == c));
+        // Transactional: nothing moved.
+        assert_eq!(sim.packets_at(0), &[0]);
+        assert_eq!(sim.slots_elapsed(), 0);
+    }
+
+    #[test]
+    fn receive_contention_detected() {
+        let t = pops32();
+        let mut sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![
+                Transmission::unicast(0, t.coupler_id(1, 0), 0, 4),
+                Transmission::unicast(3, t.coupler_id(1, 1), 3, 4),
+            ],
+        };
+        let err = sim.execute_frame(&frame).unwrap_err();
+        assert_eq!(err, SimError::ReceiveContention { receiver: 4 });
+    }
+
+    #[test]
+    fn wiring_violations_detected() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        // Sender 0 (group 0) cannot drive coupler c(0, 1) (sources group 1).
+        let bad_tx = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(0, 1), 0, 1)],
+        };
+        assert!(matches!(
+            sim.validate_frame(&bad_tx),
+            Err(SimError::SenderNotInSourceGroup { sender: 0, .. })
+        ));
+        // Receiver 4 (group 1) cannot read coupler c(0, 0).
+        let bad_rx = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(0, 0), 0, 4)],
+        };
+        assert!(matches!(
+            sim.validate_frame(&bad_rx),
+            Err(SimError::ReceiverNotInDestGroup { receiver: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn possession_enforced() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 2, 4)],
+        };
+        assert!(matches!(
+            sim.validate_frame(&frame),
+            Err(SimError::PacketNotHeld {
+                sender: 0,
+                packet: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn one_packet_per_sender_enforced() {
+        let t = pops32();
+        let mut sim = Simulator::with_placement(t, &[0, 0]);
+        // Processor 0 holds packets 0 and 1; it cannot send both.
+        let frame = SlotFrame {
+            transmissions: vec![
+                Transmission::unicast(0, t.coupler_id(0, 0), 0, 1),
+                Transmission::unicast(0, t.coupler_id(1, 0), 1, 4),
+            ],
+        };
+        let err = sim.execute_frame(&frame).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MultiplePacketsFromSender { sender: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn same_packet_to_multiple_couplers_is_legal() {
+        // One-to-all style: one sender drives several couplers with the
+        // same packet.
+        let t = pops32();
+        let mut sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![
+                Transmission {
+                    sender: 0,
+                    coupler: t.coupler_id(0, 0),
+                    packet: 0,
+                    receivers: vec![1, 2],
+                },
+                Transmission {
+                    sender: 0,
+                    coupler: t.coupler_id(1, 0),
+                    packet: 0,
+                    receivers: vec![3, 4, 5],
+                },
+            ],
+        };
+        sim.execute_frame(&frame).unwrap();
+        // Packet 0 now replicated at five processors, gone from 0.
+        assert_eq!(sim.holders_of(0).len(), 5);
+        assert!(sim.packets_at(0).is_empty());
+    }
+
+    #[test]
+    fn no_receivers_rejected() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![Transmission {
+                sender: 0,
+                coupler: t.coupler_id(1, 0),
+                packet: 0,
+                receivers: vec![],
+            }],
+        };
+        assert!(matches!(
+            sim.validate_frame(&frame),
+            Err(SimError::NoReceivers { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_packet_rejected() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        let frame = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 99, 4)],
+        };
+        assert!(matches!(
+            sim.validate_frame(&frame),
+            Err(SimError::UnknownPacket { packet: 99 })
+        ));
+    }
+
+    #[test]
+    fn verify_delivery_catches_misplacement() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        // Identity placement: packet i at i.
+        let identity: Vec<usize> = (0..6).collect();
+        sim.verify_delivery(&identity).unwrap();
+        let shifted: Vec<usize> = (0..6).map(|i| (i + 1) % 6).collect();
+        assert!(matches!(
+            sim.verify_delivery(&shifted),
+            Err(DeliveryError::Misplaced { packet: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn invariant_query() {
+        let t = pops32();
+        let sim = Simulator::with_unit_packets(t);
+        assert!(sim.at_most_one_packet_each());
+        let sim2 = Simulator::with_placement(t, &[2, 2, 2]);
+        assert!(!sim2.at_most_one_packet_each());
+    }
+
+    #[test]
+    fn schedule_execution_reports_failing_slot() {
+        let t = pops32();
+        let mut sim = Simulator::with_unit_packets(t);
+        let ok = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 0, 4)],
+        };
+        let bad = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 0, 4)],
+        };
+        let schedule = Schedule {
+            slots: vec![ok, bad],
+        };
+        let (idx, err) = sim.execute_schedule(&schedule).unwrap_err();
+        assert_eq!(idx, 1);
+        assert!(matches!(err, SimError::PacketNotHeld { .. }));
+        assert_eq!(sim.slots_elapsed(), 1);
+    }
+
+    #[test]
+    fn failed_coupler_rejected_and_transactional() {
+        let t = pops32();
+        let mut faults = crate::fault::FaultSet::none(&t);
+        let c = t.coupler_id(1, 0);
+        faults.fail_coupler(c);
+        let mut sim = Simulator::with_unit_packets_and_faults(t, faults);
+        let frame = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, c, 0, 4)],
+        };
+        let err = sim.execute_frame(&frame).unwrap_err();
+        assert_eq!(err, SimError::FailedCoupler { sender: 0, coupler: c });
+        assert_eq!(sim.slots_elapsed(), 0);
+        // The sibling coupler c(0, 0) still works.
+        let ok = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(0, 0), 0, 1)],
+        };
+        sim.execute_frame(&ok).unwrap();
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = SimError::CouplerContention {
+            coupler: 2,
+            first_sender: 0,
+            second_sender: 1,
+        };
+        assert!(e.to_string().contains("coupler 2"));
+        let d = DeliveryError::Misplaced {
+            packet: 3,
+            expected: 1,
+            actual: vec![],
+        };
+        assert!(d.to_string().contains("packet 3"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Slots, transmissions, and schedules — the unit of time of the POPS
+//! machine.
+//!
+//! §1 of the paper: during one *slot* every processor, in parallel, sends a
+//! packet to a subset of its `g` transmitters and receives a packet from
+//! (at most) one of its `g` receivers. A [`SlotFrame`] is the complete
+//! description of one slot's optical activity; a [`Schedule`] is a sequence
+//! of slots. The legality rules (one sender per coupler, one receive per
+//! processor, wiring constraints) are enforced by the simulator
+//! ([`crate::simulator`]).
+
+use crate::topology::{CouplerId, ProcessorId};
+
+/// Identifier of a packet. Permutation routing uses the packet's source
+/// processor as its id (`packet p_i` of the paper).
+pub type PacketId = usize;
+
+/// One optical transmission: `sender` drives `coupler` with `packet`, and
+/// each processor in `receivers` reads the coupler.
+///
+/// The coupler physically broadcasts to all `d` processors of its
+/// destination group; `receivers` lists the processors that *choose to
+/// read* this coupler in this slot. Permutation routing uses exactly one
+/// receiver per transmission; the one-to-all pattern of §1 uses up to `d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transmission {
+    /// The sending processor (must be in the coupler's source group).
+    pub sender: ProcessorId,
+    /// The coupler driven.
+    pub coupler: CouplerId,
+    /// The packet transmitted.
+    pub packet: PacketId,
+    /// The processors reading the coupler (each in the destination group).
+    pub receivers: Vec<ProcessorId>,
+}
+
+impl Transmission {
+    /// Convenience constructor for the common single-receiver case.
+    pub fn unicast(
+        sender: ProcessorId,
+        coupler: CouplerId,
+        packet: PacketId,
+        receiver: ProcessorId,
+    ) -> Self {
+        Self {
+            sender,
+            coupler,
+            packet,
+            receivers: vec![receiver],
+        }
+    }
+}
+
+/// All transmissions of one slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotFrame {
+    /// The slot's transmissions, in no particular order.
+    pub transmissions: Vec<Transmission>,
+}
+
+impl SlotFrame {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of couplers driven this slot.
+    pub fn couplers_used(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Number of packet *deliveries* (receiver reads) this slot.
+    pub fn deliveries(&self) -> usize {
+        self.transmissions.iter().map(|t| t.receivers.len()).sum()
+    }
+}
+
+/// A routing schedule: a sequence of slots to execute in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The slots, executed front to back.
+    pub slots: Vec<SlotFrame>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots — the routing cost measure of the paper.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total transmissions across all slots.
+    pub fn total_transmissions(&self) -> usize {
+        self.slots.iter().map(|s| s.couplers_used()).sum()
+    }
+
+    /// Total deliveries across all slots. Equals `n` for a direct routing
+    /// of a permutation and `2n` for a two-hop routing.
+    pub fn total_deliveries(&self) -> usize {
+        self.slots.iter().map(|s| s.deliveries()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_has_one_receiver() {
+        let t = Transmission::unicast(0, 3, 7, 5);
+        assert_eq!(t.receivers, vec![5]);
+        assert_eq!(t.packet, 7);
+    }
+
+    #[test]
+    fn slot_counts() {
+        let mut slot = SlotFrame::new();
+        slot.transmissions.push(Transmission::unicast(0, 0, 0, 1));
+        slot.transmissions.push(Transmission {
+            sender: 2,
+            coupler: 1,
+            packet: 2,
+            receivers: vec![3, 4],
+        });
+        assert_eq!(slot.couplers_used(), 2);
+        assert_eq!(slot.deliveries(), 3);
+    }
+
+    #[test]
+    fn schedule_totals() {
+        let slot_a = SlotFrame {
+            transmissions: vec![Transmission::unicast(0, 0, 0, 1)],
+        };
+        let slot_b = SlotFrame {
+            transmissions: vec![
+                Transmission::unicast(1, 1, 0, 0),
+                Transmission::unicast(2, 2, 2, 3),
+            ],
+        };
+        let schedule = Schedule {
+            slots: vec![slot_a, slot_b],
+        };
+        assert_eq!(schedule.slot_count(), 2);
+        assert_eq!(schedule.total_transmissions(), 3);
+        assert_eq!(schedule.total_deliveries(), 3);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new();
+        assert_eq!(s.slot_count(), 0);
+        assert_eq!(s.total_deliveries(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-slot records and aggregate schedule statistics.
+//!
+//! The paper's cost measure is the slot count; the statistics here also
+//! expose coupler utilization (packets moved per slot against the `g²`
+//! ceiling used by the counting lower bounds of Propositions 1 and 3).
+
+use crate::topology::PopsTopology;
+
+/// What happened in one executed slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRecord {
+    /// Couplers driven this slot (each by exactly one sender).
+    pub couplers_used: usize,
+    /// Packet deliveries (receiver reads) this slot.
+    pub deliveries: usize,
+}
+
+/// Aggregate statistics of an executed schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Number of slots executed.
+    pub slots: usize,
+    /// Total couplers driven, summed over slots.
+    pub total_transmissions: usize,
+    /// Total deliveries, summed over slots.
+    pub total_deliveries: usize,
+    /// Peak couplers driven in any one slot.
+    pub peak_couplers_used: usize,
+    /// Mean coupler utilization per slot: driven couplers / `g²`, averaged
+    /// over slots. 0.0 for an empty history.
+    pub mean_coupler_utilization: f64,
+}
+
+/// Per-coupler transmission totals over a whole schedule — the hot-spot
+/// profile. A direct routing of a group-concentrated permutation piles its
+/// load onto one coupler (the serialization Proposition 2's class forces);
+/// the Theorem-2 routing spreads it evenly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplerLoad {
+    /// Transmissions carried by each coupler, indexed by coupler id.
+    pub per_coupler: Vec<usize>,
+}
+
+impl CouplerLoad {
+    /// Tallies a schedule's transmissions per coupler.
+    pub fn from_schedule(topology: &PopsTopology, schedule: &crate::slot::Schedule) -> Self {
+        let mut per_coupler = vec![0usize; topology.coupler_count()];
+        for frame in &schedule.slots {
+            for t in &frame.transmissions {
+                per_coupler[t.coupler] += 1;
+            }
+        }
+        Self { per_coupler }
+    }
+
+    /// The busiest coupler and its load, if any coupler was used.
+    pub fn hottest(&self) -> Option<(usize, usize)> {
+        self.per_coupler
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(c, load)| (load, usize::MAX - c))
+            .filter(|&(_, load)| load > 0)
+    }
+
+    /// Max/mean load ratio — 1.0 for perfectly balanced schedules, higher
+    /// for hot-spotted ones. 0.0 for an empty schedule.
+    pub fn imbalance(&self) -> f64 {
+        let total: usize = self.per_coupler.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_coupler.len() as f64;
+        let max = *self.per_coupler.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+}
+
+impl ScheduleStats {
+    /// Aggregates a slice of slot records against a topology.
+    pub fn from_records(topology: &PopsTopology, records: &[SlotRecord]) -> Self {
+        let slots = records.len();
+        let total_transmissions = records.iter().map(|r| r.couplers_used).sum();
+        let total_deliveries = records.iter().map(|r| r.deliveries).sum();
+        let peak_couplers_used = records.iter().map(|r| r.couplers_used).max().unwrap_or(0);
+        let mean_coupler_utilization = if slots == 0 {
+            0.0
+        } else {
+            total_transmissions as f64 / (slots as f64 * topology.coupler_count() as f64)
+        };
+        Self {
+            slots,
+            total_transmissions,
+            total_deliveries,
+            peak_couplers_used,
+            mean_coupler_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_simple_history() {
+        let t = PopsTopology::new(2, 2); // 4 couplers
+        let records = [
+            SlotRecord {
+                couplers_used: 4,
+                deliveries: 4,
+            },
+            SlotRecord {
+                couplers_used: 2,
+                deliveries: 2,
+            },
+        ];
+        let s = ScheduleStats::from_records(&t, &records);
+        assert_eq!(s.slots, 2);
+        assert_eq!(s.total_transmissions, 6);
+        assert_eq!(s.total_deliveries, 6);
+        assert_eq!(s.peak_couplers_used, 4);
+        assert!((s.mean_coupler_utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history() {
+        let t = PopsTopology::new(2, 2);
+        let s = ScheduleStats::from_records(&t, &[]);
+        assert_eq!(s.slots, 0);
+        assert_eq!(s.mean_coupler_utilization, 0.0);
+        assert_eq!(s.peak_couplers_used, 0);
+    }
+
+    #[test]
+    fn coupler_load_tallies_and_finds_hotspot() {
+        use crate::slot::{Schedule, SlotFrame, Transmission};
+        let t = PopsTopology::new(2, 2);
+        let hot = t.coupler_id(1, 0);
+        let slots = (0..3)
+            .map(|i| SlotFrame {
+                transmissions: vec![Transmission::unicast(i % 2, hot, i, 2 + (i % 2))],
+            })
+            .collect();
+        let load = CouplerLoad::from_schedule(&t, &Schedule { slots });
+        assert_eq!(load.per_coupler[hot], 3);
+        assert_eq!(load.hottest(), Some((hot, 3)));
+        // 3 transmissions over 4 couplers → mean 0.75, max 3 → ratio 4.
+        assert!((load.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupler_load_empty_schedule() {
+        use crate::slot::Schedule;
+        let t = PopsTopology::new(2, 2);
+        let load = CouplerLoad::from_schedule(&t, &Schedule::new());
+        assert_eq!(load.hottest(), None);
+        assert_eq!(load.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn theorem2_style_full_slots_are_balanced() {
+        use crate::slot::{Schedule, SlotFrame, Transmission};
+        // Hand-build a schedule driving every coupler once per slot.
+        let t = PopsTopology::new(1, 2);
+        let frame = SlotFrame {
+            transmissions: vec![
+                Transmission::unicast(0, t.coupler_id(0, 0), 0, 0),
+                Transmission::unicast(0, t.coupler_id(1, 0), 0, 1),
+                Transmission::unicast(1, t.coupler_id(0, 1), 1, 0),
+                Transmission::unicast(1, t.coupler_id(1, 1), 1, 1),
+            ],
+        };
+        let load = CouplerLoad::from_schedule(
+            &t,
+            &Schedule {
+                slots: vec![frame.clone(), frame],
+            },
+        );
+        assert!((load.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_utilization_is_one() {
+        let t = PopsTopology::new(3, 3);
+        let records = [SlotRecord {
+            couplers_used: 9,
+            deliveries: 9,
+        }];
+        let s = ScheduleStats::from_records(&t, &records);
+        assert!((s.mean_coupler_utilization - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! The POPS(d, g) topology: groups, couplers, and their wiring.
+//!
+//! §1 of the paper: `n = d·g` processors are partitioned into `g` groups of
+//! `d` (processor `i` in group `⌊i/d⌋`). For every *ordered* pair of groups
+//! `(b, a)` there is an optical passive star coupler `c(b, a)` whose
+//! **sources** are the `d` processors of group `a` and whose
+//! **destinations** are the `d` processors of group `b` — `g²` couplers in
+//! total. Every processor therefore has `g` transmitters (to the couplers
+//! `c(·, group(i))`) and `g` receivers (from the couplers `c(group(i), ·)`).
+
+use std::fmt;
+
+/// Index of a processor, `0 .. n`.
+pub type ProcessorId = usize;
+/// Index of a group, `0 .. g`.
+pub type GroupId = usize;
+/// Index of a coupler, `0 .. g²`; see [`PopsTopology::coupler_id`].
+pub type CouplerId = usize;
+
+/// The static structure of a POPS(d, g) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PopsTopology {
+    d: usize,
+    g: usize,
+}
+
+impl fmt::Display for PopsTopology {
+    /// Prints the paper's `POPS(d, g)` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "POPS({}, {})", self.d, self.g)
+    }
+}
+
+impl PopsTopology {
+    /// Creates a POPS(d, g) topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `g == 0`, or `d·g` overflows.
+    pub fn new(d: usize, g: usize) -> Self {
+        assert!(d > 0, "group size d must be positive");
+        assert!(g > 0, "group count g must be positive");
+        d.checked_mul(g).expect("network size d*g overflows usize");
+        g.checked_mul(g).expect("coupler count g*g overflows usize");
+        Self { d, g }
+    }
+
+    /// Group size `d` (processors per group; also coupler fan-in/out).
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Group count `g`.
+    #[inline]
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Total processor count `n = d·g`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.d * self.g
+    }
+
+    /// Total coupler count `g²`.
+    #[inline]
+    pub fn coupler_count(&self) -> usize {
+        self.g * self.g
+    }
+
+    /// The paper's *diameter-1* property: any two processors are connected
+    /// through exactly one coupler, so this is always 1. Kept as an explicit
+    /// queryable property (asserted by tests against the wiring).
+    #[inline]
+    pub fn diameter(&self) -> usize {
+        1
+    }
+
+    /// The group of processor `i` — the paper's `group(i) = ⌊i/d⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[inline]
+    pub fn group_of(&self, i: ProcessorId) -> GroupId {
+        assert!(i < self.n(), "processor {i} out of range for {self}");
+        i / self.d
+    }
+
+    /// The offset of processor `i` inside its group.
+    #[inline]
+    pub fn offset_of(&self, i: ProcessorId) -> usize {
+        assert!(i < self.n(), "processor {i} out of range for {self}");
+        i % self.d
+    }
+
+    /// The processor at `offset` within `group`.
+    #[inline]
+    pub fn processor(&self, group: GroupId, offset: usize) -> ProcessorId {
+        assert!(group < self.g, "group {group} out of range for {self}");
+        assert!(offset < self.d, "offset {offset} out of range for {self}");
+        group * self.d + offset
+    }
+
+    /// The processors of `group`, as a range.
+    pub fn processors_of(&self, group: GroupId) -> std::ops::Range<ProcessorId> {
+        assert!(group < self.g, "group {group} out of range for {self}");
+        group * self.d..(group + 1) * self.d
+    }
+
+    /// The id of coupler `c(dest_group, src_group)` — the coupler whose
+    /// sources are `src_group` and destinations `dest_group`. Matches the
+    /// paper's `c(b, a)` with `b = dest_group`, `a = src_group`.
+    #[inline]
+    pub fn coupler_id(&self, dest_group: GroupId, src_group: GroupId) -> CouplerId {
+        assert!(dest_group < self.g, "dest group {dest_group} out of range");
+        assert!(src_group < self.g, "source group {src_group} out of range");
+        dest_group * self.g + src_group
+    }
+
+    /// The destination group `b` of coupler `c(b, a)`.
+    #[inline]
+    pub fn coupler_dest_group(&self, c: CouplerId) -> GroupId {
+        assert!(c < self.coupler_count(), "coupler {c} out of range");
+        c / self.g
+    }
+
+    /// The source group `a` of coupler `c(b, a)`.
+    #[inline]
+    pub fn coupler_src_group(&self, c: CouplerId) -> GroupId {
+        assert!(c < self.coupler_count(), "coupler {c} out of range");
+        c % self.g
+    }
+
+    /// The couplers processor `i` can transmit on: `c(a, group(i))` for all
+    /// `a` — one per destination group (the processor's `g` transmitters).
+    pub fn transmitters_of(&self, i: ProcessorId) -> impl Iterator<Item = CouplerId> + '_ {
+        let src = self.group_of(i);
+        (0..self.g).map(move |dest| self.coupler_id(dest, src))
+    }
+
+    /// The couplers processor `i` can receive from: `c(group(i), b)` for
+    /// all `b` (the processor's `g` receivers).
+    pub fn receivers_of(&self, i: ProcessorId) -> impl Iterator<Item = CouplerId> + '_ {
+        let dest = self.group_of(i);
+        (0..self.g).map(move |src| self.coupler_id(dest, src))
+    }
+
+    /// The unique coupler connecting `src` to `dst` — the diameter-1
+    /// property of §1: `c(group(dst), group(src))`.
+    #[inline]
+    pub fn coupler_between(&self, src: ProcessorId, dst: ProcessorId) -> CouplerId {
+        self.coupler_id(self.group_of(dst), self.group_of(src))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_pops_3_2() {
+        // Figure 2 of the paper: POPS(3, 2), 6 processors, 4 couplers.
+        let t = PopsTopology::new(3, 2);
+        assert_eq!(t.n(), 6);
+        assert_eq!(t.coupler_count(), 4);
+        assert_eq!(t.group_of(0), 0);
+        assert_eq!(t.group_of(2), 0);
+        assert_eq!(t.group_of(3), 1);
+        assert_eq!(t.group_of(5), 1);
+        assert_eq!(format!("{t}"), "POPS(3, 2)");
+    }
+
+    #[test]
+    fn coupler_id_roundtrip() {
+        let t = PopsTopology::new(2, 5);
+        for b in 0..5 {
+            for a in 0..5 {
+                let c = t.coupler_id(b, a);
+                assert_eq!(t.coupler_dest_group(c), b);
+                assert_eq!(t.coupler_src_group(c), a);
+            }
+        }
+    }
+
+    #[test]
+    fn transmitters_cover_all_dest_groups() {
+        let t = PopsTopology::new(3, 4);
+        let tx: Vec<_> = t.transmitters_of(5).collect(); // processor 5, group 1
+        assert_eq!(tx.len(), 4);
+        for (dest, c) in tx.into_iter().enumerate() {
+            assert_eq!(t.coupler_src_group(c), 1);
+            assert_eq!(t.coupler_dest_group(c), dest);
+        }
+    }
+
+    #[test]
+    fn receivers_cover_all_src_groups() {
+        let t = PopsTopology::new(3, 4);
+        let rx: Vec<_> = t.receivers_of(9).collect(); // group 3
+        assert_eq!(rx.len(), 4);
+        for (src, c) in rx.into_iter().enumerate() {
+            assert_eq!(t.coupler_dest_group(c), 3);
+            assert_eq!(t.coupler_src_group(c), src);
+        }
+    }
+
+    #[test]
+    fn coupler_between_is_consistent_with_wiring() {
+        let t = PopsTopology::new(2, 3);
+        for src in 0..t.n() {
+            for dst in 0..t.n() {
+                let c = t.coupler_between(src, dst);
+                // src can transmit on c, dst can receive from c.
+                assert!(t.transmitters_of(src).any(|x| x == c));
+                assert!(t.receivers_of(dst).any(|x| x == c));
+            }
+        }
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn processors_of_partitions_index_space() {
+        let t = PopsTopology::new(4, 3);
+        let mut all: Vec<usize> = Vec::new();
+        for grp in 0..3 {
+            all.extend(t.processors_of(grp));
+        }
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn processor_offset_roundtrip() {
+        let t = PopsTopology::new(4, 3);
+        for i in 0..t.n() {
+            assert_eq!(t.processor(t.group_of(i), t.offset_of(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_d_rejected() {
+        let _ = PopsTopology::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_processor_rejected() {
+        PopsTopology::new(2, 2).group_of(4);
+    }
+
+    #[test]
+    fn extreme_shapes() {
+        // POPS(n, 1): single coupler.
+        let t = PopsTopology::new(8, 1);
+        assert_eq!(t.coupler_count(), 1);
+        // POPS(1, n): fully interconnected, n^2 couplers.
+        let t = PopsTopology::new(1, 8);
+        assert_eq!(t.coupler_count(), 64);
+        assert_eq!(t.n(), 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! ASCII rendering of POPS networks and packet placements — textual
+//! reproductions of Figures 2 and 3 of the paper.
+
+use crate::simulator::Simulator;
+use crate::topology::PopsTopology;
+
+/// Renders the wiring of a POPS(d, g) network in the style of Figure 2:
+/// one line per coupler listing its source and destination processors.
+///
+/// ```
+/// use pops_network::{topology::PopsTopology, viz::render_topology};
+/// let text = render_topology(&PopsTopology::new(3, 2));
+/// assert!(text.contains("c(1, 0)"));
+/// ```
+pub fn render_topology(topology: &PopsTopology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{topology}: {} processors, {} couplers\n",
+        topology.n(),
+        topology.coupler_count()
+    ));
+    for grp in 0..topology.g() {
+        let procs: Vec<String> = topology.processors_of(grp).map(|p| p.to_string()).collect();
+        out.push_str(&format!("group {grp}: processors [{}]\n", procs.join(", ")));
+    }
+    for b in 0..topology.g() {
+        for a in 0..topology.g() {
+            let c = topology.coupler_id(b, a);
+            out.push_str(&format!(
+                "c({b}, {a}) [id {c}]: sources group {a} -> destinations group {b}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the current packet placement of a simulator in the style of
+/// Figure 3: for each group, each processor with the packets it holds,
+/// each packet annotated `xy` where `y` is its destination processor and
+/// `x` the destination group (requires the destination vector).
+pub fn render_placement(sim: &Simulator, destinations: &[usize]) -> String {
+    let topology = sim.topology();
+    let mut out = String::new();
+    for grp in 0..topology.g() {
+        out.push_str(&format!("group {grp}:\n"));
+        for p in topology.processors_of(grp) {
+            let labels: Vec<String> = sim
+                .packets_at(p)
+                .iter()
+                .map(|&pk| {
+                    let dest = destinations.get(pk).copied();
+                    match dest {
+                        Some(dst) => {
+                            format!("p{pk}[{}{}]", topology.group_of(dst), dst)
+                        }
+                        None => format!("p{pk}[?]"),
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "  proc {p}: {}\n",
+                if labels.is_empty() {
+                    "-".to_string()
+                } else {
+                    labels.join(" ")
+                }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_rendering_mentions_every_coupler() {
+        let t = PopsTopology::new(3, 2);
+        let text = render_topology(&t);
+        for b in 0..2 {
+            for a in 0..2 {
+                assert!(text.contains(&format!("c({b}, {a})")), "missing c({b},{a})");
+            }
+        }
+        assert!(text.contains("POPS(3, 2)"));
+    }
+
+    #[test]
+    fn placement_rendering_shows_figure3_labels() {
+        // Figure 3's POPS(3, 3) with the paper's permutation: packet 0 has
+        // destination 5 (group 1) -> label "15".
+        let t = PopsTopology::new(3, 3);
+        let sim = Simulator::with_unit_packets(t);
+        let dests = [5usize, 1, 7, 2, 0, 6, 3, 8, 4];
+        let text = render_placement(&sim, &dests);
+        assert!(text.contains("p0[15]"), "{text}");
+        assert!(text.contains("p2[27]"), "{text}");
+        assert!(text.contains("p8[14]"), "{text}");
+    }
+
+    #[test]
+    fn empty_processors_render_dash() {
+        let t = PopsTopology::new(2, 2);
+        let sim = Simulator::with_placement(t, &[0]);
+        let text = render_placement(&sim, &[3]);
+        assert!(text.contains("proc 1: -"));
+    }
+
+    #[test]
+    fn placement_tracks_movement() {
+        use crate::slot::{SlotFrame, Transmission};
+        let t = PopsTopology::new(3, 2);
+        let mut sim = Simulator::with_unit_packets(t);
+        let before = render_placement(&sim, &[4, 1, 2, 3, 0, 5]);
+        assert!(before.contains("proc 0: p0[14]"), "{before}");
+        sim.execute_frame(&SlotFrame {
+            transmissions: vec![Transmission::unicast(0, t.coupler_id(1, 0), 0, 4)],
+        })
+        .unwrap();
+        let after = render_placement(&sim, &[4, 1, 2, 3, 0, 5]);
+        assert!(after.contains("proc 0: -"), "{after}");
+        assert!(after.contains("p4[00] p0[14]") || after.contains("p0[14] p4[00]"), "{after}");
+    }
+
+    #[test]
+    fn unknown_destination_renders_question_mark() {
+        let t = PopsTopology::new(2, 2);
+        let sim = Simulator::with_unit_packets(t);
+        // Destination vector shorter than the packet set.
+        let text = render_placement(&sim, &[0, 1]);
+        assert!(text.contains("p2[?]"), "{text}");
+    }
+
+    #[test]
+    fn every_group_and_processor_listed() {
+        let t = PopsTopology::new(2, 4);
+        let sim = Simulator::with_unit_packets(t);
+        let topo_text = render_topology(&t);
+        let place_text = render_placement(&sim, &(0..8).collect::<Vec<_>>());
+        for g in 0..4 {
+            assert!(topo_text.contains(&format!("group {g}:")));
+            assert!(place_text.contains(&format!("group {g}:")));
+        }
+        for p in 0..8 {
+            assert!(place_text.contains(&format!("proc {p}:")));
+        }
+        assert!(topo_text.contains("8 processors, 16 couplers"));
+    }
+}

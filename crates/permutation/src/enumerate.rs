@@ -1,0 +1,110 @@
+//! Exhaustive permutation enumeration for small `n`.
+//!
+//! Used by the exhaustive verification experiments (all `n!` permutations
+//! of small POPS shapes) and by the exact-optimum search harness (T12).
+
+use crate::perm::Permutation;
+
+/// An iterator over all `n!` permutations of `{0, …, n−1}` in lexicographic
+/// order, starting at the identity.
+///
+/// The state is a single image vector advanced in place by the classic
+/// next-permutation step, so the full factorial set is never materialized.
+#[derive(Debug, Clone)]
+pub struct Permutations {
+    image: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for Permutations {
+    type Item = Permutation;
+
+    fn next(&mut self) -> Option<Permutation> {
+        if self.done {
+            return None;
+        }
+        let out = Permutation::new(self.image.clone()).expect("state is always a permutation");
+        // Advance to the lexicographic successor.
+        let v = &mut self.image;
+        let n = v.len();
+        // Longest non-increasing suffix.
+        let mut i = n.saturating_sub(1);
+        while i > 0 && v[i - 1] >= v[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            self.done = true;
+        } else {
+            // Swap the pivot with its successor in the suffix, reverse.
+            let pivot = i - 1;
+            let mut j = n - 1;
+            while v[j] <= v[pivot] {
+                j -= 1;
+            }
+            v.swap(pivot, j);
+            v[i..].reverse();
+        }
+        Some(out)
+    }
+}
+
+/// All `n!` permutations of `{0, …, n−1}`, lexicographically from the
+/// identity. `n = 0` yields the single empty permutation.
+pub fn permutations_of(n: usize) -> Permutations {
+    Permutations {
+        image: (0..n).collect(),
+        done: false,
+    }
+}
+
+/// `n!` as a `u128` (panics on overflow — fine for the tiny `n` this
+/// module is for).
+pub fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_factorials() {
+        for n in 0..=6 {
+            assert_eq!(
+                permutations_of(n).count() as u128,
+                factorial(n).max(1),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn starts_at_identity_and_is_lexicographic() {
+        let mut it = permutations_of(3);
+        assert_eq!(it.next().unwrap().as_slice(), &[0, 1, 2]);
+        assert_eq!(it.next().unwrap().as_slice(), &[0, 2, 1]);
+        assert_eq!(it.next().unwrap().as_slice(), &[1, 0, 2]);
+        assert_eq!(it.next().unwrap().as_slice(), &[1, 2, 0]);
+        assert_eq!(it.next().unwrap().as_slice(), &[2, 0, 1]);
+        assert_eq!(it.next().unwrap().as_slice(), &[2, 1, 0]);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn all_distinct() {
+        let all: Vec<Vec<usize>> = permutations_of(5)
+            .map(|p| p.as_slice().to_vec())
+            .collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+    }
+}

@@ -1,0 +1,254 @@
+//! BPC (bit-permute-complement) permutations.
+//!
+//! §2 of the paper, following Sahni (2000a): for `n = 2^k`, a BPC
+//! permutation rearranges the bits of the source index by a fixed bit
+//! permutation `σ` and complements a fixed subset of the (rearranged) bits:
+//!
+//! ```text
+//! π(i) = [ i_{σ(k−1)} i_{σ(k−2)} … i_{σ(0)} ]₂   XOR   complement-mask
+//! ```
+//!
+//! The class is closed under composition and contains bit reversal, perfect
+//! shuffle, vector reversal (complement every bit), matrix transpose of
+//! power-of-two matrices, and hypercube exchanges (complement one bit).
+
+use crate::{Permutation, SplitMix64};
+
+/// A specification of a BPC permutation on `k`-bit indices (`n = 2^k`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpcSpec {
+    /// `sigma[j]` = the source-bit index that supplies destination bit `j`.
+    ///
+    /// That is, bit `j` of `π(i)` equals bit `sigma[j]` of `i` (before
+    /// complementation). `sigma` must be a permutation of `{0, …, k−1}`.
+    sigma: Vec<usize>,
+    /// Bits of the *destination* index to complement.
+    complement: u64,
+}
+
+impl BpcSpec {
+    /// Creates a BPC spec from a bit permutation and a complement mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not a permutation of `{0, …, k−1}` with
+    /// `k ≤ 63`, or if `complement` has bits set at or above `k`.
+    pub fn new(sigma: Vec<usize>, complement: u64) -> Self {
+        let k = sigma.len();
+        assert!(k <= 63, "BPC indices limited to 63 bits");
+        let mut seen = vec![false; k];
+        for &b in &sigma {
+            assert!(b < k, "sigma entry {b} out of range for {k} bits");
+            assert!(!seen[b], "sigma entry {b} duplicated; not a permutation");
+            seen[b] = true;
+        }
+        if k < 64 {
+            assert!(
+                complement < (1u64 << k),
+                "complement mask has bits above bit {k}"
+            );
+        }
+        Self { sigma, complement }
+    }
+
+    /// The identity BPC spec on `k` bits.
+    pub fn identity(k: usize) -> Self {
+        Self::new((0..k).collect(), 0)
+    }
+
+    /// Number of index bits `k`.
+    pub fn bits(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// The number of elements `n = 2^k` this spec acts on.
+    pub fn len(&self) -> usize {
+        1usize << self.bits()
+    }
+
+    /// `true` iff `k == 0` (acts on a single element).
+    pub fn is_empty(&self) -> bool {
+        self.bits() == 0
+    }
+
+    /// The bit permutation (destination bit `j` ← source bit `sigma[j]`).
+    pub fn sigma(&self) -> &[usize] {
+        &self.sigma
+    }
+
+    /// The complement mask applied to the rearranged index.
+    pub fn complement(&self) -> u64 {
+        self.complement
+    }
+
+    /// Applies the BPC map to a single index.
+    pub fn apply(&self, i: usize) -> usize {
+        let i = i as u64;
+        let mut out = 0u64;
+        for (j, &src) in self.sigma.iter().enumerate() {
+            out |= ((i >> src) & 1) << j;
+        }
+        (out ^ self.complement) as usize
+    }
+
+    /// Materializes the full [`Permutation`] on `n = 2^k` elements.
+    pub fn to_permutation(&self) -> Permutation {
+        Permutation::from_fn(self.len(), |i| self.apply(i))
+    }
+
+    /// Composes two BPC specs: the returned spec applies `other` first and
+    /// then `self` (matching [`Permutation::compose`]).
+    ///
+    /// BPC is closed under composition (property (1)+(2) of the paper's
+    /// definition); this realizes the closure constructively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths differ.
+    pub fn compose(&self, other: &Self) -> Self {
+        let k = self.bits();
+        assert_eq!(k, other.bits(), "cannot compose BPC specs of unequal width");
+        // self(other(i)) = P_self(P_other(i) ^ c_other) ^ c_self
+        //                = P_self(P_other(i)) ^ P_self(c_other) ^ c_self
+        // where P is the pure bit-permutation part (linear over GF(2)).
+        let sigma: Vec<usize> = (0..k).map(|j| other.sigma[self.sigma[j]]).collect();
+        let mut moved_complement = 0u64;
+        for (j, &src) in self.sigma.iter().enumerate() {
+            moved_complement |= ((other.complement >> src) & 1) << j;
+        }
+        Self::new(sigma, moved_complement ^ self.complement)
+    }
+
+    /// The inverse BPC spec.
+    pub fn inverse(&self) -> Self {
+        let k = self.bits();
+        let mut sigma_inv = vec![0usize; k];
+        for (j, &src) in self.sigma.iter().enumerate() {
+            sigma_inv[src] = j;
+        }
+        // π(i) = P(i) ^ c  ⇒  π⁻¹(y) = P⁻¹(y ^ c) = P⁻¹(y) ^ P⁻¹(c).
+        let mut complement_inv = 0u64;
+        for (j, &src) in sigma_inv.iter().enumerate() {
+            complement_inv |= ((self.complement >> src) & 1) << j;
+        }
+        Self::new(sigma_inv, complement_inv)
+    }
+
+    /// A uniformly random BPC spec on `k` bits.
+    pub fn random(k: usize, rng: &mut SplitMix64) -> Self {
+        let mut sigma: Vec<usize> = (0..k).collect();
+        rng.shuffle(&mut sigma);
+        let complement = if k == 0 {
+            0
+        } else {
+            rng.next_u64() & ((1u64 << k) - 1)
+        };
+        Self::new(sigma, complement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_spec_is_identity() {
+        assert!(BpcSpec::identity(5).to_permutation().is_identity());
+    }
+
+    #[test]
+    fn complement_all_bits_is_vector_reversal() {
+        // Complementing every bit maps i to (2^k - 1) - i.
+        let k = 4;
+        let spec = BpcSpec::new((0..k).collect(), (1 << k) - 1);
+        let p = spec.to_permutation();
+        let rev = crate::families::vector_reversal(1 << k);
+        assert_eq!(p, rev);
+    }
+
+    #[test]
+    fn single_bit_complement_is_hypercube_exchange() {
+        let k = 5;
+        let b = 2;
+        let spec = BpcSpec::new((0..k).collect(), 1 << b);
+        for i in 0..(1usize << k) {
+            assert_eq!(spec.apply(i), i ^ (1 << b));
+        }
+    }
+
+    #[test]
+    fn spec_yields_valid_permutation() {
+        let spec = BpcSpec::new(vec![2, 0, 1, 3], 0b1010);
+        let p = spec.to_permutation();
+        assert_eq!(p.len(), 16);
+        // Permutation::new validated bijectivity internally via from_fn.
+        assert!(p.compose(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn compose_matches_permutation_compose() {
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..20 {
+            let a = BpcSpec::random(6, &mut rng);
+            let b = BpcSpec::random(6, &mut rng);
+            let via_spec = a.compose(&b).to_permutation();
+            let via_perm = a.to_permutation().compose(&b.to_permutation());
+            assert_eq!(via_spec, via_perm);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_permutation_inverse() {
+        let mut rng = SplitMix64::new(23);
+        for _ in 0..20 {
+            let a = BpcSpec::random(5, &mut rng);
+            assert_eq!(a.inverse().to_permutation(), a.to_permutation().inverse());
+            assert!(a.compose(&a.inverse()).to_permutation().is_identity());
+        }
+    }
+
+    #[test]
+    fn random_specs_cover_complements() {
+        let mut rng = SplitMix64::new(3);
+        let any_complement = (0..50).any(|_| BpcSpec::random(4, &mut rng).complement() != 0);
+        assert!(any_complement);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicated")]
+    fn rejects_non_permutation_sigma() {
+        let _ = BpcSpec::new(vec![0, 0, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_sigma() {
+        let _ = BpcSpec::new(vec![0, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits above")]
+    fn rejects_oversized_complement() {
+        let _ = BpcSpec::new(vec![0, 1], 0b100);
+    }
+
+    #[test]
+    fn zero_bit_spec() {
+        let spec = BpcSpec::identity(0);
+        assert!(spec.is_empty());
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec.apply(0), 0);
+    }
+
+    #[test]
+    fn bit_rotation_spec_is_perfect_shuffle() {
+        // Destination bit j takes source bit (j-1) mod k: left-rotation of
+        // the bit string, i.e. the perfect shuffle.
+        let k = 4;
+        let sigma: Vec<usize> = (0..k).map(|j| (j + k - 1) % k).collect();
+        let spec = BpcSpec::new(sigma, 0);
+        let p = spec.to_permutation();
+        let shuffle = crate::families::perfect_shuffle(1 << k);
+        assert_eq!(p, shuffle);
+    }
+}

@@ -1,0 +1,89 @@
+//! SIMD-hypercube neighbour-exchange permutations.
+//!
+//! §2 of the paper, following Sahni (2000b, Theorem 1): when an `n = 2^D`
+//! processor SIMD hypercube is simulated on a POPS(d, g) network (processor
+//! `i` of the hypercube on processor `i` of the POPS), each dimension-`b`
+//! communication step is the permutation `π(i) = i^{(b)}` — complement bit
+//! `b` of `i`. Each such permutation routes in one slot when `d = 1` and
+//! `2⌈d/g⌉` slots when `d > 1`; Theorem 2 of Mei & Rizzi shows the same
+//! holds for *any* one-to-one processor mapping.
+
+use crate::Permutation;
+
+/// The hypercube neighbour exchange along dimension `b` on `n = 2^dims`
+/// processors: `π(i) = i XOR 2^b`.
+///
+/// This is an involutory derangement for every `b < dims`.
+///
+/// # Panics
+///
+/// Panics if `b >= dims` or `dims >= usize::BITS`.
+pub fn hypercube_exchange(dims: u32, b: u32) -> Permutation {
+    assert!(
+        dims < usize::BITS,
+        "hypercube dimension {dims} too large for usize"
+    );
+    assert!(b < dims, "bit {b} out of range for a {dims}-cube");
+    let n = 1usize << dims;
+    Permutation::from_fn(n, |i| i ^ (1usize << b))
+}
+
+/// All `D` neighbour-exchange permutations of a `dims`-cube, in dimension
+/// order — one full round of hypercube simulation (experiment T3 and the
+/// `hypercube_simulation` example route all of them).
+pub fn all_exchanges(dims: u32) -> Vec<Permutation> {
+    (0..dims).map(|b| hypercube_exchange(dims, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_is_involutory_derangement() {
+        for b in 0..4 {
+            let p = hypercube_exchange(4, b);
+            assert!(p.is_involution());
+            assert!(p.is_derangement());
+        }
+    }
+
+    #[test]
+    fn exchange_flips_exactly_one_bit() {
+        let p = hypercube_exchange(5, 3);
+        for i in 0..32 {
+            assert_eq!(p.apply(i) ^ i, 1 << 3);
+        }
+    }
+
+    #[test]
+    fn low_bit_exchange_is_group_local_for_even_d() {
+        // With d >= 2 a dimension-0 exchange swaps within groups: demand
+        // matrix is diagonal.
+        let p = hypercube_exchange(4, 0);
+        let demand = p.demand_matrix(4); // d=4, g=4
+        for (a, row) in demand.iter().enumerate() {
+            for (b, &cnt) in row.iter().enumerate() {
+                assert_eq!(cnt, if a == b { 4 } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn high_bit_exchange_is_group_uniform() {
+        // With d = 4, g = 4 (n = 16), flipping bit 3 permutes whole groups.
+        let p = hypercube_exchange(4, 3);
+        assert!(p.is_group_deranged(4));
+    }
+
+    #[test]
+    fn all_exchanges_count() {
+        assert_eq!(all_exchanges(6).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bit_out_of_range() {
+        let _ = hypercube_exchange(3, 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Mesh-with-wraparound (torus) shift permutations.
+//!
+//! §2 of the paper, following Sahni (2000b, Theorem 2): an `N×N` SIMD mesh
+//! with wraparound is simulated on a POPS(d, g) network (`dg = N²`) with
+//! mesh processor `(i, j)` mapped onto POPS processor `i + jN`. A data
+//! movement one step up/down a column or left/right a row is then a fixed
+//! permutation of `{0, …, N²−1}`; each routes in one slot when `d = 1` and
+//! `2⌈d/g⌉` slots when `d > 1`.
+
+use crate::Permutation;
+
+/// The four unit shifts of a torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeshDirection {
+    /// `(i, j) → (i−1 mod N, j)` — data moves up its column.
+    Up,
+    /// `(i, j) → (i+1 mod N, j)` — data moves down its column.
+    Down,
+    /// `(i, j) → (i, j−1 mod N)` — data moves left along its row.
+    Left,
+    /// `(i, j) → (i, j+1 mod N)` — data moves right along its row.
+    Right,
+}
+
+impl MeshDirection {
+    /// All four directions, for sweep loops.
+    pub const ALL: [MeshDirection; 4] = [
+        MeshDirection::Up,
+        MeshDirection::Down,
+        MeshDirection::Left,
+        MeshDirection::Right,
+    ];
+}
+
+/// The permutation realizing a unit torus shift on an `N×N` mesh under the
+/// paper's processor mapping `(i, j) ↦ i + jN`.
+///
+/// The packet held by mesh processor `(i, j)` moves to the neighbouring
+/// processor in `direction`.
+///
+/// # Panics
+///
+/// Panics if `nside == 0` or `nside²` overflows.
+pub fn mesh_shift(nside: usize, direction: MeshDirection) -> Permutation {
+    assert!(nside > 0, "mesh side must be positive");
+    let n = nside.checked_mul(nside).expect("mesh size overflows usize");
+    Permutation::from_fn(n, |p| {
+        let i = p % nside; // row index in the paper's mapping i + jN
+        let j = p / nside; // column index
+        let (ni, nj) = match direction {
+            MeshDirection::Up => ((i + nside - 1) % nside, j),
+            MeshDirection::Down => ((i + 1) % nside, j),
+            MeshDirection::Left => (i, (j + nside - 1) % nside),
+            MeshDirection::Right => (i, (j + 1) % nside),
+        };
+        ni + nj * nside
+    })
+}
+
+/// All four unit-shift permutations for an `N×N` torus.
+pub fn all_shifts(nside: usize) -> Vec<Permutation> {
+    MeshDirection::ALL
+        .iter()
+        .map(|&dir| mesh_shift(nside, dir))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn up_and_down_are_inverse() {
+        let up = mesh_shift(5, MeshDirection::Up);
+        let down = mesh_shift(5, MeshDirection::Down);
+        assert!(up.compose(&down).is_identity());
+        assert!(down.compose(&up).is_identity());
+    }
+
+    #[test]
+    fn left_and_right_are_inverse() {
+        let l = mesh_shift(4, MeshDirection::Left);
+        let r = mesh_shift(4, MeshDirection::Right);
+        assert!(l.compose(&r).is_identity());
+    }
+
+    #[test]
+    fn shifts_are_derangements_for_nside_gt_1() {
+        for dir in MeshDirection::ALL {
+            assert!(mesh_shift(3, dir).is_derangement());
+        }
+    }
+
+    #[test]
+    fn nside_1_shifts_are_identity() {
+        for dir in MeshDirection::ALL {
+            assert!(mesh_shift(1, dir).is_identity());
+        }
+    }
+
+    #[test]
+    fn shift_order_is_nside() {
+        let p = mesh_shift(6, MeshDirection::Right);
+        assert_eq!(p.order(), 6);
+    }
+
+    #[test]
+    fn column_shift_moves_within_column() {
+        // Column j occupies indices jN..(j+1)N; Up/Down permute inside it.
+        let nside = 4;
+        let p = mesh_shift(nside, MeshDirection::Down);
+        for idx in 0..nside * nside {
+            assert_eq!(p.apply(idx) / nside, idx / nside);
+        }
+    }
+
+    #[test]
+    fn row_shift_is_group_uniform_when_d_is_nside() {
+        // With d = N, groups are exactly columns; Left/Right permute whole
+        // columns: group-uniform and group-deranged (N > 1).
+        let nside = 4;
+        let p = mesh_shift(nside, MeshDirection::Right);
+        assert!(p.is_group_deranged(nside));
+    }
+
+    #[test]
+    fn down_shift_explicit_small_case() {
+        // N = 2, mapping (i,j) -> i + 2j. Down: (i,j)->(i+1 mod 2, j).
+        let p = mesh_shift(2, MeshDirection::Down);
+        assert_eq!(p.as_slice(), &[1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn all_shifts_returns_four() {
+        assert_eq!(all_shifts(3).len(), 4);
+    }
+}

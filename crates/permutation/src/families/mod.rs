@@ -1,0 +1,151 @@
+//! The permutation families discussed in §2 of Mei & Rizzi (IPPS 2002).
+//!
+//! Each family had been attacked independently in the earlier POPS
+//! literature (Gravenstreter & Melhem 1998; Sahni 2000a, 2000b) before the
+//! paper's Theorem 2 unified them: *every* permutation routes in one slot
+//! when `d = 1` and `2⌈d/g⌉` slots when `d > 1`. The experiment harness
+//! (experiment **T3**) routes every family below with the general router and
+//! checks that the unified slot counts match the per-family published ones.
+//!
+//! | family | constructor | paper reference |
+//! |---|---|---|
+//! | vector reversal | [`vector_reversal`] | Sahni 2000a (optimal for even g) |
+//! | matrix transpose | [`transpose::matrix_transpose`] | Sahni 2000a (⌈d/g⌉ slots) |
+//! | BPC | [`bpc::BpcSpec`] | Sahni 2000a |
+//! | hypercube exchange | [`hypercube::hypercube_exchange`] | Sahni 2000b, Thm 1 |
+//! | mesh/torus shifts | [`mesh::mesh_shift`] | Sahni 2000b, Thm 2 |
+//! | perfect shuffle / bit reversal | [`shuffle`] | classic BPC instances |
+//! | random / derangements / group-structured | [`random`] | experimental sweeps |
+
+pub mod bpc;
+pub mod hypercube;
+pub mod mesh;
+pub mod random;
+pub mod segment;
+pub mod shuffle;
+pub mod transpose;
+
+pub use bpc::BpcSpec;
+pub use hypercube::hypercube_exchange;
+pub use mesh::{mesh_shift, MeshDirection};
+pub use random::{
+    random_derangement, random_group_deranged, random_group_uniform, random_permutation,
+};
+pub use segment::{block_swap, butterfly, segment_reversal};
+pub use shuffle::{bit_reversal, perfect_shuffle, unshuffle};
+pub use transpose::matrix_transpose;
+
+use crate::Permutation;
+
+/// The *vector reversal* permutation `π(i) = n − 1 − i`.
+///
+/// Sahni (2000a) shows this routes in one slot when `d = 1` and `2⌈d/g⌉`
+/// slots when `d > 1` on a POPS(d, g), and that `2⌈d/g⌉` is optimal when `g`
+/// is even — the example the paper cites for tightness of Theorem 2
+/// (Proposition 2).
+pub fn vector_reversal(n: usize) -> Permutation {
+    Permutation::from_fn(n, |i| n - 1 - i)
+}
+
+/// The cyclic rotation `π(i) = (i + s) mod n`.
+///
+/// For `s` a multiple of `d` this is group-uniform; for `s = d` it is also
+/// group-deranged when `g > 1`, giving a Proposition-2 family.
+///
+/// # Panics
+///
+/// Panics if `n == 0` and `s > 0` is requested modulo 0 (rotation of the
+/// empty permutation with `s == 0` is allowed).
+pub fn rotation(n: usize, s: usize) -> Permutation {
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    Permutation::from_fn(n, |i| (i + s) % n)
+}
+
+/// The *group swap* permutation on a POPS(d, g) structure: processor
+/// `i` in group `h` maps to the same offset in group `σ(h)` where `σ` is the
+/// rotation of groups by `shift`. With `shift ≠ 0 (mod g)` every packet
+/// changes group and the permutation is group-uniform — the canonical
+/// worst case for direct routing (demand matrix concentrated at `d` per
+/// coupler) and a Proposition-2 instance.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `g == 0`.
+pub fn group_rotation(d: usize, g: usize, shift: usize) -> Permutation {
+    assert!(d > 0 && g > 0, "d and g must be positive");
+    Permutation::from_fn(d * g, |i| {
+        let h = i / d;
+        let off = i % d;
+        ((h + shift) % g) * d + off
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_is_an_involution_and_derangement_for_even_n() {
+        let p = vector_reversal(8);
+        assert!(p.is_involution());
+        assert!(p.is_derangement());
+    }
+
+    #[test]
+    fn reversal_odd_n_has_single_fixed_point() {
+        let p = vector_reversal(9);
+        assert_eq!(p.fixed_points().collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn reversal_is_group_uniform() {
+        // Reversal maps group h onto group g-1-h wholesale.
+        let p = vector_reversal(12);
+        assert!(p.is_group_uniform(3));
+        assert!(p.is_group_deranged(3)); // g = 4, no group maps to itself
+    }
+
+    #[test]
+    fn reversal_odd_g_middle_group_stays() {
+        let p = vector_reversal(12); // d=4, g=3: group 1 maps to itself
+        assert!(p.is_group_uniform(4));
+        assert!(!p.is_group_deranged(4));
+    }
+
+    #[test]
+    fn rotation_by_zero_is_identity() {
+        assert!(rotation(10, 0).is_identity());
+        assert!(rotation(0, 0).is_identity());
+    }
+
+    #[test]
+    fn rotation_by_d_is_group_deranged() {
+        let d = 3;
+        let g = 4;
+        let p = rotation(d * g, d);
+        assert!(p.is_group_deranged(d));
+    }
+
+    #[test]
+    fn rotation_order_divides_n() {
+        let p = rotation(12, 4);
+        assert_eq!(p.order(), 3);
+    }
+
+    #[test]
+    fn group_rotation_demand_concentrates() {
+        let d = 4;
+        let g = 3;
+        let p = group_rotation(d, g, 1);
+        assert_eq!(p.max_demand(d), d);
+        assert!(p.is_group_deranged(d));
+    }
+
+    #[test]
+    fn group_rotation_zero_shift_is_identity() {
+        assert!(group_rotation(3, 3, 0).is_identity());
+        assert!(group_rotation(3, 3, 3).is_identity());
+    }
+}

@@ -1,0 +1,158 @@
+//! Random permutation generators for the experimental sweeps.
+//!
+//! Experiment T1 routes uniformly random permutations; experiment T2 needs
+//! random members of the hypothesis classes of Propositions 1–3 (random
+//! derangements, random group-uniform and group-deranged permutations).
+
+use crate::{Permutation, SplitMix64};
+
+/// A uniformly random permutation of `{0, …, n−1}` (Fisher–Yates).
+pub fn random_permutation(n: usize, rng: &mut SplitMix64) -> Permutation {
+    let mut image: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut image);
+    Permutation::new(image).expect("shuffle of identity is a bijection")
+}
+
+/// A uniformly random *derangement* of `{0, …, n−1}` (`π(i) ≠ i` for all
+/// `i`), the hypothesis class of Proposition 1.
+///
+/// Uses rejection sampling from uniform permutations; the acceptance
+/// probability converges to `1/e ≈ 0.37`, so the expected number of trials
+/// is < 3 for every `n ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `n == 1` (no derangement exists).
+pub fn random_derangement(n: usize, rng: &mut SplitMix64) -> Permutation {
+    assert!(n != 1, "no derangement of a single element exists");
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    loop {
+        let p = random_permutation(n, rng);
+        if p.is_derangement() {
+            return p;
+        }
+    }
+}
+
+/// A random *group-uniform* permutation on a POPS(d, g) block structure:
+/// a random permutation `Γ` of the g groups composed with an independent
+/// random permutation of the offsets inside every group.
+///
+/// Satisfies the structural hypothesis of Propositions 2 and 3
+/// (`group(i) = group(j) ⇒ group(π(i)) = group(π(j))`).
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `g == 0`.
+pub fn random_group_uniform(d: usize, g: usize, rng: &mut SplitMix64) -> Permutation {
+    assert!(d > 0 && g > 0, "d and g must be positive");
+    let gamma = random_permutation(g, rng);
+    build_group_structured(d, g, &gamma, rng)
+}
+
+/// A random *group-deranged* permutation: group-uniform with the group map
+/// `Γ` a derangement of the g groups, so `group(i) ≠ group(π(i))` for every
+/// `i` — the exact hypothesis of Proposition 2.
+///
+/// # Panics
+///
+/// Panics if `d == 0`, `g == 0`, or `g == 1` (a single group cannot be
+/// deranged).
+pub fn random_group_deranged(d: usize, g: usize, rng: &mut SplitMix64) -> Permutation {
+    assert!(d > 0 && g > 0, "d and g must be positive");
+    assert!(g != 1, "a single group cannot be deranged");
+    let gamma = random_derangement(g, rng);
+    build_group_structured(d, g, &gamma, rng)
+}
+
+/// Composes a group map `Γ` with fresh random within-group offset
+/// permutations: `π(h·d + off) = Γ(h)·d + σ_h(off)`.
+fn build_group_structured(
+    d: usize,
+    g: usize,
+    gamma: &Permutation,
+    rng: &mut SplitMix64,
+) -> Permutation {
+    let mut image = vec![0usize; d * g];
+    for h in 0..g {
+        let sigma = random_permutation(d, rng);
+        for off in 0..d {
+            image[h * d + off] = gamma.apply(h) * d + sigma.apply(off);
+        }
+    }
+    Permutation::new(image).expect("group-structured construction is a bijection")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_permutation_is_valid_and_seed_stable() {
+        let mut a = SplitMix64::new(5);
+        let mut b = SplitMix64::new(5);
+        let pa = random_permutation(100, &mut a);
+        let pb = random_permutation(100, &mut b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn random_derangement_has_no_fixed_points() {
+        let mut rng = SplitMix64::new(8);
+        for n in [2usize, 3, 5, 16, 100] {
+            assert!(random_derangement(n, &mut rng).is_derangement(), "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no derangement")]
+    fn derangement_of_one_panics() {
+        random_derangement(1, &mut SplitMix64::new(0));
+    }
+
+    #[test]
+    fn derangement_of_zero_is_empty() {
+        assert!(random_derangement(0, &mut SplitMix64::new(0)).is_empty());
+    }
+
+    #[test]
+    fn group_uniform_satisfies_hypothesis() {
+        let mut rng = SplitMix64::new(13);
+        for (d, g) in [(2usize, 3usize), (4, 4), (8, 2), (1, 6)] {
+            let p = random_group_uniform(d, g, &mut rng);
+            assert!(p.is_group_uniform(d), "d={d} g={g}");
+        }
+    }
+
+    #[test]
+    fn group_deranged_satisfies_proposition_2_hypothesis() {
+        let mut rng = SplitMix64::new(21);
+        for (d, g) in [(2usize, 3usize), (4, 4), (8, 2)] {
+            let p = random_group_deranged(d, g, &mut rng);
+            assert!(p.is_group_deranged(d), "d={d} g={g}");
+            assert!(p.is_derangement(), "group-deranged implies deranged");
+        }
+    }
+
+    #[test]
+    fn group_deranged_demand_matrix_is_concentrated() {
+        // Group-uniform permutations route all d packets of a group to a
+        // single destination group: max demand is exactly d.
+        let mut rng = SplitMix64::new(2);
+        let p = random_group_deranged(6, 4, &mut rng);
+        assert_eq!(p.max_demand(6), 6);
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        // All 6 permutations of 3 elements should appear in 600 draws.
+        let mut rng = SplitMix64::new(77);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            seen.insert(random_permutation(3, &mut rng).into_vec());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,146 @@
+//! Segment-structured permutations: segment reversal, block swap, and
+//! butterfly stage exchanges.
+//!
+//! These round out the workload families for the experimental sweeps with
+//! patterns common in divide-and-conquer and FFT-style kernels; all are
+//! covered by Theorem 2's unified bound, and several are BPC instances on
+//! power-of-two sizes (cross-checked in the tests).
+
+use crate::Permutation;
+
+/// Reverses each contiguous segment of length `seg` independently:
+/// `π(q·seg + r) = q·seg + (seg − 1 − r)`.
+///
+/// With `seg = d` this reverses inside every POPS group (demand matrix is
+/// diagonal); with `seg = n` it is the full vector reversal.
+///
+/// # Panics
+///
+/// Panics if `seg == 0` or `seg` does not divide `n`.
+pub fn segment_reversal(n: usize, seg: usize) -> Permutation {
+    assert!(seg > 0 && n.is_multiple_of(seg), "segment must divide n");
+    Permutation::from_fn(n, |i| {
+        let q = i / seg;
+        let r = i % seg;
+        q * seg + (seg - 1 - r)
+    })
+}
+
+/// Swaps adjacent blocks pairwise: block `2k` exchanges with block `2k+1`,
+/// blocks of length `block`.
+///
+/// With `block = d` this is the perfect-matching group exchange — a
+/// Proposition-2 family (group-deranged) when `d` divides and the block
+/// count is even.
+///
+/// # Panics
+///
+/// Panics if `block == 0`, `block` does not divide `n`, or the number of
+/// blocks is odd.
+pub fn block_swap(n: usize, block: usize) -> Permutation {
+    assert!(block > 0 && n.is_multiple_of(block), "block must divide n");
+    let blocks = n / block;
+    assert!(
+        blocks.is_multiple_of(2),
+        "need an even number of blocks to swap"
+    );
+    Permutation::from_fn(n, |i| {
+        let b = i / block;
+        let r = i % block;
+        let nb = b ^ 1;
+        nb * block + r
+    })
+}
+
+/// The butterfly exchange of FFT stage `stage` on `n = 2^k` elements:
+/// swaps the halves of each contiguous block of length `2^(stage+1)` —
+/// equivalently, complements bit `stage` of the index (a hypercube
+/// exchange, expressed in its FFT role).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `2^(stage+1) > n`.
+pub fn butterfly(n: usize, stage: u32) -> Permutation {
+    assert!(n.is_power_of_two(), "butterfly needs a power-of-two size");
+    let width = 1usize
+        .checked_shl(stage + 1)
+        .filter(|&w| w <= n)
+        .expect("butterfly stage too large for n");
+    let _ = width;
+    Permutation::from_fn(n, |i| i ^ (1usize << stage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{hypercube_exchange, vector_reversal};
+
+    #[test]
+    fn segment_reversal_full_is_vector_reversal() {
+        assert_eq!(segment_reversal(12, 12), vector_reversal(12));
+    }
+
+    #[test]
+    fn segment_reversal_is_involution() {
+        for seg in [1usize, 2, 3, 6] {
+            assert!(segment_reversal(12, seg).is_involution(), "seg={seg}");
+        }
+    }
+
+    #[test]
+    fn segment_reversal_by_group_is_demand_diagonal() {
+        let d = 4;
+        let p = segment_reversal(16, d);
+        let demand = p.demand_matrix(d);
+        for (a, row) in demand.iter().enumerate() {
+            for (b, &c) in row.iter().enumerate() {
+                assert_eq!(c, if a == b { d } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn unit_segments_are_identity() {
+        assert!(segment_reversal(7, 1).is_identity());
+    }
+
+    #[test]
+    fn block_swap_is_group_deranged_at_block_d() {
+        let d = 3;
+        let p = block_swap(12, d);
+        assert!(p.is_group_deranged(d));
+        assert!(p.is_involution());
+    }
+
+    #[test]
+    fn block_swap_explicit() {
+        let p = block_swap(8, 2);
+        assert_eq!(p.as_slice(), &[2, 3, 0, 1, 6, 7, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number of blocks")]
+    fn block_swap_rejects_odd_blocks() {
+        let _ = block_swap(6, 2);
+    }
+
+    #[test]
+    fn butterfly_is_hypercube_exchange() {
+        for stage in 0..4 {
+            assert_eq!(butterfly(16, stage), hypercube_exchange(4, stage));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stage too large")]
+    fn butterfly_rejects_oversized_stage() {
+        let _ = butterfly(8, 3);
+    }
+
+    #[test]
+    fn butterfly_swaps_block_halves() {
+        // Stage 1 on n=8: blocks of 4, halves of 2 swap: [2,3,0,1, 6,7,4,5].
+        let p = butterfly(8, 1);
+        assert_eq!(p.as_slice(), &[2, 3, 0, 1, 6, 7, 4, 5]);
+    }
+}

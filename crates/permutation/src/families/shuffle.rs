@@ -1,0 +1,116 @@
+//! Perfect shuffle, unshuffle, and bit-reversal permutations.
+//!
+//! Classic BPC instances (§2 of the paper): all three rearrange the binary
+//! representation of the index, so they are covered by Sahni's BPC result
+//! and, a fortiori, by Theorem 2 of Mei & Rizzi.
+
+use crate::Permutation;
+
+fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "size {n} must be a power of two");
+    n.trailing_zeros()
+}
+
+/// The perfect shuffle on `n = 2^k` elements: left-rotate the `k`-bit index
+/// by one position, i.e. `π(i) = (2i + ⌊i·2/n⌋) mod n` — the riffle shuffle
+/// interleaving the two halves of a deck.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn perfect_shuffle(n: usize) -> Permutation {
+    let k = log2_exact(n);
+    if k == 0 {
+        return Permutation::identity(n);
+    }
+    Permutation::from_fn(n, |i| ((i << 1) | (i >> (k - 1))) & (n - 1))
+}
+
+/// The inverse perfect shuffle (right-rotate the `k`-bit index by one).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn unshuffle(n: usize) -> Permutation {
+    let k = log2_exact(n);
+    if k == 0 {
+        return Permutation::identity(n);
+    }
+    Permutation::from_fn(n, |i| (i >> 1) | ((i & 1) << (k - 1)))
+}
+
+/// The bit-reversal permutation on `n = 2^k` elements (the FFT data
+/// reordering): destination bit `j` is source bit `k−1−j`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn bit_reversal(n: usize) -> Permutation {
+    let k = log2_exact(n);
+    Permutation::from_fn(n, |i| {
+        let mut out = 0usize;
+        for j in 0..k {
+            out |= ((i >> j) & 1) << (k - 1 - j);
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_and_unshuffle_are_inverse() {
+        for k in 0..8 {
+            let n = 1usize << k;
+            let s = perfect_shuffle(n);
+            let u = unshuffle(n);
+            assert!(s.compose(&u).is_identity(), "k={k}");
+            assert!(u.compose(&s).is_identity(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn shuffle_interleaves_halves() {
+        // Perfect shuffle of 8: 0,4,1,5,2,6,3,7 read off by position —
+        // position p receives element from p/2 (+ n/2 if p odd).
+        let s = perfect_shuffle(8);
+        let inv = s.inverse();
+        assert_eq!(inv.as_slice(), &[0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn shuffle_order_is_k() {
+        // Left-rotating k bits k times is the identity.
+        let s = perfect_shuffle(32);
+        assert_eq!(s.order(), 5);
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        for k in 0..8 {
+            let p = bit_reversal(1 << k);
+            assert!(p.is_involution(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_known_values() {
+        let p = bit_reversal(8);
+        assert_eq!(p.as_slice(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = perfect_shuffle(12);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(perfect_shuffle(1).is_identity());
+        assert!(bit_reversal(1).is_identity());
+        assert!(bit_reversal(2).is_identity());
+    }
+}

@@ -1,0 +1,84 @@
+//! Matrix-transpose permutations.
+//!
+//! §2 of the paper, following Sahni (2000a): transposing an `r×c` matrix
+//! stored row-major across the POPS processors is the permutation sending
+//! the element at `(i, j)` (index `i·c + j`) to `(j, i)` (index `j·r + i`).
+//! Sahni shows `⌈d/g⌉` slots are optimal for the square power-of-two case —
+//! notably *half* of the general 2⌈d/g⌉ bound, because a transpose's demand
+//! matrix is already balanced enough for one-hop routing.
+
+use crate::Permutation;
+
+/// The transpose permutation of an `rows×cols` matrix stored row-major on
+/// `n = rows·cols` processors.
+///
+/// The packet at processor `i·cols + j` (matrix entry `(i, j)`) is destined
+/// for processor `j·rows + i` (entry `(j, i)` of the transposed,
+/// `cols×rows`, matrix).
+///
+/// # Panics
+///
+/// Panics if `rows·cols` overflows.
+pub fn matrix_transpose(rows: usize, cols: usize) -> Permutation {
+    let n = rows.checked_mul(cols).expect("matrix size overflows usize");
+    Permutation::from_fn(n, |p| {
+        let i = p / cols;
+        let j = p % cols;
+        j * rows + i
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_transpose_is_involution() {
+        for s in [1usize, 2, 3, 4, 8] {
+            assert!(matrix_transpose(s, s).is_involution(), "s={s}");
+        }
+    }
+
+    #[test]
+    fn rect_transpose_roundtrip() {
+        let t = matrix_transpose(3, 5);
+        let back = matrix_transpose(5, 3);
+        assert!(back.compose(&t).is_identity());
+    }
+
+    #[test]
+    fn transpose_known_small_case() {
+        // 2x3 row-major [0 1 2 / 3 4 5] -> 3x2 [0 3 / 1 4 / 2 5].
+        let t = matrix_transpose(2, 3);
+        assert_eq!(t.as_slice(), &[0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn diagonal_is_fixed() {
+        let s = 6;
+        let t = matrix_transpose(s, s);
+        for i in 0..s {
+            assert_eq!(t.apply(i * s + i), i * s + i);
+        }
+        assert_eq!(t.fixed_points().count(), s);
+    }
+
+    #[test]
+    fn transpose_demand_matrix_is_balanced_for_matching_block() {
+        // n = 16 as a 4x4 matrix on POPS(4, 4): each group (matrix row)
+        // sends exactly one packet to every group (matrix column).
+        let t = matrix_transpose(4, 4);
+        let demand = t.demand_matrix(4);
+        for row in &demand {
+            assert!(row.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(matrix_transpose(1, 7)
+            .compose(&matrix_transpose(7, 1))
+            .is_identity());
+        assert_eq!(matrix_transpose(0, 5).len(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Permutation algebra and the permutation families used throughout the
+//! POPS (Partitioned Optical Passive Stars) routing literature.
+//!
+//! The permutation routing problem of Mei & Rizzi (IPPS 2002) routes a set of
+//! `n` packets, one per processor, according to an arbitrary permutation `π`
+//! of `{0, …, n−1}`. This crate provides:
+//!
+//! * [`Permutation`] — a validated permutation of `N_n` with composition,
+//!   inversion, cycle structure, fixed-point queries, and the group-structure
+//!   predicates the paper's lower bounds (Propositions 1–3) are stated in
+//!   terms of;
+//! * [`families`] — every concrete family discussed in §2 of the paper:
+//!   vector reversal, matrix transpose, BPC (bit-permute-complement)
+//!   permutations, SIMD-hypercube neighbour exchanges, mesh/torus shifts,
+//!   perfect shuffles, plus uniformly random permutations and random
+//!   derangements for the experimental sweeps;
+//! * [`rng`] — a small deterministic SplitMix64 generator so that every
+//!   experiment in the repository is exactly reproducible without external
+//!   dependencies;
+//! * [`partial`] — partial permutations (≤ 1 packet per source, ≤ 1 per
+//!   destination) and their completion to full permutations, which lets the
+//!   Theorem-2 router handle partial routing problems.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pops_permutation::{Permutation, families};
+//!
+//! let n = 16;
+//! let rev = families::vector_reversal(n);
+//! assert_eq!(rev.apply(0), 15);
+//! assert!(rev.compose(&rev).is_identity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod families;
+pub mod partial;
+pub mod perm;
+pub mod rng;
+
+pub use enumerate::{factorial, permutations_of, Permutations};
+pub use partial::PartialPermutation;
+pub use perm::{CycleDecomposition, Permutation, PermutationError};
+pub use rng::SplitMix64;
+
+/// Returns the group index of processor `i` in a POPS(d, g) network,
+/// i.e. `⌊i / d⌋` (the paper's `group(i)`).
+///
+/// This is a free function (rather than a method on a network type) because
+/// the permutation families and the routing lower bounds only need the block
+/// structure of the index space, not the full network model.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[inline]
+pub fn group_of(i: usize, d: usize) -> usize {
+    assert!(d > 0, "group size d must be positive");
+    i / d
+}
+
+/// Returns the offset of processor `i` inside its group: `i mod d`.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+#[inline]
+pub fn offset_of(i: usize, d: usize) -> usize {
+    assert!(d > 0, "group size d must be positive");
+    i % d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_offset_roundtrip() {
+        let d = 7;
+        for i in 0..100 {
+            assert_eq!(group_of(i, d) * d + offset_of(i, d), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn group_of_zero_d_panics() {
+        let _ = group_of(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn offset_of_zero_d_panics() {
+        let _ = offset_of(3, 0);
+    }
+
+    #[test]
+    fn group_of_matches_paper_example() {
+        // POPS(3, 2) from Figure 2: processors 0..=2 in group 0, 3..=5 in 1.
+        for i in 0..3 {
+            assert_eq!(group_of(i, 3), 0);
+        }
+        for i in 3..6 {
+            assert_eq!(group_of(i, 3), 1);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Partial permutations and their completion.
+//!
+//! A *partial permutation routing problem* has at most one packet per source
+//! and at most one packet per destination, but some processors may be idle.
+//! Theorem 2 of the paper is stated for full permutations; a partial problem
+//! is handled by completing the partial map to a full permutation (matching
+//! the unused sources to the unused destinations arbitrarily) and routing
+//! the completion — the filler packets are simply never injected, which can
+//! only remove conflicts. [`PartialPermutation::complete`] performs that
+//! completion.
+
+use std::fmt;
+
+use crate::Permutation;
+
+/// Errors when constructing a [`PartialPermutation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartialPermutationError {
+    /// An image value is `>= n`.
+    OutOfRange {
+        /// Source index with the offending destination.
+        index: usize,
+        /// The offending destination.
+        value: usize,
+        /// Length of the index space.
+        len: usize,
+    },
+    /// Two sources map to the same destination.
+    Duplicate {
+        /// The duplicated destination.
+        value: usize,
+    },
+}
+
+impl fmt::Display for PartialPermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartialPermutationError::OutOfRange { index, value, len } => write!(
+                f,
+                "destination {value} of source {index} out of range for length {len}"
+            ),
+            PartialPermutationError::Duplicate { value } => {
+                write!(f, "destination {value} claimed by two sources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartialPermutationError {}
+
+/// A partial injection on `{0, …, n−1}`: each source holds at most one
+/// packet, each destination receives at most one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialPermutation {
+    image: Vec<Option<usize>>,
+}
+
+impl PartialPermutation {
+    /// Creates a partial permutation, validating injectivity.
+    pub fn new(image: Vec<Option<usize>>) -> Result<Self, PartialPermutationError> {
+        let n = image.len();
+        let mut used = vec![false; n];
+        for (i, &dest) in image.iter().enumerate() {
+            if let Some(v) = dest {
+                if v >= n {
+                    return Err(PartialPermutationError::OutOfRange {
+                        index: i,
+                        value: v,
+                        len: n,
+                    });
+                }
+                if used[v] {
+                    return Err(PartialPermutationError::Duplicate { value: v });
+                }
+                used[v] = true;
+            }
+        }
+        Ok(Self { image })
+    }
+
+    /// An empty partial permutation (no packets) on `n` elements.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            image: vec![None; n],
+        }
+    }
+
+    /// Length of the index space.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// `true` iff the index space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Number of packets (defined sources).
+    pub fn packet_count(&self) -> usize {
+        self.image.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The destination of the packet at source `i`, if any.
+    pub fn apply(&self, i: usize) -> Option<usize> {
+        self.image[i]
+    }
+
+    /// View of the underlying option vector.
+    pub fn as_slice(&self) -> &[Option<usize>] {
+        &self.image
+    }
+
+    /// Completes the partial permutation to a full [`Permutation`] by
+    /// matching idle sources to unused destinations in increasing order.
+    ///
+    /// Every defined source keeps its destination; the completion is
+    /// deterministic.
+    pub fn complete(&self) -> Permutation {
+        let n = self.len();
+        let mut used = vec![false; n];
+        for dest in self.image.iter().flatten() {
+            used[*dest] = true;
+        }
+        let mut free = (0..n).filter(|&v| !used[v]);
+        let image: Vec<usize> = self
+            .image
+            .iter()
+            .map(|dest| match dest {
+                Some(v) => *v,
+                None => free.next().expect("counts of free sources and dests match"),
+            })
+            .collect();
+        Permutation::new(image).expect("completion of a partial injection is a bijection")
+    }
+
+    /// Restricts a full permutation to the sources in `keep`, producing the
+    /// partial permutation that routes only those packets.
+    pub fn restriction(perm: &Permutation, keep: impl IntoIterator<Item = usize>) -> Self {
+        let mut image = vec![None; perm.len()];
+        for i in keep {
+            image[i] = Some(perm.apply(i));
+        }
+        Self { image }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    #[test]
+    fn complete_preserves_defined_entries() {
+        let pp = PartialPermutation::new(vec![Some(3), None, Some(0), None]).unwrap();
+        let full = pp.complete();
+        assert_eq!(full.apply(0), 3);
+        assert_eq!(full.apply(2), 0);
+        // Idle sources 1, 3 get the unused destinations 1, 2 in order.
+        assert_eq!(full.apply(1), 1);
+        assert_eq!(full.apply(3), 2);
+    }
+
+    #[test]
+    fn empty_completes_to_identity() {
+        assert!(PartialPermutation::empty(5).complete().is_identity());
+    }
+
+    #[test]
+    fn rejects_duplicate_destination() {
+        let err = PartialPermutation::new(vec![Some(1), Some(1), None]).unwrap_err();
+        assert!(matches!(
+            err,
+            PartialPermutationError::Duplicate { value: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = PartialPermutation::new(vec![Some(9)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PartialPermutationError::OutOfRange { value: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn restriction_roundtrip() {
+        let mut rng = SplitMix64::new(4);
+        let p = crate::families::random_permutation(20, &mut rng);
+        let keep: Vec<usize> = (0..20).step_by(3).collect();
+        let pp = PartialPermutation::restriction(&p, keep.iter().copied());
+        assert_eq!(pp.packet_count(), keep.len());
+        for &i in &keep {
+            assert_eq!(pp.apply(i), Some(p.apply(i)));
+        }
+        let full = pp.complete();
+        for &i in &keep {
+            assert_eq!(full.apply(i), p.apply(i));
+        }
+    }
+
+    #[test]
+    fn full_restriction_completes_to_original() {
+        let mut rng = SplitMix64::new(9);
+        let p = crate::families::random_permutation(15, &mut rng);
+        let pp = PartialPermutation::restriction(&p, 0..15);
+        assert_eq!(pp.complete(), p);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = PartialPermutation::new(vec![Some(2)]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

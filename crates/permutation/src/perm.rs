@@ -1,0 +1,499 @@
+//! The [`Permutation`] type: a validated bijection on `{0, …, n−1}`.
+//!
+//! All routing algorithms in this workspace take a `Permutation` as input;
+//! constructing one validates bijectivity once, so downstream code can rely
+//! on it without re-checking.
+
+use std::fmt;
+
+use crate::group_of;
+
+/// Errors that can occur when constructing a [`Permutation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// An image value is `>= n`.
+    OutOfRange {
+        /// Index at which the offending value was found.
+        index: usize,
+        /// The offending value.
+        value: usize,
+        /// The length of the permutation.
+        len: usize,
+    },
+    /// Two indices map to the same value.
+    Duplicate {
+        /// The duplicated image value.
+        value: usize,
+        /// First index mapping to `value`.
+        first: usize,
+        /// Second index mapping to `value`.
+        second: usize,
+    },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::OutOfRange { index, value, len } => write!(
+                f,
+                "permutation image {value} at index {index} is out of range for length {len}"
+            ),
+            PermutationError::Duplicate {
+                value,
+                first,
+                second,
+            } => write!(
+                f,
+                "indices {first} and {second} both map to {value}; not a bijection"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A permutation `π` of `{0, …, n−1}`, stored as its image vector.
+///
+/// The packet stored at processor `i` has destination `π(i)` (`self.apply(i)`).
+///
+/// Invariant: the image vector is a bijection — checked at construction.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    image: Vec<usize>,
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation(")?;
+        if self.len() <= 32 {
+            write!(f, "{:?}", self.image)?;
+        } else {
+            write!(f, "len={}", self.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Permutation {
+    /// Creates a permutation from its image vector, validating bijectivity.
+    pub fn new(image: Vec<usize>) -> Result<Self, PermutationError> {
+        let n = image.len();
+        let mut seen_at: Vec<Option<usize>> = vec![None; n];
+        for (i, &v) in image.iter().enumerate() {
+            if v >= n {
+                return Err(PermutationError::OutOfRange {
+                    index: i,
+                    value: v,
+                    len: n,
+                });
+            }
+            if let Some(first) = seen_at[v] {
+                return Err(PermutationError::Duplicate {
+                    value: v,
+                    first,
+                    second: i,
+                });
+            }
+            seen_at[v] = Some(i);
+        }
+        Ok(Self { image })
+    }
+
+    /// Creates a permutation from a mapping function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` does not describe a bijection on `{0, …, n−1}`.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> usize) -> Self {
+        let image: Vec<usize> = (0..n).map(f).collect();
+        Self::new(image).expect("from_fn: mapping is not a bijection")
+    }
+
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            image: (0..n).collect(),
+        }
+    }
+
+    /// Number of elements `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// `true` iff `n == 0`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Applies the permutation: returns `π(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.image[i]
+    }
+
+    /// The underlying image slice (`slice[i] == π(i)`).
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.image
+    }
+
+    /// Consumes the permutation, returning the image vector.
+    pub fn into_vec(self) -> Vec<usize> {
+        self.image
+    }
+
+    /// Returns the inverse permutation `π⁻¹`.
+    pub fn inverse(&self) -> Self {
+        let mut inv = vec![0usize; self.len()];
+        for (i, &v) in self.image.iter().enumerate() {
+            inv[v] = i;
+        }
+        Self { image: inv }
+    }
+
+    /// Returns the composition `self ∘ other`, i.e. the permutation mapping
+    /// `i ↦ self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two permutations have different lengths.
+    pub fn compose(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot compose permutations of different lengths"
+        );
+        let image = other.image.iter().map(|&v| self.image[v]).collect();
+        Self { image }
+    }
+
+    /// `true` iff this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.image.iter().enumerate().all(|(i, &v)| i == v)
+    }
+
+    /// `true` iff `π(i) ≠ i` for all `i` (a *derangement*), the hypothesis
+    /// of Proposition 1 of the paper.
+    pub fn is_derangement(&self) -> bool {
+        self.image.iter().enumerate().all(|(i, &v)| i != v)
+    }
+
+    /// Iterator over the fixed points of the permutation.
+    pub fn fixed_points(&self) -> impl Iterator<Item = usize> + '_ {
+        self.image
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| i == v)
+            .map(|(i, _)| i)
+    }
+
+    /// `true` iff the permutation is an involution (`π ∘ π = id`).
+    pub fn is_involution(&self) -> bool {
+        self.image
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| self.image[v] == i)
+    }
+
+    /// Checks the *group-uniformity* hypothesis of Propositions 2 and 3:
+    /// `group(i) = group(j) ⇒ group(π(i)) = group(π(j))` where groups have
+    /// size `d` — i.e. `π` maps whole groups onto whole groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d` does not divide `n`.
+    pub fn is_group_uniform(&self, d: usize) -> bool {
+        let n = self.len();
+        assert!(
+            d > 0 && n.is_multiple_of(d),
+            "d must be a positive divisor of n"
+        );
+        (0..n / d).all(|h| {
+            let first = group_of(self.image[h * d], d);
+            (1..d).all(|off| group_of(self.image[h * d + off], d) == first)
+        })
+    }
+
+    /// Checks the hypothesis of Proposition 2: group-uniform *and*
+    /// `group(i) ≠ group(π(i))` for all `i` (no packet stays in its group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d` does not divide `n`.
+    pub fn is_group_deranged(&self, d: usize) -> bool {
+        self.is_group_uniform(d)
+            && self
+                .image
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| group_of(i, d) != group_of(v, d))
+    }
+
+    /// The *group-to-group demand matrix* `D` of the permutation on a
+    /// POPS(d, g) block structure: `D[a][b]` counts packets that originate in
+    /// group `a` and are destined for group `b` — exactly the per-coupler
+    /// load of a direct (single-hop) routing on coupler `c(b, a)`.
+    ///
+    /// Each row sums to `d` and each column sums to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `d` does not divide `n`.
+    pub fn demand_matrix(&self, d: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        assert!(
+            d > 0 && n.is_multiple_of(d),
+            "d must be a positive divisor of n"
+        );
+        let g = n / d;
+        let mut demand = vec![vec![0usize; g]; g];
+        for (i, &v) in self.image.iter().enumerate() {
+            demand[group_of(i, d)][group_of(v, d)] += 1;
+        }
+        demand
+    }
+
+    /// The maximum entry of the demand matrix — the number of slots a direct
+    /// (single-hop) routing needs (see `pops-baselines`).
+    pub fn max_demand(&self, d: usize) -> usize {
+        self.demand_matrix(d)
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Decomposes the permutation into disjoint cycles.
+    pub fn cycles(&self) -> CycleDecomposition {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut cycle = vec![start];
+            visited[start] = true;
+            let mut cur = self.image[start];
+            while cur != start {
+                visited[cur] = true;
+                cycle.push(cur);
+                cur = self.image[cur];
+            }
+            cycles.push(cycle);
+        }
+        CycleDecomposition { cycles }
+    }
+
+    /// The order of the permutation in the symmetric group (lcm of cycle
+    /// lengths). Returns 1 for the identity or the empty permutation.
+    pub fn order(&self) -> u128 {
+        fn gcd(a: u128, b: u128) -> u128 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.cycles()
+            .cycles
+            .iter()
+            .map(|c| c.len() as u128)
+            .fold(1u128, |acc, l| acc / gcd(acc, l) * l)
+    }
+
+    /// The parity of the permutation: `true` iff even (product of an even
+    /// number of transpositions).
+    pub fn is_even(&self) -> bool {
+        let decomposition = self.cycles();
+        let transpositions: usize = decomposition
+            .cycles
+            .iter()
+            .map(|c| c.len().saturating_sub(1))
+            .sum();
+        transpositions.is_multiple_of(2)
+    }
+}
+
+/// The disjoint-cycle decomposition of a [`Permutation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleDecomposition {
+    /// The cycles; each starts at its smallest element, and cycles are in
+    /// increasing order of their smallest element. Fixed points appear as
+    /// singleton cycles.
+    pub cycles: Vec<Vec<usize>>,
+}
+
+impl CycleDecomposition {
+    /// Number of cycles (counting fixed points as singletons).
+    pub fn count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Length of the longest cycle. Zero for an empty permutation.
+    pub fn longest(&self) -> usize {
+        self.cycles.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(10);
+        assert!(id.is_identity());
+        assert!(!id.is_derangement());
+        assert!(id.is_involution());
+        assert_eq!(id.fixed_points().count(), 10);
+        assert_eq!(id.order(), 1);
+        assert!(id.is_even());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Permutation::new(vec![0, 1, 5]).unwrap_err();
+        assert!(matches!(err, PermutationError::OutOfRange { value: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Permutation::new(vec![0, 1, 1, 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            PermutationError::Duplicate {
+                value: 1,
+                first: 1,
+                second: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = Permutation::new(vec![0, 9]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = Permutation::new(vec![0, 0]).unwrap_err();
+        assert!(err.to_string().contains("not a bijection"));
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::new(vec![2, 0, 3, 1]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn compose_order_is_self_after_other() {
+        // self ∘ other maps i -> self(other(i)).
+        let a = Permutation::new(vec![1, 2, 0]).unwrap(); // i -> i+1 mod 3
+        let b = Permutation::new(vec![2, 1, 0]).unwrap(); // reversal
+        let c = a.compose(&b);
+        for i in 0..3 {
+            assert_eq!(c.apply(i), a.apply(b.apply(i)));
+        }
+    }
+
+    #[test]
+    fn cycles_of_simple_permutation() {
+        // (0 2 3)(1)(4 5)
+        let p = Permutation::new(vec![2, 1, 3, 0, 5, 4]).unwrap();
+        let dec = p.cycles();
+        assert_eq!(dec.cycles, vec![vec![0, 2, 3], vec![1], vec![4, 5]]);
+        assert_eq!(dec.count(), 3);
+        assert_eq!(dec.longest(), 3);
+        assert_eq!(p.order(), 6);
+    }
+
+    #[test]
+    fn parity_of_transposition_is_odd() {
+        let p = Permutation::new(vec![1, 0, 2]).unwrap();
+        assert!(!p.is_even());
+    }
+
+    #[test]
+    fn derangement_detection() {
+        let p = Permutation::new(vec![1, 2, 3, 0]).unwrap();
+        assert!(p.is_derangement());
+        let q = Permutation::new(vec![0, 2, 1]).unwrap();
+        assert!(!q.is_derangement());
+    }
+
+    #[test]
+    fn group_uniformity() {
+        // n=4, d=2: swap the two groups wholesale.
+        let p = Permutation::new(vec![2, 3, 0, 1]).unwrap();
+        assert!(p.is_group_uniform(2));
+        assert!(p.is_group_deranged(2));
+        // Mixing the groups is not uniform.
+        let q = Permutation::new(vec![2, 1, 0, 3]).unwrap();
+        assert!(!q.is_group_uniform(2));
+    }
+
+    #[test]
+    fn group_uniform_but_not_deranged() {
+        // Group 0 maps onto itself (rotated): uniform, not deranged.
+        let p = Permutation::new(vec![1, 0, 3, 2]).unwrap();
+        assert!(p.is_group_uniform(2));
+        assert!(!p.is_group_deranged(2));
+    }
+
+    #[test]
+    fn demand_matrix_rows_and_cols_sum_to_d() {
+        let p = Permutation::new(vec![3, 1, 4, 0, 5, 2]).unwrap();
+        let d = 2;
+        let demand = p.demand_matrix(d);
+        for row in &demand {
+            assert_eq!(row.iter().sum::<usize>(), d);
+        }
+        let g = demand.len();
+        for b in 0..g {
+            assert_eq!(demand.iter().map(|row| row[b]).sum::<usize>(), d);
+        }
+    }
+
+    #[test]
+    fn max_demand_of_group_swap() {
+        // Whole group 0 -> group 1 and vice versa: one coupler carries d.
+        let p = Permutation::new(vec![2, 3, 0, 1]).unwrap();
+        assert_eq!(p.max_demand(2), 2);
+    }
+
+    #[test]
+    fn from_fn_builds_rotation() {
+        let p = Permutation::from_fn(5, |i| (i + 1) % 5);
+        assert_eq!(p.apply(4), 0);
+        assert_eq!(p.order(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a bijection")]
+    fn from_fn_panics_on_non_bijection() {
+        let _ = Permutation::from_fn(3, |_| 0);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+        assert_eq!(p.order(), 1);
+        assert_eq!(p.cycles().count(), 0);
+    }
+
+    #[test]
+    fn debug_formats_compactly_for_large() {
+        let p = Permutation::identity(100);
+        let s = format!("{p:?}");
+        assert!(s.contains("len=100"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Cannon's matrix multiplication on the POPS network — the flagship
+//! application of Sahni (2000a), running entirely on routed permutations.
+//!
+//! ```text
+//! cargo run --release --bin matrix_multiplication
+//! ```
+
+use pops_algorithms::matmul::{cannon_multiply, TorusMatrix};
+use pops_core::theorem2_slots;
+use pops_network::PopsTopology;
+use pops_permutation::SplitMix64;
+
+fn main() {
+    let m = 8usize; // 8x8 matrices, 64 processors
+    let mut rng = SplitMix64::new(1234);
+    let a = TorusMatrix::from_fn(m, |_, _| (rng.next_u64() % 21) as i64 - 10);
+    let b = TorusMatrix::from_fn(m, |_, _| (rng.next_u64() % 21) as i64 - 10);
+
+    println!(
+        "== Cannon's algorithm: {m}x{m} matrices on POPS shapes with n = {} ==",
+        m * m
+    );
+    println!(
+        "{:>4} {:>4} | {:>16} {:>18} {:>9}",
+        "d", "g", "slots/permutation", "total comm slots", "correct"
+    );
+    for (d, g) in [(8usize, 8usize), (4, 16), (16, 4), (2, 32), (32, 2)] {
+        let topology = PopsTopology::new(d, g);
+        let result = cannon_multiply(&a, &b, topology).expect("Cannon routes");
+        let ok = result.product == a.multiply_direct(&b);
+        println!(
+            "{:>4} {:>4} | {:>16} {:>18} {:>9}",
+            d,
+            g,
+            theorem2_slots(d, g),
+            result.slots,
+            if ok { "yes" } else { "NO" }
+        );
+        assert!(ok);
+    }
+
+    println!("\nEvery data movement above is a permutation routed by Theorem 2 and");
+    println!("executed on the slot-level simulator: 2 alignment rotations plus");
+    println!("2(m-1) unit torus shifts, at 1 or 2*ceil(d/g) slots each.");
+}

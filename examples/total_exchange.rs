@@ -1,0 +1,54 @@
+//! Total exchange (personalized all-to-all) on the POPS network via the
+//! h-relation extension: n−1 permutation phases, each routed by Theorem 2.
+//!
+//! ```text
+//! cargo run --release --bin total_exchange
+//! ```
+
+use pops_algorithms::total_exchange::route_total_exchange;
+use pops_bipartite::ColorerKind;
+use pops_core::theorem2_slots;
+use pops_network::{PopsTopology, Simulator};
+
+fn main() {
+    println!("== Total exchange: every processor sends a distinct packet to every other ==\n");
+    println!(
+        "{:>4} {:>4} {:>5} {:>9} {:>8} {:>13}",
+        "d", "g", "n", "requests", "phases", "total slots"
+    );
+    for (d, g) in [(2usize, 3usize), (3, 3), (4, 3), (3, 4), (2, 8)] {
+        let n = d * g;
+        let topology = PopsTopology::new(d, g);
+        let routing = route_total_exchange(topology, ColorerKind::default());
+
+        // Verify each phase end-to-end on fresh simulators.
+        for (idx, phase) in routing.phases.iter().enumerate() {
+            let completed = phase.complete();
+            let mut sim = Simulator::with_unit_packets(topology);
+            let per = routing.slots_per_phase;
+            for frame in &routing.schedule.slots[idx * per..(idx + 1) * per] {
+                sim.execute_frame(frame).expect("phase slot legal");
+            }
+            sim.verify_delivery(completed.as_slice())
+                .expect("phase delivers");
+        }
+
+        println!(
+            "{:>4} {:>4} {:>5} {:>9} {:>8} {:>13}",
+            d,
+            g,
+            n,
+            n * (n - 1),
+            routing.phases.len(),
+            routing.schedule.slot_count()
+        );
+        assert_eq!(
+            routing.schedule.slot_count(),
+            (n - 1) * theorem2_slots(d, g)
+        );
+    }
+    println!("\nKonig decomposition splits the (n-1)-relation into n-1 permutations;");
+    println!("each routes in the unified Theorem-2 slot count — so the whole dense");
+    println!("exchange costs (n-1) * (1 or 2*ceil(d/g)) slots, verified above by");
+    println!("simulating every phase.");
+}

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests live in the tests/ subdirectory of
+//! this package; the library itself is intentionally empty.

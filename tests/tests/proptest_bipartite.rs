@@ -1,0 +1,112 @@
+//! Property-based tests of the bipartite substrate: matchings, Euler
+//! splits, colourings, and the Theorem-1 padding.
+
+use proptest::prelude::*;
+
+use pops_bipartite::coloring::{verify_proper, ColorerKind};
+use pops_bipartite::euler::euler_split;
+use pops_bipartite::generators::{random_multigraph, random_regular_multigraph};
+use pops_bipartite::matching::{maximum_matching, perfect_matching};
+use pops_bipartite::regularize::{pad_to_regular, theorem1_pad};
+use pops_permutation::SplitMix64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn regular_graphs_have_perfect_matchings(n in 1usize..24, k in 1usize..10, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_regular_multigraph(n, k, &mut rng);
+        let m = perfect_matching(&g).unwrap();
+        prop_assert_eq!(m.size(), n);
+        prop_assert!(m.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn euler_split_halves_even_regular_graphs(n in 1usize..20, half in 1usize..6, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_regular_multigraph(n, 2 * half, &mut rng);
+        let split = euler_split(&g).unwrap();
+        prop_assert_eq!(split.first.len(), n * half);
+        prop_assert_eq!(split.second.len(), n * half);
+        // Each half is `half`-regular.
+        for part in [&split.first, &split.second] {
+            let mut deg = vec![0usize; n];
+            for &e in part {
+                deg[g.endpoints(e).0] += 1;
+            }
+            prop_assert!(deg.iter().all(|&x| x == half));
+        }
+    }
+
+    #[test]
+    fn all_engines_properly_color_regular_multigraphs(n in 1usize..16, k in 1usize..9,
+                                                      engine_idx in 0usize..3, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_regular_multigraph(n, k, &mut rng);
+        let coloring = ColorerKind::ALL[engine_idx].color(&g);
+        prop_assert_eq!(coloring.num_colors, k);
+        prop_assert!(verify_proper(&g, &coloring).is_ok());
+        // On regular graphs every class is a perfect matching.
+        for class in coloring.classes() {
+            prop_assert_eq!(class.len(), n);
+        }
+    }
+
+    #[test]
+    fn all_engines_properly_color_arbitrary_multigraphs(l in 1usize..10, r in 1usize..10,
+                                                        m in 0usize..60,
+                                                        engine_idx in 0usize..3, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_multigraph(l, r, m, &mut rng);
+        let coloring = ColorerKind::ALL[engine_idx].color(&g);
+        prop_assert_eq!(coloring.num_colors, g.max_degree());
+        prop_assert!(verify_proper(&g, &coloring).is_ok());
+    }
+
+    #[test]
+    fn maximum_matching_is_maximal_and_valid(l in 1usize..12, r in 1usize..12, m in 0usize..50, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_multigraph(l, r, m, &mut rng);
+        let matching = maximum_matching(&g);
+        prop_assert!(matching.validate(&g).is_ok());
+        // Maximality (weaker than maximum, cheap to check): no edge has
+        // both endpoints unmatched.
+        for (_, u, v) in g.edges() {
+            prop_assert!(
+                matching.left_match[u].is_some() || matching.right_match[v].is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn pad_to_regular_preserves_original_edges(l in 1usize..10, r in 1usize..10, m in 1usize..40, seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let g = random_multigraph(l, r, m, &mut rng);
+        let padded = pad_to_regular(&g, g.max_degree());
+        prop_assert_eq!(padded.graph.regular_degree(), Some(g.max_degree()));
+        for (e, u, v) in g.edges() {
+            prop_assert_eq!(padded.graph.endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn theorem1_pad_color_classes_have_exactly_delta2_real_edges(
+        n1 in 1usize..10, delta1 in 1usize..8, seed in any::<u64>(), engine_idx in 0usize..3
+    ) {
+        // Build a Δ1-regular demand graph and pad with n2 = a divisor-
+        // compatible budget: use n2 = n1 (always divides n1*Δ1).
+        prop_assume!(delta1 <= n1); // need Δ1 <= n2 = n1
+        let mut rng = SplitMix64::new(seed);
+        let g = random_regular_multigraph(n1, delta1, &mut rng);
+        let padded = theorem1_pad(&g, n1);
+        let coloring = ColorerKind::ALL[engine_idx].color(&padded.graph);
+        prop_assert!(verify_proper(&padded.graph, &coloring).is_ok());
+        let delta2 = n1 * delta1 / n1;
+        let mut real_per_class = vec![0usize; coloring.num_colors];
+        for e in 0..padded.real_edge_count {
+            real_per_class[coloring.colors[e]] += 1;
+        }
+        prop_assert!(real_per_class.iter().all(|&c| c == delta2));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the collectives, fault routing, and exact
+//! search extensions (experiments T10–T12).
+
+use proptest::prelude::*;
+
+use pops_collectives::{cost, CollectiveEngine};
+use pops_core::fault_routing::route_with_faults;
+use pops_core::optimal::min_slots_two_hop;
+use pops_core::{lower_bound, theorem2_slots};
+use pops_network::{FaultSet, PopsTopology, Simulator};
+use pops_permutation::families::random_permutation;
+use pops_permutation::SplitMix64;
+
+fn shapes() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=6, 1usize..=6)
+}
+
+/// Fails up to `want` couplers (deterministically from `seed`) while the
+/// network stays fully routable.
+fn routable_faults(t: &PopsTopology, want: usize, seed: u64) -> FaultSet {
+    let mut faults = FaultSet::none(t);
+    let mut order: Vec<usize> = (0..t.coupler_count()).collect();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut failed = 0;
+    for c in order {
+        if failed == want {
+            break;
+        }
+        let mut trial = faults.clone();
+        trial.fail_coupler(c);
+        if trial.fully_routable(t) {
+            faults = trial;
+            failed += 1;
+        }
+    }
+    faults
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fault_routing_always_delivers_on_routable_networks(
+        (d, g) in shapes(), want in 0usize..6, seed in any::<u64>()
+    ) {
+        let t = PopsTopology::new(d, g);
+        let faults = routable_faults(&t, want, seed);
+        prop_assume!(faults.fully_routable(&t));
+        let mut rng = SplitMix64::new(seed ^ 0xabcd);
+        let pi = random_permutation(t.n(), &mut rng);
+        let routing = route_with_faults(&pi, t, &faults).expect("routable");
+        let mut sim = Simulator::with_unit_packets_and_faults(t, faults.clone());
+        sim.execute_schedule(&routing.schedule).expect("legal under faults");
+        sim.verify_delivery(pi.as_slice()).expect("delivered");
+        // Hop-optimality: every packet's journey equals its group distance
+        // (no wandering).
+        let dist = faults.group_distances(&t);
+        for (p, &h) in routing.hops.iter().enumerate() {
+            let dest = pi.apply(p);
+            let expect = if dest == p {
+                0
+            } else if t.group_of(p) != t.group_of(dest) {
+                dist[t.group_of(p)][t.group_of(dest)]
+            } else {
+                faults.group_distance_ge1(&t, &dist, t.group_of(p), t.group_of(dest))
+            };
+            prop_assert_eq!(h, expect, "packet {}", p);
+        }
+    }
+
+    #[test]
+    fn shift_composes_to_identity((d, g) in shapes(), k in 1usize..12, seed in any::<u64>()) {
+        // shift(k) then shift(n − k) restores the original placement, and
+        // bills 2 × theorem2 slots (or 0 when the shift is trivial).
+        let t = PopsTopology::new(d, g);
+        let n = t.n();
+        let mut rng = SplitMix64::new(seed);
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let mut eng = CollectiveEngine::new(t);
+        let once = eng.shift(values.clone(), k).unwrap();
+        let back = eng.shift(once, n - (k % n)).unwrap();
+        prop_assert_eq!(back, values);
+        let trivial = n == 1 || k % n == 0;
+        let expected = if trivial { 0 } else { 2 * cost::shift_slots(&t) };
+        prop_assert_eq!(eng.slots_used(), expected);
+    }
+
+    #[test]
+    fn broadcast_then_gather_is_constant((d, g) in shapes(), root in 0usize..36, v in any::<u32>()) {
+        let t = PopsTopology::new(d, g);
+        let root = root % t.n();
+        let mut eng = CollectiveEngine::new(t);
+        let everywhere = eng.broadcast(root, v).unwrap();
+        let collected = eng.gather(root, everywhere).unwrap();
+        prop_assert!(collected.iter().all(|&x| x == v));
+        prop_assert_eq!(
+            eng.slots_used(),
+            cost::broadcast_slots(&t) + cost::gather_slots(&t)
+        );
+    }
+
+    #[test]
+    fn all_to_all_is_an_involution((d, g) in (1usize..=3, 1usize..=3), seed in any::<u64>()) {
+        // Transposing twice restores the send matrix.
+        let t = PopsTopology::new(d, g);
+        let n = t.n();
+        let mut rng = SplitMix64::new(seed);
+        let sends: Vec<Vec<u64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.next_u64() % 1000).collect())
+            .collect();
+        let mut eng = CollectiveEngine::new(t);
+        let once = eng.all_to_all(sends.clone()).unwrap();
+        let twice = eng.all_to_all(once).unwrap();
+        prop_assert_eq!(twice, sends);
+    }
+
+    #[test]
+    fn exact_optimum_respects_the_bracket_and_witness_executes(
+        (d, g) in (1usize..=3, 1usize..=3), seed in any::<u64>()
+    ) {
+        let t = PopsTopology::new(d, g);
+        let mut rng = SplitMix64::new(seed);
+        let pi = random_permutation(t.n(), &mut rng);
+        let out = min_slots_two_hop(&pi, t, 20_000_000);
+        let opt = out.slots.expect("tiny instances fit the budget");
+        prop_assert!(opt >= lower_bound(&pi, d, g));
+        if !pi.is_identity() {
+            prop_assert!(opt <= theorem2_slots(d, g));
+        }
+        // The witness is a legal schedule of exactly `opt` slots that
+        // delivers the permutation.
+        let schedule = out.schedule.expect("witness accompanies the optimum");
+        prop_assert_eq!(schedule.slot_count(), opt);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&schedule).expect("witness legal");
+        sim.verify_delivery(pi.as_slice()).expect("witness delivers");
+    }
+
+    #[test]
+    fn multicast_reaches_exactly_the_chosen_subset(
+        (d, g) in shapes(), mask in any::<u64>(), root_pick in any::<usize>()
+    ) {
+        let t = PopsTopology::new(d, g);
+        let n = t.n();
+        let root = root_pick % n;
+        let targets: Vec<usize> = (0..n).filter(|&p| mask & (1 << (p % 64)) != 0).collect();
+        let mut eng = CollectiveEngine::new(t);
+        let got = eng.multicast(root, 99u8, &targets).unwrap();
+        for (p, v) in got.iter().enumerate() {
+            prop_assert_eq!(v.is_some(), targets.contains(&p), "processor {}", p);
+        }
+        let expected = usize::from(!targets.is_empty());
+        prop_assert_eq!(eng.slots_used(), expected);
+    }
+
+    #[test]
+    fn gather_scatter_duality((d, g) in shapes(), seed in any::<u64>()) {
+        // gather(root) undoes scatter(root) for any root.
+        let t = PopsTopology::new(d, g);
+        let n = t.n();
+        let mut rng = SplitMix64::new(seed);
+        let root = (rng.next_u64() as usize) % n;
+        let data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+        let mut eng = CollectiveEngine::new(t);
+        let spread = eng.scatter(root, data.clone()).unwrap();
+        let back = eng.gather(root, spread).unwrap();
+        prop_assert_eq!(back, data);
+        prop_assert_eq!(
+            eng.slots_used(),
+            cost::scatter_slots(&t) + cost::gather_slots(&t)
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the permutation algebra — the foundation
+//! everything else stands on.
+
+use proptest::prelude::*;
+
+use pops_permutation::families::{random_permutation, BpcSpec};
+use pops_permutation::{PartialPermutation, Permutation, SplitMix64};
+
+fn perm(n: usize, seed: u64) -> Permutation {
+    random_permutation(n, &mut SplitMix64::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compose_is_associative(n in 1usize..40, s1 in any::<u64>(), s2 in any::<u64>(), s3 in any::<u64>()) {
+        let (a, b, c) = (perm(n, s1), perm(n, s2), perm(n, s3));
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn identity_is_neutral(n in 1usize..40, seed in any::<u64>()) {
+        let a = perm(n, seed);
+        let id = Permutation::identity(n);
+        prop_assert_eq!(&a.compose(&id), &a);
+        prop_assert_eq!(&id.compose(&a), &a);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(n in 1usize..40, seed in any::<u64>()) {
+        let a = perm(n, seed);
+        prop_assert!(a.compose(&a.inverse()).is_identity());
+        prop_assert!(a.inverse().compose(&a).is_identity());
+        prop_assert_eq!(a.inverse().inverse(), a);
+    }
+
+    #[test]
+    fn inverse_reverses_composition(n in 1usize..30, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let (a, b) = (perm(n, s1), perm(n, s2));
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+    }
+
+    #[test]
+    fn order_annihilates(n in 1usize..16, seed in any::<u64>()) {
+        let a = perm(n, seed);
+        let order = a.order();
+        prop_assume!(order <= 10_000);
+        let mut acc = Permutation::identity(n);
+        for _ in 0..order {
+            acc = a.compose(&acc);
+        }
+        prop_assert!(acc.is_identity());
+    }
+
+    #[test]
+    fn cycles_partition_and_respect_structure(n in 1usize..40, seed in any::<u64>()) {
+        let a = perm(n, seed);
+        let dec = a.cycles();
+        let mut all: Vec<usize> = dec.cycles.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Each cycle element maps to the next.
+        for cycle in &dec.cycles {
+            for (idx, &x) in cycle.iter().enumerate() {
+                prop_assert_eq!(a.apply(x), cycle[(idx + 1) % cycle.len()]);
+            }
+        }
+        // Fixed points <-> singleton cycles.
+        let singletons = dec.cycles.iter().filter(|c| c.len() == 1).count();
+        prop_assert_eq!(singletons, a.fixed_points().count());
+    }
+
+    #[test]
+    fn parity_is_a_homomorphism(n in 1usize..24, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let (a, b) = (perm(n, s1), perm(n, s2));
+        prop_assert_eq!(
+            a.compose(&b).is_even(),
+            a.is_even() == b.is_even()
+        );
+    }
+
+    #[test]
+    fn demand_matrix_is_doubly_balanced(d in 1usize..8, g in 1usize..8, seed in any::<u64>()) {
+        let a = perm(d * g, seed);
+        let demand = a.demand_matrix(d);
+        for row in &demand {
+            prop_assert_eq!(row.iter().sum::<usize>(), d);
+        }
+        for b in 0..g {
+            prop_assert_eq!(demand.iter().map(|r| r[b]).sum::<usize>(), d);
+        }
+    }
+
+    #[test]
+    fn bpc_specs_respect_group_laws(k in 0usize..7, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let mut rng1 = SplitMix64::new(s1);
+        let mut rng2 = SplitMix64::new(s2);
+        let a = BpcSpec::random(k, &mut rng1);
+        let b = BpcSpec::random(k, &mut rng2);
+        // Closure: composite spec materializes to the composed permutation.
+        prop_assert_eq!(
+            a.compose(&b).to_permutation(),
+            a.to_permutation().compose(&b.to_permutation())
+        );
+        prop_assert!(a.compose(&a.inverse()).to_permutation().is_identity());
+    }
+
+    #[test]
+    fn partial_completion_is_minimal_and_consistent(n in 1usize..30, keep_mod in 1usize..5, seed in any::<u64>()) {
+        let full = perm(n, seed);
+        let keep: Vec<usize> = (0..n).step_by(keep_mod).collect();
+        let partial = PartialPermutation::restriction(&full, keep.iter().copied());
+        let completed = partial.complete();
+        for &i in &keep {
+            prop_assert_eq!(completed.apply(i), full.apply(i));
+        }
+    }
+}
