@@ -14,7 +14,7 @@
 //! construction.
 
 use pops_core::single_slot::moving_demand;
-use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_network::{PopsTopology, Schedule};
 use pops_permutation::Permutation;
 
 /// The slot count of the optimal direct routing: the maximum moving-demand
@@ -31,27 +31,14 @@ pub fn direct_slots(pi: &Permutation, topology: &PopsTopology) -> usize {
 /// Builds the optimal direct schedule: packet `i` goes out in the slot
 /// equal to its position in its coupler's queue.
 ///
+/// Thin wrapper over [`pops_core::engine::RoutingEngine::plan_direct`];
+/// hold an engine to reuse the demand/queue arenas across calls.
+///
 /// # Panics
 ///
 /// Panics if `pi.len() != topology.n()`.
 pub fn route_direct(pi: &Permutation, topology: &PopsTopology) -> Schedule {
-    assert_eq!(pi.len(), topology.n(), "size mismatch");
-    let slots_needed = direct_slots(pi, topology);
-    let mut slots = vec![SlotFrame::new(); slots_needed];
-    let mut queue_len = vec![0usize; topology.coupler_count()];
-    for i in 0..pi.len() {
-        let dest = pi.apply(i);
-        if dest == i {
-            continue;
-        }
-        let coupler = topology.coupler_between(i, dest);
-        let t = queue_len[coupler];
-        queue_len[coupler] += 1;
-        slots[t]
-            .transmissions
-            .push(Transmission::unicast(i, coupler, i, dest));
-    }
-    Schedule { slots }
+    pops_core::engine::RoutingEngine::new(*topology).plan_direct(pi)
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 //! made, and the comparison experiment T3 measures.
 
 use pops_core::fair_distribution::FairDistribution;
-use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_network::{PopsTopology, Schedule};
 use pops_permutation::Permutation;
 
 /// Error returned when the permutation is not group-uniform.
@@ -67,113 +67,20 @@ pub fn structured_fair_distribution(
 /// baseline of experiment T3.
 ///
 /// The schedule construction mirrors the Theorem-2 router, with the
-/// modular `f` substituted for the edge-coloured one.
+/// modular `f` substituted for the edge-coloured one. Thin wrapper over
+/// [`pops_core::engine::RoutingEngine::plan_structured`]; hold an engine
+/// to reuse its arenas across calls.
 pub fn route_structured(
     pi: &Permutation,
     topology: PopsTopology,
 ) -> Result<Schedule, NotGroupUniform> {
-    let d = topology.d();
-    let g = topology.g();
     assert_eq!(pi.len(), topology.n(), "size mismatch");
-    if !pi.is_group_uniform(d) {
-        return Err(NotGroupUniform);
-    }
-    if d == 1 {
-        let transmissions = (0..topology.n())
-            .map(|i| {
-                Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i))
-            })
-            .collect();
-        return Ok(Schedule {
-            slots: vec![SlotFrame { transmissions }],
-        });
-    }
-
-    let fd = structured_fair_distribution(pi, d, g).expect("checked group-uniform above");
-    let mut slots = Vec::new();
-
-    if d <= g {
-        // One round of two slots, receivers assigned in source-group order
-        // per intermediate group (cf. the general router).
-        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); g];
-        for h in 0..g {
-            for i in 0..d {
-                incoming[fd.target(h, i)].push(topology.processor(h, i));
-            }
-        }
-        let mut slot1 = SlotFrame::new();
-        let mut slot2 = SlotFrame::new();
-        for (j, senders) in incoming.iter().enumerate() {
-            debug_assert_eq!(senders.len(), d);
-            for (k, &sender) in senders.iter().enumerate() {
-                let mid = topology.processor(j, k);
-                slot1.transmissions.push(Transmission::unicast(
-                    sender,
-                    topology.coupler_id(j, topology.group_of(sender)),
-                    sender,
-                    mid,
-                ));
-                let dest = pi.apply(sender);
-                slot2.transmissions.push(Transmission::unicast(
-                    mid,
-                    topology.coupler_between(mid, dest),
-                    sender,
-                    dest,
-                ));
-            }
-        }
-        slots.push(slot1);
-        slots.push(slot2);
-    } else {
-        // d > g: ⌈d/g⌉ rounds; f(h, ·) = (·+h) mod d is a bijection.
-        // inv[h][j] = i with f(h, i) = j, i.e. i = (j - h) mod d.
-        let rounds = d.div_ceil(g);
-        for q in 0..rounds {
-            let block = q * g..((q + 1) * g).min(d);
-            let full_round = block.len() == g;
-            let mut slot1 = SlotFrame::new();
-            let mut slot2 = SlotFrame::new();
-            let mut receivers_for_group: Vec<Vec<usize>> = Vec::with_capacity(g);
-            #[allow(clippy::needless_range_loop)] // r is a group id, not just an index
-            for r in 0..g {
-                if full_round {
-                    let mut senders: Vec<usize> = block
-                        .clone()
-                        .map(|j| topology.processor(r, (j + d - r % d) % d))
-                        .collect();
-                    senders.sort_unstable();
-                    receivers_for_group.push(senders);
-                } else {
-                    receivers_for_group.push((0..g).map(|h| topology.processor(r, h)).collect());
-                }
-            }
-            #[allow(clippy::needless_range_loop)] // h is a group id, not just an index
-            for h in 0..g {
-                for j in block.clone() {
-                    let r = j - q * g;
-                    let i = (j + d - h % d) % d;
-                    let sender = topology.processor(h, i);
-                    let mid = receivers_for_group[r][h];
-                    slot1.transmissions.push(Transmission::unicast(
-                        sender,
-                        topology.coupler_id(r, h),
-                        sender,
-                        mid,
-                    ));
-                    let dest = pi.apply(sender);
-                    slot2.transmissions.push(Transmission::unicast(
-                        mid,
-                        topology.coupler_between(mid, dest),
-                        sender,
-                        dest,
-                    ));
-                }
-            }
-            slots.push(slot1);
-            slots.push(slot2);
-        }
-    }
-    Ok(Schedule { slots })
+    pops_core::engine::RoutingEngine::new(topology)
+        .plan_structured(pi)
+        .map_err(|e| match e {
+            pops_core::engine::RoutingError::NotGroupUniform => NotGroupUniform,
+            other => unreachable!("structured baseline can only fail group-uniformity: {other}"),
+        })
 }
 
 #[cfg(test)]

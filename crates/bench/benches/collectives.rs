@@ -32,16 +32,12 @@ fn bench_engine_end_to_end(c: &mut Criterion) {
     for g in [4usize, 8] {
         let t = PopsTopology::new(4, g);
         let n = t.n();
-        group.bench_with_input(
-            BenchmarkId::new("broadcast", t.to_string()),
-            &t,
-            |b, &t| {
-                b.iter(|| {
-                    let mut eng = CollectiveEngine::new(t);
-                    eng.broadcast(0, 1u64).unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("broadcast", t.to_string()), &t, |b, &t| {
+            b.iter(|| {
+                let mut eng = CollectiveEngine::new(t);
+                eng.broadcast(0, 1u64).unwrap()
+            });
+        });
         group.bench_with_input(BenchmarkId::new("scatter", t.to_string()), &t, |b, &t| {
             b.iter(|| {
                 let mut eng = CollectiveEngine::new(t);

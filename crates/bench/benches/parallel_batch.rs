@@ -1,10 +1,12 @@
-//! Bench: parallel batch routing speedup (scoped threads vs sequential).
+//! Bench: parallel batch routing speedup (chunk-based engine-per-worker
+//! executor vs sequential), plus a sequential warm-engine reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
 
 use pops_bipartite::ColorerKind;
+use pops_core::engine::RoutingEngine;
 use pops_core::parallel::route_batch;
 use pops_network::PopsTopology;
 use pops_permutation::families::random_permutation;
@@ -38,6 +40,27 @@ fn bench_batch_routing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reference point for the batch numbers: one warm engine draining the
+/// same batch sequentially on its own arenas.
+fn bench_sequential_warm_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/warm_engine_seq");
+    group.sample_size(10);
+    let (d, g) = (32usize, 32usize);
+    let topology = PopsTopology::new(d, g);
+    let batch = make_batch(d * g, 16);
+    let mut engine = RoutingEngine::new(topology);
+    let _ = engine.plan_theorem2(&batch[0]);
+    group.bench_with_input(BenchmarkId::from_parameter(16), &batch, |b, batch| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|pi| engine.plan_theorem2(black_box(pi)).schedule.slot_count())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
 /// Short measurement windows so the full suite completes in minutes; the
 /// series shapes (not absolute precision) are what the experiments need.
 fn fast_config() -> Criterion {
@@ -49,6 +72,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_batch_routing
+    targets = bench_batch_routing, bench_sequential_warm_engine
 }
 criterion_main!(benches);

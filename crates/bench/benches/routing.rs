@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use pops_bipartite::ColorerKind;
+use pops_core::engine::RoutingEngine;
 use pops_core::router::route;
 use pops_network::PopsTopology;
 use pops_permutation::families::random_permutation;
@@ -62,6 +63,32 @@ fn bench_engines_on_routing(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm [`RoutingEngine`] vs the one-shot free function: how much of a
+/// plan's cost is arena warm-up the engine amortizes away.
+fn bench_warm_engine_vs_free_function(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route/warm_engine");
+    group.sample_size(20);
+    let mut rng = SplitMix64::new(45);
+    for s in [8usize, 16, 32, 64] {
+        let pi = random_permutation(s * s, &mut rng);
+        let t = PopsTopology::new(s, s);
+        group.bench_with_input(BenchmarkId::new("free_fn", s * s), &pi, |b, pi| {
+            b.iter(|| route(black_box(pi), t, ColorerKind::AlternatingPath));
+        });
+        let mut engine = RoutingEngine::new(t);
+        let _ = engine.plan_theorem2(&pi);
+        group.bench_with_input(BenchmarkId::new("warm", s * s), &pi, |b, pi| {
+            b.iter(|| engine.plan_theorem2(black_box(pi)));
+        });
+        let mut fd_engine = RoutingEngine::new(t);
+        let _ = fd_engine.fair_distribution_targets(&pi);
+        group.bench_with_input(BenchmarkId::new("warm_fd_only", s * s), &pi, |b, pi| {
+            b.iter(|| fd_engine.fair_distribution_targets(black_box(pi)).len());
+        });
+    }
+    group.finish();
+}
+
 /// Short measurement windows so the full suite completes in minutes; the
 /// series shapes (not absolute precision) are what the experiments need.
 fn fast_config() -> Criterion {
@@ -73,6 +100,7 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_square_shapes, bench_aspect_ratios, bench_engines_on_routing
+    targets = bench_square_shapes, bench_aspect_ratios, bench_engines_on_routing,
+        bench_warm_engine_vs_free_function
 }
 criterion_main!(benches);

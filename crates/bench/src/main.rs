@@ -23,6 +23,7 @@ use pops_bipartite::generators::random_regular_multigraph;
 use pops_bipartite::ColorerKind;
 use pops_core::bounds::{proposition1, proposition2, proposition3};
 use pops_core::compress::compress_schedule;
+use pops_core::engine::RoutingEngine;
 use pops_core::h_relation::{route_h_relation, HRelation};
 use pops_core::router::route;
 use pops_core::theorem2_slots;
@@ -88,6 +89,12 @@ fn main() {
     }
     if want("T12") {
         experiment_t12();
+    }
+    // Opt-in only: BENCH overwrites the committed BENCH_routing.json perf
+    // baseline with machine-dependent numbers, so a default (no-argument)
+    // run must not fire it.
+    if args.iter().any(|a| a.eq_ignore_ascii_case("BENCH")) {
+        experiment_bench_json();
     }
 }
 
@@ -375,8 +382,8 @@ fn experiment_t4() {
 fn experiment_t5() {
     println!("## T5 — routing computation time vs n (default engine)\n");
     println!(
-        "{:>6} {:>6} {:>9} {:>14} {:>14}",
-        "d", "g", "n", "route time", "per packet"
+        "{:>6} {:>6} {:>9} {:>14} {:>14} {:>14}",
+        "d", "g", "n", "route time", "per packet", "warm engine"
     );
     let mut rng = SplitMix64::new(505);
     for &(d, g) in &[
@@ -396,13 +403,23 @@ fn experiment_t5() {
         let plan = route(&pi, t, ColorerKind::default());
         let elapsed = start.elapsed();
         assert_eq!(plan.schedule.slot_count(), theorem2_slots(d, g));
+        // A warm engine re-plans on preallocated arenas (the production
+        // shape: one topology, many permutations) — same colourer as the
+        // cold column so the delta is arena reuse, not algorithm choice.
+        let mut engine = RoutingEngine::with_colorer(t, ColorerKind::default());
+        let _ = engine.plan_theorem2(&pi);
+        let start = Instant::now();
+        let warm_plan = engine.plan_theorem2(&pi);
+        let warm = start.elapsed();
+        assert_eq!(warm_plan.schedule.slot_count(), theorem2_slots(d, g));
         println!(
-            "{:>6} {:>6} {:>9} {:>14} {:>14}",
+            "{:>6} {:>6} {:>9} {:>14} {:>14} {:>14}",
             d,
             g,
             d * g,
             format!("{elapsed:.2?}"),
-            format!("{:.0?}", elapsed / (d * g) as u32)
+            format!("{:.0?}", elapsed / (d * g) as u32),
+            format!("{warm:.2?}")
         );
     }
     println!();
@@ -739,9 +756,9 @@ fn experiment_t10() {
         for _ in 0..trials {
             let pi = random_permutation(t.n(), &mut rng);
             let routing = route_with_faults(&pi, t, &faults).expect("routable");
-            let mut sim =
-                Simulator::with_unit_packets_and_faults(t, faults.clone());
-            sim.execute_schedule(&routing.schedule).expect("legal under faults");
+            let mut sim = Simulator::with_unit_packets_and_faults(t, faults.clone());
+            sim.execute_schedule(&routing.schedule)
+                .expect("legal under faults");
             sim.verify_delivery(pi.as_slice()).expect("delivers");
             slot_sum += routing.slots();
             hop_max = hop_max.max(routing.max_hops());
@@ -906,7 +923,10 @@ fn experiment_t12() {
         out.slots.expect("tiny instance"),
         pops_core::lower_bound(&pi, 3, 2)
     );
-    println!("  (search effort: {} nodes); the witness schedule, machine-executed:", out.nodes);
+    println!(
+        "  (search effort: {} nodes); the witness schedule, machine-executed:",
+        out.nodes
+    );
     let witness = out.schedule.expect("witness accompanies the optimum");
     let mut sim = Simulator::with_unit_packets(t);
     for (s, frame) in witness.slots.iter().enumerate() {
@@ -914,17 +934,114 @@ fn experiment_t12() {
         let moves: Vec<String> = frame
             .transmissions
             .iter()
-            .map(|tx| format!("p{}->{} via c({},{})",
-                tx.packet, tx.receivers[0],
-                t.coupler_dest_group(tx.coupler), t.coupler_src_group(tx.coupler)))
+            .map(|tx| {
+                format!(
+                    "p{}->{} via c({},{})",
+                    tx.packet,
+                    tx.receivers[0],
+                    t.coupler_dest_group(tx.coupler),
+                    t.coupler_src_group(tx.coupler)
+                )
+            })
             .collect();
         println!("{}", moves.join(", "));
         sim.execute_frame(frame).expect("witness slot legal");
     }
-    sim.verify_delivery(pi.as_slice()).expect("witness delivers");
+    sim.verify_delivery(pi.as_slice())
+        .expect("witness delivers");
     println!("  all 6 packets verified at their destinations after 3 slots");
 
     println!("\nshape: Theorem 2 stays within its factor-2 band of the true");
     println!("optimum everywhere; the band is exactly attained on single-slot-");
     println!("routable derangements, and the corrected Prop-2 bound is tight.\n");
+}
+
+/// BENCH — machine-readable throughput baseline (`BENCH_routing.json`).
+///
+/// Measures plans/sec and slots/sec for warm-engine single-plan routing and
+/// for the chunk-based batch executor, at POPS(16, 16) and POPS(32, 32)
+/// over 64 random permutations each. Later PRs treat the committed JSON as
+/// the perf baseline to beat.
+fn experiment_bench_json() {
+    use std::num::NonZeroUsize;
+
+    println!("## BENCH — routing throughput baseline (BENCH_routing.json)\n");
+
+    let mut entries: Vec<String> = Vec::new();
+    let threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
+    for (d, g) in [(16usize, 16usize), (32, 32)] {
+        let t = PopsTopology::new(d, g);
+        let n = d * g;
+        let count = 64usize;
+        let mut rng = SplitMix64::new(0xBE7C);
+        let perms: Vec<Permutation> = (0..count)
+            .map(|_| random_permutation(n, &mut rng))
+            .collect();
+        let slots_per_plan = theorem2_slots(d, g);
+
+        // Single-plan throughput on one warm engine (the zero-allocation
+        // alternating-path hot path, artefact export off).
+        let mut engine = RoutingEngine::new(t);
+        for pi in &perms {
+            let plan = engine.plan_theorem2(pi);
+            assert_eq!(plan.schedule.slot_count(), slots_per_plan);
+        }
+        let mut single_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let plan = engine.plan_theorem2(pi);
+                std::hint::black_box(&plan);
+                single_plans += 1;
+            }
+        }
+        let single_secs = start.elapsed().as_secs_f64();
+        let single_plans_per_sec = single_plans as f64 / single_secs;
+        let single_slots_per_sec = single_plans_per_sec * slots_per_plan as f64;
+
+        // Batch throughput: the chunk-based engine-per-worker executor,
+        // artefact export off so both modes measure the same hot path.
+        let _ = pops_core::route_batch_with(&perms, t, ColorerKind::AlternatingPath, None, false);
+        let mut batch_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            let plans =
+                pops_core::route_batch_with(&perms, t, ColorerKind::AlternatingPath, None, false);
+            assert_eq!(plans.len(), count);
+            std::hint::black_box(&plans);
+            batch_plans += count;
+        }
+        let batch_secs = start.elapsed().as_secs_f64();
+        let batch_plans_per_sec = batch_plans as f64 / batch_secs;
+        let batch_slots_per_sec = batch_plans_per_sec * slots_per_plan as f64;
+
+        println!(
+            "POPS({d:>2}, {g:>2}) x {count} permutations: single {single_plans_per_sec:>10.0} \
+             plans/s ({single_slots_per_sec:.0} slots/s), batch {batch_plans_per_sec:>10.0} \
+             plans/s ({batch_slots_per_sec:.0} slots/s) on {threads} threads"
+        );
+
+        entries.push(format!(
+            "    {{\n      \"d\": {d},\n      \"g\": {g},\n      \"n\": {n},\n      \
+             \"permutations\": {count},\n      \"theorem2_slots\": {slots_per_plan},\n      \
+             \"single_plan\": {{\n        \"plans_per_sec\": {single_plans_per_sec:.1},\n        \
+             \"slots_per_sec\": {single_slots_per_sec:.1}\n      }},\n      \
+             \"batch\": {{\n        \"threads\": {threads},\n        \
+             \"plans_per_sec\": {batch_plans_per_sec:.1},\n        \
+             \"slots_per_sec\": {batch_slots_per_sec:.1}\n      }}\n    }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pops_routing_engine\",\n  \"description\": \
+         \"Warm RoutingEngine (alternating-path colourer) single-plan and \
+         chunk-based batch throughput; regenerate with `cargo run --release \
+         --bin experiments -- BENCH`\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_routing.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_routing.json\n"),
+        Err(e) => println!("\ncould not write BENCH_routing.json: {e}\n"),
+    }
 }

@@ -36,6 +36,29 @@ impl EdgeColoring {
         }
         classes
     }
+
+    /// CSR view of [`EdgeColoring::classes`]: two flat arrays instead of a
+    /// `Vec<Vec<EdgeId>>`. The edges of colour `c` are
+    /// `flat[offsets[c]..offsets[c + 1]]`, in ascending edge-id order;
+    /// `offsets` has `num_colors + 1` entries. Two allocations total, used
+    /// on the routing hot paths (h-relation phase decomposition, the
+    /// engine) where the per-colour `Vec`s of `classes()` would churn.
+    pub fn classes_flat(&self) -> (Vec<usize>, Vec<EdgeId>) {
+        let mut offsets = vec![0usize; self.num_colors + 1];
+        for &c in &self.colors {
+            offsets[c + 1] += 1;
+        }
+        for c in 0..self.num_colors {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut flat = vec![0; self.colors.len()];
+        let mut cursor = offsets.clone();
+        for (e, &c) in self.colors.iter().enumerate() {
+            flat[cursor[c]] = e;
+            cursor[c] += 1;
+        }
+        (offsets, flat)
+    }
 }
 
 /// A violation found by [`verify_proper`].
@@ -304,6 +327,38 @@ mod tests {
         let mut all: Vec<EdgeId> = coloring.classes().concat();
         all.sort_unstable();
         assert_eq!(all, (0..g.edge_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn classes_flat_matches_classes() {
+        let mut rng = SplitMix64::new(34);
+        for kind in ColorerKind::ALL {
+            let g = random_multigraph(5, 7, 30, &mut rng);
+            let coloring = kind.color(&g);
+            let nested = coloring.classes();
+            let (offsets, flat) = coloring.classes_flat();
+            assert_eq!(offsets.len(), coloring.num_colors + 1);
+            assert_eq!(flat.len(), g.edge_count());
+            for (c, class) in nested.iter().enumerate() {
+                assert_eq!(
+                    &flat[offsets[c]..offsets[c + 1]],
+                    class.as_slice(),
+                    "{} colour {c}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classes_flat_on_empty_coloring() {
+        let coloring = EdgeColoring {
+            num_colors: 0,
+            colors: vec![],
+        };
+        let (offsets, flat) = coloring.classes_flat();
+        assert_eq!(offsets, vec![0]);
+        assert!(flat.is_empty());
     }
 
     #[test]

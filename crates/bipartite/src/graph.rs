@@ -101,6 +101,13 @@ impl BipartiteMultigraph {
         Ok(g)
     }
 
+    /// Removes every edge, keeping the node counts and the edge-list
+    /// capacity — the reuse primitive for long-lived routing engines that
+    /// rebuild a demand graph of the same shape on every query.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+    }
+
     /// Adds an edge and returns its id.
     ///
     /// # Panics
@@ -324,6 +331,18 @@ mod tests {
         assert_eq!(sub.endpoints(0), g.endpoints(1));
         assert_eq!(sub.endpoints(1), g.endpoints(3));
         assert_eq!(mapping, vec![1, 3]);
+    }
+
+    #[test]
+    fn clear_keeps_shape_and_capacity() {
+        let mut g = k4_minus();
+        let cap = g.edges.capacity();
+        g.clear();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.left_count(), 2);
+        assert_eq!(g.right_count(), 2);
+        assert_eq!(g.edges.capacity(), cap);
+        assert_eq!(g.add_edge(1, 1), 0);
     }
 
     #[test]

@@ -7,9 +7,9 @@ use pops_baselines::compare;
 use pops_bipartite::ColorerKind;
 use pops_core::bounds::{proposition1, proposition2, proposition3};
 use pops_core::diagnostics::render_plan;
+use pops_core::engine::RoutingEngine;
 use pops_core::fault_routing::route_with_faults;
 use pops_core::optimal::min_slots_two_hop;
-use pops_core::router::route;
 use pops_core::{lower_bound, theorem2_slots};
 use pops_network::{viz, FaultSet, PopsTopology, Simulator};
 use pops_permutation::families::random_permutation;
@@ -102,7 +102,9 @@ fn cmd_route(opts: &Opts) -> Result<String, CliError> {
     let t = shape(opts)?;
     let pi = spec::resolve(opts, t.d(), t.g())?;
     let kind = engine(opts)?;
-    let plan = route(&pi, t, kind);
+    let plan = RoutingEngine::with_colorer(t, kind)
+        .emit_artefacts(true)
+        .plan_theorem2(&pi);
     let mut sim = Simulator::with_unit_packets(t);
     sim.execute_schedule(&plan.schedule)
         .map_err(|(slot, e)| err(format!("schedule illegal at slot {slot}: {e}")))?;
@@ -287,7 +289,7 @@ fn cmd_sweep(opts: &Opts) -> Result<String, CliError> {
         for g in 1..=max_g {
             let t = PopsTopology::new(d, g);
             let pi = random_permutation(t.n(), &mut rng);
-            let plan = route(&pi, t, ColorerKind::default());
+            let plan = RoutingEngine::with_colorer(t, ColorerKind::default()).plan_theorem2(&pi);
             let mut sim = Simulator::with_unit_packets(t);
             sim.execute_schedule(&plan.schedule)
                 .map_err(|(slot, e)| err(format!("slot {slot}: {e}")))?;
@@ -401,7 +403,10 @@ mod tests {
 
     #[test]
     fn unknown_command_suggests_help() {
-        assert!(run_words(&["frobnicate"]).unwrap_err().0.contains("pops help"));
+        assert!(run_words(&["frobnicate"])
+            .unwrap_err()
+            .0
+            .contains("pops help"));
     }
 
     #[test]
@@ -414,7 +419,14 @@ mod tests {
     #[test]
     fn route_reversal_reports_slots() {
         let out = run_words(&[
-            "route", "--d", "4", "--g", "2", "--family", "reversal", "--compare",
+            "route",
+            "--d",
+            "4",
+            "--g",
+            "2",
+            "--family",
+            "reversal",
+            "--compare",
         ])
         .unwrap();
         assert!(out.contains("routed in 4 slot(s)"), "{out}");
@@ -425,7 +437,14 @@ mod tests {
     #[test]
     fn route_schedule_flag_prints_slots() {
         let out = run_words(&[
-            "route", "--d", "2", "--g", "2", "--family", "reversal", "--schedule",
+            "route",
+            "--d",
+            "2",
+            "--g",
+            "2",
+            "--family",
+            "reversal",
+            "--schedule",
         ])
         .unwrap();
         assert!(out.contains("slot"), "{out}");
@@ -450,17 +469,32 @@ mod tests {
     #[test]
     fn bounds_reports_corrected_prop2() {
         let out = run_words(&[
-            "bounds", "--d", "3", "--g", "2", "--family", "group-rotation",
+            "bounds",
+            "--d",
+            "3",
+            "--g",
+            "2",
+            "--family",
+            "group-rotation",
         ])
         .unwrap();
-        assert!(out.contains("proposition 2 (corrected, inter-group): 3"), "{out}");
+        assert!(
+            out.contains("proposition 2 (corrected, inter-group): 3"),
+            "{out}"
+        );
         assert!(out.contains("theorem-2 upper bound                 : 4"));
     }
 
     #[test]
     fn optimal_finds_the_prop2_counterexample() {
         let out = run_words(&[
-            "optimal", "--d", "3", "--g", "2", "--family", "group-rotation",
+            "optimal",
+            "--d",
+            "3",
+            "--g",
+            "2",
+            "--family",
+            "group-rotation",
         ])
         .unwrap();
         assert!(out.contains("exact minimum (two-hop class) = 3"), "{out}");
@@ -478,7 +512,10 @@ mod tests {
             "faults", "--d", "2", "--g", "3", "--family", "reversal", "--fail", "6",
         ])
         .unwrap();
-        assert!(out.contains("delivery verified with the faults injected"), "{out}");
+        assert!(
+            out.contains("delivery verified with the faults injected"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -139,11 +139,7 @@ pub fn barrier(topology: &PopsTopology, root: ProcessorId) -> Schedule {
 /// Panics if `amount % n == 0` would make this the identity **and**
 /// `n > 1`; shifting by zero is a no-op the caller should elide (the
 /// Theorem-2 schedule would still spend `2⌈d/g⌉` slots moving nothing).
-pub fn circular_shift(
-    topology: &PopsTopology,
-    amount: usize,
-    colorer: ColorerKind,
-) -> RoutingPlan {
+pub fn circular_shift(topology: &PopsTopology, amount: usize, colorer: ColorerKind) -> RoutingPlan {
     let n = topology.n();
     assert!(
         n == 1 || !amount.is_multiple_of(n),
@@ -169,10 +165,7 @@ pub struct AllToAllPlan {
 impl AllToAllPlan {
     /// Total slots across all rounds.
     pub fn total_slots(&self) -> usize {
-        self.rounds
-            .iter()
-            .map(|r| r.schedule.slot_count())
-            .sum()
+        self.rounds.iter().map(|r| r.schedule.slot_count()).sum()
     }
 }
 
@@ -216,7 +209,8 @@ mod tests {
                 let schedule = scatter(&t, root);
                 let mut sim = Simulator::with_placement(t, &vec![root; t.n()]);
                 sim.execute_schedule(&schedule).unwrap();
-                sim.verify_delivery(&(0..t.n()).collect::<Vec<_>>()).unwrap();
+                sim.verify_delivery(&(0..t.n()).collect::<Vec<_>>())
+                    .unwrap();
             }
         }
     }

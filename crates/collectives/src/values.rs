@@ -84,11 +84,7 @@ impl CollectiveEngine {
         self.slots_used
     }
 
-    fn run(
-        &mut self,
-        sim: &mut Simulator,
-        schedule: &Schedule,
-    ) -> Result<(), CollectiveError> {
+    fn run(&mut self, sim: &mut Simulator, schedule: &Schedule) -> Result<(), CollectiveError> {
         sim.execute_schedule(schedule)
             .map_err(|(slot, error)| CollectiveError::Machine { slot, error })?;
         self.slots_used += schedule.slot_count();
@@ -400,9 +396,8 @@ mod tests {
         let t = PopsTopology::new(2, 2);
         let n = t.n();
         let mut eng = CollectiveEngine::new(t);
-        let sends: Vec<Vec<(usize, usize)>> = (0..n)
-            .map(|i| (0..n).map(|j| (i, j)).collect())
-            .collect();
+        let sends: Vec<Vec<(usize, usize)>> =
+            (0..n).map(|i| (0..n).map(|j| (i, j)).collect()).collect();
         let got = eng.all_to_all(sends).unwrap();
         for (j, row) in got.iter().enumerate() {
             for (i, &piece) in row.iter().enumerate() {
@@ -475,9 +470,7 @@ mod tests {
         let n = t.n();
         let mut eng = CollectiveEngine::new(t);
         // sends[i][j] = 10^i placed in column j → column sum 1111.
-        let sends: Vec<Vec<u64>> = (0..n)
-            .map(|i| vec![10u64.pow(i as u32); n])
-            .collect();
+        let sends: Vec<Vec<u64>> = (0..n).map(|i| vec![10u64.pow(i as u32); n]).collect();
         let out = eng.reduce_scatter(sends, |a, b| a + b).unwrap();
         assert_eq!(out, vec![1111; n]);
         assert_eq!(eng.slots_used(), cost::all_to_all_slots(&t));

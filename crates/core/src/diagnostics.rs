@@ -122,11 +122,17 @@ pub fn render_gantt(schedule: &Schedule, topology: &pops_network::PopsTopology) 
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "coupler occupancy ({couplers} couplers x {slots} slots):");
+    let _ = writeln!(
+        out,
+        "coupler occupancy ({couplers} couplers x {slots} slots):"
+    );
     for (c, row) in grid.iter().enumerate() {
         let b = topology.coupler_dest_group(c);
         let a = topology.coupler_src_group(c);
-        let cells: String = row.iter().map(|&used| if used { '#' } else { '.' }).collect();
+        let cells: String = row
+            .iter()
+            .map(|&used| if used { '#' } else { '.' })
+            .collect();
         let _ = writeln!(out, "  c({b},{a}) |{cells}|");
     }
     let driven: usize = grid.iter().flatten().filter(|&&u| u).count();
@@ -207,7 +213,10 @@ mod tests {
         let text = render_gantt(&plan.schedule, &t);
         assert!(text.contains("16 couplers x 2 slots"));
         assert!(text.contains("|##|"));
-        assert!(!text.contains('.'), "no idle coupler-slot expected:\n{text}");
+        assert!(
+            !text.contains('.'),
+            "no idle coupler-slot expected:\n{text}"
+        );
         assert!(text.contains("32/32"));
     }
 

@@ -63,7 +63,10 @@ impl fmt::Display for FaultRoutingError {
                 "no alive coupler path from group {src_group} to group {dst_group}"
             ),
             FaultRoutingError::Stalled { slot, undelivered } => {
-                write!(f, "no progress at slot {slot} with {undelivered} packets pending")
+                write!(
+                    f,
+                    "no progress at slot {slot} with {undelivered} packets pending"
+                )
             }
         }
     }
@@ -264,17 +267,12 @@ pub fn route_greedy(pi: &Permutation, topology: PopsTopology) -> FaultRouting {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pops_network::Simulator;
     use pops_permutation::families::{group_rotation, random_permutation, vector_reversal};
     use pops_permutation::SplitMix64;
-    use pops_network::Simulator;
 
     /// Executes `routing` under `faults` and checks delivery.
-    fn verify(
-        pi: &Permutation,
-        topology: PopsTopology,
-        faults: &FaultSet,
-        routing: &FaultRouting,
-    ) {
+    fn verify(pi: &Permutation, topology: PopsTopology, faults: &FaultSet, routing: &FaultRouting) {
         let mut sim = Simulator::with_unit_packets_and_faults(topology, faults.clone());
         sim.execute_schedule(&routing.schedule).unwrap();
         let dest: Vec<usize> = (0..topology.n()).map(|i| pi.apply(i)).collect();
@@ -342,7 +340,10 @@ mod tests {
                 break;
             }
         }
-        assert!(failed >= 4, "expected to fail several couplers, got {failed}");
+        assert!(
+            failed >= 4,
+            "expected to fail several couplers, got {failed}"
+        );
         for _ in 0..10 {
             let pi = random_permutation(8, &mut rng);
             let routing = route_with_faults(&pi, t, &faults).unwrap();
@@ -359,7 +360,10 @@ mod tests {
         }
         let pi = vector_reversal(6);
         let err = route_with_faults(&pi, t, &faults).unwrap_err();
-        assert!(matches!(err, FaultRoutingError::Disconnected { dst_group: 1, .. }));
+        assert!(matches!(
+            err,
+            FaultRoutingError::Disconnected { dst_group: 1, .. }
+        ));
     }
 
     #[test]
@@ -389,7 +393,7 @@ mod tests {
         let t = PopsTopology::new(3, 2);
         let mut faults = FaultSet::none(&t);
         faults.fail_group_pair(&t, 0, 0); // group 0 cannot talk to itself
-        // Rotate within group 0: 0 → 1 → 2 → 0.
+                                          // Rotate within group 0: 0 → 1 → 2 → 0.
         let pi = Permutation::new(vec![1, 2, 0, 3, 4, 5]).unwrap();
         let routing = route_with_faults(&pi, t, &faults).unwrap();
         verify(&pi, t, &faults, &routing);

@@ -18,11 +18,9 @@
 
 use std::fmt;
 
-use pops_bipartite::{BipartiteMultigraph, ColorerKind};
+use pops_bipartite::ColorerKind;
 use pops_network::{PopsTopology, Schedule};
 use pops_permutation::PartialPermutation;
-
-use crate::router::route;
 
 /// A multiset of `(source, destination)` packet requests with per-node
 /// multiplicity at most `h` on both sides.
@@ -116,6 +114,9 @@ pub struct HRelationRouting {
 /// phase) also move and return; the simulator-level tests in this module
 /// verify that every request's packet is delivered in its phase.
 ///
+/// Thin wrapper over [`crate::engine::RoutingEngine::plan_h_relation`],
+/// which reuses one set of Theorem-2 arenas across all phases.
+///
 /// # Panics
 ///
 /// Panics if `relation.n() != topology.n()`.
@@ -124,43 +125,7 @@ pub fn route_h_relation(
     topology: PopsTopology,
     colorer: ColorerKind,
 ) -> HRelationRouting {
-    assert_eq!(relation.n(), topology.n(), "size mismatch");
-    let n = relation.n();
-
-    // Bipartite request multigraph: max degree = h; h-colour it.
-    let mut g = BipartiteMultigraph::new(n, n);
-    for &(src, dst) in relation.requests() {
-        g.add_edge(src, dst);
-    }
-    let coloring = colorer.color(&g);
-
-    // Each colour class is a partial permutation.
-    let mut phase_images: Vec<Vec<Option<usize>>> = vec![vec![None; n]; coloring.num_colors];
-    for (e, src, dst) in g.edges() {
-        let phase = coloring.colors[e];
-        debug_assert!(phase_images[phase][src].is_none(), "colouring is proper");
-        phase_images[phase][src] = Some(dst);
-    }
-    let phases: Vec<PartialPermutation> = phase_images
-        .into_iter()
-        .map(|image| {
-            PartialPermutation::new(image).expect("colour classes are partial permutations")
-        })
-        .collect();
-
-    let slots_per_phase = crate::router::theorem2_slots(topology.d(), topology.g());
-    let mut schedule = Schedule::new();
-    for phase in &phases {
-        let completed = phase.complete();
-        let plan = route(&completed, topology, colorer);
-        schedule.slots.extend(plan.schedule.slots);
-    }
-
-    HRelationRouting {
-        phases,
-        schedule,
-        slots_per_phase,
-    }
+    crate::engine::RoutingEngine::with_colorer(topology, colorer).plan_h_relation(relation)
 }
 
 #[cfg(test)]

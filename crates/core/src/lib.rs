@@ -22,7 +22,8 @@
 //! |---|---|
 //! | [`list_system`] | list systems + properness (§3.1) |
 //! | [`fair_distribution`] | fair distributions, constructive Theorem 1 |
-//! | [`router`] | the Theorem-2 router, all three cases |
+//! | [`engine`] | the unified [`engine::RoutingEngine`]: every routing path behind one trait, zero-allocation hot path |
+//! | [`router`] | the Theorem-2 router, all three cases (thin wrapper over the engine) |
 //! | [`single_slot`] | one-slot routability (Gravenstreter–Melhem) |
 //! | [`bounds`] | Propositions 1–3 lower bounds |
 //! | [`verify`] | route → simulate → verify, the experiment primitive |
@@ -31,7 +32,7 @@
 //! | [`optimal`] | exact minimum-slot search on tiny instances (§3.3 yardstick) |
 //! | [`compress`] | greedy schedule repacking (ablation/optimization) |
 //! | [`diagnostics`] | human-readable plan reports |
-//! | [`parallel`] | scoped-thread batch routing |
+//! | [`parallel`] | chunk-based engine-per-worker batch routing |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@
 pub mod bounds;
 pub mod compress;
 pub mod diagnostics;
+pub mod engine;
 pub mod fair_distribution;
 pub mod fault_routing;
 pub mod h_relation;
@@ -66,12 +68,13 @@ pub mod verify;
 
 pub use bounds::lower_bound;
 pub use compress::compress_schedule;
+pub use engine::{Router, RoutingEngine, RoutingError, RoutingOutcome, RoutingRequest};
 pub use fair_distribution::{FairDistribution, FairnessViolation};
 pub use fault_routing::{route_greedy, route_with_faults, FaultRouting, FaultRoutingError};
 pub use h_relation::{route_h_relation, HRelation, HRelationRouting};
 pub use list_system::{ListSystem, ListSystemError};
 pub use optimal::{min_slots_two_hop, routable_in, SearchOutcome};
-pub use parallel::route_batch;
+pub use parallel::{route_batch, route_batch_with};
 pub use router::{route, theorem2_slots, RoutingPlan};
 pub use single_slot::{is_single_slot_routable, route_single_slot};
 pub use verify::{route_and_verify, RoutingFailure, VerifiedRouting};

@@ -192,7 +192,10 @@ pub fn routable_in_with_witness(
     let n = topology.n();
     assert_eq!(pi.len(), n, "permutation length must equal n");
     assert!(n <= 64, "exhaustive search supports n ≤ 64");
-    assert!(topology.coupler_count() <= 64, "exhaustive search supports g² ≤ 64");
+    assert!(
+        topology.coupler_count() <= 64,
+        "exhaustive search supports g² ≤ 64"
+    );
 
     let mut movers: Vec<usize> = (0..n).filter(|&p| pi.apply(p) != p).collect();
     if movers.is_empty() {
@@ -393,7 +396,8 @@ mod tests {
             assert_eq!(schedule.slot_count(), out.slots.unwrap());
             let mut sim = Simulator::with_unit_packets(t);
             sim.execute_schedule(&schedule).expect("witness is legal");
-            sim.verify_delivery(pi.as_slice()).expect("witness delivers");
+            sim.verify_delivery(pi.as_slice())
+                .expect("witness delivers");
         }
     }
 

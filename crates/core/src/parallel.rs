@@ -4,22 +4,32 @@
 //! distribution, the colouring, the schedule emission touch no shared
 //! state), so a batch of permutations — a round of hypercube simulation, a
 //! sweep of experiment instances, a queue of application phases —
-//! parallelizes embarrassingly across OS threads with scoped borrows. No
-//! external dependency: `std::thread::scope` suffices, and the output
-//! order matches the input order regardless of completion order.
+//! parallelizes embarrassingly across OS threads with scoped borrows.
+//!
+//! The executor is **chunk-based and engine-per-worker**: the batch and the
+//! output vector are split into matching contiguous chunks with
+//! [`slice::chunks`]/[`slice::chunks_mut`], and every worker owns one
+//! [`RoutingEngine`] whose arenas warm up on its first permutation and are
+//! reused for the rest of its chunk — no locks, no atomics, no shared
+//! mutable state anywhere (disjoint `&mut` slices carry the results out).
+//! No external dependency: `std::thread::scope` suffices, and the output
+//! order matches the input order by construction.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pops_bipartite::ColorerKind;
 use pops_network::PopsTopology;
 use pops_permutation::Permutation;
 
-use crate::router::{route, RoutingPlan};
+use crate::engine::RoutingEngine;
+use crate::router::RoutingPlan;
 
 /// Routes every permutation in `batch` on `topology`, using up to
 /// `threads` worker threads (defaults to the machine's available
-/// parallelism when `None`). Results are in input order.
+/// parallelism when `None`). Results are in input order, with construction
+/// artefacts attached (the legacy contract of this function). Hot-path
+/// callers that only consume schedules should use [`route_batch_with`]
+/// with `emit_artefacts = false` and skip the per-plan artefact clones.
 ///
 /// # Panics
 ///
@@ -31,49 +41,55 @@ pub fn route_batch(
     colorer: ColorerKind,
     threads: Option<NonZeroUsize>,
 ) -> Vec<RoutingPlan> {
+    route_batch_with(batch, topology, colorer, threads, true)
+}
+
+/// [`route_batch`] with explicit control over artefact export. With
+/// `emit_artefacts = false` the workers' plans carry schedule +
+/// intermediate placements only — no per-plan list-system or
+/// fair-distribution clones on the hot path.
+pub fn route_batch_with(
+    batch: &[Permutation],
+    topology: PopsTopology,
+    colorer: ColorerKind,
+    threads: Option<NonZeroUsize>,
+    emit_artefacts: bool,
+) -> Vec<RoutingPlan> {
     let worker_count = threads
         .or_else(|| std::thread::available_parallelism().ok())
         .map_or(1, NonZeroUsize::get)
         .min(batch.len().max(1));
 
     if worker_count <= 1 || batch.len() <= 1 {
-        return batch
-            .iter()
-            .map(|pi| route(pi, topology, colorer))
-            .collect();
+        let mut engine =
+            RoutingEngine::with_colorer(topology, colorer).emit_artefacts(emit_artefacts);
+        return batch.iter().map(|pi| engine.plan_theorem2(pi)).collect();
     }
 
     let mut results: Vec<Option<RoutingPlan>> = Vec::with_capacity(batch.len());
     results.resize_with(batch.len(), || None);
-    let next = AtomicUsize::new(0);
-    // Hand each worker a disjoint set of output slots via chunked views:
-    // simplest safe pattern — split the results vector into per-index
-    // cells the workers claim through the atomic counter.
-    {
-        let cells: Vec<std::sync::Mutex<&mut Option<RoutingPlan>>> =
-            results.iter_mut().map(std::sync::Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= batch.len() {
-                        break;
-                    }
-                    let plan = route(&batch[idx], topology, colorer);
-                    **cells[idx].lock().expect("cell lock") = Some(plan);
-                });
-            }
-        });
-    }
+    let chunk_len = batch.len().div_ceil(worker_count);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in batch.chunks(chunk_len).zip(results.chunks_mut(chunk_len)) {
+            scope.spawn(move || {
+                let mut engine =
+                    RoutingEngine::with_colorer(topology, colorer).emit_artefacts(emit_artefacts);
+                for (pi, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(engine.plan_theorem2(pi));
+                }
+            });
+        }
+    });
     results
         .into_iter()
-        .map(|r| r.expect("every index was claimed exactly once"))
+        .map(|r| r.expect("every chunk slot is filled by its worker"))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::route;
     use pops_permutation::families::random_permutation;
     use pops_permutation::SplitMix64;
 
@@ -134,5 +150,46 @@ mod tests {
             NonZeroUsize::new(64),
         );
         assert_eq!(plans.len(), 3);
+    }
+
+    #[test]
+    fn chunked_workers_cover_uneven_splits() {
+        // 7 permutations over 3 workers: chunks of 3/3/1.
+        let topology = PopsTopology::new(3, 2);
+        let perms = batch(6, 7, 73);
+        let plans = route_batch(
+            &perms,
+            topology,
+            ColorerKind::default(),
+            NonZeroUsize::new(3),
+        );
+        assert_eq!(plans.len(), 7);
+        for (pi, plan) in perms.iter().zip(&plans) {
+            let fresh = route(pi, topology, ColorerKind::default());
+            assert_eq!(plan.schedule, fresh.schedule);
+        }
+    }
+
+    #[test]
+    fn batch_plans_keep_artefacts() {
+        let topology = PopsTopology::new(2, 4);
+        let perms = batch(8, 4, 74);
+        for plan in route_batch(&perms, topology, ColorerKind::default(), None) {
+            assert!(plan.fair_distribution.is_some());
+            assert!(plan.list_system.is_some());
+        }
+    }
+
+    #[test]
+    fn artefact_free_batch_matches_schedules() {
+        let topology = PopsTopology::new(3, 3);
+        let perms = batch(9, 6, 75);
+        let with = route_batch(&perms, topology, ColorerKind::default(), None);
+        let without = route_batch_with(&perms, topology, ColorerKind::default(), None, false);
+        for (a, b) in with.iter().zip(&without) {
+            assert_eq!(a.schedule, b.schedule);
+            assert!(b.fair_distribution.is_none());
+            assert!(b.list_system.is_none());
+        }
     }
 }

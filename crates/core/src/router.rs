@@ -24,9 +24,10 @@
 //!   `g·(d mod g)` packets when `g ∤ d`.
 
 use pops_bipartite::ColorerKind;
-use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_network::{PopsTopology, Schedule};
 use pops_permutation::Permutation;
 
+use crate::engine::RoutingEngine;
 use crate::fair_distribution::FairDistribution;
 use crate::list_system::ListSystem;
 
@@ -69,194 +70,18 @@ pub struct RoutingPlan {
 /// Theorem-1 construction; the schedule's slot count is identical for all
 /// engines.
 ///
+/// This is a thin wrapper over a fresh [`RoutingEngine`] — the
+/// construction itself (all three cases of the proof) lives in
+/// [`crate::engine`]. Callers routing many permutations on one topology
+/// should hold a [`RoutingEngine`] instead and reuse its arenas.
+///
 /// # Panics
 ///
 /// Panics if `pi.len() != topology.n()`.
 pub fn route(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
-    assert_eq!(
-        pi.len(),
-        topology.n(),
-        "permutation length {} does not match {} with n = {}",
-        pi.len(),
-        topology,
-        topology.n()
-    );
-    let d = topology.d();
-    let g = topology.g();
-    if d == 1 {
-        route_d1(pi, topology)
-    } else if d <= g {
-        route_d_le_g(pi, topology, colorer)
-    } else {
-        route_d_gt_g(pi, topology, colorer)
-    }
-}
-
-/// `d = 1`: POPS(1, n) is fully interconnected; one slot suffices.
-fn route_d1(pi: &Permutation, topology: PopsTopology) -> RoutingPlan {
-    let transmissions = (0..topology.n())
-        .map(|i| Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i)))
-        .collect();
-    RoutingPlan {
-        topology,
-        schedule: Schedule {
-            slots: vec![SlotFrame { transmissions }],
-        },
-        fair_distribution: None,
-        list_system: None,
-        intermediate: pi.as_slice().to_vec(),
-    }
-}
-
-/// `1 < d ≤ g`: two slots via a fair distribution with `T = N_g`.
-fn route_d_le_g(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
-    let d = topology.d();
-    let g = topology.g();
-    let ls = ListSystem::for_routing(pi, d, g);
-    let fd = FairDistribution::compute(&ls, colorer);
-
-    // Group the entries by intermediate group; within a group the entries
-    // arrive from pairwise distinct source groups (equation (1)), and the
-    // push order below visits h ascending, so each list is sorted by h.
-    let mut incoming: Vec<Vec<(usize, usize)>> = vec![Vec::new(); g];
-    for h in 0..g {
-        for i in 0..d {
-            incoming[fd.target(h, i)].push((h, i));
-        }
-    }
-    debug_assert!(incoming.iter().all(|v| v.len() == d), "equation (2)");
-
-    // intermediate[p]: where packet p sits after slot 1.
-    let mut intermediate = vec![usize::MAX; topology.n()];
-    let mut slot1 = SlotFrame::new();
-    for (j, entries) in incoming.iter().enumerate() {
-        for (k, &(h, i)) in entries.iter().enumerate() {
-            let sender = topology.processor(h, i);
-            let receiver = topology.processor(j, k);
-            intermediate[sender] = receiver;
-            slot1.transmissions.push(Transmission::unicast(
-                sender,
-                topology.coupler_id(j, h),
-                sender,
-                receiver,
-            ));
-        }
-    }
-
-    // Slot 2: every packet is one hop from home (Fact 1).
-    let slot2 = delivery_slot(
-        pi,
-        &topology,
-        (0..topology.n()).map(|p| (p, intermediate[p])),
-    );
-
-    RoutingPlan {
-        topology,
-        schedule: Schedule {
-            slots: vec![slot1, slot2],
-        },
-        fair_distribution: Some(fd),
-        list_system: Some(ls),
-        intermediate,
-    }
-}
-
-/// `d > g`: `⌈d/g⌉` rounds of two slots via a fair distribution with
-/// `T = N_d`.
-fn route_d_gt_g(pi: &Permutation, topology: PopsTopology, colorer: ColorerKind) -> RoutingPlan {
-    let d = topology.d();
-    let g = topology.g();
-    let ls = ListSystem::for_routing(pi, d, g);
-    let fd = FairDistribution::compute(&ls, colorer);
-    // inv[h][j] = the entry index i with f(h, i) = j (total: bijection).
-    let inv = fd.inverse_per_source();
-
-    let rounds = d.div_ceil(g);
-    let mut slots = Vec::with_capacity(2 * rounds);
-    let mut intermediate = vec![usize::MAX; topology.n()];
-
-    for q in 0..rounds {
-        let block = q * g..((q + 1) * g).min(d);
-        let full_round = block.len() == g;
-
-        // Receivers per destination group r: the packet arriving from
-        // source group h is read by
-        //   - full rounds: the h-th smallest processor of group r that
-        //     sends in this very round (there are exactly g of them, one
-        //     per block value, and they are empty once slot 1 fires);
-        //   - last partial round: processor r·d + h — by now *every*
-        //     processor has sent its original packet, so all are free.
-        let mut slot1 = SlotFrame::new();
-        let mut receivers_for_group: Vec<Vec<usize>> = Vec::with_capacity(g);
-        #[allow(clippy::needless_range_loop)] // r is a group id, not just an index
-        for r in 0..g {
-            if full_round {
-                let mut senders: Vec<usize> = block
-                    .clone()
-                    .map(|j| topology.processor(r, inv[r][j]))
-                    .collect();
-                senders.sort_unstable();
-                receivers_for_group.push(senders);
-            } else {
-                receivers_for_group.push((0..g).map(|h| topology.processor(r, h)).collect());
-            }
-        }
-
-        for h in 0..g {
-            for j in block.clone() {
-                let r = j - q * g;
-                let sender = topology.processor(h, inv[h][j]);
-                let receiver = receivers_for_group[r][h];
-                intermediate[sender] = receiver;
-                slot1.transmissions.push(Transmission::unicast(
-                    sender,
-                    topology.coupler_id(r, h),
-                    sender,
-                    receiver,
-                ));
-            }
-        }
-
-        // Second slot of the round: the g² (or g·(d mod g)) moved packets
-        // are fairly distributed (equation (6)) — deliver them.
-        let moved: Vec<(usize, usize)> = slot1
-            .transmissions
-            .iter()
-            .map(|t| (t.packet, t.receivers[0]))
-            .collect();
-        let slot2 = delivery_slot(pi, &topology, moved.into_iter());
-
-        slots.push(slot1);
-        slots.push(slot2);
-    }
-
-    RoutingPlan {
-        topology,
-        schedule: Schedule { slots },
-        fair_distribution: Some(fd),
-        list_system: Some(ls),
-        intermediate,
-    }
-}
-
-/// Builds the delivery slot of Fact 1: each `(packet, holder)` pair sends
-/// the packet home through the unique coupler `c(group(π(p)), group(holder))`.
-fn delivery_slot(
-    pi: &Permutation,
-    topology: &PopsTopology,
-    placements: impl Iterator<Item = (usize, usize)>,
-) -> SlotFrame {
-    let mut slot = SlotFrame::new();
-    for (packet, holder) in placements {
-        let dest = pi.apply(packet);
-        slot.transmissions.push(Transmission::unicast(
-            holder,
-            topology.coupler_between(holder, dest),
-            packet,
-            dest,
-        ));
-    }
-    slot
+    RoutingEngine::with_colorer(topology, colorer)
+        .emit_artefacts(true)
+        .plan_theorem2(pi)
 }
 
 #[cfg(test)]

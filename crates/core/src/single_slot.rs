@@ -9,7 +9,7 @@
 //! demand condition is also sufficient. When `d = 1` the condition holds
 //! vacuously — the `d = 1` case of Theorem 2.
 
-use pops_network::{PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_network::{PopsTopology, Schedule};
 use pops_permutation::Permutation;
 
 /// `true` iff `pi` is routable in a single slot on `topology`: the demand
@@ -46,17 +46,13 @@ pub fn moving_demand(pi: &Permutation, topology: &PopsTopology) -> Vec<Vec<usize
 /// Builds the one-slot direct schedule if `pi` is single-slot routable,
 /// else `None`. Fixed points stay put (no transmission); the identity
 /// permutation yields a single empty slot.
+///
+/// Thin wrapper over [`crate::engine::RoutingEngine::plan_single_slot`];
+/// hold an engine to reuse its demand-matrix arena across calls.
 pub fn route_single_slot(pi: &Permutation, topology: &PopsTopology) -> Option<Schedule> {
-    if !is_single_slot_routable(pi, topology) {
-        return None;
-    }
-    let transmissions = (0..topology.n())
-        .filter(|&i| pi.apply(i) != i)
-        .map(|i| Transmission::unicast(i, topology.coupler_between(i, pi.apply(i)), i, pi.apply(i)))
-        .collect();
-    Some(Schedule {
-        slots: vec![SlotFrame { transmissions }],
-    })
+    crate::engine::RoutingEngine::new(*topology)
+        .plan_single_slot(pi)
+        .ok()
 }
 
 #[cfg(test)]

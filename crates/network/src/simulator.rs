@@ -685,7 +685,13 @@ mod tests {
             transmissions: vec![Transmission::unicast(0, c, 0, 4)],
         };
         let err = sim.execute_frame(&frame).unwrap_err();
-        assert_eq!(err, SimError::FailedCoupler { sender: 0, coupler: c });
+        assert_eq!(
+            err,
+            SimError::FailedCoupler {
+                sender: 0,
+                coupler: c
+            }
+        );
         assert_eq!(sim.slots_elapsed(), 0);
         // The sibling coupler c(0, 0) still works.
         let ok = SlotFrame {

@@ -120,7 +120,10 @@ mod tests {
         .unwrap();
         let after = render_placement(&sim, &[4, 1, 2, 3, 0, 5]);
         assert!(after.contains("proc 0: -"), "{after}");
-        assert!(after.contains("p4[00] p0[14]") || after.contains("p0[14] p4[00]"), "{after}");
+        assert!(
+            after.contains("p4[00] p0[14]") || after.contains("p0[14] p4[00]"),
+            "{after}"
+        );
     }
 
     #[test]

@@ -92,9 +92,7 @@ mod tests {
 
     #[test]
     fn all_distinct() {
-        let all: Vec<Vec<usize>> = permutations_of(5)
-            .map(|p| p.as_slice().to_vec())
-            .collect();
+        let all: Vec<Vec<usize>> = permutations_of(5).map(|p| p.as_slice().to_vec()).collect();
         let mut dedup = all.clone();
         dedup.sort();
         dedup.dedup();

@@ -12,7 +12,7 @@
 //! ```
 
 use pops_bipartite::ColorerKind;
-use pops_core::router::route;
+use pops_core::engine::RoutingEngine;
 use pops_core::single_slot::is_single_slot_routable;
 use pops_network::{viz, PopsTopology, Simulator};
 use pops_permutation::Permutation;
@@ -34,7 +34,9 @@ fn main() {
     println!("-- initial placement (left side of Figure 3) --");
     print!("{}", viz::render_placement(&sim, pi.as_slice()));
 
-    let plan = route(&pi, topology, ColorerKind::default());
+    let plan = RoutingEngine::with_colorer(topology, ColorerKind::default())
+        .emit_artefacts(true)
+        .plan_theorem2(&pi);
     let fd = plan.fair_distribution.as_ref().expect("d > 1");
     println!("\n-- fair distribution f(h, i) (intermediate groups) --");
     for h in 0..3 {

@@ -1,0 +1,2 @@
+//! Placeholder library target: the real content of this package is its
+//! `[[example]]` targets (one per `.rs` file in this directory).

@@ -38,7 +38,10 @@ fn main() {
     );
 
     println!("bounds for this permutation:");
-    println!("  paper's stated Prop 2:        2*ceil(d/g)   = {}", 2 * d.div_ceil(g));
+    println!(
+        "  paper's stated Prop 2:        2*ceil(d/g)   = {}",
+        2 * d.div_ceil(g)
+    );
     println!(
         "  corrected Prop 2 (this repo): ceil(d/(g-1)) = {}",
         proposition2(&pi, d, g).expect("hypotheses hold")
@@ -79,8 +82,12 @@ fn main() {
         println!("  slot {s}: {}", moves.join(",  "));
         sim.execute_frame(frame).expect("witness slot is legal");
     }
-    sim.verify_delivery(pi.as_slice()).expect("witness delivers");
-    println!("  all packets verified at their destinations — {opt} < {} \u{2717}\n", 2 * d.div_ceil(g));
+    sim.verify_delivery(pi.as_slice())
+        .expect("witness delivers");
+    println!(
+        "  all packets verified at their destinations — {opt} < {} \u{2717}\n",
+        2 * d.div_ceil(g)
+    );
 
     println!("sweeping all permutations of {t} for the worst case...");
     let mut max_opt = 0;

@@ -6,6 +6,7 @@
 //! ```
 
 use pops_bipartite::ColorerKind;
+use pops_core::engine::{Router, RoutingEngine, RoutingRequest};
 use pops_core::verify::route_and_verify;
 use pops_core::{lower_bound, theorem2_slots};
 use pops_network::patterns::one_to_all;
@@ -75,4 +76,20 @@ fn main() {
         "{}",
         pops_core::diagnostics::render_plan(&verdict.plan, &pi)
     );
+
+    // Production shape: one warm engine, many permutations. The engine
+    // owns the list-system/padding/colouring/fair-distribution arenas, so
+    // repeated plans allocate nothing in the construction.
+    println!("\n== Warm RoutingEngine: many permutations, one topology ==");
+    let mut engine = RoutingEngine::new(topology);
+    for round in 0..3 {
+        let pi = random_permutation(topology.n(), &mut rng);
+        let outcome = engine
+            .plan(&RoutingRequest::Theorem2 { pi: &pi })
+            .expect("Theorem 2 always routes");
+        println!(
+            "  round {round}: routed in {} slots on reused arenas",
+            outcome.schedule().slot_count()
+        );
+    }
 }

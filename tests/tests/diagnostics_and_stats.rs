@@ -45,8 +45,7 @@ fn two_hop_beats_direct_on_imbalance_for_concentrated_demand() {
     let t = PopsTopology::new(d, g);
     let pi = group_rotation(d, g, 1);
     let direct = CouplerLoad::from_schedule(&t, &route_direct(&pi, &t));
-    let two_hop =
-        CouplerLoad::from_schedule(&t, &route(&pi, t, ColorerKind::default()).schedule);
+    let two_hop = CouplerLoad::from_schedule(&t, &route(&pi, t, ColorerKind::default()).schedule);
     assert!(
         two_hop.imbalance() < direct.imbalance(),
         "two-hop {:.2} vs direct {:.2}",
@@ -124,7 +123,11 @@ fn fault_routing_schedules_show_detour_load() {
     let pi = vector_reversal(6); // group 0 → group 2 traffic must detour
     let routing = route_with_faults(&pi, t, &faults).unwrap();
     let load = CouplerLoad::from_schedule(&t, &routing.schedule);
-    assert_eq!(load.per_coupler[t.coupler_id(2, 0)], 0, "dead coupler unused");
+    assert_eq!(
+        load.per_coupler[t.coupler_id(2, 0)],
+        0,
+        "dead coupler unused"
+    );
     // The detour traffic exists: total transmissions exceed n's one-hop
     // minimum.
     let total: usize = load.per_coupler.iter().sum();

@@ -1,0 +1,131 @@
+//! Allocation accounting for the engine hot path: after a warming call, a
+//! [`RoutingEngine`] with the alternating-path colourer performs **zero**
+//! heap allocations in the coloring/fair-distribution path
+//! ([`RoutingEngine::fair_distribution_targets`]) — the acceptance
+//! criterion of the zero-allocation refactor.
+//!
+//! The test binary installs a counting wrapper around the system allocator;
+//! the counter is thread-local, so the test harness's other threads cannot
+//! perturb the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use pops_core::engine::RoutingEngine;
+use pops_network::PopsTopology;
+use pops_permutation::families::{random_permutation, vector_reversal};
+use pops_permutation::SplitMix64;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the bookkeeping is a
+// thread-local counter bump with no allocation of its own (const-initialized
+// `Cell<u64>` thread-locals need no lazy setup and have no destructor).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn warm_fair_distribution_path_allocates_nothing() {
+    // Every case class: d < g (padded), d = g, d > g (bijection), d ∤ g.
+    for (d, g) in [
+        (2usize, 8usize),
+        (3, 5),
+        (4, 4),
+        (6, 3),
+        (7, 3),
+        (8, 2),
+        (16, 16),
+    ] {
+        let t = PopsTopology::new(d, g);
+        let mut engine = RoutingEngine::new(t); // alternating-path colourer
+        let mut rng = SplitMix64::new(42);
+
+        // Warm the arenas (this call may allocate).
+        let warmup = random_permutation(d * g, &mut rng);
+        let _ = engine.fair_distribution_targets(&warmup);
+
+        for round in 0..5 {
+            let pi = if round % 2 == 0 {
+                random_permutation(d * g, &mut rng)
+            } else {
+                vector_reversal(d * g)
+            };
+            let before = allocations();
+            let targets = engine.fair_distribution_targets(&pi);
+            debug_assert!(!targets.is_empty());
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "warm fair-distribution path allocated on POPS({d}, {g}), round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_plan_allocates_only_its_output() {
+    // The full plan must allocate its *output* (schedule, transmissions,
+    // intermediate vector) but nothing construction-internal: the output of
+    // a Theorem-2 plan is ≤ 2·rounds slot vectors + one transmission +
+    // receiver vector per delivery + the intermediate map. Budget that
+    // exactly and leave zero headroom for construction-state allocations.
+    let (d, g) = (8usize, 8usize);
+    let n = d * g;
+    let t = PopsTopology::new(d, g);
+    let mut engine = RoutingEngine::new(t);
+    let mut rng = SplitMix64::new(43);
+    let _ = engine.plan_theorem2(&random_permutation(n, &mut rng));
+
+    let pi = random_permutation(n, &mut rng);
+    let before = allocations();
+    let plan = engine.plan_theorem2(&pi);
+    let after = allocations();
+
+    let transmissions: usize = plan
+        .schedule
+        .slots
+        .iter()
+        .map(|s| s.transmissions.len())
+        .sum();
+    // Per transmission: the Transmission itself lives inline in its slot
+    // vector, but each carries a one-element `receivers` vector.
+    let output_budget = 1                          // slots vector
+        + plan.schedule.slots.len()                // per-slot transmission vectors
+        + transmissions                            // per-transmission receiver vectors
+        + 1; // intermediate vector
+    assert!(
+        (after - before) as usize <= output_budget,
+        "warm plan allocated {} times, output budget is {output_budget}",
+        after - before
+    );
+}
