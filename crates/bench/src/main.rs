@@ -96,6 +96,10 @@ fn main() {
     if args.iter().any(|a| a.eq_ignore_ascii_case("BENCH")) {
         experiment_bench_json();
     }
+    // Same opt-in rule: BENCH_SERVICE overwrites BENCH_service.json.
+    if args.iter().any(|a| a.eq_ignore_ascii_case("BENCH_SERVICE")) {
+        experiment_bench_service();
+    }
 }
 
 /// F1 — Figure 1: OPS coupler broadcast semantics.
@@ -1043,5 +1047,134 @@ fn experiment_bench_json() {
     match std::fs::write("BENCH_routing.json", &json) {
         Ok(()) => println!("\nwrote BENCH_routing.json\n"),
         Err(e) => println!("\ncould not write BENCH_routing.json: {e}\n"),
+    }
+}
+
+/// BENCH_SERVICE — service-layer throughput baseline
+/// (`BENCH_service.json`): cold engine-per-plan vs one warm engine vs
+/// cache hits through the full [`pops_service::RoutingService`] front
+/// door (admission gate, canonical key, LRU, metrics), at POPS(16, 16)
+/// and POPS(32, 32) over 64 random permutations each. Every schedule the
+/// service returns is first verified on the conflict-checking simulator.
+fn experiment_bench_service() {
+    use pops_service::{RoutingService, ServiceConfig, ServiceRequest};
+
+    println!("## BENCH_SERVICE — routing-service throughput baseline (BENCH_service.json)\n");
+
+    let mut entries: Vec<String> = Vec::new();
+    for (d, g) in [(16usize, 16usize), (32, 32)] {
+        let t = PopsTopology::new(d, g);
+        let n = d * g;
+        let count = 64usize;
+        let mut rng = SplitMix64::new(0x5EC7);
+        let perms: Vec<Permutation> = (0..count)
+            .map(|_| random_permutation(n, &mut rng))
+            .collect();
+        let slots_per_plan = theorem2_slots(d, g);
+        let colorer = ColorerKind::AlternatingPath;
+
+        // Cold: a fresh engine per plan — what every consumer paid before
+        // the service existed.
+        let mut cold_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let outcome = RoutingService::route_cold(
+                    t,
+                    colorer,
+                    &ServiceRequest::Theorem2 { pi: pi.clone() },
+                )
+                .expect("routes");
+                std::hint::black_box(&outcome);
+                cold_plans += 1;
+            }
+        }
+        let cold_per_sec = cold_plans as f64 / start.elapsed().as_secs_f64();
+
+        // Warm: one warm engine replanning on its arenas (PR 1's hot path).
+        let mut engine = RoutingEngine::with_colorer(t, colorer);
+        engine.warm();
+        let mut warm_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let plan = engine.plan_theorem2(pi);
+                std::hint::black_box(&plan);
+                warm_plans += 1;
+            }
+        }
+        let warm_per_sec = warm_plans as f64 / start.elapsed().as_secs_f64();
+
+        // Cache hits: the full service front door answering repeats.
+        let service = RoutingService::with_config(
+            t,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 2 * count,
+                max_in_flight: 4,
+                colorer,
+            },
+        );
+        // Warm the cache, verifying every returned schedule on the
+        // simulator referee as we go.
+        for pi in &perms {
+            let reply = service
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .expect("routes");
+            assert!(!reply.cache_hit);
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(reply.outcome.schedule())
+                .expect("legal");
+            sim.verify_delivery(pi.as_slice()).expect("delivers");
+        }
+        let mut hit_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let reply = service
+                    .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                    .expect("routes");
+                debug_assert!(reply.cache_hit);
+                std::hint::black_box(&reply);
+                hit_plans += 1;
+            }
+        }
+        let hit_per_sec = hit_plans as f64 / start.elapsed().as_secs_f64();
+        let snap = service.metrics();
+        assert_eq!(snap.misses, count as u64, "only the warm-up misses");
+        assert_eq!(snap.hits, hit_plans as u64);
+
+        let speedup = hit_per_sec / cold_per_sec;
+        println!(
+            "POPS({d:>2}, {g:>2}) x {count} permutations: cold {cold_per_sec:>10.0} plans/s, \
+             warm {warm_per_sec:>10.0} plans/s, cache-hit {hit_per_sec:>10.0} plans/s \
+             ({speedup:.1}x vs cold)"
+        );
+        assert!(
+            speedup >= 5.0,
+            "acceptance: cache-hit throughput must be >= 5x cold (got {speedup:.1}x)"
+        );
+
+        entries.push(format!(
+            "    {{\n      \"d\": {d},\n      \"g\": {g},\n      \"n\": {n},\n      \
+             \"permutations\": {count},\n      \"theorem2_slots\": {slots_per_plan},\n      \
+             \"verified_on_simulator\": true,\n      \
+             \"cold\": {{\n        \"plans_per_sec\": {cold_per_sec:.1}\n      }},\n      \
+             \"warm_engine\": {{\n        \"plans_per_sec\": {warm_per_sec:.1}\n      }},\n      \
+             \"cache_hit\": {{\n        \"plans_per_sec\": {hit_per_sec:.1},\n        \
+             \"speedup_vs_cold\": {speedup:.1}\n      }}\n    }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pops_routing_service\",\n  \"description\": \
+         \"RoutingService cold vs warm-engine vs cache-hit plan throughput \
+         (single client thread, alternating-path colourer); regenerate with \
+         `cargo run --release --bin experiments -- BENCH_SERVICE`\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_service.json\n"),
+        Err(e) => println!("\ncould not write BENCH_service.json: {e}\n"),
     }
 }

@@ -2,6 +2,11 @@
 //! tests can assert on output without capturing stdout.
 
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Instant;
 
 use pops_baselines::compare;
 use pops_bipartite::ColorerKind;
@@ -10,10 +15,12 @@ use pops_core::diagnostics::render_plan;
 use pops_core::engine::RoutingEngine;
 use pops_core::fault_routing::route_with_faults;
 use pops_core::optimal::min_slots_two_hop;
+use pops_core::route_batch_with;
 use pops_core::{lower_bound, theorem2_slots};
 use pops_network::{viz, FaultSet, PopsTopology, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::SplitMix64;
+use pops_service::{serve, Json, RoutingService, ServiceClient, ServiceConfig};
 
 use crate::opts::{err, CliError, Opts};
 use crate::spec;
@@ -33,6 +40,12 @@ COMMANDS
   optimal   --d D --g G [perm] [--budget B]  exact minimum slots (tiny n)
   faults    --d D --g G [perm] --fail a,b,c  route around failed couplers
   sweep     [--max-d D] [--max-g G]          Theorem-2 slot-count sweep
+  batch     --d D --g G [--count N]          route a batch of random perms
+            [--threads T] [--no-artefacts]   (engine-per-worker fast path)
+  serve     --d D --g G [--port P]           start the TCP/JSON routing service
+            [--shards S] [--cache C] [--max-in-flight M]
+  request   --addr HOST:PORT [perm]          route one request via a server
+            [--kind K] [--stats] [--shutdown]
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
   help                                       this message
@@ -54,6 +67,9 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "optimal" => cmd_optimal(opts),
         "faults" => cmd_faults(opts),
         "sweep" => cmd_sweep(opts),
+        "batch" => cmd_batch(opts),
+        "serve" => cmd_serve(opts),
+        "request" => cmd_request(opts),
         "collectives" => cmd_collectives(opts),
         "families" => Ok(format!("families:\n{}\n", spec::FAMILY_HELP)),
         "" | "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -315,6 +331,189 @@ fn cmd_sweep(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `pops batch`: the CLI fast path onto [`route_batch_with`] — routes a
+/// batch of random permutations with explicit thread and artefact control,
+/// so scripted throughput runs stop paying the per-plan artefact clones.
+fn cmd_batch(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    let kind = engine(opts)?;
+    let count = opts.usize_or("count", 64)?;
+    if count == 0 {
+        return Err(err("--count must be positive"));
+    }
+    if count.checked_mul(t.n()).is_none_or(|total| total > 1 << 26) {
+        return Err(err("batch too large; keep count * n <= 2^26"));
+    }
+    let seed = opts.u64_or("seed", 42)?;
+    let threads = match opts.usize_or("threads", 0)? {
+        0 => None, // auto: available parallelism
+        n => NonZeroUsize::new(n),
+    };
+    let emit_artefacts = !opts.flag("no-artefacts");
+    let mut rng = SplitMix64::new(seed);
+    let perms: Vec<_> = (0..count)
+        .map(|_| random_permutation(t.n(), &mut rng))
+        .collect();
+
+    let start = Instant::now();
+    let plans = route_batch_with(&perms, t, kind, threads, emit_artefacts);
+    let elapsed = start.elapsed();
+
+    // Referee spot-check: first and last plan execute and deliver.
+    for idx in [0, count - 1] {
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&plans[idx].schedule)
+            .map_err(|(slot, e)| err(format!("plan {idx} illegal at slot {slot}: {e}")))?;
+        sim.verify_delivery(perms[idx].as_slice())
+            .map_err(|e| err(format!("plan {idx} misdelivery: {e}")))?;
+    }
+
+    let slots: usize = plans.iter().map(|p| p.schedule.slot_count()).sum();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "routed {count} random permutation(s) on {t} in {elapsed:.2?}"
+    );
+    let _ = writeln!(
+        out,
+        "threads: {}   artefacts: {}   engine: {}",
+        threads.map_or("auto".to_string(), |n| n.to_string()),
+        if emit_artefacts { "on" } else { "off" },
+        kind.name()
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {:.0} plans/s ({:.0} slots/s)",
+        count as f64 / secs,
+        slots as f64 / secs
+    );
+    let _ = writeln!(
+        out,
+        "spot-check: first and last schedules verified on the simulator"
+    );
+    Ok(out)
+}
+
+/// `pops serve`: the TCP/JSON-lines routing service. Prints the listening
+/// address immediately (stdout, flushed) so scripts can scrape an
+/// ephemeral port (`--port 0`), then blocks until a client sends a
+/// shutdown op; the returned string is the exit summary.
+fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
+    let t = shape(opts)?;
+    // The service defaults to the alternating-path colourer — the one with
+    // the zero-allocation warm-engine implementation — unlike the one-shot
+    // commands, which keep the legacy euler default.
+    let kind = match opts.get("engine") {
+        None => ColorerKind::AlternatingPath,
+        Some(_) => engine(opts)?,
+    };
+    let port = opts.usize_or("port", 0)?;
+    if port > u16::MAX as usize {
+        return Err(err("--port must be at most 65535"));
+    }
+    let defaults = ServiceConfig::default();
+    let shards = opts.usize_or("shards", defaults.shards)?;
+    if shards == 0 {
+        return Err(err("--shards must be positive"));
+    }
+    let cache_capacity = opts.usize_or("cache", defaults.cache_capacity)?;
+    let max_in_flight = opts.usize_or("max-in-flight", defaults.max_in_flight)?;
+    let listener = TcpListener::bind(("127.0.0.1", port as u16))
+        .map_err(|e| err(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| err(format!("cannot read bound address: {e}")))?;
+    let service = Arc::new(RoutingService::with_config(
+        t,
+        ServiceConfig {
+            shards,
+            cache_capacity,
+            max_in_flight,
+            colorer: kind,
+        },
+    ));
+    println!(
+        "pops-service listening on {addr} ({t}, {shards} shard(s), cache {cache_capacity}, \
+         max in-flight {max_in_flight}, engine {})",
+        kind.name()
+    );
+    let _ = std::io::stdout().flush();
+    let summary =
+        serve(listener, service.clone()).map_err(|e| err(format!("serve failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "shutdown after {} connection(s), {} request(s)",
+        summary.connections, summary.requests
+    );
+    let _ = write!(out, "{}", service.metrics());
+    Ok(out)
+}
+
+/// `pops request`: a client for `pops serve`. Resolves the permutation
+/// against the server's own topology (via the `info` op), routes it, and
+/// re-verifies the returned schedule on the local simulator referee.
+fn cmd_request(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| err("--addr HOST:PORT is required"))?;
+    let mut client =
+        ServiceClient::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+
+    if opts.flag("shutdown") {
+        client
+            .shutdown()
+            .map_err(|e| err(format!("shutdown failed: {e}")))?;
+        return Ok(format!("server at {addr} acknowledged shutdown\n"));
+    }
+    if opts.flag("stats") {
+        let stats = client.stats().map_err(|e| err(e.to_string()))?;
+        let count = |name: &str| stats.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hits: {}   misses: {}   errors: {}   slots emitted: {}",
+            count("hits"),
+            count("misses"),
+            count("errors"),
+            count("slots_emitted")
+        );
+        let _ = writeln!(out, "raw: {stats}");
+        return Ok(out);
+    }
+
+    let info = client.info().map_err(|e| err(e.to_string()))?;
+    let t = PopsTopology::new(info.d, info.g);
+    let pi = spec::resolve(opts, info.d, info.g)?;
+    let kind = opts.get("kind").unwrap_or("theorem2");
+    let reply = client
+        .route_permutation(kind, &pi)
+        .map_err(|e| err(e.to_string()))?;
+
+    // Referee: the returned schedule must execute and deliver locally.
+    let mut sim = Simulator::with_unit_packets(t);
+    sim.execute_schedule(&reply.schedule)
+        .map_err(|(slot, e)| err(format!("returned schedule illegal at slot {slot}: {e}")))?;
+    sim.verify_delivery(pi.as_slice())
+        .map_err(|e| err(format!("returned schedule misdelivers: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{t} served by {addr} ({} shard(s), cache {})",
+        info.shards, info.cache_capacity
+    );
+    let _ = writeln!(
+        out,
+        "verified {}-slot schedule (kind {kind}, cache {}, {} µs server-side)",
+        reply.slots,
+        if reply.cache_hit { "hit" } else { "miss" },
+        reply.micros
+    );
+    Ok(out)
+}
+
 fn cmd_collectives(opts: &Opts) -> Result<String, CliError> {
     use pops_collectives::cost;
     let t = shape(opts)?;
@@ -391,7 +590,10 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let out = run_words(&["help"]).unwrap();
-        for cmd in ["topology", "route", "bounds", "optimal", "faults", "sweep"] {
+        for cmd in [
+            "topology", "route", "bounds", "optimal", "faults", "sweep", "batch", "serve",
+            "request",
+        ] {
             assert!(out.contains(cmd), "missing {cmd}");
         }
     }
@@ -564,6 +766,95 @@ mod tests {
         let out = run_words(&["families"]).unwrap();
         assert!(out.contains("reversal"));
         assert!(out.contains("group-deranged"));
+    }
+
+    #[test]
+    fn batch_routes_and_reports_throughput() {
+        let out = run_words(&[
+            "batch",
+            "--d",
+            "4",
+            "--g",
+            "4",
+            "--count",
+            "12",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("routed 12 random permutation(s)"), "{out}");
+        assert!(out.contains("threads: 2"), "{out}");
+        assert!(out.contains("artefacts: on"), "{out}");
+        assert!(out.contains("verified on the simulator"), "{out}");
+    }
+
+    #[test]
+    fn batch_no_artefacts_fast_path() {
+        let out = run_words(&[
+            "batch",
+            "--d",
+            "3",
+            "--g",
+            "3",
+            "--count",
+            "5",
+            "--no-artefacts",
+        ])
+        .unwrap();
+        assert!(out.contains("artefacts: off"), "{out}");
+        assert!(out.contains("throughput:"), "{out}");
+    }
+
+    #[test]
+    fn batch_validates_options() {
+        assert!(run_words(&["batch", "--d", "2", "--g", "2", "--count", "0"]).is_err());
+        assert!(run_words(&["batch", "--g", "2"]).is_err());
+    }
+
+    #[test]
+    fn request_round_trips_through_a_live_server() {
+        use pops_service::{serve, RoutingService, ServiceConfig};
+        use std::net::TcpListener;
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+            },
+        ));
+        let server = std::thread::spawn(move || serve(listener, service).unwrap());
+
+        let out = run_words(&["request", "--addr", &addr, "--family", "reversal"]).unwrap();
+        assert!(out.contains("verified 2-slot schedule"), "{out}");
+        assert!(out.contains("cache miss"), "{out}");
+
+        // Same request again: now a cache hit.
+        let out = run_words(&["request", "--addr", &addr, "--family", "reversal"]).unwrap();
+        assert!(out.contains("cache hit"), "{out}");
+
+        let out = run_words(&["request", "--addr", &addr, "--stats"]).unwrap();
+        assert!(out.contains("hits: 1"), "{out}");
+
+        let out = run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
+        assert!(out.contains("acknowledged shutdown"), "{out}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_requires_addr() {
+        assert!(run_words(&["request"]).unwrap_err().0.contains("--addr"));
+    }
+
+    #[test]
+    fn serve_validates_options() {
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--port", "70000"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--shards", "0"]).is_err());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! pops optimal --d 3 --g 2 --family group-rotation
 //! pops faults --d 2 --g 3 --family reversal --fail 3
 //! pops sweep --max-d 6 --max-g 6
+//! pops batch --d 16 --g 16 --count 256 --threads 4 --no-artefacts
+//! pops serve --d 16 --g 16 --port 7077
+//! pops request --addr 127.0.0.1:7077 --family reversal
 //! ```
 
 mod commands;

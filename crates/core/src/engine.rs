@@ -316,6 +316,56 @@ impl RoutingEngine {
         self
     }
 
+    /// Non-consuming form of [`RoutingEngine::emit_artefacts`], for engines
+    /// owned behind a pool or another shared structure that cannot move
+    /// them through the builder.
+    pub fn set_emit_artefacts(&mut self, yes: bool) {
+        self.emit_artefacts = yes;
+    }
+
+    /// Warms the scratch arenas by planning the identity permutation and
+    /// discarding the plan: afterwards every Theorem-2 arena is at its
+    /// final size for this topology, so the next `plan_*` call starts
+    /// directly on the zero-allocation hot path. Service pools warm their
+    /// shards at construction so no real request pays the arena growth.
+    pub fn warm(&mut self) -> &mut Self {
+        let pi = Permutation::identity(self.topology.n());
+        let _ = self.theorem2_internal(&pi, false);
+        self
+    }
+
+    /// Releases every scratch arena back to the allocator (capacities drop
+    /// to zero; the next plan re-grows them). The reset hook for
+    /// long-lived pools that want to shed memory after a burst of
+    /// requests.
+    pub fn reset(&mut self) {
+        self.scratch = Scratch::default();
+    }
+
+    /// Approximate heap footprint of the scratch arenas in bytes — the
+    /// flat vectors only (the h-relation request graph, whose size is
+    /// workload-dependent, is excluded). A metrics hook for pools.
+    pub fn arena_footprint(&self) -> usize {
+        let s = &self.scratch;
+        let usize_cells = s.dest_group.capacity()
+            + s.left_table.capacity()
+            + s.right_table.capacity()
+            + s.colors.capacity()
+            + s.chain.capacity()
+            + s.fd_targets.capacity()
+            + s.inv.capacity()
+            + s.bucket_cursor.capacity()
+            + s.receivers.capacity()
+            + s.senders.capacity()
+            + s.demand.capacity()
+            + s.queue_len.capacity();
+        let u32_cells = s.edge_u.capacity()
+            + s.edge_v.capacity()
+            + s.incoming_h.capacity()
+            + s.incoming_i.capacity();
+        usize_cells * std::mem::size_of::<usize>() + u32_cells * std::mem::size_of::<u32>()
+    }
+
     /// The engine's topology.
     pub fn topology(&self) -> PopsTopology {
         self.topology
@@ -1256,6 +1306,38 @@ mod tests {
         let fd = plan.fair_distribution.unwrap();
         let ls = plan.list_system.unwrap();
         fd.verify(&ls).unwrap();
+    }
+
+    #[test]
+    fn warm_reset_and_footprint_hooks() {
+        let t = PopsTopology::new(4, 4);
+        let mut engine = RoutingEngine::new(t);
+        assert_eq!(engine.arena_footprint(), 0, "fresh engine has no arenas");
+        engine.warm();
+        let warmed = engine.arena_footprint();
+        assert!(warmed > 0, "warming must size the arenas");
+        // A warm engine's arenas do not grow further on real requests.
+        let pi = vector_reversal(16);
+        let plan = engine.plan_theorem2(&pi);
+        assert_eq!(plan.schedule.slot_count(), 2);
+        assert_eq!(engine.arena_footprint(), warmed);
+        engine.reset();
+        assert_eq!(engine.arena_footprint(), 0, "reset releases the arenas");
+        // And the engine still routes correctly after a reset.
+        let plan = engine.plan_theorem2(&pi);
+        assert_eq!(plan.schedule.slot_count(), 2);
+    }
+
+    #[test]
+    fn set_emit_artefacts_matches_builder() {
+        let t = PopsTopology::new(3, 4);
+        let pi = vector_reversal(12);
+        let mut engine = RoutingEngine::new(t);
+        assert!(engine.plan_theorem2(&pi).fair_distribution.is_none());
+        engine.set_emit_artefacts(true);
+        assert!(engine.plan_theorem2(&pi).fair_distribution.is_some());
+        engine.set_emit_artefacts(false);
+        assert!(engine.plan_theorem2(&pi).fair_distribution.is_none());
     }
 
     #[test]

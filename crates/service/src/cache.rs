@@ -1,0 +1,337 @@
+//! The plan cache: an LRU over canonically-keyed routing outcomes.
+//!
+//! Real request streams repeat permutations — collective phases, BPC
+//! families, hypercube simulation rounds — so the service fronts its
+//! engine pool with a cache that converts the `2⌈d/g⌉`-slot construction
+//! cost into a lookup. Values are `Arc`-shared, so a hit clones a pointer,
+//! not a plan, and the same plan can be handed to any number of client
+//! threads simultaneously.
+//!
+//! # Canonical keys
+//!
+//! A key is the byte string `kind ‖ d ‖ g ‖ payload` ([`canonical_key`]):
+//! the payload is the permutation image (or, for h-relations, the request
+//! pairs **sorted**, so any ordering of the same multiset of requests hits
+//! the same entry; for fault routing, the sorted fault list then the
+//! image). Two requests collide only if they are semantically identical —
+//! the map compares full key bytes, the hash is just the index. Any
+//! differing image element, `d`, `g`, or kind changes the key.
+//!
+//! # The LRU
+//!
+//! A slab-backed doubly-linked list threaded through a `HashMap`: `get`
+//! and `insert` are O(1), eviction pops the list tail. No external
+//! dependency and no unsafe.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pops_core::RoutingOutcome;
+
+use crate::service::ServiceRequest;
+
+const NIL: usize = usize::MAX;
+
+/// Builds the canonical cache key of `req` on a POPS(d, g) service.
+pub fn canonical_key(d: usize, g: usize, req: &ServiceRequest) -> Box<[u8]> {
+    let mut key = Vec::with_capacity(16 + 4 * d * g);
+    key.push(req.kind().index() as u8);
+    key.extend_from_slice(&(d as u32).to_le_bytes());
+    key.extend_from_slice(&(g as u32).to_le_bytes());
+    let push_image = |key: &mut Vec<u8>, image: &[usize]| {
+        for &v in image {
+            key.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+    };
+    match req {
+        ServiceRequest::Theorem2 { pi }
+        | ServiceRequest::SingleSlot { pi }
+        | ServiceRequest::Direct { pi }
+        | ServiceRequest::Structured { pi } => push_image(&mut key, pi.as_slice()),
+        ServiceRequest::HRelation { relation } => {
+            let mut pairs: Vec<(usize, usize)> = relation.requests().to_vec();
+            pairs.sort_unstable();
+            key.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (src, dst) in pairs {
+                key.extend_from_slice(&(src as u32).to_le_bytes());
+                key.extend_from_slice(&(dst as u32).to_le_bytes());
+            }
+        }
+        ServiceRequest::WithFaults { pi, faults } => {
+            let mut failed: Vec<usize> = faults.iter_failed().collect();
+            failed.sort_unstable();
+            key.extend_from_slice(&(failed.len() as u32).to_le_bytes());
+            for c in failed {
+                key.extend_from_slice(&(c as u32).to_le_bytes());
+            }
+            push_image(&mut key, pi.as_slice());
+        }
+    }
+    key.into_boxed_slice()
+}
+
+/// The cached value type: an immutable, thread-shareable routing outcome.
+pub type CachedOutcome = Arc<RoutingOutcome>;
+
+struct Slot<V> {
+    key: Box<[u8]>,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity LRU map from canonical keys to values (the service
+/// instantiates it at `V = `[`CachedOutcome`]). Capacity 0 disables
+/// caching entirely.
+pub struct PlanCache<V> {
+    capacity: usize,
+    map: HashMap<Box<[u8]>, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<V: Clone> PlanCache<V> {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The eviction capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, marking the entry most-recently-used on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<V> {
+        let &idx = self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slots[idx].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least-recently-
+    /// used entry if the cache is full.
+    pub fn insert(&mut self, key: Box<[u8]>, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for PlanCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.map.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::HRelation;
+    use pops_network::FaultSet;
+    use pops_network::PopsTopology;
+    use pops_permutation::families::vector_reversal;
+
+    fn key_of(bytes: &[u8]) -> Box<[u8]> {
+        bytes.to_vec().into_boxed_slice()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache: PlanCache<u32> = PlanCache::new(2);
+        cache.insert(key_of(b"a"), 1);
+        cache.insert(key_of(b"b"), 2);
+        assert_eq!(cache.get(b"a"), Some(1)); // a is now MRU
+        cache.insert(key_of(b"c"), 3); // evicts b
+        assert_eq!(cache.get(b"b"), None);
+        assert_eq!(cache.get(b"a"), Some(1));
+        assert_eq!(cache.get(b"c"), Some(3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut cache: PlanCache<u32> = PlanCache::new(2);
+        cache.insert(key_of(b"a"), 1);
+        cache.insert(key_of(b"b"), 2);
+        cache.insert(key_of(b"a"), 10); // refresh, a becomes MRU
+        cache.insert(key_of(b"c"), 3); // evicts b
+        assert_eq!(cache.get(b"a"), Some(10));
+        assert_eq!(cache.get(b"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache: PlanCache<u32> = PlanCache::new(0);
+        cache.insert(key_of(b"a"), 1);
+        assert_eq!(cache.get(b"a"), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_slots_are_reused() {
+        let mut cache: PlanCache<u32> = PlanCache::new(3);
+        for round in 0u32..50 {
+            cache.insert(key_of(format!("k{round}").as_bytes()), round);
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.slots.len() <= 4, "slab must recycle evicted slots");
+        assert_eq!(cache.get(b"k49"), Some(49));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn canonical_keys_separate_kinds_and_shapes() {
+        let pi = vector_reversal(16);
+        let theorem2 = ServiceRequest::Theorem2 { pi: pi.clone() };
+        let direct = ServiceRequest::Direct { pi: pi.clone() };
+        let k44 = canonical_key(4, 4, &theorem2);
+        assert_eq!(
+            k44,
+            canonical_key(4, 4, &ServiceRequest::Theorem2 { pi: pi.clone() })
+        );
+        assert_ne!(k44, canonical_key(4, 4, &direct), "kind must separate");
+        assert_ne!(
+            k44,
+            canonical_key(2, 8, &theorem2),
+            "same n, different (d, g)"
+        );
+        assert_ne!(k44, canonical_key(8, 2, &theorem2));
+    }
+
+    #[test]
+    fn h_relation_keys_canonicalize_request_order() {
+        let a = ServiceRequest::HRelation {
+            relation: HRelation::new(6, vec![(0, 1), (2, 5), (1, 0)]).unwrap(),
+        };
+        let b = ServiceRequest::HRelation {
+            relation: HRelation::new(6, vec![(2, 5), (1, 0), (0, 1)]).unwrap(),
+        };
+        let c = ServiceRequest::HRelation {
+            relation: HRelation::new(6, vec![(2, 5), (1, 0), (0, 2)]).unwrap(),
+        };
+        assert_eq!(canonical_key(2, 3, &a), canonical_key(2, 3, &b));
+        assert_ne!(canonical_key(2, 3, &a), canonical_key(2, 3, &c));
+    }
+
+    #[test]
+    fn fault_keys_include_the_fault_set() {
+        let t = PopsTopology::new(2, 3);
+        let pi = vector_reversal(6);
+        let none = FaultSet::none(&t);
+        let mut one = FaultSet::none(&t);
+        one.fail_coupler(3);
+        let k_none = canonical_key(
+            2,
+            3,
+            &ServiceRequest::WithFaults {
+                pi: pi.clone(),
+                faults: none,
+            },
+        );
+        let k_one = canonical_key(
+            2,
+            3,
+            &ServiceRequest::WithFaults {
+                pi: pi.clone(),
+                faults: one,
+            },
+        );
+        assert_ne!(k_none, k_one);
+    }
+}

@@ -1,0 +1,211 @@
+//! A blocking JSON-lines client for the service's TCP protocol — used by
+//! the `pops request` CLI subcommand, the integration tests, and the CI
+//! smoke check.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pops_network::Schedule;
+use pops_permutation::Permutation;
+
+use crate::json::Json;
+use crate::proto::schedule_from_json;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server closed the connection or sent something unparseable.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`.
+    Remote(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The serving topology and shape, from the `info` op.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerInfo {
+    /// Processors per group.
+    pub d: usize,
+    /// Number of groups.
+    pub g: usize,
+    /// Total processors.
+    pub n: usize,
+    /// Engine-pool shards.
+    pub shards: usize,
+    /// Plan-cache capacity.
+    pub cache_capacity: usize,
+}
+
+/// A served route, from the `route` op.
+#[derive(Debug, Clone)]
+pub struct RouteReply {
+    /// Slot count of the schedule.
+    pub slots: usize,
+    /// Whether the plan came from the server's cache.
+    pub cache_hit: bool,
+    /// Server-side service time in microseconds.
+    pub micros: u64,
+    /// The schedule itself (empty when requested with
+    /// `want_schedule = false`).
+    pub schedule: Schedule,
+}
+
+/// A connected client. One request/response pair per [`ServiceClient::call`].
+#[derive(Debug)]
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a serving address (e.g. `127.0.0.1:7077`).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line and parses the response line, mapping
+    /// `{"ok":false}` responses to [`ClientError::Remote`].
+    pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        let doc =
+            Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => Err(ClientError::Remote(
+                doc.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified failure")
+                    .to_string(),
+            )),
+            None => Err(ClientError::Protocol(
+                "response is missing the 'ok' field".into(),
+            )),
+        }
+    }
+
+    /// Sends one request document.
+    pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
+        self.call_raw(&request.to_string())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::Obj(vec![("op".into(), Json::str("ping"))]))?;
+        Ok(())
+    }
+
+    /// Queries the serving topology and service shape.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        let doc = self.call(&Json::Obj(vec![("op".into(), Json::str("info"))]))?;
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("info response lacks '{name}'")))
+        };
+        Ok(ServerInfo {
+            d: field("d")?,
+            g: field("g")?,
+            n: field("n")?,
+            shards: field("shards")?,
+            cache_capacity: field("cache_capacity")?,
+        })
+    }
+
+    /// Fetches the raw metrics snapshot document.
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call(&Json::Obj(vec![("op".into(), Json::str("stats"))]))
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call(&Json::Obj(vec![("op".into(), Json::str("shutdown"))]))?;
+        Ok(())
+    }
+
+    /// Routes `pi` with the given request kind (a [`crate::RequestKind`]
+    /// wire name) and decodes the reply.
+    pub fn route_permutation(
+        &mut self,
+        kind: &str,
+        pi: &Permutation,
+    ) -> Result<RouteReply, ClientError> {
+        let perm = Json::Arr(pi.as_slice().iter().map(|&v| Json::num(v)).collect());
+        let request = Json::Obj(vec![
+            ("op".into(), Json::str("route")),
+            ("kind".into(), Json::str(kind)),
+            ("perm".into(), perm),
+        ]);
+        let doc = self.call(&request)?;
+        Self::decode_route(&doc)
+    }
+
+    /// Routes an h-relation given as `(source, destination)` pairs.
+    pub fn route_h_relation(
+        &mut self,
+        requests: &[(usize, usize)],
+    ) -> Result<RouteReply, ClientError> {
+        let pairs = Json::Arr(
+            requests
+                .iter()
+                .map(|&(s, d)| Json::Arr(vec![Json::num(s), Json::num(d)]))
+                .collect(),
+        );
+        let request = Json::Obj(vec![
+            ("op".into(), Json::str("route")),
+            ("kind".into(), Json::str("h-relation")),
+            ("requests".into(), pairs),
+        ]);
+        let doc = self.call(&request)?;
+        Self::decode_route(&doc)
+    }
+
+    fn decode_route(doc: &Json) -> Result<RouteReply, ClientError> {
+        let slots = doc
+            .get("slots")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ClientError::Protocol("route response lacks 'slots'".into()))?;
+        let cache_hit = doc.get("cache").and_then(Json::as_str) == Some("hit");
+        let micros = doc.get("micros").and_then(Json::as_u64).unwrap_or(0);
+        let schedule = match doc.get("schedule") {
+            Some(body) => schedule_from_json(body).map_err(ClientError::Protocol)?,
+            None => Schedule::new(),
+        };
+        Ok(RouteReply {
+            slots,
+            cache_hit,
+            micros,
+            schedule,
+        })
+    }
+}

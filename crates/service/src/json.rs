@@ -1,0 +1,427 @@
+//! A minimal JSON value, parser, and writer — exactly the surface the
+//! service's line protocol needs, with no external dependency.
+//!
+//! Objects preserve insertion order (they are stored as a pair list), so
+//! encoded responses are deterministic and greppable in tests and CI.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the protocol only uses non-negative integers, which are
+    /// exact in an `f64` up to 2⁵³ — far beyond any id in this workspace).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as an order-preserving pair list.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an integer.
+    pub fn num(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+
+    /// Convenience constructor for a string.
+    pub fn str(s: impl Into<String>) -> Self {
+        Json::Str(s.into())
+    }
+
+    /// Member `key` of an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(x) if x >= 0.0 && x.fract() == 0.0 && x <= 2f64.powi(53) => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, if it is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|x| x as usize)
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document, requiring it to span the whole input.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                msg: "trailing characters after document".into(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(at: usize, msg: impl Into<String>) -> JsonError {
+    JsonError {
+        at,
+        msg: msg.into(),
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(fail(*pos, format!("expected '{}'", b as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(fail(*pos, "unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(fail(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(fail(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(fail(*pos, format!("expected '{word}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| fail(start, format!("invalid number '{text}'")))
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape, with `*pos` on the
+/// `u`; leaves `*pos` on the last digit (the caller's `*pos += 1` steps
+/// past it).
+fn parse_u_escape(bytes: &[u8], pos: &mut usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .ok_or_else(|| fail(*pos, "truncated \\u escape"))?;
+    let code = u32::from_str_radix(
+        std::str::from_utf8(hex).map_err(|_| fail(*pos, "non-ASCII \\u escape"))?,
+        16,
+    )
+    .map_err(|_| fail(*pos, "invalid \\u escape"))?;
+    *pos += 4;
+    Ok(code)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(fail(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = parse_u_escape(bytes, pos)?;
+                        let scalar = match code {
+                            // A high surrogate must pair with a following
+                            // `\uXXXX` low surrogate (RFC 8259 §7).
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err(fail(*pos, "unpaired high surrogate"));
+                                }
+                                *pos += 2;
+                                let low = parse_u_escape(bytes, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(fail(*pos, "invalid low surrogate"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => return Err(fail(*pos, "unpaired low surrogate")),
+                            code => code,
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| fail(*pos, "\\u escape is not a scalar value"))?,
+                        );
+                    }
+                    _ => return Err(fail(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences included).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| fail(*pos, "invalid UTF-8 in string"))?;
+                let c = rest.chars().next().expect("non-empty by match arm");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_protocol_shapes() {
+        let doc = r#"{"op":"route","kind":"theorem2","perm":[3,2,1,0],"want_schedule":true}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("route"));
+        assert_eq!(v.get("perm").unwrap().as_arr().unwrap().len(), 4);
+        assert_eq!(v.get("want_schedule").unwrap().as_bool(), Some(true));
+        let re = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn integers_render_without_exponent() {
+        assert_eq!(Json::num(1048576).to_string(), "1048576");
+        assert_eq!(Json::Num(0.0).to_string(), "0");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line\nquote\"slash\\tab\tunicode\u{2603}";
+        let encoded = Json::Str(s.into()).to_string();
+        assert_eq!(Json::parse(&encoded).unwrap().as_str(), Some(s));
+        assert_eq!(Json::parse(r#""A☃""#).unwrap().as_str(), Some("A\u{2603}"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // What e.g. Python's json.dumps("\U0001F600") emits
+        // (ensure_ascii): a \uXXXX\uXXXX surrogate pair.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        // BMP escapes still decode singly.
+        assert_eq!(
+            Json::parse("\"\\u2603\"").unwrap().as_str(),
+            Some("\u{2603}")
+        );
+        // Lone or malformed surrogates are rejected.
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83dx\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(Json::parse("\"\\ude00\"").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn numbers_validate_integrality() {
+        assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-2").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("42").unwrap().as_usize(), Some(42));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Json::parse(r#"{"a":[[0,1],[2,3]],"b":{"c":null}}"#).unwrap();
+        let rows = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(rows[1].as_arr().unwrap()[0].as_usize(), Some(2));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+}

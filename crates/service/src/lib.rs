@@ -1,0 +1,57 @@
+//! `pops-service` — Mei–Rizzi permutation routing as a **concurrent
+//! service**: a sharded pool of warm zero-allocation engines behind an
+//! LRU plan cache, a metrics registry, and a std-only TCP/JSON-lines
+//! front door.
+//!
+//! # Why a service
+//!
+//! PR 1's [`pops_core::RoutingEngine`] made a single consumer fast; this
+//! crate makes routing a shared facility. Real request streams repeat
+//! permutations (collective phases, BPC families, hypercube simulation
+//! rounds), so a canonical-key cache in front of warm engines converts
+//! the `2⌈d/g⌉`-slot construction cost into an `Arc` clone — the
+//! serve-many-queries-from-one-prepared-core shape.
+//!
+//! # Layers
+//!
+//! | module | role |
+//! |---|---|
+//! | [`pool`] | [`EnginePool`]: N warm engines, round-robin + overflow dispatch |
+//! | [`cache`] | [`PlanCache`]: canonical-key LRU over `Arc`-shared outcomes |
+//! | [`service`] | [`RoutingService`]: admission → cache → pool → metrics |
+//! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms |
+//! | [`json`], [`proto`] | dependency-free JSON and the wire protocol |
+//! | [`server`], [`client`] | TCP/JSON-lines front door (`pops serve` / `pops request`) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pops_network::PopsTopology;
+//! use pops_permutation::families::vector_reversal;
+//! use pops_service::{RoutingService, ServiceRequest};
+//!
+//! let service = RoutingService::new(PopsTopology::new(4, 4));
+//! let req = ServiceRequest::Theorem2 { pi: vector_reversal(16) };
+//! assert!(!service.route(&req).unwrap().cache_hit); // computed
+//! assert!(service.route(&req).unwrap().cache_hit);  // served from cache
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use cache::{canonical_key, CachedOutcome, PlanCache};
+pub use client::{ClientError, RouteReply, ServerInfo, ServiceClient};
+pub use json::{Json, JsonError};
+pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics};
+pub use pool::EnginePool;
+pub use server::{serve, ServerSummary};
+pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};

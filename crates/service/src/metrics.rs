@@ -1,0 +1,429 @@
+//! The service metrics registry: lock-free counters and log₂ latency
+//! histograms, updated on every request and rendered as a snapshot.
+//!
+//! Everything is a relaxed atomic — metrics never serialize the request
+//! path. A [`MetricsSnapshot`] is a plain-data copy taken at one instant;
+//! the server's `stats` op and the CLI's exit summary both render from it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of latency buckets: bucket `i` counts requests whose latency in
+/// microseconds `µs` satisfies `2^(i-1) ≤ µs < 2^i` (bucket 0 is `< 1 µs`).
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// The request kinds the service distinguishes in its per-kind metrics —
+/// one per [`pops_core::RoutingRequest`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// General Theorem-2 permutation routing.
+    Theorem2,
+    /// Single-slot routing (Gravenstreter–Melhem condition).
+    SingleSlot,
+    /// h-relation routing by König decomposition.
+    HRelation,
+    /// Fault-tolerant routing around failed couplers.
+    WithFaults,
+    /// The direct single-hop baseline.
+    Direct,
+    /// The structured (Sahni-style) baseline.
+    Structured,
+}
+
+impl RequestKind {
+    /// All kinds, in wire-name order.
+    pub const ALL: [RequestKind; 6] = [
+        RequestKind::Theorem2,
+        RequestKind::SingleSlot,
+        RequestKind::HRelation,
+        RequestKind::WithFaults,
+        RequestKind::Direct,
+        RequestKind::Structured,
+    ];
+
+    /// The kind's index into per-kind metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Theorem2 => 0,
+            RequestKind::SingleSlot => 1,
+            RequestKind::HRelation => 2,
+            RequestKind::WithFaults => 3,
+            RequestKind::Direct => 4,
+            RequestKind::Structured => 5,
+        }
+    }
+
+    /// The kind's wire name (used by the JSON protocol and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Theorem2 => "theorem2",
+            RequestKind::SingleSlot => "single-slot",
+            RequestKind::HRelation => "h-relation",
+            RequestKind::WithFaults => "faults",
+            RequestKind::Direct => "direct",
+            RequestKind::Structured => "structured",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        RequestKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A log₂-bucketed latency histogram in microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.leading_zeros()) as usize;
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-data copy of the bucket counts.
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Per-kind counters.
+#[derive(Debug, Default)]
+struct KindMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+/// The registry. One instance lives in every [`crate::RoutingService`];
+/// pools and the admission gate update it directly.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Plan-cache hits.
+    hits: AtomicU64,
+    /// Plan-cache misses (each one computed a plan).
+    misses: AtomicU64,
+    /// Total slots across every schedule the service emitted.
+    slots_emitted: AtomicU64,
+    /// Requests that returned a routing error.
+    errors: AtomicU64,
+    /// Engine-pool acquisitions that found their home shard free.
+    pool_fast: AtomicU64,
+    /// Acquisitions that overflowed to another idle shard.
+    pool_overflows: AtomicU64,
+    /// Acquisitions that found every shard busy and had to block.
+    pool_blocked: AtomicU64,
+    /// Requests that had to wait at the admission gate.
+    admission_waits: AtomicU64,
+    /// Batch submissions.
+    batches: AtomicU64,
+    /// Plans produced by batch submissions.
+    batch_plans: AtomicU64,
+    per_kind: [KindMetrics; 6],
+}
+
+impl ServiceMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a cache hit for `kind`, `micros` in service.
+    pub fn record_hit(&self, kind: RequestKind, micros: u64) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.record_kind(kind, micros);
+    }
+
+    /// Records a computed (cache-miss) plan for `kind` that emitted
+    /// `slots` slots, `micros` in service.
+    pub fn record_miss(&self, kind: RequestKind, slots: usize, micros: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.slots_emitted
+            .fetch_add(slots as u64, Ordering::Relaxed);
+        self.record_kind(kind, micros);
+    }
+
+    /// Records a failed request.
+    pub fn record_error(&self, kind: RequestKind) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.per_kind[kind.index()]
+            .errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_kind(&self, kind: RequestKind, micros: u64) {
+        let k = &self.per_kind[kind.index()];
+        k.requests.fetch_add(1, Ordering::Relaxed);
+        k.total_micros.fetch_add(micros, Ordering::Relaxed);
+        k.latency.record(micros);
+    }
+
+    /// Records an engine-pool acquisition outcome.
+    pub fn record_pool(&self, outcome: PoolAcquisition) {
+        let counter = match outcome {
+            PoolAcquisition::Fast => &self.pool_fast,
+            PoolAcquisition::Overflow => &self.pool_overflows,
+            PoolAcquisition::Blocked => &self.pool_blocked,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a wait at the admission gate.
+    pub fn record_admission_wait(&self) {
+        self.admission_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch submission of `plans` plans totalling `slots` slots.
+    pub fn record_batch(&self, plans: usize, slots: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_plans.fetch_add(plans as u64, Ordering::Relaxed);
+        self.slots_emitted
+            .fetch_add(slots as u64, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of every counter at this instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            slots_emitted: self.slots_emitted.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            pool_fast: self.pool_fast.load(Ordering::Relaxed),
+            pool_overflows: self.pool_overflows.load(Ordering::Relaxed),
+            pool_blocked: self.pool_blocked.load(Ordering::Relaxed),
+            admission_waits: self.admission_waits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_plans: self.batch_plans.load(Ordering::Relaxed),
+            per_kind: RequestKind::ALL.map(|kind| {
+                let k = &self.per_kind[kind.index()];
+                KindSnapshot {
+                    kind,
+                    requests: k.requests.load(Ordering::Relaxed),
+                    errors: k.errors.load(Ordering::Relaxed),
+                    total_micros: k.total_micros.load(Ordering::Relaxed),
+                    latency: k.latency.snapshot(),
+                }
+            }),
+        }
+    }
+}
+
+/// How an engine-pool acquisition went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolAcquisition {
+    /// The round-robin home shard was free.
+    Fast,
+    /// The home shard was busy; the request overflowed to an idle shard.
+    Overflow,
+    /// Every shard was busy; the request blocked on its home shard.
+    Blocked,
+}
+
+/// Plain-data copy of one request kind's counters.
+#[derive(Debug, Clone)]
+pub struct KindSnapshot {
+    /// The kind.
+    pub kind: RequestKind,
+    /// Requests served (hits + misses).
+    pub requests: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Total service latency in microseconds.
+    pub total_micros: u64,
+    /// The log₂ latency histogram.
+    pub latency: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl KindSnapshot {
+    /// Mean service latency in microseconds (0 when idle).
+    pub fn avg_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.requests).unwrap_or(0)
+    }
+
+    /// Approximate p-quantile latency in microseconds from the histogram
+    /// (upper bucket bound of the bucket containing the quantile).
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total: u64 = self.latency.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let want = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &count) in self.latency.iter().enumerate() {
+            seen += count;
+            if seen >= want {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Plain-data copy of the whole registry.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Plan-cache hits.
+    pub hits: u64,
+    /// Plan-cache misses.
+    pub misses: u64,
+    /// Total slots across emitted schedules.
+    pub slots_emitted: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Pool acquisitions with a free home shard.
+    pub pool_fast: u64,
+    /// Pool acquisitions that overflowed to another shard.
+    pub pool_overflows: u64,
+    /// Pool acquisitions that blocked.
+    pub pool_blocked: u64,
+    /// Waits at the admission gate.
+    pub admission_waits: u64,
+    /// Batch submissions.
+    pub batches: u64,
+    /// Plans produced by batches.
+    pub batch_plans: u64,
+    /// Per-kind counters.
+    pub per_kind: [KindSnapshot; 6],
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over single-request traffic (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Single requests served (hits + misses).
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} ({} hits, {} misses, hit rate {:.1}%), {} errors",
+            self.requests(),
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.errors,
+        )?;
+        writeln!(
+            f,
+            "slots emitted: {}   batches: {} ({} plans)",
+            self.slots_emitted, self.batches, self.batch_plans
+        )?;
+        writeln!(
+            f,
+            "pool: {} fast, {} overflowed, {} blocked   admission waits: {}",
+            self.pool_fast, self.pool_overflows, self.pool_blocked, self.admission_waits
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>7} {:>10} {:>10} {:>10}",
+            "kind", "requests", "errors", "avg µs", "p50 µs", "p99 µs"
+        )?;
+        for k in &self.per_kind {
+            if k.requests == 0 && k.errors == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>7} {:>10} {:>10} {:>10}",
+                k.kind.name(),
+                k.requests,
+                k.errors,
+                k.avg_micros(),
+                k.quantile_micros(0.5),
+                k.quantile_micros(0.99),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        h.record(u64::MAX); // clamped to last bucket
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[1], 1);
+        assert_eq!(snap[2], 2);
+        assert_eq!(snap[11], 1);
+        assert_eq!(snap[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_recordings() {
+        let m = ServiceMetrics::new();
+        m.record_miss(RequestKind::Theorem2, 2, 100);
+        m.record_hit(RequestKind::Theorem2, 1);
+        m.record_error(RequestKind::SingleSlot);
+        m.record_pool(PoolAcquisition::Fast);
+        m.record_pool(PoolAcquisition::Overflow);
+        m.record_batch(8, 16);
+        let s = m.snapshot();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.slots_emitted, 2 + 16);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.pool_fast, 1);
+        assert_eq!(s.pool_overflows, 1);
+        assert_eq!(s.batch_plans, 8);
+        assert_eq!(s.per_kind[0].requests, 2);
+        assert_eq!(s.per_kind[1].errors, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        let rendered = s.to_string();
+        assert!(rendered.contains("hit rate 50.0%"), "{rendered}");
+        assert!(rendered.contains("theorem2"), "{rendered}");
+    }
+
+    #[test]
+    fn quantiles_from_histogram() {
+        let mut k = KindSnapshot {
+            kind: RequestKind::Theorem2,
+            requests: 0,
+            errors: 0,
+            total_micros: 0,
+            latency: [0; HISTOGRAM_BUCKETS],
+        };
+        assert_eq!(k.quantile_micros(0.5), 0);
+        k.latency[3] = 99; // 4..8 µs
+        k.latency[10] = 1; // one slow outlier
+        assert_eq!(k.quantile_micros(0.5), 8);
+        assert_eq!(k.quantile_micros(0.999), 1024);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in RequestKind::ALL {
+            assert_eq!(RequestKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(RequestKind::from_name("nope"), None);
+    }
+}

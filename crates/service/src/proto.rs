@@ -1,0 +1,386 @@
+//! The JSON-lines wire protocol: one request object per line in, one
+//! response object per line out.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"info"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"route","kind":"theorem2","perm":[3,2,1,0]}
+//! {"op":"route","kind":"h-relation","requests":[[0,1],[1,0]]}
+//! {"op":"route","kind":"faults","perm":[...],"faults":[3,4]}
+//! ```
+//!
+//! Route requests may carry `"d"`/`"g"`; when present they must match the
+//! serving topology (a POPS(2, 8) request must not be answered by a
+//! POPS(4, 4) server even though both have n = 16). `"want_schedule":
+//! false` suppresses the schedule body for callers that only need the
+//! slot count. Responses always carry `"ok"`; failures are
+//! `{"ok":false,"error":"..."}`.
+
+use pops_core::HRelation;
+use pops_network::{FaultSet, PopsTopology, Schedule, SlotFrame, Transmission};
+use pops_permutation::Permutation;
+
+use crate::json::Json;
+use crate::metrics::{MetricsSnapshot, RequestKind};
+use crate::service::{ServiceReply, ServiceRequest};
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// Liveness probe.
+    Ping,
+    /// Serving-topology and configuration query.
+    Info,
+    /// Metrics snapshot query.
+    Stats,
+    /// Orderly server shutdown.
+    Shutdown,
+    /// A routing request.
+    Route {
+        /// The request to route.
+        req: ServiceRequest,
+        /// Whether the response should carry the schedule body.
+        want_schedule: bool,
+    },
+}
+
+/// Parses one request document against the serving `topology`.
+pub fn parse_request(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'op'")?;
+    match op {
+        "ping" => Ok(WireRequest::Ping),
+        "info" => Ok(WireRequest::Info),
+        "stats" => Ok(WireRequest::Stats),
+        "shutdown" => Ok(WireRequest::Shutdown),
+        "route" => parse_route(doc, topology),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, String> {
+    for (field, expected) in [("d", topology.d()), ("g", topology.g())] {
+        if let Some(value) = doc.get(field) {
+            let got = value
+                .as_usize()
+                .ok_or_else(|| format!("field '{field}' must be a non-negative integer"))?;
+            if got != expected {
+                return Err(format!(
+                    "request {field} = {got} does not match serving topology {topology}"
+                ));
+            }
+        }
+    }
+    let kind_name = doc.get("kind").and_then(Json::as_str).unwrap_or("theorem2");
+    let kind =
+        RequestKind::from_name(kind_name).ok_or_else(|| format!("unknown kind '{kind_name}'"))?;
+    let want_schedule = doc
+        .get("want_schedule")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+
+    let parse_perm = || -> Result<Permutation, String> {
+        let arr = doc
+            .get("perm")
+            .and_then(Json::as_arr)
+            .ok_or("route request needs an array field 'perm'")?;
+        let image = arr
+            .iter()
+            .map(|v| v.as_usize().ok_or("'perm' entries must be integers"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Permutation::new(image).map_err(|e| e.to_string())
+    };
+
+    let req = match kind {
+        RequestKind::Theorem2 => ServiceRequest::Theorem2 { pi: parse_perm()? },
+        RequestKind::SingleSlot => ServiceRequest::SingleSlot { pi: parse_perm()? },
+        RequestKind::Direct => ServiceRequest::Direct { pi: parse_perm()? },
+        RequestKind::Structured => ServiceRequest::Structured { pi: parse_perm()? },
+        RequestKind::HRelation => {
+            let arr = doc
+                .get("requests")
+                .and_then(Json::as_arr)
+                .ok_or("h-relation request needs an array field 'requests'")?;
+            let mut pairs = Vec::with_capacity(arr.len());
+            for pair in arr {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or("'requests' entries must be [source, destination] pairs")?;
+                let src = pair[0]
+                    .as_usize()
+                    .ok_or("request endpoints must be integers")?;
+                let dst = pair[1]
+                    .as_usize()
+                    .ok_or("request endpoints must be integers")?;
+                pairs.push((src, dst));
+            }
+            ServiceRequest::HRelation {
+                relation: HRelation::new(topology.n(), pairs).map_err(|e| e.to_string())?,
+            }
+        }
+        RequestKind::WithFaults => {
+            let pi = parse_perm()?;
+            let ids = doc
+                .get("faults")
+                .and_then(Json::as_arr)
+                .ok_or("faults request needs an array field 'faults'")?;
+            let mut faults = FaultSet::none(topology);
+            for id in ids {
+                let c = id.as_usize().ok_or("'faults' entries must be integers")?;
+                if c >= topology.coupler_count() {
+                    return Err(format!(
+                        "coupler {c} out of range (couplers: 0..{})",
+                        topology.coupler_count()
+                    ));
+                }
+                faults.fail_coupler(c);
+            }
+            ServiceRequest::WithFaults { pi, faults }
+        }
+    };
+    Ok(WireRequest::Route { req, want_schedule })
+}
+
+/// `{"ok":true,"op":"pong"}`.
+pub fn pong_response() -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("pong")),
+    ])
+}
+
+/// The `info` response: serving topology and service shape.
+pub fn info_response(topology: &PopsTopology, shards: usize, cache_capacity: usize) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("info")),
+        ("d".into(), Json::num(topology.d())),
+        ("g".into(), Json::num(topology.g())),
+        ("n".into(), Json::num(topology.n())),
+        ("couplers".into(), Json::num(topology.coupler_count())),
+        ("shards".into(), Json::num(shards)),
+        ("cache_capacity".into(), Json::num(cache_capacity)),
+    ])
+}
+
+/// The `stats` response: a flattened metrics snapshot.
+pub fn stats_response(snap: &MetricsSnapshot) -> Json {
+    let kinds = snap
+        .per_kind
+        .iter()
+        .filter(|k| k.requests > 0 || k.errors > 0)
+        .map(|k| {
+            Json::Obj(vec![
+                ("kind".into(), Json::str(k.kind.name())),
+                ("requests".into(), Json::Num(k.requests as f64)),
+                ("errors".into(), Json::Num(k.errors as f64)),
+                ("avg_micros".into(), Json::Num(k.avg_micros() as f64)),
+                (
+                    "p50_micros".into(),
+                    Json::Num(k.quantile_micros(0.5) as f64),
+                ),
+                (
+                    "p99_micros".into(),
+                    Json::Num(k.quantile_micros(0.99) as f64),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("stats")),
+        ("hits".into(), Json::Num(snap.hits as f64)),
+        ("misses".into(), Json::Num(snap.misses as f64)),
+        ("hit_rate".into(), Json::Num(snap.hit_rate())),
+        ("slots_emitted".into(), Json::Num(snap.slots_emitted as f64)),
+        ("errors".into(), Json::Num(snap.errors as f64)),
+        (
+            "pool".into(),
+            Json::Obj(vec![
+                ("fast".into(), Json::Num(snap.pool_fast as f64)),
+                ("overflows".into(), Json::Num(snap.pool_overflows as f64)),
+                ("blocked".into(), Json::Num(snap.pool_blocked as f64)),
+            ]),
+        ),
+        (
+            "admission_waits".into(),
+            Json::Num(snap.admission_waits as f64),
+        ),
+        ("batches".into(), Json::Num(snap.batches as f64)),
+        ("batch_plans".into(), Json::Num(snap.batch_plans as f64)),
+        ("kinds".into(), Json::Arr(kinds)),
+    ])
+}
+
+/// `{"ok":true,"op":"shutdown"}`.
+pub fn shutdown_response() -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("shutdown")),
+    ])
+}
+
+/// `{"ok":false,"error":...}`.
+pub fn error_response(msg: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+}
+
+/// The `route` response for a served request.
+pub fn route_response(kind: RequestKind, reply: &ServiceReply, want_schedule: bool) -> Json {
+    let schedule = reply.outcome.schedule();
+    let mut fields = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("route")),
+        ("kind".into(), Json::str(kind.name())),
+        ("slots".into(), Json::num(schedule.slot_count())),
+        (
+            "cache".into(),
+            Json::str(if reply.cache_hit { "hit" } else { "miss" }),
+        ),
+        ("micros".into(), Json::Num(reply.micros as f64)),
+    ];
+    if want_schedule {
+        fields.push(("schedule".into(), schedule_to_json(schedule)));
+    }
+    Json::Obj(fields)
+}
+
+/// Encodes a schedule as nested arrays: slots → transmissions →
+/// `[sender, coupler, packet, receiver...]` (receivers flattened onto the
+/// tail, one or more entries).
+pub fn schedule_to_json(schedule: &Schedule) -> Json {
+    Json::Arr(
+        schedule
+            .slots
+            .iter()
+            .map(|slot| {
+                Json::Arr(
+                    slot.transmissions
+                        .iter()
+                        .map(|tx| {
+                            let mut cells = vec![
+                                Json::num(tx.sender),
+                                Json::num(tx.coupler),
+                                Json::num(tx.packet),
+                            ];
+                            cells.extend(tx.receivers.iter().map(|&r| Json::num(r)));
+                            Json::Arr(cells)
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Decodes [`schedule_to_json`]'s encoding.
+pub fn schedule_from_json(value: &Json) -> Result<Schedule, String> {
+    let slots = value.as_arr().ok_or("schedule must be an array of slots")?;
+    let mut out = Schedule::new();
+    for slot in slots {
+        let txs = slot
+            .as_arr()
+            .ok_or("slot must be an array of transmissions")?;
+        let mut frame = SlotFrame::new();
+        for tx in txs {
+            let cells = tx
+                .as_arr()
+                .filter(|c| c.len() >= 4)
+                .ok_or("transmission must be [sender, coupler, packet, receiver...]")?;
+            let nums = cells
+                .iter()
+                .map(|c| c.as_usize().ok_or("transmission cells must be integers"))
+                .collect::<Result<Vec<_>, _>>()?;
+            frame.transmissions.push(Transmission {
+                sender: nums[0],
+                coupler: nums[1],
+                packet: nums[2],
+                receivers: nums[3..].to_vec(),
+            });
+        }
+        out.slots.push(frame);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::RoutingService;
+    use pops_permutation::families::vector_reversal;
+
+    #[test]
+    fn schedule_encoding_round_trips() {
+        let service = RoutingService::new(PopsTopology::new(4, 4));
+        let reply = service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        let encoded = schedule_to_json(reply.outcome.schedule());
+        let decoded = schedule_from_json(&encoded).unwrap();
+        assert_eq!(&decoded, reply.outcome.schedule());
+    }
+
+    #[test]
+    fn parse_route_accepts_matching_shape_fields() {
+        let t = PopsTopology::new(2, 3);
+        let doc = Json::parse(r#"{"op":"route","d":2,"g":3,"perm":[5,4,3,2,1,0]}"#).unwrap();
+        assert!(matches!(
+            parse_request(&doc, &t),
+            Ok(WireRequest::Route {
+                want_schedule: true,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn parse_route_rejects_shape_mismatch() {
+        // Same n = 16, different grouping: must be refused, not re-keyed.
+        let t = PopsTopology::new(4, 4);
+        let perm: Vec<String> = (0..16).rev().map(|i| i.to_string()).collect();
+        let doc = Json::parse(&format!(
+            r#"{{"op":"route","d":2,"g":8,"perm":[{}]}}"#,
+            perm.join(",")
+        ))
+        .unwrap();
+        let err = parse_request(&doc, &t).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        let t = PopsTopology::new(2, 2);
+        for doc in [
+            r#"{"kind":"theorem2"}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"route","kind":"nope","perm":[0,1,2,3]}"#,
+            r#"{"op":"route","kind":"theorem2"}"#,
+            r#"{"op":"route","kind":"theorem2","perm":[0,0,1,2]}"#,
+            r#"{"op":"route","kind":"h-relation","requests":[[0]]}"#,
+            r#"{"op":"route","kind":"faults","perm":[0,1,2,3],"faults":[99]}"#,
+        ] {
+            let doc = Json::parse(doc).unwrap();
+            assert!(parse_request(&doc, &t).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn responses_have_the_ok_discriminator() {
+        assert_eq!(pong_response().get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(error_response("nope").get("ok"), Some(&Json::Bool(false)));
+        let info = info_response(&PopsTopology::new(4, 4), 2, 64);
+        assert_eq!(info.get("n").unwrap().as_usize(), Some(16));
+    }
+}

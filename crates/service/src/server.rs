@@ -1,0 +1,222 @@
+//! The std-only TCP front door: a JSON-lines server over
+//! [`RoutingService`].
+//!
+//! One thread per connection (the service's admission gate, not the
+//! thread count, bounds concurrent routing work); a `shutdown` op stops
+//! the accept loop by flagging it and poking a wake-up connection at the
+//! listener. Handler threads are detached — shutdown returns once the
+//! accept loop exits; connections in flight finish their current line and
+//! drop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::json::Json;
+use crate::proto::{
+    error_response, info_response, parse_request, pong_response, route_response, shutdown_response,
+    stats_response, WireRequest,
+};
+use crate::service::RoutingService;
+
+/// What a finished [`serve`] loop saw.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSummary {
+    /// Connections accepted (the shutdown wake-up excluded).
+    pub connections: u64,
+    /// Request lines answered.
+    pub requests: u64,
+}
+
+/// Serves `service` on `listener` until a client sends
+/// `{"op":"shutdown"}`. Blocks the calling thread.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<RoutingService>,
+) -> std::io::Result<ServerSummary> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let connections = Arc::new(AtomicU64::new(0));
+    let requests = Arc::new(AtomicU64::new(0));
+
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        connections.fetch_add(1, Ordering::Relaxed);
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        let requests = requests.clone();
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, addr, &service, &shutdown, &requests);
+        });
+    }
+
+    Ok(ServerSummary {
+        connections: connections.load(Ordering::Relaxed),
+        requests: requests.load(Ordering::Relaxed),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    listener_addr: SocketAddr,
+    service: &RoutingService,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        requests.fetch_add(1, Ordering::Relaxed);
+        let (response, stop) = respond(&line, service);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if stop {
+            shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag.
+            let _ = TcpStream::connect(listener_addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Answers one request line; the flag says "stop the server after this".
+fn respond(line: &str, service: &RoutingService) -> (Json, bool) {
+    let doc = match Json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (error_response(e.to_string()), false),
+    };
+    let topology = service.topology();
+    match parse_request(&doc, &topology) {
+        Err(e) => (error_response(e), false),
+        Ok(WireRequest::Ping) => (pong_response(), false),
+        Ok(WireRequest::Info) => (
+            info_response(&topology, service.shard_count(), service.cache_capacity()),
+            false,
+        ),
+        Ok(WireRequest::Stats) => (stats_response(&service.metrics()), false),
+        Ok(WireRequest::Shutdown) => (shutdown_response(), true),
+        Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
+            Ok(reply) => (route_response(req.kind(), &reply, want_schedule), false),
+            Err(e) => (error_response(e.to_string()), false),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServiceClient;
+    use crate::service::ServiceConfig;
+    use pops_bipartite::ColorerKind;
+    use pops_network::{PopsTopology, Simulator};
+    use pops_permutation::families::vector_reversal;
+
+    fn spawn_server(
+        topology: PopsTopology,
+    ) -> (SocketAddr, std::thread::JoinHandle<ServerSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(RoutingService::with_config(
+            topology,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 32,
+                max_in_flight: 4,
+                colorer: ColorerKind::AlternatingPath,
+            },
+        ));
+        let handle = std::thread::spawn(move || serve(listener, service).unwrap());
+        (addr, handle)
+    }
+
+    #[test]
+    fn end_to_end_route_verify_stats_shutdown() {
+        let t = PopsTopology::new(4, 4);
+        let (addr, handle) = spawn_server(t);
+        let mut client = ServiceClient::connect(addr).unwrap();
+
+        client.ping().unwrap();
+        let info = client.info().unwrap();
+        assert_eq!((info.d, info.g), (4, 4));
+
+        let pi = vector_reversal(16);
+        let first = client.route_permutation("theorem2", &pi).unwrap();
+        assert_eq!(first.slots, 2);
+        assert!(!first.cache_hit);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&first.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+
+        let again = client.route_permutation("theorem2", &pi).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.schedule, first.schedule);
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+
+        client.shutdown().unwrap();
+        let summary = handle.join().unwrap();
+        assert!(summary.requests >= 5);
+        assert!(summary.connections >= 1);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_server() {
+        let (addr, handle) = spawn_server(PopsTopology::new(2, 2));
+        let mut client = ServiceClient::connect(addr).unwrap();
+        for bad in [
+            "this is not json",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"route","perm":[0,1]}"#,
+        ] {
+            let err = client.call_raw(bad).unwrap_err();
+            assert!(err.to_string().contains("server error"), "{err}");
+        }
+        // Still alive and serving.
+        client.ping().unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_cache() {
+        let (addr, handle) = spawn_server(PopsTopology::new(4, 4));
+        let pi = vector_reversal(16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pi = pi.clone();
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    for _ in 0..5 {
+                        let reply = client.route_permutation("theorem2", &pi).unwrap();
+                        assert_eq!(reply.slots, 2);
+                    }
+                });
+            }
+        });
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        // All 20 requests share one key. The service does not coalesce
+        // in-flight duplicates, so each client's *first* request can race
+        // into the miss window — between 1 and 4 misses, the rest hits.
+        let misses = stats.get("misses").unwrap().as_u64().unwrap();
+        let hits = stats.get("hits").unwrap().as_u64().unwrap();
+        assert!((1..=4).contains(&misses), "misses {misses}");
+        assert_eq!(hits + misses, 20);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,505 @@
+//! The routing service front door: admission → cache → pool → metrics.
+//!
+//! A [`RoutingService`] serves Mei–Rizzi routing for **one** topology as a
+//! shared, thread-safe facility:
+//!
+//! 1. the **admission gate** bounds in-flight requests (excess callers
+//!    queue on a condvar rather than piling onto the engine shards);
+//! 2. the **plan cache** ([`crate::cache`]) answers repeated requests with
+//!    an `Arc` clone of the previously computed outcome;
+//! 3. misses run on the **engine pool** ([`crate::pool`]) of warm,
+//!    zero-allocation engines;
+//! 4. every step feeds the [`ServiceMetrics`] registry.
+//!
+//! ```
+//! use pops_permutation::families::vector_reversal;
+//! use pops_network::PopsTopology;
+//! use pops_service::{RoutingService, ServiceRequest};
+//!
+//! let service = RoutingService::new(PopsTopology::new(4, 4));
+//! let req = ServiceRequest::Theorem2 { pi: vector_reversal(16) };
+//! let first = service.route(&req).unwrap();
+//! let again = service.route(&req).unwrap();
+//! assert_eq!(first.outcome.schedule().slot_count(), 2);
+//! assert!(!first.cache_hit && again.cache_hit);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use pops_bipartite::ColorerKind;
+use pops_core::{
+    route_batch_with, HRelation, Router, RoutingEngine, RoutingError, RoutingOutcome, RoutingPlan,
+    RoutingRequest,
+};
+use pops_network::{FaultSet, PopsTopology};
+use pops_permutation::Permutation;
+
+use crate::cache::{canonical_key, CachedOutcome, PlanCache};
+use crate::metrics::{MetricsSnapshot, RequestKind, ServiceMetrics};
+use crate::pool::EnginePool;
+
+/// An owned routing query — the service-boundary mirror of the borrowing
+/// [`RoutingRequest`].
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// Route an arbitrary permutation with the Theorem-2 construction.
+    Theorem2 {
+        /// The permutation to route.
+        pi: Permutation,
+    },
+    /// Route in a single slot if the demand condition holds.
+    SingleSlot {
+        /// The permutation to route.
+        pi: Permutation,
+    },
+    /// Route an h-relation by König decomposition.
+    HRelation {
+        /// The relation to route.
+        relation: HRelation,
+    },
+    /// Route a permutation around failed couplers.
+    WithFaults {
+        /// The permutation to route.
+        pi: Permutation,
+        /// The failed couplers.
+        faults: FaultSet,
+    },
+    /// The direct single-hop baseline.
+    Direct {
+        /// The permutation to route.
+        pi: Permutation,
+    },
+    /// The structured (Sahni-style) baseline.
+    Structured {
+        /// The permutation to route.
+        pi: Permutation,
+    },
+}
+
+impl ServiceRequest {
+    /// The request's metrics kind.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            ServiceRequest::Theorem2 { .. } => RequestKind::Theorem2,
+            ServiceRequest::SingleSlot { .. } => RequestKind::SingleSlot,
+            ServiceRequest::HRelation { .. } => RequestKind::HRelation,
+            ServiceRequest::WithFaults { .. } => RequestKind::WithFaults,
+            ServiceRequest::Direct { .. } => RequestKind::Direct,
+            ServiceRequest::Structured { .. } => RequestKind::Structured,
+        }
+    }
+
+    /// The borrowing engine request this owns.
+    fn as_routing_request(&self) -> RoutingRequest<'_> {
+        match self {
+            ServiceRequest::Theorem2 { pi } => RoutingRequest::Theorem2 { pi },
+            ServiceRequest::SingleSlot { pi } => RoutingRequest::SingleSlot { pi },
+            ServiceRequest::HRelation { relation } => RoutingRequest::HRelation { relation },
+            ServiceRequest::WithFaults { pi, faults } => RoutingRequest::WithFaults { pi, faults },
+            ServiceRequest::Direct { pi } => RoutingRequest::DirectBaseline { pi },
+            ServiceRequest::Structured { pi } => RoutingRequest::StructuredBaseline { pi },
+        }
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine-pool shards (default: available parallelism).
+    pub shards: usize,
+    /// Plan-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Maximum requests in flight; excess callers wait at the admission
+    /// gate.
+    pub max_in_flight: usize,
+    /// The edge-colouring engine of the pooled engines.
+    pub colorer: ColorerKind,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map_or(4, NonZeroUsize::get);
+        Self {
+            shards,
+            cache_capacity: 1024,
+            max_in_flight: 4 * shards,
+            colorer: ColorerKind::AlternatingPath,
+        }
+    }
+}
+
+/// What [`RoutingService::route`] hands back.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// The routing outcome, shared with the cache (and any other caller
+    /// holding the same plan).
+    pub outcome: CachedOutcome,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Wall-clock service time in microseconds.
+    pub micros: u64,
+}
+
+/// The admission gate: a counting semaphore on `Mutex<usize>` + `Condvar`.
+#[derive(Debug)]
+struct Admission {
+    max: usize,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    fn new(max: usize) -> Self {
+        Self {
+            max: max.max(1),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire<'a>(&'a self, metrics: &ServiceMetrics) -> AdmissionGuard<'a> {
+        let mut count = self.in_flight.lock().expect("admission lock poisoned");
+        if *count >= self.max {
+            metrics.record_admission_wait();
+            while *count >= self.max {
+                count = self.freed.wait(count).expect("admission lock poisoned");
+            }
+        }
+        *count += 1;
+        AdmissionGuard(self)
+    }
+}
+
+struct AdmissionGuard<'a>(&'a Admission);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let mut count = self.0.in_flight.lock().expect("admission lock poisoned");
+        *count -= 1;
+        drop(count);
+        self.0.freed.notify_one();
+    }
+}
+
+/// The concurrent routing service. See the [module docs](self).
+#[derive(Debug)]
+pub struct RoutingService {
+    topology: PopsTopology,
+    colorer: ColorerKind,
+    pool: EnginePool,
+    cache: Mutex<PlanCache<CachedOutcome>>,
+    metrics: Arc<ServiceMetrics>,
+    admission: Admission,
+}
+
+impl RoutingService {
+    /// A service for `topology` with the default configuration.
+    pub fn new(topology: PopsTopology) -> Self {
+        Self::with_config(topology, ServiceConfig::default())
+    }
+
+    /// A service for `topology` with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`.
+    pub fn with_config(topology: PopsTopology, config: ServiceConfig) -> Self {
+        let metrics = Arc::new(ServiceMetrics::new());
+        Self {
+            topology,
+            colorer: config.colorer,
+            pool: EnginePool::new(topology, config.colorer, config.shards, metrics.clone()),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            metrics,
+            admission: Admission::new(config.max_in_flight),
+        }
+    }
+
+    /// The topology this service routes on.
+    pub fn topology(&self) -> PopsTopology {
+        self.topology
+    }
+
+    /// The pool's shard count.
+    pub fn shard_count(&self) -> usize {
+        self.pool.shard_count()
+    }
+
+    /// The cache capacity.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").capacity()
+    }
+
+    /// Entries currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// A snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The live metrics registry (shared with the pool).
+    pub fn metrics_registry(&self) -> Arc<ServiceMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Total engine-arena bytes across the pool.
+    pub fn arena_footprint(&self) -> usize {
+        self.pool.arena_footprint()
+    }
+
+    /// Sheds pool arena memory and drops every cached plan.
+    pub fn reset(&self) {
+        self.pool.reset_all();
+        self.cache.lock().expect("cache lock poisoned").clear();
+    }
+
+    /// Routes one request through admission, cache, and pool.
+    ///
+    /// Successful outcomes are cached under the request's canonical key;
+    /// errors are returned (and counted) but never cached, so a transient
+    /// client mistake cannot poison the cache.
+    pub fn route(&self, req: &ServiceRequest) -> Result<ServiceReply, RoutingError> {
+        let _slot = self.admission.acquire(&self.metrics);
+        let start = Instant::now();
+        let kind = req.kind();
+        let key = canonical_key(self.topology.d(), self.topology.g(), req);
+
+        if let Some(outcome) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            let micros = start.elapsed().as_micros() as u64;
+            self.metrics.record_hit(kind, micros);
+            return Ok(ServiceReply {
+                outcome,
+                cache_hit: true,
+                micros,
+            });
+        }
+
+        let planned = self
+            .pool
+            .with_engine(|engine| engine.plan(&req.as_routing_request()));
+        match planned {
+            Ok(outcome) => {
+                let slots = outcome.schedule().slot_count();
+                let outcome = Arc::new(outcome);
+                self.cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .insert(key, outcome.clone());
+                let micros = start.elapsed().as_micros() as u64;
+                self.metrics.record_miss(kind, slots, micros);
+                Ok(ServiceReply {
+                    outcome,
+                    cache_hit: false,
+                    micros,
+                })
+            }
+            Err(e) => {
+                self.metrics.record_error(kind);
+                Err(e)
+            }
+        }
+    }
+
+    /// Routes a whole batch of permutations, bypassing the cache and
+    /// fanning out over worker threads via [`route_batch_with`]. One batch
+    /// occupies one admission slot. With `emit_artefacts = false` (the
+    /// fast path) the plans carry schedules only — no per-plan artefact
+    /// clones.
+    pub fn route_batch(
+        &self,
+        batch: &[Permutation],
+        threads: Option<NonZeroUsize>,
+        emit_artefacts: bool,
+    ) -> Vec<RoutingPlan> {
+        let _slot = self.admission.acquire(&self.metrics);
+        let plans = route_batch_with(batch, self.topology, self.colorer, threads, emit_artefacts);
+        let slots: usize = plans.iter().map(|p| p.schedule.slot_count()).sum();
+        self.metrics.record_batch(plans.len(), slots);
+        plans
+    }
+
+    /// Plans one request on a caller-owned scratch engine, bypassing
+    /// admission, cache, and pool — the yardstick the benches use to
+    /// price the service layers against a bare cold engine.
+    pub fn route_cold(
+        topology: PopsTopology,
+        colorer: ColorerKind,
+        req: &ServiceRequest,
+    ) -> Result<RoutingOutcome, RoutingError> {
+        RoutingEngine::with_colorer(topology, colorer).plan(&req.as_routing_request())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_network::Simulator;
+    use pops_permutation::families::{random_permutation, vector_reversal};
+    use pops_permutation::SplitMix64;
+
+    fn small_service() -> RoutingService {
+        RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 8,
+                max_in_flight: 4,
+                colorer: ColorerKind::AlternatingPath,
+            },
+        )
+    }
+
+    #[test]
+    fn cache_hits_share_the_same_plan() {
+        let service = small_service();
+        let req = ServiceRequest::Theorem2 {
+            pi: vector_reversal(16),
+        };
+        let a = service.route(&req).unwrap();
+        let b = service.route(&req).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert!(Arc::ptr_eq(&a.outcome, &b.outcome), "hits share one Arc");
+        let snap = service.metrics();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+        assert_eq!(snap.slots_emitted, 2, "only the miss emits slots");
+    }
+
+    #[test]
+    fn schedules_verify_on_the_simulator() {
+        let service = small_service();
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..6 {
+            let pi = random_permutation(16, &mut rng);
+            let reply = service
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .unwrap();
+            let mut sim = Simulator::with_unit_packets(service.topology());
+            sim.execute_schedule(reply.outcome.schedule()).unwrap();
+            sim.verify_delivery(pi.as_slice()).unwrap();
+        }
+    }
+
+    #[test]
+    fn errors_are_counted_not_cached() {
+        let service = small_service();
+        let req = ServiceRequest::SingleSlot {
+            pi: vector_reversal(16), // concentrates demand: not single-slot
+        };
+        assert!(matches!(
+            service.route(&req),
+            Err(RoutingError::NotSingleSlotRoutable)
+        ));
+        assert!(matches!(
+            service.route(&req),
+            Err(RoutingError::NotSingleSlotRoutable)
+        ));
+        let snap = service.metrics();
+        assert_eq!(snap.errors, 2);
+        assert_eq!(service.cached_plans(), 0);
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error_not_a_panic() {
+        let service = small_service();
+        let req = ServiceRequest::Theorem2 {
+            pi: vector_reversal(6),
+        };
+        assert!(matches!(
+            service.route(&req),
+            Err(RoutingError::SizeMismatch {
+                expected: 16,
+                got: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn lru_capacity_bounds_the_cache() {
+        let service = small_service(); // capacity 8
+        let mut rng = SplitMix64::new(12);
+        for _ in 0..20 {
+            let pi = random_permutation(16, &mut rng);
+            service.route(&ServiceRequest::Theorem2 { pi }).unwrap();
+        }
+        assert_eq!(service.cached_plans(), 8);
+    }
+
+    #[test]
+    fn batch_counts_metrics_and_matches_single_plans() {
+        let service = small_service();
+        let mut rng = SplitMix64::new(13);
+        let perms: Vec<_> = (0..10).map(|_| random_permutation(16, &mut rng)).collect();
+        let plans = service.route_batch(&perms, NonZeroUsize::new(3), false);
+        assert_eq!(plans.len(), 10);
+        for (pi, plan) in perms.iter().zip(&plans) {
+            assert!(plan.fair_distribution.is_none(), "fast path: no artefacts");
+            let reply = service
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .unwrap();
+            assert_eq!(reply.outcome.schedule(), &plan.schedule);
+        }
+        let snap = service.metrics();
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batch_plans, 10);
+    }
+
+    #[test]
+    fn reset_sheds_arenas_and_cache() {
+        let service = small_service();
+        service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        assert!(service.arena_footprint() > 0);
+        assert_eq!(service.cached_plans(), 1);
+        service.reset();
+        assert_eq!(service.arena_footprint(), 0);
+        assert_eq!(service.cached_plans(), 0);
+        // Still serves correctly afterwards.
+        let reply = service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        assert_eq!(reply.outcome.schedule().slot_count(), 2);
+    }
+
+    #[test]
+    fn all_request_kinds_route() {
+        let service = RoutingService::with_config(
+            PopsTopology::new(2, 3),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 16,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+            },
+        );
+        let pi = vector_reversal(6);
+        let t = service.topology();
+        let reqs = [
+            ServiceRequest::Theorem2 { pi: pi.clone() },
+            ServiceRequest::HRelation {
+                relation: HRelation::new(6, vec![(0, 1), (1, 0), (2, 5)]).unwrap(),
+            },
+            ServiceRequest::WithFaults {
+                pi: pi.clone(),
+                faults: FaultSet::none(&t),
+            },
+            ServiceRequest::Direct { pi: pi.clone() },
+            ServiceRequest::Structured { pi: pi.clone() },
+        ];
+        for req in &reqs {
+            let reply = service.route(req).unwrap();
+            assert!(reply.outcome.schedule().slot_count() > 0);
+            assert!(service.route(req).unwrap().cache_hit, "{:?}", req.kind());
+        }
+    }
+}

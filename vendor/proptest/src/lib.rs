@@ -20,8 +20,8 @@ use std::ops::{Range, RangeInclusive};
 /// Everything the `proptest!` tests need in scope.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy, TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 
@@ -240,6 +240,30 @@ macro_rules! prop_assert_eq {
         let left = $left;
         let right = $right;
         if left != right {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
             return Err($crate::TestCaseError::fail(format!($($fmt)+)));
         }
     }};
