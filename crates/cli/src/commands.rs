@@ -6,7 +6,7 @@ use std::io::Write as _;
 use std::net::TcpListener;
 use std::num::NonZeroUsize;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pops_baselines::compare;
 use pops_bipartite::ColorerKind;
@@ -20,7 +20,9 @@ use pops_core::{lower_bound, theorem2_slots};
 use pops_network::{viz, FaultSet, PopsTopology, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::SplitMix64;
-use pops_service::{serve, Json, RoutingService, ServiceClient, ServiceConfig};
+use pops_service::{
+    serve_with_config, Json, RoutingService, ServerConfig, ServiceClient, ServiceConfig,
+};
 
 use crate::opts::{err, CliError, Opts};
 use crate::spec;
@@ -44,8 +46,12 @@ COMMANDS
             [--threads T] [--no-artefacts]   (engine-per-worker fast path)
   serve     --d D --g G [--port P]           start the TCP/JSON routing service
             [--shards S] [--cache C] [--max-in-flight M]
+            [--read-timeout-ms T] [--write-timeout-ms T]   (0 disables; defaults 30000)
+            [--max-line-bytes B]             request-line cap (default 16 MiB)
+            [--max-conns N] [--nodelay]      connection cap (default 256), TCP_NODELAY
   request   --addr HOST:PORT [perm]          route one request via a server
             [--kind K] [--stats] [--shutdown]
+            [--timeout-ms T]                 client timeout (default 30000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
   help                                       this message
@@ -395,10 +401,20 @@ fn cmd_batch(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a `--*-ms` option where 0 means "disabled".
+fn timeout_ms(opts: &Opts, key: &str, default_ms: u64) -> Result<Option<Duration>, CliError> {
+    Ok(match opts.u64_or(key, default_ms)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    })
+}
+
 /// `pops serve`: the TCP/JSON-lines routing service. Prints the listening
 /// address immediately (stdout, flushed) so scripts can scrape an
 /// ephemeral port (`--port 0`), then blocks until a client sends a
-/// shutdown op; the returned string is the exit summary.
+/// shutdown op — at which point in-flight handlers are drained (joined),
+/// so every accepted request gets its complete response before the
+/// process exits; the returned string is the exit summary.
 fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     let t = shape(opts)?;
     // The service defaults to the alternating-path colourer — the one with
@@ -419,6 +435,27 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     }
     let cache_capacity = opts.usize_or("cache", defaults.cache_capacity)?;
     let max_in_flight = opts.usize_or("max-in-flight", defaults.max_in_flight)?;
+    let server_defaults = ServerConfig::default();
+    // Defaults come from ServerConfig::default() (one source of truth);
+    // 0 on the command line disables a timeout.
+    let as_ms = |t: Option<Duration>| t.map_or(0, |d| d.as_millis() as u64);
+    let server_config = ServerConfig {
+        read_timeout: timeout_ms(opts, "read-timeout-ms", as_ms(server_defaults.read_timeout))?,
+        write_timeout: timeout_ms(
+            opts,
+            "write-timeout-ms",
+            as_ms(server_defaults.write_timeout),
+        )?,
+        max_line_bytes: opts.usize_or("max-line-bytes", server_defaults.max_line_bytes)?,
+        max_connections: opts.usize_or("max-conns", server_defaults.max_connections)?,
+        tcp_nodelay: opts.flag("nodelay"),
+    };
+    if server_config.max_line_bytes == 0 {
+        return Err(err("--max-line-bytes must be positive"));
+    }
+    if server_config.max_connections == 0 {
+        return Err(err("--max-conns must be positive"));
+    }
     let listener = TcpListener::bind(("127.0.0.1", port as u16))
         .map_err(|e| err(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
     let addr = listener
@@ -433,18 +470,25 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
             colorer: kind,
         },
     ));
+    let fmt_ms =
+        |t: Option<Duration>| t.map_or("off".to_string(), |d| format!("{}ms", d.as_millis()));
     println!(
         "pops-service listening on {addr} ({t}, {shards} shard(s), cache {cache_capacity}, \
-         max in-flight {max_in_flight}, engine {})",
-        kind.name()
+         max in-flight {max_in_flight}, engine {}, read timeout {}, write timeout {}, \
+         line cap {} bytes, max conns {})",
+        kind.name(),
+        fmt_ms(server_config.read_timeout),
+        fmt_ms(server_config.write_timeout),
+        server_config.max_line_bytes,
+        server_config.max_connections,
     );
     let _ = std::io::stdout().flush();
-    let summary =
-        serve(listener, service.clone()).map_err(|e| err(format!("serve failed: {e}")))?;
+    let summary = serve_with_config(listener, service.clone(), server_config)
+        .map_err(|e| err(format!("serve failed: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "shutdown after {} connection(s), {} request(s)",
+        "shutdown after {} connection(s), {} request(s); all handlers drained",
         summary.connections, summary.requests
     );
     let _ = write!(out, "{}", service.metrics());
@@ -453,13 +497,16 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
 
 /// `pops request`: a client for `pops serve`. Resolves the permutation
 /// against the server's own topology (via the `info` op), routes it, and
-/// re-verifies the returned schedule on the local simulator referee.
+/// re-verifies the returned schedule on the local simulator referee. A
+/// client-side timeout (default 30 s, `--timeout-ms`, 0 disables) bounds
+/// the connect and every read/write, so a hung server cannot hang us.
 fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     let addr = opts
         .get("addr")
         .ok_or_else(|| err("--addr HOST:PORT is required"))?;
-    let mut client =
-        ServiceClient::connect(addr).map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let timeout = timeout_ms(opts, "timeout-ms", 30_000)?;
+    let mut client = ServiceClient::connect_with_timeout(addr, timeout)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
 
     if opts.flag("shutdown") {
         client
@@ -855,6 +902,23 @@ mod tests {
     fn serve_validates_options() {
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--port", "70000"]).is_err());
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--shards", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-line-bytes", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-conns", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--read-timeout-ms", "x"]).is_err());
+    }
+
+    #[test]
+    fn request_timeout_bounds_a_hung_server() {
+        // A listener that accepts but never answers: the client must give
+        // up within its --timeout-ms budget instead of hanging forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let start = Instant::now();
+        let err = run_words(&["request", "--addr", &addr, "--timeout-ms", "300"]).unwrap_err();
+        assert!(err.0.contains("timed out"), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(10));
+        drop(hold);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use pops_network::Schedule;
 use pops_permutation::Permutation;
@@ -17,18 +18,58 @@ use crate::proto::schedule_from_json;
 pub enum ClientError {
     /// Transport failure.
     Io(std::io::Error),
-    /// The server closed the connection or sent something unparseable.
+    /// The configured client timeout expired waiting for the server.
+    TimedOut,
+    /// The server closed the connection cleanly (EOF before any response
+    /// byte) — e.g. it rejected the connection or shut down between
+    /// requests.
+    Disconnected,
+    /// The connection closed mid-response: bytes arrived but the line was
+    /// never terminated.
+    Truncated,
+    /// A previous call failed mid-exchange (timeout, truncation, or I/O
+    /// error), so responses can no longer be matched to requests —
+    /// reconnect.
+    Poisoned,
+    /// The server sent something unparseable.
     Protocol(String),
-    /// The server answered `{"ok":false,...}`.
-    Remote(String),
+    /// The server answered `{"ok":false,...}`; `kind` is the structured
+    /// [`crate::proto::WireErrorKind`] wire name when present.
+    Remote {
+        /// Machine-readable failure category (`"error"` if absent).
+        kind: String,
+        /// Human-facing message.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// The structured error kind of a [`ClientError::Remote`], if any.
+    pub fn remote_kind(&self) -> Option<&str> {
+        match self {
+            ClientError::Remote { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::TimedOut => write!(f, "timed out waiting for the server"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Truncated => {
+                write!(f, "connection closed mid-response (truncated line)")
+            }
+            ClientError::Poisoned => write!(
+                f,
+                "connection poisoned by an earlier mid-exchange failure; reconnect"
+            ),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ClientError::Remote(msg) => write!(f, "server error: {msg}"),
+            ClientError::Remote { kind, message } => {
+                write!(f, "server error ({kind}): {message}")
+            }
         }
     }
 }
@@ -37,7 +78,10 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::TimedOut,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -71,43 +115,118 @@ pub struct RouteReply {
 }
 
 /// A connected client. One request/response pair per [`ServiceClient::call`].
+///
+/// A transport-level failure mid-exchange (timeout, truncation, I/O
+/// error) **poisons** the connection: the line protocol has no way to
+/// tell a late-arriving remainder of the failed response from the reply
+/// to the next request, so every later call fails fast with
+/// [`ClientError::Poisoned`] — reconnect instead of retrying in place.
+/// Server-side (`Remote`) errors and clean disconnects do not poison.
 #[derive(Debug)]
 pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    poisoned: bool,
 }
 
 impl ServiceClient {
-    /// Connects to a serving address (e.g. `127.0.0.1:7077`).
+    /// Connects to a serving address (e.g. `127.0.0.1:7077`) with no
+    /// client-side timeouts — calls can block indefinitely. Prefer
+    /// [`ServiceClient::connect_with_timeout`] for anything unattended.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
             writer: stream,
+            poisoned: false,
         })
     }
 
-    /// Sends one raw request line and parses the response line, mapping
-    /// `{"ok":false}` responses to [`ClientError::Remote`].
-    pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        let read = self.reader.read_line(&mut response)?;
-        if read == 0 {
-            return Err(ClientError::Protocol("server closed the connection".into()));
+    /// Connects with `timeout` applied to the connect itself and to every
+    /// subsequent read and write, so a hung or hostile server surfaces as
+    /// [`ClientError::TimedOut`] instead of blocking forever. `None`
+    /// behaves like [`ServiceClient::connect`].
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let Some(timeout) = timeout else {
+            return Self::connect(addr);
+        };
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(stream) => {
+                    let mut client = Self {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: stream,
+                        poisoned: false,
+                    };
+                    client.set_timeout(Some(timeout))?;
+                    return Ok(client);
+                }
+                Err(e) => last_err = Some(e),
+            }
         }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    /// Sets (or clears) the read and write timeouts of the connection.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// Sends one raw request line and parses the response line, mapping
+    /// `{"ok":false}` responses to [`ClientError::Remote`]. A clean EOF
+    /// before any response byte is [`ClientError::Disconnected`]; a line
+    /// cut off mid-way is [`ClientError::Truncated`]. Timeouts,
+    /// truncation, and I/O errors poison the connection (see the type
+    /// docs); later calls fail with [`ClientError::Poisoned`].
+    pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let exchange = |this: &mut Self| -> Result<String, ClientError> {
+            writeln!(this.writer, "{line}")?;
+            this.writer.flush()?;
+            let mut response = String::new();
+            let read = this.reader.read_line(&mut response)?;
+            if read == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            if !response.ends_with('\n') {
+                return Err(ClientError::Truncated);
+            }
+            Ok(response)
+        };
+        let response = exchange(self).inspect_err(|e| {
+            // read_line may have consumed a partial line before failing,
+            // so the stream can no longer be re-synchronised.
+            self.poisoned = !matches!(e, ClientError::Disconnected);
+        })?;
         let doc =
             Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
         match doc.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(doc),
-            Some(false) => Err(ClientError::Remote(
-                doc.get("error")
+            Some(false) => Err(ClientError::Remote {
+                kind: doc
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("error")
+                    .to_string(),
+                message: doc
+                    .get("error")
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified failure")
                     .to_string(),
-            )),
+            }),
             None => Err(ClientError::Protocol(
                 "response is missing the 'ok' field".into(),
             )),

@@ -6,6 +6,12 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth [`Json::parse`] accepts. Deeper
+/// documents are rejected with a [`JsonError`] instead of recursing —
+/// without this cap a hostile line of `[[[[…` drives the parser into a
+/// stack overflow (an abort, not a catchable error).
+pub const MAX_DEPTH: usize = 128;
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -101,7 +107,7 @@ impl Json {
     pub fn parse(input: &str) -> Result<Json, JsonError> {
         let bytes = input.as_bytes();
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(JsonError {
@@ -186,7 +192,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(fail(*pos, "unexpected end of input")),
@@ -195,6 +201,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
+            if depth >= MAX_DEPTH {
+                return Err(fail(
+                    *pos,
+                    format!("nesting deeper than {MAX_DEPTH} levels"),
+                ));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -203,7 +215,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -216,6 +228,12 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_DEPTH {
+                return Err(fail(
+                    *pos,
+                    format!("nesting deeper than {MAX_DEPTH} levels"),
+                ));
+            }
             *pos += 1;
             let mut pairs = Vec::new();
             skip_ws(bytes, pos);
@@ -228,7 +246,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -415,6 +433,26 @@ mod tests {
         assert_eq!(Json::parse("3.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-2").unwrap().as_u64(), None);
         assert_eq!(Json::parse("42").unwrap().as_usize(), Some(42));
+    }
+
+    #[test]
+    fn depth_guard_rejects_hostile_nesting_without_overflowing() {
+        // Unbalanced: a hostile stream of open brackets.
+        let bombs = ["[".repeat(100_000), "{\"k\":".repeat(100_000)];
+        for bomb in &bombs {
+            let err = Json::parse(bomb).unwrap_err();
+            assert!(err.msg.contains("nesting"), "{err}");
+        }
+        // Balanced but too deep: also rejected, not parsed.
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&deep).is_err());
+        // Exactly at the limit: still accepted.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
     }
 
     #[test]

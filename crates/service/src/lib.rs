@@ -50,8 +50,9 @@ pub mod service;
 
 pub use cache::{canonical_key, CachedOutcome, PlanCache};
 pub use client::{ClientError, RouteReply, ServerInfo, ServiceClient};
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, MAX_DEPTH};
 pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics};
 pub use pool::EnginePool;
-pub use server::{serve, ServerSummary};
+pub use proto::WireErrorKind;
+pub use server::{serve, serve_with_config, ServerConfig, ServerSummary};
 pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};

@@ -128,6 +128,16 @@ pub struct ServiceMetrics {
     batches: AtomicU64,
     /// Plans produced by batch submissions.
     batch_plans: AtomicU64,
+    /// Connections the server accepted and handed to a handler.
+    conns_opened: AtomicU64,
+    /// Handler threads that have exited (their connection is done).
+    conns_closed: AtomicU64,
+    /// Connections refused because the server was at capacity.
+    conns_rejected: AtomicU64,
+    /// Request lines rejected for exceeding the line-length cap.
+    oversized_lines: AtomicU64,
+    /// Connections dropped because a complete line never arrived in time.
+    read_timeouts: AtomicU64,
     per_kind: [KindMetrics; 6],
 }
 
@@ -190,6 +200,31 @@ impl ServiceMetrics {
             .fetch_add(slots as u64, Ordering::Relaxed);
     }
 
+    /// Records a connection accepted and handed to a handler thread.
+    pub fn record_connection_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a handler thread exiting (its connection is finished).
+    pub fn record_connection_closed(&self) {
+        self.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection refused at the server's capacity limit.
+    pub fn record_connection_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line rejected for exceeding the length cap.
+    pub fn record_oversized_line(&self) {
+        self.oversized_lines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection dropped on a read timeout.
+    pub fn record_read_timeout(&self) {
+        self.read_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A plain-data copy of every counter at this instant.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -203,6 +238,14 @@ impl ServiceMetrics {
             admission_waits: self.admission_waits.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_plans: self.batch_plans.load(Ordering::Relaxed),
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            arena_bytes: 0,
+            cache_entries: 0,
+            cache_capacity: 0,
             per_kind: RequestKind::ALL.map(|kind| {
                 let k = &self.per_kind[kind.index()];
                 KindSnapshot {
@@ -291,6 +334,23 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Plans produced by batches.
     pub batch_plans: u64,
+    /// Connections accepted by the server.
+    pub conns_opened: u64,
+    /// Connections whose handler has exited.
+    pub conns_closed: u64,
+    /// Connections refused at the capacity limit.
+    pub conns_rejected: u64,
+    /// Request lines rejected for exceeding the length cap.
+    pub oversized_lines: u64,
+    /// Connections dropped on a read timeout.
+    pub read_timeouts: u64,
+    /// Engine-arena bytes across the pool (gauge; filled by
+    /// [`crate::RoutingService::metrics`], 0 from a bare registry).
+    pub arena_bytes: u64,
+    /// Plans currently cached (gauge; filled like `arena_bytes`).
+    pub cache_entries: u64,
+    /// Plan-cache capacity (gauge; filled like `arena_bytes`).
+    pub cache_capacity: u64,
     /// Per-kind counters.
     pub per_kind: [KindSnapshot; 6],
 }
@@ -309,6 +369,11 @@ impl MetricsSnapshot {
     /// Single requests served (hits + misses).
     pub fn requests(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// Connections currently live (opened minus closed).
+    pub fn active_connections(&self) -> u64 {
+        self.conns_opened.saturating_sub(self.conns_closed)
     }
 }
 
@@ -332,6 +397,22 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "pool: {} fast, {} overflowed, {} blocked   admission waits: {}",
             self.pool_fast, self.pool_overflows, self.pool_blocked, self.admission_waits
+        )?;
+        writeln!(
+            f,
+            "connections: {} active ({} opened, {} closed, {} rejected)   \
+             oversized lines: {}   read timeouts: {}",
+            self.active_connections(),
+            self.conns_opened,
+            self.conns_closed,
+            self.conns_rejected,
+            self.oversized_lines,
+            self.read_timeouts,
+        )?;
+        writeln!(
+            f,
+            "arena footprint: {} bytes   plan cache: {}/{} entries",
+            self.arena_bytes, self.cache_entries, self.cache_capacity
         )?;
         writeln!(
             f,
@@ -401,6 +482,27 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("hit rate 50.0%"), "{rendered}");
         assert!(rendered.contains("theorem2"), "{rendered}");
+    }
+
+    #[test]
+    fn connection_and_limit_counters_round_trip() {
+        let m = ServiceMetrics::new();
+        for _ in 0..3 {
+            m.record_connection_opened();
+        }
+        m.record_connection_closed();
+        m.record_connection_rejected();
+        m.record_oversized_line();
+        m.record_read_timeout();
+        let s = m.snapshot();
+        assert_eq!((s.conns_opened, s.conns_closed), (3, 1));
+        assert_eq!(s.active_connections(), 2);
+        assert_eq!(s.conns_rejected, 1);
+        assert_eq!((s.oversized_lines, s.read_timeouts), (1, 1));
+        let rendered = s.to_string();
+        assert!(rendered.contains("2 active"), "{rendered}");
+        assert!(rendered.contains("read timeouts: 1"), "{rendered}");
+        assert!(rendered.contains("arena footprint"), "{rendered}");
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! POPS(4, 4) server even though both have n = 16). `"want_schedule":
 //! false` suppresses the schedule body for callers that only need the
 //! slot count. Responses always carry `"ok"`; failures are
-//! `{"ok":false,"error":"..."}`.
+//! `{"ok":false,"kind":"...","error":"..."}` where `kind` is a machine-
+//! readable [`WireErrorKind`] category (`parse`, `bad-request`,
+//! `too-large`, `timeout`, `unavailable`, `routing`).
 
 use pops_core::HRelation;
 use pops_network::{FaultSet, PopsTopology, Schedule, SlotFrame, Transmission};
@@ -27,6 +29,40 @@ use pops_permutation::Permutation;
 use crate::json::Json;
 use crate::metrics::{MetricsSnapshot, RequestKind};
 use crate::service::{ServiceReply, ServiceRequest};
+
+/// Machine-readable failure category carried in every error response's
+/// `"kind"` field, so clients can react to limit violations without
+/// string-matching the human-facing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// The request line was not valid JSON.
+    Parse,
+    /// The document parsed but is not a valid request.
+    BadRequest,
+    /// The request line exceeded the server's `max_line_bytes` cap.
+    TooLarge,
+    /// The client did not deliver a complete line within the server's
+    /// read timeout.
+    Timeout,
+    /// The server refused the connection (at its connection capacity).
+    Unavailable,
+    /// Routing itself failed (e.g. not single-slot routable).
+    Routing,
+}
+
+impl WireErrorKind {
+    /// The kind's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireErrorKind::Parse => "parse",
+            WireErrorKind::BadRequest => "bad-request",
+            WireErrorKind::TooLarge => "too-large",
+            WireErrorKind::Timeout => "timeout",
+            WireErrorKind::Unavailable => "unavailable",
+            WireErrorKind::Routing => "routing",
+        }
+    }
+}
 
 /// A parsed protocol request.
 #[derive(Debug, Clone)]
@@ -215,6 +251,26 @@ pub fn stats_response(snap: &MetricsSnapshot) -> Json {
         ),
         ("batches".into(), Json::Num(snap.batches as f64)),
         ("batch_plans".into(), Json::Num(snap.batch_plans as f64)),
+        (
+            "connections".into(),
+            Json::Obj(vec![
+                ("active".into(), Json::Num(snap.active_connections() as f64)),
+                ("opened".into(), Json::Num(snap.conns_opened as f64)),
+                ("closed".into(), Json::Num(snap.conns_closed as f64)),
+                ("rejected".into(), Json::Num(snap.conns_rejected as f64)),
+            ]),
+        ),
+        (
+            "oversized_lines".into(),
+            Json::Num(snap.oversized_lines as f64),
+        ),
+        ("read_timeouts".into(), Json::Num(snap.read_timeouts as f64)),
+        ("arena_bytes".into(), Json::Num(snap.arena_bytes as f64)),
+        ("cache_entries".into(), Json::Num(snap.cache_entries as f64)),
+        (
+            "cache_capacity".into(),
+            Json::Num(snap.cache_capacity as f64),
+        ),
         ("kinds".into(), Json::Arr(kinds)),
     ])
 }
@@ -227,10 +283,11 @@ pub fn shutdown_response() -> Json {
     ])
 }
 
-/// `{"ok":false,"error":...}`.
-pub fn error_response(msg: impl Into<String>) -> Json {
+/// `{"ok":false,"kind":...,"error":...}`.
+pub fn error_response(kind: WireErrorKind, msg: impl Into<String>) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(false)),
+        ("kind".into(), Json::str(kind.name())),
         ("error".into(), Json::Str(msg.into())),
     ])
 }
@@ -379,8 +436,26 @@ mod tests {
     #[test]
     fn responses_have_the_ok_discriminator() {
         assert_eq!(pong_response().get("ok"), Some(&Json::Bool(true)));
-        assert_eq!(error_response("nope").get("ok"), Some(&Json::Bool(false)));
+        let err = error_response(WireErrorKind::Routing, "nope");
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("routing"));
         let info = info_response(&PopsTopology::new(4, 4), 2, 64);
         assert_eq!(info.get("n").unwrap().as_usize(), Some(16));
+    }
+
+    #[test]
+    fn error_kinds_have_distinct_wire_names() {
+        let kinds = [
+            WireErrorKind::Parse,
+            WireErrorKind::BadRequest,
+            WireErrorKind::TooLarge,
+            WireErrorKind::Timeout,
+            WireErrorKind::Unavailable,
+            WireErrorKind::Routing,
+        ];
+        let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
     }
 }

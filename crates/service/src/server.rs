@@ -1,91 +1,484 @@
 //! The std-only TCP front door: a JSON-lines server over
-//! [`RoutingService`].
+//! [`RoutingService`], hardened for hostile traffic.
 //!
 //! One thread per connection (the service's admission gate, not the
-//! thread count, bounds concurrent routing work); a `shutdown` op stops
-//! the accept loop by flagging it and poking a wake-up connection at the
-//! listener. Handler threads are detached — shutdown returns once the
-//! accept loop exits; connections in flight finish their current line and
-//! drop.
+//! thread count, bounds concurrent routing work), governed by a
+//! [`ServerConfig`]:
+//!
+//! * **Bounded reads.** Request lines are read through a capped reader —
+//!   a frame longer than `max_line_bytes` is answered with a structured
+//!   `too-large` error and the connection closed, instead of buffering an
+//!   unterminated line without bound (a remote OOM).
+//! * **Read deadlines.** `read_timeout` is the budget for receiving one
+//!   *complete* line, measured from when the server starts waiting — a
+//!   slow-loris client dripping a byte per second cannot reset it, and an
+//!   idle connection is reclaimed after the same budget. Timed-out
+//!   connections get a structured `timeout` error (best effort) and are
+//!   closed; the handler thread exits rather than leaking.
+//! * **Connection cap.** At `max_connections` live handlers, further
+//!   accepts are answered with an `unavailable` error and closed.
+//! * **Graceful drain.** Every accepted connection is tracked in a
+//!   registry. `{"op":"shutdown"}` flips the shutdown flag and [`serve`]
+//!   then **joins** every handler thread before returning. Handlers
+//!   waiting for input observe the flag within two poll ticks and close
+//!   their own sockets — nobody closes a socket out from under a request,
+//!   so any request line fully delivered before shutdown is read and
+//!   answered, and a handler mid-request finishes writing its complete
+//!   response first. Only lines still partially in flight when the flag
+//!   flips are dropped.
+//!
+//! `std::net` exposes no `SO_KEEPALIVE` setter (and this workspace takes
+//! no socket crate), so dead-peer detection is subsumed by the read
+//! deadline; `tcp_nodelay` is available for latency-sensitive callers.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::proto::{
     error_response, info_response, parse_request, pong_response, route_response, shutdown_response,
-    stats_response, WireRequest,
+    stats_response, WireErrorKind, WireRequest,
 };
 use crate::service::RoutingService;
+
+/// Limits and timeouts of one [`serve_with_config`] loop.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Budget for receiving one complete request line (also the idle
+    /// timeout between requests). `None` disables the deadline.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket timeout for responses. `None` disables it.
+    pub write_timeout: Option<Duration>,
+    /// Maximum request-line length in bytes (newline excluded). Longer
+    /// frames get a `too-large` error and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Maximum live connections; further accepts are refused with an
+    /// `unavailable` error.
+    pub max_connections: usize,
+    /// Whether to set `TCP_NODELAY` on accepted sockets.
+    pub tcp_nodelay: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            // Large enough for a permutation over the biggest topology the
+            // CLI accepts (n = 2^20 needs ~8 MiB of JSON), small enough to
+            // bound a hostile unterminated line.
+            max_line_bytes: 16 << 20,
+            max_connections: 256,
+            tcp_nodelay: false,
+        }
+    }
+}
 
 /// What a finished [`serve`] loop saw.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerSummary {
-    /// Connections accepted (the shutdown wake-up excluded).
+    /// Connections accepted and handled (the shutdown wake-up and
+    /// capacity-rejected connections excluded).
     pub connections: u64,
     /// Request lines answered.
     pub requests: u64,
 }
 
-/// Serves `service` on `listener` until a client sends
-/// `{"op":"shutdown"}`. Blocks the calling thread.
+/// Shared state of one serve loop: the shutdown flag, the connection
+/// registry, and the counters the summary reports.
+struct ServeState {
+    service: Arc<RoutingService>,
+    config: ServerConfig,
+    listener_addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Live connections by id: their join handles (joined by the accept
+    /// loop's reaper or the final drain) — also the live-connection count
+    /// the capacity cap checks.
+    conns: Mutex<HashMap<u64, ConnHandle>>,
+    /// Ids of handlers that have exited, awaiting a reap.
+    finished: Mutex<Vec<u64>>,
+    requests: AtomicU64,
+    /// Live capacity-reject helper threads, capped at
+    /// [`MAX_REJECT_THREADS`] so a connect flood against a full server
+    /// cannot mint threads faster than they retire.
+    reject_threads: AtomicU64,
+}
+
+struct ConnHandle {
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServeState {
+    /// Flips the shutdown flag and pokes the accept loop. Handlers notice
+    /// the flag within [`SHUTDOWN_POLL`] (or finish their in-flight
+    /// response first); [`serve_with_config`] joins them all.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.listener_addr);
+    }
+}
+
+/// Serves `service` on `listener` with the default [`ServerConfig`] until
+/// a client sends `{"op":"shutdown"}`. Blocks the calling thread.
 pub fn serve(
     listener: TcpListener,
     service: Arc<RoutingService>,
 ) -> std::io::Result<ServerSummary> {
-    let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let connections = Arc::new(AtomicU64::new(0));
-    let requests = Arc::new(AtomicU64::new(0));
+    serve_with_config(listener, service, ServerConfig::default())
+}
+
+/// Serves `service` on `listener` under `config` until a client sends
+/// `{"op":"shutdown"}`. Blocks the calling thread; returns only after
+/// **every** accepted connection's handler thread has been joined.
+pub fn serve_with_config(
+    listener: TcpListener,
+    service: Arc<RoutingService>,
+    config: ServerConfig,
+) -> std::io::Result<ServerSummary> {
+    let metrics = service.metrics_registry();
+    let state = Arc::new(ServeState {
+        service,
+        config,
+        listener_addr: listener.local_addr()?,
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        finished: Mutex::new(Vec::new()),
+        requests: AtomicU64::new(0),
+        reject_threads: AtomicU64::new(0),
+    });
+    let mut next_id: u64 = 0;
+    let mut connections: u64 = 0;
 
     for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
+        if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let stream = match stream {
             Ok(s) => s,
             Err(_) => continue,
         };
-        connections.fetch_add(1, Ordering::Relaxed);
-        let service = service.clone();
-        let shutdown = shutdown.clone();
-        let requests = requests.clone();
-        std::thread::spawn(move || {
-            let _ = handle_connection(stream, addr, &service, &shutdown, &requests);
-        });
+        reap_finished(&state);
+        let active = state.conns.lock().expect("registry lock poisoned").len();
+        if active >= state.config.max_connections {
+            metrics.record_connection_rejected();
+            reject_at_capacity(stream, &state);
+            continue;
+        }
+        connections += 1;
+        metrics.record_connection_opened();
+        let id = next_id;
+        next_id += 1;
+        let handler_state = state.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("pops-conn-{id}"))
+            .spawn(move || {
+                let _ = handle_connection(stream, &handler_state);
+                handler_state
+                    .service
+                    .metrics_registry()
+                    .record_connection_closed();
+                handler_state
+                    .finished
+                    .lock()
+                    .expect("finished lock poisoned")
+                    .push(id);
+            });
+        match spawned {
+            Ok(join) => {
+                state
+                    .conns
+                    .lock()
+                    .expect("registry lock poisoned")
+                    .insert(id, ConnHandle { join: Some(join) });
+            }
+            Err(_) => {
+                metrics.record_connection_closed();
+            }
+        }
+    }
+
+    // Graceful drain: join every handler. Idle handlers observe the flag
+    // within a poll tick; in-flight ones finish writing their complete
+    // responses first.
+    let drained: Vec<ConnHandle> = {
+        let mut conns = state.conns.lock().expect("registry lock poisoned");
+        conns.drain().map(|(_, conn)| conn).collect()
+    };
+    for mut conn in drained {
+        if let Some(join) = conn.join.take() {
+            let _ = join.join();
+        }
     }
 
     Ok(ServerSummary {
-        connections: connections.load(Ordering::Relaxed),
-        requests: requests.load(Ordering::Relaxed),
+        connections,
+        requests: state.requests.load(Ordering::Relaxed),
     })
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    listener_addr: SocketAddr,
-    service: &RoutingService,
-    shutdown: &AtomicBool,
-    requests: &AtomicU64,
-) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Joins handler threads that have already exited, keeping the registry
+/// (and its join handles) from growing without bound on a long-lived
+/// server.
+fn reap_finished(state: &ServeState) {
+    let finished: Vec<u64> = {
+        let mut list = state.finished.lock().expect("finished lock poisoned");
+        std::mem::take(&mut *list)
+    };
+    if finished.is_empty() {
+        return;
+    }
+    let mut conns = state.conns.lock().expect("registry lock poisoned");
+    for id in finished {
+        if let Some(mut conn) = conns.remove(&id) {
+            if let Some(join) = conn.join.take() {
+                let _ = join.join();
+            }
         }
-        requests.fetch_add(1, Ordering::Relaxed);
-        let (response, stop) = respond(&line, service);
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
-        if stop {
-            shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop so it observes the flag.
-            let _ = TcpStream::connect(listener_addr);
+    }
+}
+
+/// How often a waiting reader re-checks the shutdown flag. Short enough
+/// that drain latency is imperceptible, long enough that an idle
+/// connection costs ~20 wakeups per second.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// Hard bounds on the post-error drain: total wall-clock and total bytes.
+const DRAIN_BUDGET: Duration = Duration::from_millis(250);
+const DRAIN_MAX_BYTES: usize = 64 * 1024;
+
+/// Most capacity-reject helper threads alive at once; connections beyond
+/// this under a connect flood are dropped without the polite error line.
+const MAX_REJECT_THREADS: u64 = 32;
+
+/// Answers a connection refused at the capacity limit with a structured
+/// error (best effort) and drops it. The polite path runs on a
+/// short-lived thread (its lifetime is bounded by a 1 s write timeout
+/// plus the [`DRAIN_BUDGET`] drain) so a reject never stalls the accept
+/// loop: after the error line the write side is FIN'd and any request
+/// the client already pipelined is swallowed — closing with unread input
+/// would RST the error line out of the peer's receive buffer. At most
+/// [`MAX_REJECT_THREADS`] of these run concurrently; a flood beyond that
+/// gets its sockets dropped on the spot, so rejected clients can never
+/// mint unbounded threads. (The helpers are detached: up to 32 may
+/// linger ~1 s past `serve` returning, holding nothing but a dead
+/// socket.)
+fn reject_at_capacity(stream: TcpStream, state: &Arc<ServeState>) {
+    if state.reject_threads.fetch_add(1, Ordering::SeqCst) >= MAX_REJECT_THREADS {
+        state.reject_threads.fetch_sub(1, Ordering::SeqCst);
+        return; // flood mode: drop without the courtesy line
+    }
+    let helper_state = state.clone();
+    let spawned = std::thread::Builder::new()
+        .name("pops-conn-reject".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let mut writer = stream;
+            let response = error_response(
+                WireErrorKind::Unavailable,
+                format!(
+                    "server is at its connection capacity ({})",
+                    helper_state.config.max_connections
+                ),
+            );
+            let _ = writeln!(writer, "{response}");
+            close_after_error(&mut writer);
+            helper_state.reject_threads.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        state.reject_threads.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Politely closes a connection after a fatal error line: FIN the write
+/// side, then briefly drain pending input — dropping a socket with
+/// unread data makes the kernel RST it, which would discard the error
+/// line out of the peer's receive buffer before it reads it. The drain
+/// is hard-bounded by [`DRAIN_BUDGET`] wall-clock and [`DRAIN_MAX_BYTES`]
+/// total, so a client dripping bytes cannot pin the thread.
+fn close_after_error(writer: &mut TcpStream) {
+    let _ = writer.shutdown(Shutdown::Write);
+    let deadline = Instant::now() + DRAIN_BUDGET;
+    let mut budget = DRAIN_MAX_BYTES;
+    let mut sink = [0u8; 1024];
+    while budget > 0 {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() || writer.set_read_timeout(Some(remaining)).is_err() {
             break;
+        }
+        match std::io::Read::read(writer, &mut sink) {
+            Ok(n) if n > 0 => budget = budget.saturating_sub(n),
+            _ => break, // EOF, timeout, or error — done draining
+        }
+    }
+}
+
+/// How reading one request line ended.
+enum LineOutcome {
+    /// A complete line (newline stripped, possibly invalid JSON).
+    Line(String),
+    /// The peer closed the connection (mid-line partials are dropped).
+    Eof,
+    /// The line exceeded the configured cap.
+    TooLong,
+    /// No complete line arrived within the read deadline.
+    TimedOut,
+    /// The server is shutting down and no bytes were pending — the
+    /// handler should close quietly.
+    ShuttingDown,
+}
+
+/// Reads one `\n`-terminated line, enforcing the length cap and the
+/// whole-line deadline. Waits in [`SHUTDOWN_POLL`] slices so the shutdown
+/// flag is noticed promptly — but only on a tick where no data was
+/// pending, and even then only after one extra grace tick (catching a
+/// request segment that was in flight when the flag flipped). A request
+/// line delivered before shutdown is therefore read and served, and no
+/// socket is ever torn down mid-request; only partial lines are dropped.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+    deadline: Option<Duration>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<LineOutcome> {
+    let mut line: Vec<u8> = Vec::new();
+    let started = Instant::now();
+    let mut shutdown_grace_used = false;
+    loop {
+        let mut slice = SHUTDOWN_POLL;
+        if let Some(budget) = deadline {
+            match budget.checked_sub(started.elapsed()) {
+                None => return Ok(LineOutcome::TimedOut),
+                Some(remaining) if remaining.is_zero() => return Ok(LineOutcome::TimedOut),
+                Some(remaining) => slice = slice.min(remaining),
+            }
+        }
+        reader.get_ref().set_read_timeout(Some(slice))?;
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Nothing arrived this tick: notice a shutdown (after one
+                // grace tick for a segment racing the flag), otherwise
+                // keep waiting towards the line deadline.
+                if shutdown.load(Ordering::SeqCst) {
+                    if shutdown_grace_used {
+                        return Ok(LineOutcome::ShuttingDown);
+                    }
+                    shutdown_grace_used = true;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineOutcome::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if line.len() + newline > max_bytes {
+                    return Ok(LineOutcome::TooLong);
+                }
+                line.extend_from_slice(&available[..newline]);
+                reader.consume(newline + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                // Invalid UTF-8 flows through lossily and fails JSON
+                // parsing with a structured `parse` error.
+                return Ok(LineOutcome::Line(
+                    String::from_utf8_lossy(&line).into_owned(),
+                ));
+            }
+            None => {
+                let chunk = available.len();
+                if line.len() + chunk > max_bytes {
+                    return Ok(LineOutcome::TooLong);
+                }
+                line.extend_from_slice(available);
+                reader.consume(chunk);
+                // Still mid-line: a shutdown abandons the partial (only
+                // *complete* lines are owed a response). Without this, a
+                // client dripping bytes would dodge the WouldBlock tick
+                // below and stall the drain for the whole read deadline —
+                // or forever with timeouts disabled.
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(LineOutcome::ShuttingDown);
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<()> {
+    if state.config.tcp_nodelay {
+        let _ = stream.set_nodelay(true);
+    }
+    stream.set_write_timeout(state.config.write_timeout)?;
+    let metrics = state.service.metrics_registry();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        // No shutdown check here: already-delivered requests (buffered or
+        // still a segment in flight) must be served first, and the reader
+        // notices the flag itself within two poll ticks.
+        let outcome = read_bounded_line(
+            &mut reader,
+            state.config.max_line_bytes,
+            state.config.read_timeout,
+            &state.shutdown,
+        )?;
+        match outcome {
+            LineOutcome::Eof | LineOutcome::ShuttingDown => break,
+            LineOutcome::TimedOut => {
+                metrics.record_read_timeout();
+                let response = error_response(
+                    WireErrorKind::Timeout,
+                    format!(
+                        "no complete request line within {:?}",
+                        state.config.read_timeout.unwrap_or_default()
+                    ),
+                );
+                let _ = writeln!(writer, "{response}");
+                close_after_error(&mut writer);
+                break;
+            }
+            LineOutcome::TooLong => {
+                metrics.record_oversized_line();
+                let response = error_response(
+                    WireErrorKind::TooLarge,
+                    format!(
+                        "request line exceeds the {}-byte cap",
+                        state.config.max_line_bytes
+                    ),
+                );
+                let _ = writeln!(writer, "{response}");
+                close_after_error(&mut writer);
+                break;
+            }
+            LineOutcome::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                let (response, stop) = respond(&line, &state.service);
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+                if stop {
+                    state.initiate_shutdown();
+                    break;
+                }
+            }
         }
     }
     Ok(())
@@ -95,11 +488,11 @@ fn handle_connection(
 fn respond(line: &str, service: &RoutingService) -> (Json, bool) {
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
-        Err(e) => return (error_response(e.to_string()), false),
+        Err(e) => return (error_response(WireErrorKind::Parse, e.to_string()), false),
     };
     let topology = service.topology();
     match parse_request(&doc, &topology) {
-        Err(e) => (error_response(e), false),
+        Err(e) => (error_response(WireErrorKind::BadRequest, e), false),
         Ok(WireRequest::Ping) => (pong_response(), false),
         Ok(WireRequest::Info) => (
             info_response(&topology, service.shard_count(), service.cache_capacity()),
@@ -109,7 +502,7 @@ fn respond(line: &str, service: &RoutingService) -> (Json, bool) {
         Ok(WireRequest::Shutdown) => (shutdown_response(), true),
         Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
             Ok(reply) => (route_response(req.kind(), &reply, want_schedule), false),
-            Err(e) => (error_response(e.to_string()), false),
+            Err(e) => (error_response(WireErrorKind::Routing, e.to_string()), false),
         },
     }
 }
@@ -166,6 +559,9 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("misses").unwrap().as_u64(), Some(1));
+        // The new gauges ride along in the stats response.
+        assert!(stats.get("arena_bytes").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(stats.get("cache_entries").unwrap().as_u64(), Some(1));
 
         client.shutdown().unwrap();
         let summary = handle.join().unwrap();

@@ -237,9 +237,16 @@ impl RoutingService {
         self.cache.lock().expect("cache lock poisoned").len()
     }
 
-    /// A snapshot of the metrics registry.
+    /// A snapshot of the metrics registry, with the service-level gauges
+    /// (arena footprint, plan-cache occupancy) filled in — the raw
+    /// registry cannot see the pool or the cache.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.arena_bytes = self.arena_footprint() as u64;
+        let cache = self.cache.lock().expect("cache lock poisoned");
+        snap.cache_entries = cache.len() as u64;
+        snap.cache_capacity = cache.capacity() as u64;
+        snap
     }
 
     /// The live metrics registry (shared with the pool).
@@ -469,6 +476,24 @@ mod tests {
             })
             .unwrap();
         assert_eq!(reply.outcome.schedule().slot_count(), 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_memory_gauges() {
+        let service = small_service();
+        let before = service.metrics();
+        assert_eq!(before.cache_entries, 0);
+        assert_eq!(before.cache_capacity, 8);
+        service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        let after = service.metrics();
+        assert!(after.arena_bytes > 0, "warm engines hold arena memory");
+        assert_eq!(after.cache_entries, 1);
+        let rendered = after.to_string();
+        assert!(rendered.contains("plan cache: 1/8 entries"), "{rendered}");
     }
 
     #[test]

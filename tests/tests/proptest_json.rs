@@ -1,0 +1,89 @@
+//! Fuzz-style property tests of the service's hand-rolled JSON parser:
+//! arbitrary byte soup and hostile nesting must come back as `JsonError`
+//! values — never a panic, and never a recursion-driven stack overflow.
+
+use proptest::prelude::*;
+
+use pops_permutation::SplitMix64;
+use pops_service::{Json, MAX_DEPTH};
+
+/// Builds a random `Json` document of bounded depth, exercising every
+/// constructor (including strings with control and non-ASCII characters,
+/// which stress the escape writer).
+fn random_doc(rng: &mut SplitMix64, depth: usize) -> Json {
+    let roll = if depth == 0 {
+        rng.next_u64() % 4 // leaves only
+    } else {
+        rng.next_u64() % 6
+    };
+    match roll {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 1),
+        2 => Json::num((rng.next_u64() % 1_000_000) as usize),
+        3 => {
+            let len = (rng.next_u64() % 12) as usize;
+            let s: String = (0..len)
+                .map(|_| char::from_u32((rng.next_u64() % 0xD7FF) as u32).unwrap_or('\u{FFFD}'))
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let len = (rng.next_u64() % 4) as usize;
+            Json::Arr((0..len).map(|_| random_doc(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = (rng.next_u64() % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), random_doc(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_survives_arbitrary_bytes(seed in any::<u64>(), len in 0usize..600) {
+        let mut rng = SplitMix64::new(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        // Err is fine; a panic (or abort) is the bug being hunted.
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn parse_survives_json_shaped_soup(seed in any::<u64>(), len in 0usize..600) {
+        // Bytes weighted towards JSON structure so the parser gets past
+        // the first token far more often than with uniform bytes.
+        const ALPHABET: &[u8] = b"{}[]\",:0123456789eE+-.\\ nulltruefalse\tu";
+        let mut rng = SplitMix64::new(seed);
+        let text: String = (0..len)
+            .map(|_| ALPHABET[(rng.next_u64() as usize) % ALPHABET.len()] as char)
+            .collect();
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing(extra in 1usize..4000, obj in any::<bool>()) {
+        let depth = MAX_DEPTH + extra;
+        let text = if obj {
+            format!("{}null{}", "{\"k\":".repeat(depth), "}".repeat(depth))
+        } else {
+            format!("{}null{}", "[".repeat(depth), "]".repeat(depth))
+        };
+        let err = Json::parse(&text).unwrap_err();
+        prop_assert!(err.msg.contains("nesting"), "{}", err);
+    }
+
+    #[test]
+    fn generated_documents_round_trip(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let doc = random_doc(&mut rng, 4);
+        let encoded = doc.to_string();
+        let reparsed = Json::parse(&encoded);
+        prop_assert_eq!(Ok(doc), reparsed);
+    }
+}
