@@ -1113,6 +1113,7 @@ fn experiment_bench_service() {
                 cache_capacity: 2 * count,
                 max_in_flight: 4,
                 colorer,
+                ..ServiceConfig::default()
             },
         );
         // Warm the cache, verifying every returned schedule on the
@@ -1155,6 +1156,182 @@ fn experiment_bench_service() {
             "acceptance: cache-hit throughput must be >= 5x cold (got {speedup:.1}x)"
         );
 
+        // Phase reuse (level 2): fresh h-relations whose phases are
+        // already cached must beat the all-phase-miss path. Level 1 is
+        // disabled on both services so repeats re-assemble every time and
+        // the delta isolates exactly the per-phase cache.
+        let h = 4usize;
+        let rel_count = 8usize;
+        let relations: Vec<HRelation> = (0..rel_count)
+            .map(|_| {
+                let mut requests = Vec::with_capacity(n * h);
+                for _ in 0..h {
+                    let p = random_permutation(n, &mut rng);
+                    requests.extend((0..n).map(|s| (s, p.apply(s))));
+                }
+                HRelation::new(n, requests).expect("valid relation")
+            })
+            .collect();
+        let phase_service = |phase_cache_capacity: usize| {
+            RoutingService::with_config(
+                t,
+                ServiceConfig {
+                    shards: 2,
+                    cache_capacity: 0, // L1 off: isolate the phase cache
+                    phase_cache_capacity,
+                    max_in_flight: 4,
+                    colorer,
+                    ..ServiceConfig::default()
+                },
+            )
+        };
+
+        let cold_service = phase_service(0);
+        let mut cold_relations = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for relation in &relations {
+                let reply = cold_service
+                    .route(&ServiceRequest::HRelation {
+                        relation: relation.clone(),
+                    })
+                    .expect("routes");
+                debug_assert_eq!(reply.phase_hits, 0);
+                std::hint::black_box(&reply);
+                cold_relations += 1;
+            }
+        }
+        let cold_rel_per_sec = cold_relations as f64 / start.elapsed().as_secs_f64();
+
+        let warm_service = phase_service(4 * rel_count * h);
+        // Pre-route every phase of every relation as a plain theorem2
+        // request (the decomposition is deterministic, so the relations'
+        // phases hit these level-2 entries), verifying each phase block
+        // on the simulator referee.
+        let mut decomposer = RoutingEngine::with_colorer(t, colorer);
+        for relation in &relations {
+            for phase in decomposer.decompose_h_relation(relation) {
+                let completed = phase.complete();
+                let reply = warm_service
+                    .route(&ServiceRequest::Theorem2 {
+                        pi: completed.clone(),
+                    })
+                    .expect("routes");
+                let mut sim = Simulator::with_unit_packets(t);
+                sim.execute_schedule(reply.outcome.schedule())
+                    .expect("legal");
+                sim.verify_delivery(completed.as_slice()).expect("delivers");
+            }
+        }
+        let mut warm_relations = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for relation in &relations {
+                let reply = warm_service
+                    .route(&ServiceRequest::HRelation {
+                        relation: relation.clone(),
+                    })
+                    .expect("routes");
+                assert_eq!(
+                    reply.phase_hits, h as u64,
+                    "every phase must come from the level-2 cache"
+                );
+                std::hint::black_box(&reply);
+                warm_relations += 1;
+            }
+        }
+        let warm_rel_per_sec = warm_relations as f64 / start.elapsed().as_secs_f64();
+        let phase_speedup = warm_rel_per_sec / cold_rel_per_sec;
+        println!(
+            "POPS({d:>2}, {g:>2}) x {rel_count} h-relations (h = {h}): all-phase-miss \
+             {cold_rel_per_sec:>8.0} rel/s, phase-warm {warm_rel_per_sec:>8.0} rel/s \
+             ({phase_speedup:.1}x)"
+        );
+        assert!(
+            phase_speedup > 1.0,
+            "acceptance: phase-warm relations must beat the cold path \
+             (got {phase_speedup:.2}x)"
+        );
+
+        // Warm restart: spill the primed service's cache and reload it
+        // into a brand-new service — its first pass over the same
+        // permutations must be all cache hits, against a cold service
+        // paying every construction.
+        let cache_dir =
+            std::env::temp_dir().join(format!("pops-bench-cache-{}-{d}x{g}", std::process::id()));
+        std::fs::create_dir_all(&cache_dir).expect("temp cache dir");
+        let cache_path = cache_dir.join("plans.popscache");
+        let saved = service.save_cache(&cache_path).expect("spill");
+        assert_eq!(saved.l1_entries, count, "every warmed plan spills");
+
+        let cold_restart = RoutingService::with_config(
+            t,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 2 * count,
+                max_in_flight: 4,
+                colorer,
+                ..ServiceConfig::default()
+            },
+        );
+        let start = Instant::now();
+        for pi in &perms {
+            let reply = cold_restart
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .expect("routes");
+            assert!(!reply.cache_hit);
+            std::hint::black_box(&reply);
+        }
+        let cold_first_pass_per_sec = count as f64 / start.elapsed().as_secs_f64();
+
+        let warm_restart = RoutingService::with_config(
+            t,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 2 * count,
+                max_in_flight: 4,
+                colorer,
+                ..ServiceConfig::default()
+            },
+        );
+        let restored = warm_restart.load_cache(&cache_path).expect("restore");
+        let start = Instant::now();
+        for (idx, pi) in perms.iter().enumerate() {
+            let reply = warm_restart
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .expect("routes");
+            assert!(
+                reply.cache_hit,
+                "acceptance: request {idx} after a warm restart must hit"
+            );
+            std::hint::black_box(&reply);
+        }
+        let warm_first_pass_per_sec = count as f64 / start.elapsed().as_secs_f64();
+        let restart_speedup = warm_first_pass_per_sec / cold_first_pass_per_sec;
+        // Restored schedules still pass the simulator referee.
+        {
+            let pi = &perms[0];
+            let reply = warm_restart
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .expect("routes");
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(reply.outcome.schedule())
+                .expect("legal");
+            sim.verify_delivery(pi.as_slice()).expect("delivers");
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        println!(
+            "POPS({d:>2}, {g:>2}) warm restart: {}+{} entries restored, first pass \
+             {warm_first_pass_per_sec:>9.0} plans/s vs cold {cold_first_pass_per_sec:>9.0} \
+             plans/s ({restart_speedup:.1}x)",
+            restored.l1_entries, restored.l2_entries
+        );
+        assert!(
+            restart_speedup > 1.0,
+            "acceptance: a warm restart's first pass must beat cold \
+             (got {restart_speedup:.2}x)"
+        );
+
         entries.push(format!(
             "    {{\n      \"d\": {d},\n      \"g\": {g},\n      \"n\": {n},\n      \
              \"permutations\": {count},\n      \"theorem2_slots\": {slots_per_plan},\n      \
@@ -1162,14 +1339,28 @@ fn experiment_bench_service() {
              \"cold\": {{\n        \"plans_per_sec\": {cold_per_sec:.1}\n      }},\n      \
              \"warm_engine\": {{\n        \"plans_per_sec\": {warm_per_sec:.1}\n      }},\n      \
              \"cache_hit\": {{\n        \"plans_per_sec\": {hit_per_sec:.1},\n        \
-             \"speedup_vs_cold\": {speedup:.1}\n      }}\n    }}"
+             \"speedup_vs_cold\": {speedup:.1}\n      }},\n      \
+             \"phase_reuse\": {{\n        \"h\": {h},\n        \"relations\": {rel_count},\n        \
+             \"all_phase_miss_relations_per_sec\": {cold_rel_per_sec:.1},\n        \
+             \"phase_warm_relations_per_sec\": {warm_rel_per_sec:.1},\n        \
+             \"speedup\": {phase_speedup:.1}\n      }},\n      \
+             \"warm_restart\": {{\n        \"restored_plans\": {restored_l1},\n        \
+             \"restored_phases\": {restored_l2},\n        \
+             \"first_repeat_cache_hit\": true,\n        \
+             \"cold_first_pass_plans_per_sec\": {cold_first_pass_per_sec:.1},\n        \
+             \"warm_first_pass_plans_per_sec\": {warm_first_pass_per_sec:.1},\n        \
+             \"speedup\": {restart_speedup:.1}\n      }}\n    }}",
+            restored_l1 = restored.l1_entries,
+            restored_l2 = restored.l2_entries,
         ));
     }
 
     let json = format!(
         "{{\n  \"benchmark\": \"pops_routing_service\",\n  \"description\": \
-         \"RoutingService cold vs warm-engine vs cache-hit plan throughput \
-         (single client thread, alternating-path colourer); regenerate with \
+         \"RoutingService cold vs warm-engine vs cache-hit plan throughput, plus \
+         level-2 phase reuse (fresh h-relations assembled from cached phases vs \
+         all-phase-miss) and warm restart from a cache spill (first pass all hits \
+         vs cold); single client thread, alternating-path colourer; regenerate with \
          `cargo run --release --bin experiments -- BENCH_SERVICE`\",\n  \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

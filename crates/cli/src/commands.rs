@@ -46,11 +46,15 @@ COMMANDS
             [--threads T] [--no-artefacts]   (engine-per-worker fast path)
   serve     --d D --g G [--port P]           start the TCP/JSON routing service
             [--shards S] [--cache C] [--max-in-flight M]
+            [--phase-cache C]                level-2 per-phase plan cache (default 1024)
+            [--cache-shards N]               lock shards per cache level
+            [--cache-dir DIR]                warm-start dir: load on boot, spill on shutdown
             [--read-timeout-ms T] [--write-timeout-ms T]   (0 disables; defaults 30000)
             [--max-line-bytes B]             request-line cap (default 16 MiB)
             [--max-conns N] [--nodelay]      connection cap (default 256), TCP_NODELAY
   request   --addr HOST:PORT [perm]          route one request via a server
             [--kind K] [--stats] [--shutdown]
+            [--cache save|load|stats]        plan-cache op (save/load need --cache-dir serve)
             [--timeout-ms T]                 client timeout (default 30000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
@@ -434,6 +438,12 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         return Err(err("--shards must be positive"));
     }
     let cache_capacity = opts.usize_or("cache", defaults.cache_capacity)?;
+    let phase_cache_capacity = opts.usize_or("phase-cache", defaults.phase_cache_capacity)?;
+    let cache_shards = opts.usize_or("cache-shards", defaults.cache_shards)?;
+    if cache_shards == 0 {
+        return Err(err("--cache-shards must be positive"));
+    }
+    let cache_dir = opts.get("cache-dir").map(std::path::PathBuf::from);
     let max_in_flight = opts.usize_or("max-in-flight", defaults.max_in_flight)?;
     let server_defaults = ServerConfig::default();
     // Defaults come from ServerConfig::default() (one source of truth);
@@ -449,6 +459,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         max_line_bytes: opts.usize_or("max-line-bytes", server_defaults.max_line_bytes)?,
         max_connections: opts.usize_or("max-conns", server_defaults.max_connections)?,
         tcp_nodelay: opts.flag("nodelay"),
+        cache_dir: cache_dir.clone(),
     };
     if server_config.max_line_bytes == 0 {
         return Err(err("--max-line-bytes must be positive"));
@@ -466,16 +477,51 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         ServiceConfig {
             shards,
             cache_capacity,
+            phase_cache_capacity,
+            cache_shards,
             max_in_flight,
             colorer: kind,
         },
     ));
+    // Warm start: restore a previous spill before accepting traffic. A
+    // missing file is a cold start, not an error; a corrupt or
+    // wrong-topology file is refused loudly.
+    let mut warm_note = String::new();
+    if let Some(dir) = &cache_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| err(format!("cannot create --cache-dir {}: {e}", dir.display())))?;
+        let path = pops_service::persist::cache_file_path(dir);
+        if path.exists() {
+            // A bad spill (crash mid-write, copied from the wrong
+            // topology) must not turn the cache optimization into a
+            // startup outage: warn and serve cold instead of refusing.
+            match service.load_cache(&path) {
+                Ok(loaded) => {
+                    warm_note = format!(
+                        ", warm-started: {} plan(s) + {} phase(s) from {}",
+                        loaded.l1_entries,
+                        loaded.l2_entries,
+                        path.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring cache file {}: {e}; starting cold \
+                         (it will be overwritten on shutdown)",
+                        path.display()
+                    );
+                    warm_note = ", cache file ignored (see warning), starting cold".into();
+                }
+            }
+        }
+    }
     let fmt_ms =
         |t: Option<Duration>| t.map_or("off".to_string(), |d| format!("{}ms", d.as_millis()));
     println!(
         "pops-service listening on {addr} ({t}, {shards} shard(s), cache {cache_capacity}, \
+         phase cache {phase_cache_capacity}, {cache_shards} cache shard(s), \
          max in-flight {max_in_flight}, engine {}, read timeout {}, write timeout {}, \
-         line cap {} bytes, max conns {})",
+         line cap {} bytes, max conns {}{warm_note})",
         kind.name(),
         fmt_ms(server_config.read_timeout),
         fmt_ms(server_config.write_timeout),
@@ -491,6 +537,24 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         "shutdown after {} connection(s), {} request(s); all handlers drained",
         summary.connections, summary.requests
     );
+    // Spill on the way out so the next boot starts warm.
+    if let Some(dir) = &cache_dir {
+        let path = pops_service::persist::cache_file_path(dir);
+        match service.save_cache(&path) {
+            Ok(saved) => {
+                let _ = writeln!(
+                    out,
+                    "spilled {} plan(s) + {} phase(s) to {}",
+                    saved.l1_entries,
+                    saved.l2_entries,
+                    path.display()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "cache spill to {} failed: {e}", path.display());
+            }
+        }
+    }
     let _ = write!(out, "{}", service.metrics());
     Ok(out)
 }
@@ -517,6 +581,14 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     if opts.flag("stats") {
         let stats = client.stats().map_err(|e| err(e.to_string()))?;
         let count = |name: &str| stats.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let level = |name: &str, field: &str| {
+            stats
+                .get("cache")
+                .and_then(|c| c.get(name))
+                .and_then(|l| l.get(field))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -526,7 +598,36 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
             count("errors"),
             count("slots_emitted")
         );
+        let _ = writeln!(
+            out,
+            "L1 {}/{} entries   L2 (phases): {} hits, {} misses, {}/{} entries",
+            level("l1", "entries"),
+            level("l1", "capacity"),
+            level("l2", "hits"),
+            level("l2", "misses"),
+            level("l2", "entries"),
+            level("l2", "capacity"),
+        );
         let _ = writeln!(out, "raw: {stats}");
+        return Ok(out);
+    }
+    if let Some(action) = opts.get("cache") {
+        let doc = client.cache_op(action).map_err(|e| err(e.to_string()))?;
+        let mut out = String::new();
+        match action {
+            "save" | "load" => {
+                let count = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "cache {action}: {} plan(s) + {} phase(s) at {addr}",
+                    count("l1_entries"),
+                    count("l2_entries"),
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "cache stats from {addr}: {doc}");
+            }
+        }
         return Ok(out);
     }
 
@@ -873,6 +974,7 @@ mod tests {
                 cache_capacity: 8,
                 max_in_flight: 2,
                 colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
             },
         ));
         let server = std::thread::spawn(move || serve(listener, service).unwrap());
@@ -894,6 +996,111 @@ mod tests {
     }
 
     #[test]
+    fn request_cache_ops_round_trip_through_a_live_server() {
+        use pops_service::{serve_with_config, RoutingService, ServerConfig, ServiceConfig};
+        use std::net::TcpListener;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!(
+            "pops-cli-cache-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let config = ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let server =
+            std::thread::spawn(move || serve_with_config(listener, service, config).unwrap());
+
+        run_words(&["request", "--addr", &addr, "--family", "reversal"]).unwrap();
+        let out = run_words(&["request", "--addr", &addr, "--cache", "save"]).unwrap();
+        assert!(out.contains("cache save: 1 plan(s)"), "{out}");
+        let out = run_words(&["request", "--addr", &addr, "--cache", "load"]).unwrap();
+        assert!(out.contains("cache load: 1 plan(s)"), "{out}");
+        let out = run_words(&["request", "--addr", &addr, "--cache", "stats"]).unwrap();
+        assert!(out.contains("\"l2\""), "{out}");
+        let out = run_words(&["request", "--addr", &addr, "--stats"]).unwrap();
+        assert!(out.contains("L2 (phases):"), "{out}");
+        run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_warm_restart_round_trip() {
+        // Boot a --cache-dir server, route once, shut down (spills), boot
+        // again (loads), and the first repeated request must be a hit.
+        let dir = std::env::temp_dir().join(format!(
+            "pops-cli-warm-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let dir_str = dir.to_str().unwrap().to_string();
+        let round = |expect: &str| {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let port = listener.local_addr().unwrap().port().to_string();
+            let addr = format!("127.0.0.1:{port}");
+            drop(listener); // free the port for `serve`
+            let dir_str = dir_str.clone();
+            let server = std::thread::spawn(move || {
+                run_words(&[
+                    "serve",
+                    "--d",
+                    "4",
+                    "--g",
+                    "4",
+                    "--port",
+                    &port,
+                    "--cache-dir",
+                    &dir_str,
+                ])
+                .unwrap()
+            });
+            // The server prints its address before accepting; retry the
+            // connect until it is up.
+            let mut out = None;
+            for _ in 0..200 {
+                match run_words(&["request", "--addr", &addr, "--family", "reversal"]) {
+                    Ok(o) => {
+                        out = Some(o);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+            let out = out.expect("server never came up");
+            assert!(out.contains(expect), "expected {expect:?} in {out}");
+            run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
+            server.join().unwrap()
+        };
+        let first = round("cache miss");
+        assert!(first.contains("spilled"), "{first}");
+        let second = round("cache hit"); // warm restart: first request hits
+        assert!(second.contains("spilled"), "{second}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn request_requires_addr() {
         assert!(run_words(&["request"]).unwrap_err().0.contains("--addr"));
     }
@@ -905,6 +1112,7 @@ mod tests {
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-line-bytes", "0"]).is_err());
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-conns", "0"]).is_err());
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--read-timeout-ms", "x"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--cache-shards", "0"]).is_err());
     }
 
     #[test]

@@ -573,9 +573,69 @@ impl RoutingEngine {
         Ok(Schedule { slots })
     }
 
-    /// Routes an h-relation: König-decompose the request multigraph (via
-    /// the CSR [`pops_bipartite::coloring::EdgeColoring::classes_flat`]),
-    /// complete each phase, and route every phase through this engine's
+    /// König-decomposes `relation` into at most `h` partial permutations —
+    /// the **phase-decomposition hook** of the h-relation path. Each colour
+    /// class of the request multigraph (via the CSR
+    /// [`pops_bipartite::coloring::EdgeColoring::classes_flat`]) is one
+    /// phase; completing a phase and routing it by Theorem 2 yields the
+    /// phase's slot block.
+    ///
+    /// The decomposition is deterministic for a given colourer, so callers
+    /// (e.g. the service's per-phase plan cache) may key each phase by its
+    /// completed permutation and route or cache phases individually:
+    ///
+    /// ```
+    /// use pops_core::{HRelation, RoutingEngine};
+    /// use pops_core::h_relation::HRelationRouting;
+    /// use pops_network::PopsTopology;
+    ///
+    /// let topology = PopsTopology::new(2, 3);
+    /// let mut engine = RoutingEngine::new(topology);
+    /// let relation = HRelation::new(6, vec![(0, 1), (1, 0), (0, 2)]).unwrap();
+    /// let phases = engine.decompose_h_relation(&relation);
+    /// assert_eq!(phases.len(), relation.h());
+    /// // Route each phase independently (a cache could answer some)...
+    /// let blocks = phases
+    ///     .iter()
+    ///     .map(|p| engine.plan_theorem2(&p.complete()).schedule)
+    ///     .collect();
+    /// // ...and the assembled routing matches `plan_h_relation` exactly.
+    /// let assembled = HRelationRouting::from_phase_schedules(topology, phases, blocks);
+    /// assert_eq!(assembled.schedule, engine.plan_h_relation(&relation).schedule);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relation.n() != topology.n()`.
+    pub fn decompose_h_relation(&mut self, relation: &HRelation) -> Vec<PartialPermutation> {
+        let t = self.topology;
+        assert_eq!(relation.n(), t.n(), "size mismatch");
+        let n = relation.n();
+        let graph = self
+            .scratch
+            .hrel_graph
+            .get_or_insert_with(|| BipartiteMultigraph::new(n, n));
+        graph.clear();
+        for &(src, dst) in relation.requests() {
+            graph.add_edge(src, dst);
+        }
+        let coloring = self.colorer.color(graph);
+        let (offsets, flat) = coloring.classes_flat();
+        (0..coloring.num_colors)
+            .map(|phase| {
+                let mut image: Vec<Option<usize>> = vec![None; n];
+                for &e in &flat[offsets[phase]..offsets[phase + 1]] {
+                    let (src, dst) = graph.endpoints(e);
+                    debug_assert!(image[src].is_none(), "colouring is proper");
+                    image[src] = Some(dst);
+                }
+                PartialPermutation::new(image).expect("colour classes are partial permutations")
+            })
+            .collect()
+    }
+
+    /// Routes an h-relation: [`RoutingEngine::decompose_h_relation`] into
+    /// phases, complete each, and route every phase through this engine's
     /// Theorem-2 arenas. Byte-identical to
     /// [`crate::h_relation::route_h_relation`] with the same colourer.
     ///
@@ -584,46 +644,12 @@ impl RoutingEngine {
     /// Panics if `relation.n() != topology.n()`.
     pub fn plan_h_relation(&mut self, relation: &HRelation) -> HRelationRouting {
         let t = self.topology;
-        assert_eq!(relation.n(), t.n(), "size mismatch");
-        let n = relation.n();
-
-        let phases: Vec<PartialPermutation> = {
-            let graph = self
-                .scratch
-                .hrel_graph
-                .get_or_insert_with(|| BipartiteMultigraph::new(n, n));
-            graph.clear();
-            for &(src, dst) in relation.requests() {
-                graph.add_edge(src, dst);
-            }
-            let coloring = self.colorer.color(graph);
-            let (offsets, flat) = coloring.classes_flat();
-            (0..coloring.num_colors)
-                .map(|phase| {
-                    let mut image: Vec<Option<usize>> = vec![None; n];
-                    for &e in &flat[offsets[phase]..offsets[phase + 1]] {
-                        let (src, dst) = graph.endpoints(e);
-                        debug_assert!(image[src].is_none(), "colouring is proper");
-                        image[src] = Some(dst);
-                    }
-                    PartialPermutation::new(image).expect("colour classes are partial permutations")
-                })
-                .collect()
-        };
-
-        let slots_per_phase = theorem2_slots(t.d(), t.g());
-        let mut schedule = Schedule::new();
-        for phase in &phases {
-            let completed = phase.complete();
-            let plan = self.theorem2_internal(&completed, false);
-            schedule.slots.extend(plan.schedule.slots);
-        }
-
-        HRelationRouting {
-            phases,
-            schedule,
-            slots_per_phase,
-        }
+        let phases = self.decompose_h_relation(relation);
+        let blocks: Vec<Schedule> = phases
+            .iter()
+            .map(|phase| self.theorem2_internal(&phase.complete(), false).schedule)
+            .collect();
+        HRelationRouting::from_phase_schedules(t, phases, blocks)
     }
 
     /// Routes `pi` around `faults` with the greedy distance-decreasing

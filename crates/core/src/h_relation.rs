@@ -106,6 +106,43 @@ pub struct HRelationRouting {
     pub slots_per_phase: usize,
 }
 
+impl HRelationRouting {
+    /// Assembles a routing from per-phase Theorem-2 schedules, in phase
+    /// order — the inverse of the decomposition hook
+    /// [`crate::engine::RoutingEngine::decompose_h_relation`]. `blocks[k]`
+    /// must be the Theorem-2 schedule of `phases[k].complete()` on
+    /// `topology` (each exactly `theorem2_slots(d, g)` slots); callers that
+    /// cache phase plans (the service's level-2 cache) use this to stitch
+    /// cache hits and freshly planned phases into one executable schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len() != phases.len()` or any block has the wrong
+    /// slot count.
+    pub fn from_phase_schedules(
+        topology: PopsTopology,
+        phases: Vec<PartialPermutation>,
+        blocks: Vec<Schedule>,
+    ) -> Self {
+        assert_eq!(phases.len(), blocks.len(), "one schedule block per phase");
+        let slots_per_phase = crate::router::theorem2_slots(topology.d(), topology.g());
+        let mut schedule = Schedule::new();
+        for block in blocks {
+            assert_eq!(
+                block.slot_count(),
+                slots_per_phase,
+                "phase blocks must be theorem-2 schedules"
+            );
+            schedule.slots.extend(block.slots);
+        }
+        Self {
+            phases,
+            schedule,
+            slots_per_phase,
+        }
+    }
+}
+
 /// Routes an h-relation on `topology`: König-decompose into `h` partial
 /// permutations, complete each, route each by Theorem 2, concatenate.
 ///

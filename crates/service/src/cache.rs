@@ -1,4 +1,5 @@
-//! The plan cache: an LRU over canonically-keyed routing outcomes.
+//! The two-level plan cache: sharded LRUs over canonically-keyed routing
+//! outcomes and per-phase Theorem-2 plans.
 //!
 //! Real request streams repeat permutations — collective phases, BPC
 //! families, hypercube simulation rounds — so the service fronts its
@@ -6,6 +7,19 @@
 //! cost into a lookup. Values are `Arc`-shared, so a hit clones a pointer,
 //! not a plan, and the same plan can be handed to any number of client
 //! threads simultaneously.
+//!
+//! # Two levels
+//!
+//! * **Level 1** keys *whole requests* under [`canonical_key`] — a repeat
+//!   of an identical request (any kind) is answered with the previously
+//!   computed [`CachedOutcome`].
+//! * **Level 2** keys *per-phase Theorem-2 plans* under [`phase_key`] (the
+//!   completed permutation of one König phase). The Mei–Rizzi construction
+//!   routes an h-relation as `h` completed permutations, so two different
+//!   relations that share phases — e.g. the common permutation rounds of
+//!   collectives — reuse each other's phase plans even though their
+//!   level-1 keys differ. Plain `theorem2` requests populate level 2 too:
+//!   a permutation routed once as a request later serves as a cached phase.
 //!
 //! # Canonical keys
 //!
@@ -15,19 +29,32 @@
 //! the same entry; for fault routing, the sorted fault list then the
 //! image). Two requests collide only if they are semantically identical —
 //! the map compares full key bytes, the hash is just the index. Any
-//! differing image element, `d`, `g`, or kind changes the key.
+//! differing image element, `d`, `g`, or kind changes the key. The format
+//! is **stable**: it is also the on-disk key of the cache spill file
+//! ([`crate::persist`]).
 //!
 //! # The LRU
 //!
 //! A slab-backed doubly-linked list threaded through a `HashMap`: `get`
 //! and `insert` are O(1), eviction pops the list tail. No external
 //! dependency and no unsafe.
+//!
+//! # Sharding
+//!
+//! A [`ShardedPlanCache`] splits one logical LRU into N key-hashed
+//! [`PlanCache`] shards behind independent mutexes, so concurrent hits on
+//! different shards never serialize — the single cache mutex was the
+//! service's documented throughput ceiling above ~10⁶ hits/sec. Recency
+//! and eviction are per shard (the hash spreads keys uniformly, so each
+//! shard behaves like an LRU over its 1/N-th of the keyspace).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pops_core::RoutingOutcome;
+use pops_permutation::Permutation;
 
+use crate::metrics::RequestKind;
 use crate::service::ServiceRequest;
 
 const NIL: usize = usize::MAX;
@@ -70,8 +97,30 @@ pub fn canonical_key(d: usize, g: usize, req: &ServiceRequest) -> Box<[u8]> {
     key.into_boxed_slice()
 }
 
+/// Builds the level-2 cache key of one routing *phase*: the completed
+/// permutation a König phase routes by Theorem 2. Byte-identical to
+/// [`canonical_key`] of a `Theorem2` request over the same permutation, so
+/// a permutation routed as a plain request and the same permutation
+/// appearing as an h-relation phase share one level-2 entry.
+pub fn phase_key(d: usize, g: usize, completed: &Permutation) -> Box<[u8]> {
+    let mut key = Vec::with_capacity(9 + 4 * d * g);
+    key.push(RequestKind::Theorem2.index() as u8);
+    key.extend_from_slice(&(d as u32).to_le_bytes());
+    key.extend_from_slice(&(g as u32).to_le_bytes());
+    for &v in completed.as_slice() {
+        key.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+    key.into_boxed_slice()
+}
+
 /// The cached value type: an immutable, thread-shareable routing outcome.
 pub type CachedOutcome = Arc<RoutingOutcome>;
+
+/// The level-2 cached value: one phase's Theorem-2 schedule. The `Arc`
+/// makes the *lookup* a pointer clone; assembling an h-relation then
+/// copies the hit's slots into the concatenated schedule (cheaper than
+/// re-running the construction, which is what a miss pays).
+pub type CachedPhase = Arc<pops_network::Schedule>;
 
 struct Slot<V> {
     key: Box<[u8]>,
@@ -80,9 +129,22 @@ struct Slot<V> {
     next: usize,
 }
 
-/// A fixed-capacity LRU map from canonical keys to values (the service
-/// instantiates it at `V = `[`CachedOutcome`]). Capacity 0 disables
-/// caching entirely.
+/// A fixed-capacity LRU map from canonical keys to values — one shard of
+/// a [`ShardedPlanCache`] (the service instantiates the levels at
+/// `V = `[`CachedOutcome`] and `V = `[`CachedPhase`]). Capacity 0
+/// disables caching entirely.
+///
+/// ```
+/// use pops_service::PlanCache;
+///
+/// let mut cache: PlanCache<u32> = PlanCache::new(2);
+/// cache.insert(b"a".to_vec().into_boxed_slice(), 1);
+/// cache.insert(b"b".to_vec().into_boxed_slice(), 2);
+/// assert_eq!(cache.get(b"a"), Some(1)); // "a" is now most recent
+/// cache.insert(b"c".to_vec().into_boxed_slice(), 3); // evicts "b"
+/// assert_eq!(cache.get(b"b"), None);
+/// assert_eq!(cache.len(), 2);
+/// ```
 pub struct PlanCache<V> {
     capacity: usize,
     map: HashMap<Box<[u8]>, usize>,
@@ -207,6 +269,19 @@ impl<V: Clone> PlanCache<V> {
             self.tail = idx;
         }
     }
+
+    /// Visits every entry from least- to most-recently used **without**
+    /// touching recency — the spill path ([`crate::persist`]) writes
+    /// entries in this order so a later restore, which inserts in file
+    /// order, reproduces the same recency ranking.
+    pub fn for_each_lru(&self, mut f: impl FnMut(&[u8], &V)) {
+        let mut idx = self.tail;
+        while idx != NIL {
+            let slot = &self.slots[idx];
+            f(&slot.key, &slot.value);
+            idx = slot.prev;
+        }
+    }
 }
 
 impl<V> std::fmt::Debug for PlanCache<V> {
@@ -214,6 +289,116 @@ impl<V> std::fmt::Debug for PlanCache<V> {
         f.debug_struct("PlanCache")
             .field("capacity", &self.capacity)
             .field("len", &self.map.len())
+            .finish()
+    }
+}
+
+/// FNV-1a over a byte string — the shard selector, and the integrity
+/// checksum of the spill file ([`crate::persist`]). Any decent byte hash
+/// works; FNV is dependency-free and two lines.
+pub(crate) fn fnv1a64(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A concurrent LRU: N key-hashed [`PlanCache`] shards behind independent
+/// mutexes. Hits on different shards proceed in parallel; total capacity
+/// is split evenly across shards (remainder to the first shards), so the
+/// logical capacity is exactly what was asked for.
+///
+/// ```
+/// use pops_service::cache::ShardedPlanCache;
+///
+/// let cache: ShardedPlanCache<u32> = ShardedPlanCache::new(100, 8);
+/// assert_eq!((cache.capacity(), cache.shard_count()), (100, 8));
+/// cache.insert(b"plan".to_vec().into_boxed_slice(), 7);
+/// assert_eq!(cache.get(b"plan"), Some(7));
+/// assert_eq!(cache.get(b"other"), None);
+/// assert_eq!(cache.len(), 1);
+/// ```
+pub struct ShardedPlanCache<V> {
+    shards: Vec<Mutex<PlanCache<V>>>,
+}
+
+impl<V: Clone> ShardedPlanCache<V> {
+    /// A cache of total capacity `capacity` split over `shards` shards
+    /// (clamped to at least 1; capacity 0 disables caching entirely).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(capacity.max(1));
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        Self {
+            shards: (0..shards)
+                .map(|s| Mutex::new(PlanCache::new(base + usize::from(s < extra))))
+                .collect(),
+        }
+    }
+
+    /// Number of shards (independent locks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total eviction capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).capacity()).sum()
+    }
+
+    /// Entries currently held across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Whether no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| self.lock(s).is_empty())
+    }
+
+    fn lock<'a>(&self, shard: &'a Mutex<PlanCache<V>>) -> std::sync::MutexGuard<'a, PlanCache<V>> {
+        shard.lock().expect("cache shard poisoned")
+    }
+
+    fn shard_of(&self, key: &[u8]) -> &Mutex<PlanCache<V>> {
+        &self.shards[(fnv1a64(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up in its shard, marking the entry most-recently-used
+    /// there on a hit. Only that shard's lock is taken.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        self.lock(self.shard_of(key)).get(key)
+    }
+
+    /// Inserts (or refreshes) `key → value` in its shard, evicting that
+    /// shard's least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: Box<[u8]>, value: V) {
+        self.lock(self.shard_of(&key)).insert(key, value);
+    }
+
+    /// Drops every entry in every shard (capacities are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            self.lock(shard).clear();
+        }
+    }
+
+    /// Visits every entry, shard by shard, least-recently-used first
+    /// within each shard (see [`PlanCache::for_each_lru`]). Takes one
+    /// shard lock at a time.
+    pub fn for_each_lru(&self, mut f: impl FnMut(&[u8], &V)) {
+        for shard in &self.shards {
+            self.lock(shard).for_each_lru(&mut f);
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for ShardedPlanCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlanCache")
+            .field("shards", &self.shards.len())
             .finish()
     }
 }
@@ -307,6 +492,90 @@ mod tests {
         };
         assert_eq!(canonical_key(2, 3, &a), canonical_key(2, 3, &b));
         assert_ne!(canonical_key(2, 3, &a), canonical_key(2, 3, &c));
+    }
+
+    #[test]
+    fn phase_key_matches_theorem2_canonical_key() {
+        let pi = vector_reversal(16);
+        assert_eq!(
+            phase_key(4, 4, &pi),
+            canonical_key(4, 4, &ServiceRequest::Theorem2 { pi: pi.clone() }),
+            "phase keys must alias theorem2 request keys"
+        );
+        assert_ne!(phase_key(4, 4, &pi), phase_key(2, 8, &pi));
+    }
+
+    #[test]
+    fn for_each_lru_walks_tail_to_head() {
+        let mut cache: PlanCache<u32> = PlanCache::new(3);
+        cache.insert(key_of(b"a"), 1);
+        cache.insert(key_of(b"b"), 2);
+        cache.insert(key_of(b"c"), 3);
+        assert_eq!(cache.get(b"a"), Some(1)); // a becomes MRU
+        let mut seen = Vec::new();
+        cache.for_each_lru(|key, &v| seen.push((key.to_vec(), v)));
+        assert_eq!(
+            seen,
+            vec![
+                (b"b".to_vec(), 2), // LRU first
+                (b"c".to_vec(), 3),
+                (b"a".to_vec(), 1), // MRU last
+            ]
+        );
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_and_bounds_capacity() {
+        let cache: ShardedPlanCache<u32> = ShardedPlanCache::new(10, 4);
+        assert_eq!(cache.capacity(), 10, "capacity split must sum back");
+        assert_eq!(cache.shard_count(), 4);
+        for i in 0u32..100 {
+            cache.insert(key_of(format!("k{i}").as_bytes()), i);
+        }
+        assert!(cache.len() <= 10, "len {} exceeds capacity", cache.len());
+        assert!(!cache.is_empty());
+        let mut visited = 0;
+        cache.for_each_lru(|_, _| visited += 1);
+        assert_eq!(visited, cache.len());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_clamps_shards_to_capacity() {
+        // 2 entries over 16 requested shards: no shard may get capacity 0,
+        // which would silently drop inserts routed to it.
+        let cache: ShardedPlanCache<u32> = ShardedPlanCache::new(2, 16);
+        assert!(cache.shard_count() <= 2);
+        for i in 0u32..20 {
+            cache.insert(key_of(format!("k{i}").as_bytes()), i);
+        }
+        assert!((1..=2).contains(&cache.len()), "len {}", cache.len());
+        // Zero capacity still disables caching, sharded or not.
+        let off: ShardedPlanCache<u32> = ShardedPlanCache::new(0, 8);
+        off.insert(key_of(b"a"), 1);
+        assert_eq!(off.get(b"a"), None);
+    }
+
+    #[test]
+    fn sharded_cache_is_concurrently_usable() {
+        let cache: Arc<ShardedPlanCache<u64>> = Arc::new(ShardedPlanCache::new(256, 8));
+        std::thread::scope(|scope| {
+            for worker in 0u64..8 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = key_of(format!("w{worker}-{i}").as_bytes());
+                        cache.insert(key.clone(), worker * 1000 + i);
+                        // The entry may have been evicted by concurrent
+                        // inserts, but a hit must never be a wrong value.
+                        let got = cache.get(&key);
+                        assert!(got.is_none() || got == Some(worker * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 256);
     }
 
     #[test]

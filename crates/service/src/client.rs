@@ -116,6 +116,19 @@ pub struct RouteReply {
 
 /// A connected client. One request/response pair per [`ServiceClient::call`].
 ///
+/// ```no_run
+/// use std::time::Duration;
+/// use pops_permutation::families::vector_reversal;
+/// use pops_service::ServiceClient;
+///
+/// let mut client =
+///     ServiceClient::connect_with_timeout("127.0.0.1:7077", Some(Duration::from_secs(5)))?;
+/// let info = client.info()?; // serving topology: resolve sizes against it
+/// let reply = client.route_permutation("theorem2", &vector_reversal(info.n))?;
+/// println!("{} slots, cache {}", reply.slots, if reply.cache_hit { "hit" } else { "miss" });
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// A transport-level failure mid-exchange (timeout, truncation, I/O
 /// error) **poisons** the connection: the line protocol has no way to
 /// tell a late-arriving remainder of the failed response from the reply
@@ -270,6 +283,17 @@ impl ServiceClient {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.call(&Json::Obj(vec![("op".into(), Json::str("shutdown"))]))?;
         Ok(())
+    }
+
+    /// Sends a plan-cache management op (`action` is a
+    /// [`crate::proto::CacheAction`] wire name: `save`, `load`, or
+    /// `stats`) and returns the raw response document. `save`/`load`
+    /// require the server to run with a `--cache-dir`.
+    pub fn cache_op(&mut self, action: &str) -> Result<Json, ClientError> {
+        self.call(&Json::Obj(vec![
+            ("op".into(), Json::str("cache")),
+            ("action".into(), Json::str(action)),
+        ]))
     }
 
     /// Routes `pi` with the given request kind (a [`crate::RequestKind`]

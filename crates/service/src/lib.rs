@@ -17,9 +17,10 @@
 //! | module | role |
 //! |---|---|
 //! | [`pool`] | [`EnginePool`]: N warm engines, round-robin + overflow dispatch |
-//! | [`cache`] | [`PlanCache`]: canonical-key LRU over `Arc`-shared outcomes |
-//! | [`service`] | [`RoutingService`]: admission → cache → pool → metrics |
-//! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms |
+//! | [`cache`] | [`ShardedPlanCache`]: two-level canonical-key LRU (whole requests + per-phase plans), key-hashed lock shards |
+//! | [`persist`] | cache spill/restore — the stable on-disk byte format behind `--cache-dir` |
+//! | [`service`] | [`RoutingService`]: admission → cache L1/L2 → pool → metrics |
+//! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms, L1 vs L2 hit accounting |
 //! | [`json`], [`proto`] | dependency-free JSON and the wire protocol |
 //! | [`server`], [`client`] | TCP/JSON-lines front door (`pops serve` / `pops request`) |
 //!
@@ -43,15 +44,19 @@ pub mod cache;
 pub mod client;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod pool;
 pub mod proto;
 pub mod server;
 pub mod service;
 
-pub use cache::{canonical_key, CachedOutcome, PlanCache};
+pub use cache::{
+    canonical_key, phase_key, CachedOutcome, CachedPhase, PlanCache, ShardedPlanCache,
+};
 pub use client::{ClientError, RouteReply, ServerInfo, ServiceClient};
 pub use json::{Json, JsonError, MAX_DEPTH};
 pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics};
+pub use persist::{PersistError, PersistSummary};
 pub use pool::EnginePool;
 pub use proto::WireErrorKind;
 pub use server::{serve, serve_with_config, ServerConfig, ServerSummary};

@@ -108,10 +108,15 @@ struct KindMetrics {
 /// pools and the admission gate update it directly.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
-    /// Plan-cache hits.
+    /// Level-1 (whole-request) plan-cache hits.
     hits: AtomicU64,
-    /// Plan-cache misses (each one computed a plan).
+    /// Level-1 plan-cache misses (each one computed or assembled a plan).
     misses: AtomicU64,
+    /// Level-2 (per-phase) cache hits: h-relation phases answered from the
+    /// phase cache instead of the engine pool.
+    phase_hits: AtomicU64,
+    /// Level-2 misses: phases that had to be planned on an engine.
+    phase_misses: AtomicU64,
     /// Total slots across every schedule the service emitted.
     slots_emitted: AtomicU64,
     /// Requests that returned a routing error.
@@ -160,6 +165,17 @@ impl ServiceMetrics {
         self.slots_emitted
             .fetch_add(slots as u64, Ordering::Relaxed);
         self.record_kind(kind, micros);
+    }
+
+    /// Records a level-2 hit: one h-relation phase served from the phase
+    /// cache.
+    pub fn record_phase_hit(&self) {
+        self.phase_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a level-2 miss: one phase planned on the engine pool.
+    pub fn record_phase_miss(&self) {
+        self.phase_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a failed request.
@@ -230,6 +246,8 @@ impl ServiceMetrics {
         MetricsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            phase_hits: self.phase_hits.load(Ordering::Relaxed),
+            phase_misses: self.phase_misses.load(Ordering::Relaxed),
             slots_emitted: self.slots_emitted.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             pool_fast: self.pool_fast.load(Ordering::Relaxed),
@@ -246,6 +264,8 @@ impl ServiceMetrics {
             arena_bytes: 0,
             cache_entries: 0,
             cache_capacity: 0,
+            phase_cache_entries: 0,
+            phase_cache_capacity: 0,
             per_kind: RequestKind::ALL.map(|kind| {
                 let k = &self.per_kind[kind.index()];
                 KindSnapshot {
@@ -314,10 +334,14 @@ impl KindSnapshot {
 /// Plain-data copy of the whole registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
-    /// Plan-cache hits.
+    /// Level-1 (whole-request) plan-cache hits.
     pub hits: u64,
-    /// Plan-cache misses.
+    /// Level-1 plan-cache misses.
     pub misses: u64,
+    /// Level-2 (per-phase) cache hits.
+    pub phase_hits: u64,
+    /// Level-2 (per-phase) cache misses.
+    pub phase_misses: u64,
     /// Total slots across emitted schedules.
     pub slots_emitted: u64,
     /// Requests that returned an error.
@@ -347,22 +371,37 @@ pub struct MetricsSnapshot {
     /// Engine-arena bytes across the pool (gauge; filled by
     /// [`crate::RoutingService::metrics`], 0 from a bare registry).
     pub arena_bytes: u64,
-    /// Plans currently cached (gauge; filled like `arena_bytes`).
+    /// Level-1 plans currently cached (gauge; filled like `arena_bytes`).
     pub cache_entries: u64,
-    /// Plan-cache capacity (gauge; filled like `arena_bytes`).
+    /// Level-1 plan-cache capacity (gauge; filled like `arena_bytes`).
     pub cache_capacity: u64,
+    /// Level-2 phase plans currently cached (gauge; filled like
+    /// `arena_bytes`).
+    pub phase_cache_entries: u64,
+    /// Level-2 phase-cache capacity (gauge; filled like `arena_bytes`).
+    pub phase_cache_capacity: u64,
     /// Per-kind counters.
     pub per_kind: [KindSnapshot; 6],
 }
 
 impl MetricsSnapshot {
-    /// Cache hit rate over single-request traffic (0 when idle).
+    /// Level-1 cache hit rate over single-request traffic (0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Level-2 (phase) cache hit rate over routed phases (0 when idle).
+    pub fn phase_hit_rate(&self) -> f64 {
+        let total = self.phase_hits + self.phase_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_hits as f64 / total as f64
         }
     }
 
@@ -381,12 +420,19 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests: {} ({} hits, {} misses, hit rate {:.1}%), {} errors",
+            "requests: {} ({} L1 hits, {} L1 misses, hit rate {:.1}%), {} errors",
             self.requests(),
             self.hits,
             self.misses,
             100.0 * self.hit_rate(),
             self.errors,
+        )?;
+        writeln!(
+            f,
+            "phases (L2): {} hits, {} misses, hit rate {:.1}%",
+            self.phase_hits,
+            self.phase_misses,
+            100.0 * self.phase_hit_rate(),
         )?;
         writeln!(
             f,
@@ -411,8 +457,13 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "arena footprint: {} bytes   plan cache: {}/{} entries",
-            self.arena_bytes, self.cache_entries, self.cache_capacity
+            "arena footprint: {} bytes   plan cache: {}/{} entries   \
+             phase cache: {}/{} entries",
+            self.arena_bytes,
+            self.cache_entries,
+            self.cache_capacity,
+            self.phase_cache_entries,
+            self.phase_cache_capacity,
         )?;
         writeln!(
             f,
@@ -482,6 +533,26 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("hit rate 50.0%"), "{rendered}");
         assert!(rendered.contains("theorem2"), "{rendered}");
+    }
+
+    #[test]
+    fn phase_counters_are_reported_separately_from_l1() {
+        let m = ServiceMetrics::new();
+        m.record_miss(RequestKind::HRelation, 8, 120);
+        m.record_phase_miss();
+        m.record_phase_hit();
+        m.record_phase_hit();
+        m.record_phase_hit();
+        let s = m.snapshot();
+        assert_eq!((s.hits, s.misses), (0, 1), "L1 view");
+        assert_eq!((s.phase_hits, s.phase_misses), (3, 1), "L2 view");
+        assert!((s.phase_hit_rate() - 0.75).abs() < 1e-9);
+        let rendered = s.to_string();
+        assert!(rendered.contains("L1 hits"), "{rendered}");
+        assert!(
+            rendered.contains("phases (L2): 3 hits, 1 misses"),
+            "{rendered}"
+        );
     }
 
     #[test]

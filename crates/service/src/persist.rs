@@ -1,0 +1,357 @@
+//! Plan-cache persistence: spill the two-level cache to disk and restore
+//! it on startup, so a restarted server serves its first repeated request
+//! as a cache hit instead of re-paying the construction cost.
+//!
+//! # File format (version 1)
+//!
+//! A single little-endian binary file, `plans.popscache` under the
+//! server's `--cache-dir`:
+//!
+//! ```text
+//! magic   b"POPSCACHE1\n"            (11 bytes)
+//! d, g    u32 each                    the serving topology
+//! l1, l2  u32 each                    entry counts per cache level
+//! then l1 level-1 entries, then l2 level-2 entries, each:
+//!   key_len u32, key bytes            the stable canonical key
+//!   schedule:
+//!     slot_count u32
+//!     per slot:  tx_count u32
+//!     per tx:    sender u32, coupler u32, packet u32,
+//!                recv_count u32, receivers u32...
+//! checksum u64                        FNV-1a of every preceding byte
+//! ```
+//!
+//! Entries are written least-recently-used first **per shard** (shards
+//! concatenated), so a restore into the same shard layout reproduces
+//! each shard's recency ranking exactly; restoring into a different
+//! shard count or a smaller capacity keeps an approximation of the
+//! most-recent entries (eviction during the load is per-shard LRU, not
+//! global). Values are stored as bare schedules — the part of an outcome
+//! every consumer (the wire protocol, the phase assembler) actually
+//! reads — so a restored level-1 entry answers with the identical
+//! schedule and slot count but without construction artefacts or phase
+//! lists, exactly like a `want_schedule` reply. Loading validates the
+//! magic, version, topology, the trailing checksum, and every length
+//! field against the remaining byte budget; any mismatch fails with a
+//! message rather than a panic or a huge allocation (and the loader in
+//! [`crate::service::RoutingService::load_cache`] additionally rejects
+//! phase entries whose slot count is not the topology's Theorem-2 cost,
+//! so a decoded-but-wrong file cannot poison the phase assembler).
+
+use std::fmt;
+use std::path::Path;
+
+use pops_network::{Schedule, SlotFrame, Transmission};
+
+/// The file magic, version included.
+pub const CACHE_MAGIC: &[u8; 11] = b"POPSCACHE1\n";
+
+/// The file name used under a `--cache-dir`.
+pub const CACHE_FILE_NAME: &str = "plans.popscache";
+
+/// Why a cache file could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cache file invalid: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn bail<T>(msg: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError(msg.into()))
+}
+
+/// One persisted cache entry: the stable canonical key and the schedule
+/// cached under it.
+pub type CacheEntry = (Box<[u8]>, Schedule);
+
+/// What a save or load touched — reported by the wire `cache` op and the
+/// CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistSummary {
+    /// Level-1 (whole-request) entries written or restored.
+    pub l1_entries: usize,
+    /// Level-2 (phase) entries written or restored.
+    pub l2_entries: usize,
+}
+
+/// Appends `schedule` to `out` in the format above.
+pub fn encode_schedule(schedule: &Schedule, out: &mut Vec<u8>) {
+    let push = |out: &mut Vec<u8>, v: usize| out.extend_from_slice(&(v as u32).to_le_bytes());
+    push(out, schedule.slots.len());
+    for slot in &schedule.slots {
+        push(out, slot.transmissions.len());
+        for tx in &slot.transmissions {
+            push(out, tx.sender);
+            push(out, tx.coupler);
+            push(out, tx.packet);
+            push(out, tx.receivers.len());
+            for &r in &tx.receivers {
+                push(out, r);
+            }
+        }
+    }
+}
+
+/// A bounds-checked little-endian cursor over the file bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let Some(chunk) = self.bytes.get(self.at..self.at + 4) else {
+            return bail("truncated (expected a u32)");
+        };
+        self.at += 4;
+        Ok(u32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+    }
+
+    /// A count field, validated against the bytes that must still follow
+    /// (`min_bytes_each` per counted item) so a corrupt count cannot
+    /// trigger a huge allocation.
+    fn count(&mut self, min_bytes_each: usize) -> Result<usize, PersistError> {
+        let n = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.at;
+        if n.checked_mul(min_bytes_each)
+            .is_none_or(|need| need > remaining)
+        {
+            return bail(format!("count {n} exceeds the remaining {remaining} bytes"));
+        }
+        Ok(n)
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], PersistError> {
+        let Some(chunk) = self.bytes.get(self.at..self.at + len) else {
+            return bail(format!("truncated (expected {len} bytes)"));
+        };
+        self.at += len;
+        Ok(chunk)
+    }
+}
+
+/// Decodes one schedule at the cursor.
+fn decode_schedule(cur: &mut Cursor<'_>) -> Result<Schedule, PersistError> {
+    let slot_count = cur.count(4)?;
+    let mut schedule = Schedule::new();
+    schedule.slots.reserve(slot_count);
+    for _ in 0..slot_count {
+        let tx_count = cur.count(16)?;
+        let mut frame = SlotFrame::new();
+        frame.transmissions.reserve(tx_count);
+        for _ in 0..tx_count {
+            let sender = cur.u32()? as usize;
+            let coupler = cur.u32()? as usize;
+            let packet = cur.u32()? as usize;
+            let recv_count = cur.count(4)?;
+            let mut receivers = Vec::with_capacity(recv_count);
+            for _ in 0..recv_count {
+                receivers.push(cur.u32()? as usize);
+            }
+            frame.transmissions.push(Transmission {
+                sender,
+                coupler,
+                packet,
+                receivers,
+            });
+        }
+        schedule.slots.push(frame);
+    }
+    Ok(schedule)
+}
+
+/// Serializes the two cache levels into the version-1 byte format.
+/// `l1`/`l2` yield `(key, schedule)` pairs least-recently-used first.
+pub fn encode_cache_file(d: usize, g: usize, l1: &[CacheEntry], l2: &[CacheEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(CACHE_MAGIC);
+    out.extend_from_slice(&(d as u32).to_le_bytes());
+    out.extend_from_slice(&(g as u32).to_le_bytes());
+    out.extend_from_slice(&(l1.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(l2.len() as u32).to_le_bytes());
+    for (key, schedule) in l1.iter().chain(l2) {
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key);
+        encode_schedule(schedule, &mut out);
+    }
+    let checksum = crate::cache::fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// The decoded contents of a cache file: level-1 then level-2 entries,
+/// each in write (LRU-first) order.
+#[derive(Debug)]
+pub struct DecodedCacheFile {
+    /// Level-1 `(canonical key, schedule)` entries.
+    pub l1: Vec<CacheEntry>,
+    /// Level-2 `(phase key, schedule)` entries.
+    pub l2: Vec<CacheEntry>,
+}
+
+/// Decodes a version-1 cache file, validating the magic and that it was
+/// written for the `POPS(d, g)` topology being served.
+pub fn decode_cache_file(
+    bytes: &[u8],
+    d: usize,
+    g: usize,
+) -> Result<DecodedCacheFile, PersistError> {
+    if bytes.len() < CACHE_MAGIC.len() + 8 || &bytes[..CACHE_MAGIC.len()] != CACHE_MAGIC {
+        return bail("bad magic (not a POPSCACHE1 file)");
+    }
+    // The trailing checksum guards against bit rot and truncated writes:
+    // a corrupted-but-structurally-plausible file must not decode.
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let expect = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let got = crate::cache::fnv1a64(body);
+    if got != expect {
+        return bail(format!("checksum mismatch ({got:#018x} != {expect:#018x})"));
+    }
+    let bytes = body;
+    let mut cur = Cursor {
+        bytes,
+        at: CACHE_MAGIC.len(),
+    };
+    let (file_d, file_g) = (cur.u32()? as usize, cur.u32()? as usize);
+    if (file_d, file_g) != (d, g) {
+        return bail(format!(
+            "written for POPS({file_d}, {file_g}), serving POPS({d}, {g})"
+        ));
+    }
+    // Each entry is at least key_len (4) + slot_count (4) bytes.
+    let l1_count = cur.count(8)?;
+    let l2_count = cur.count(8)?;
+    let mut decode_entries = |count: usize| -> Result<Vec<CacheEntry>, PersistError> {
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key_len = cur.count(1)?;
+            let key: Box<[u8]> = cur.take(key_len)?.into();
+            let schedule = decode_schedule(&mut cur)?;
+            entries.push((key, schedule));
+        }
+        Ok(entries)
+    };
+    let l1 = decode_entries(l1_count)?;
+    let l2 = decode_entries(l2_count)?;
+    if cur.at != bytes.len() {
+        return bail(format!("{} trailing bytes", bytes.len() - cur.at));
+    }
+    Ok(DecodedCacheFile { l1, l2 })
+}
+
+/// The cache-file path under a `--cache-dir`.
+pub fn cache_file_path(dir: &Path) -> std::path::PathBuf {
+    dir.join(CACHE_FILE_NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schedule() -> Schedule {
+        Schedule {
+            slots: vec![
+                SlotFrame {
+                    transmissions: vec![
+                        Transmission::unicast(0, 3, 0, 5),
+                        Transmission {
+                            sender: 1,
+                            coupler: 2,
+                            packet: 1,
+                            receivers: vec![4, 6, 7],
+                        },
+                    ],
+                },
+                SlotFrame {
+                    transmissions: vec![],
+                },
+            ],
+        }
+    }
+
+    fn key_of(bytes: &[u8]) -> Box<[u8]> {
+        bytes.to_vec().into_boxed_slice()
+    }
+
+    #[test]
+    fn schedule_codec_round_trips() {
+        let schedule = sample_schedule();
+        let mut bytes = Vec::new();
+        encode_schedule(&schedule, &mut bytes);
+        let mut cur = Cursor {
+            bytes: &bytes,
+            at: 0,
+        };
+        let decoded = decode_schedule(&mut cur).unwrap();
+        assert_eq!(decoded, schedule);
+        assert_eq!(cur.at, bytes.len(), "codec must consume exactly");
+    }
+
+    #[test]
+    fn cache_file_round_trips_both_levels() {
+        let l1 = vec![(key_of(b"req-1"), sample_schedule())];
+        let l2 = vec![
+            (key_of(b"phase-a"), sample_schedule()),
+            (key_of(b"phase-b"), Schedule::new()),
+        ];
+        let bytes = encode_cache_file(4, 4, &l1, &l2);
+        let decoded = decode_cache_file(&bytes, 4, 4).unwrap();
+        assert_eq!(decoded.l1, l1);
+        assert_eq!(decoded.l2, l2);
+    }
+
+    #[test]
+    fn load_rejects_wrong_topology() {
+        let bytes = encode_cache_file(4, 4, &[], &[]);
+        let err = decode_cache_file(&bytes, 2, 8).unwrap_err();
+        assert!(err.to_string().contains("POPS(4, 4)"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_garbage_and_truncation() {
+        assert!(decode_cache_file(b"not a cache file", 4, 4).is_err());
+        let good = encode_cache_file(4, 4, &[(key_of(b"k"), sample_schedule())], &[]);
+        for cut in [5, CACHE_MAGIC.len() + 2, good.len() - 1] {
+            assert!(
+                decode_cache_file(&good[..cut], 4, 4).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode_cache_file(&trailing, 4, 4).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_cannot_force_huge_allocations() {
+        // A file claiming 2^31 entries in a few bytes must fail fast on
+        // the count-vs-remaining-bytes check, not try to allocate. (The
+        // checksum is made valid so the count check is what fires.)
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CACHE_MAGIC);
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // l1 count
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let checksum = crate::cache::fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = decode_cache_file(&bytes, 4, 4).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn bit_flips_are_caught_by_the_checksum() {
+        let good = encode_cache_file(4, 4, &[(key_of(b"k"), sample_schedule())], &[]);
+        for at in [CACHE_MAGIC.len() + 9, good.len() / 2, good.len() - 9] {
+            let mut corrupt = good.clone();
+            corrupt[at] ^= 0x40;
+            let err = decode_cache_file(&corrupt, 4, 4).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "flip at {at}: {err}");
+        }
+    }
+}

@@ -11,7 +11,13 @@
 //! {"op":"route","kind":"theorem2","perm":[3,2,1,0]}
 //! {"op":"route","kind":"h-relation","requests":[[0,1],[1,0]]}
 //! {"op":"route","kind":"faults","perm":[...],"faults":[3,4]}
+//! {"op":"cache","action":"stats"}
+//! {"op":"cache","action":"save"}
+//! {"op":"cache","action":"load"}
 //! ```
+//!
+//! The full spec, with framing rules and copy-pasteable examples, is
+//! `docs/PROTOCOL.md` at the repository root.
 //!
 //! Route requests may carry `"d"`/`"g"`; when present they must match the
 //! serving topology (a POPS(2, 8) request must not be answered by a
@@ -64,6 +70,38 @@ impl WireErrorKind {
     }
 }
 
+/// What a `{"op":"cache"}` request asks of the plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Spill both cache levels to the server's `--cache-dir`.
+    Save,
+    /// Restore both cache levels from the server's `--cache-dir`.
+    Load,
+    /// Report per-level occupancy and hit counters.
+    Stats,
+}
+
+impl CacheAction {
+    /// The action's wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheAction::Save => "save",
+            CacheAction::Load => "load",
+            CacheAction::Stats => "stats",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "save" => Some(CacheAction::Save),
+            "load" => Some(CacheAction::Load),
+            "stats" => Some(CacheAction::Stats),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone)]
 pub enum WireRequest {
@@ -75,6 +113,11 @@ pub enum WireRequest {
     Stats,
     /// Orderly server shutdown.
     Shutdown,
+    /// Plan-cache management (persistence and per-level stats).
+    Cache {
+        /// What to do with the cache.
+        action: CacheAction,
+    },
     /// A routing request.
     Route {
         /// The request to route.
@@ -95,6 +138,12 @@ pub fn parse_request(doc: &Json, topology: &PopsTopology) -> Result<WireRequest,
         "info" => Ok(WireRequest::Info),
         "stats" => Ok(WireRequest::Stats),
         "shutdown" => Ok(WireRequest::Shutdown),
+        "cache" => {
+            let name = doc.get("action").and_then(Json::as_str).unwrap_or("stats");
+            let action = CacheAction::from_name(name)
+                .ok_or_else(|| format!("unknown cache action '{name}' (save|load|stats)"))?;
+            Ok(WireRequest::Cache { action })
+        }
         "route" => parse_route(doc, topology),
         other => Err(format!("unknown op '{other}'")),
     }
@@ -235,6 +284,7 @@ pub fn stats_response(snap: &MetricsSnapshot) -> Json {
         ("hits".into(), Json::Num(snap.hits as f64)),
         ("misses".into(), Json::Num(snap.misses as f64)),
         ("hit_rate".into(), Json::Num(snap.hit_rate())),
+        ("cache".into(), cache_levels_json(snap)),
         ("slots_emitted".into(), Json::Num(snap.slots_emitted as f64)),
         ("errors".into(), Json::Num(snap.errors as f64)),
         (
@@ -275,6 +325,60 @@ pub fn stats_response(snap: &MetricsSnapshot) -> Json {
     ])
 }
 
+/// The per-level cache view shared by the `stats` and `cache` ops:
+/// `{"l1":{hits,misses,hit_rate,entries,capacity},"l2":{...}}` — level 1
+/// counts whole-request lookups, level 2 counts h-relation phases, so the
+/// phase cache's effectiveness is directly observable.
+pub fn cache_levels_json(snap: &MetricsSnapshot) -> Json {
+    Json::Obj(vec![
+        (
+            "l1".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(snap.hits as f64)),
+                ("misses".into(), Json::Num(snap.misses as f64)),
+                ("hit_rate".into(), Json::Num(snap.hit_rate())),
+                ("entries".into(), Json::Num(snap.cache_entries as f64)),
+                ("capacity".into(), Json::Num(snap.cache_capacity as f64)),
+            ]),
+        ),
+        (
+            "l2".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Num(snap.phase_hits as f64)),
+                ("misses".into(), Json::Num(snap.phase_misses as f64)),
+                ("hit_rate".into(), Json::Num(snap.phase_hit_rate())),
+                ("entries".into(), Json::Num(snap.phase_cache_entries as f64)),
+                (
+                    "capacity".into(),
+                    Json::Num(snap.phase_cache_capacity as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The `cache` response for the `stats` action.
+pub fn cache_stats_response(snap: &MetricsSnapshot) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("cache")),
+        ("action".into(), Json::str(CacheAction::Stats.name())),
+        ("cache".into(), cache_levels_json(snap)),
+    ])
+}
+
+/// The `cache` response for a completed `save` or `load`:
+/// `{"ok":true,"op":"cache","action":...,"l1_entries":N,"l2_entries":M}`.
+pub fn cache_persist_response(action: CacheAction, l1_entries: usize, l2_entries: usize) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("cache")),
+        ("action".into(), Json::str(action.name())),
+        ("l1_entries".into(), Json::num(l1_entries)),
+        ("l2_entries".into(), Json::num(l2_entries)),
+    ])
+}
+
 /// `{"ok":true,"op":"shutdown"}`.
 pub fn shutdown_response() -> Json {
     Json::Obj(vec![
@@ -306,6 +410,11 @@ pub fn route_response(kind: RequestKind, reply: &ServiceReply, want_schedule: bo
         ),
         ("micros".into(), Json::Num(reply.micros as f64)),
     ];
+    if kind == RequestKind::HRelation {
+        // How many of the relation's phases came from the level-2 cache
+        // (0 on a level-1 hit, where no phases were assembled at all).
+        fields.push(("phase_hits".into(), Json::Num(reply.phase_hits as f64)));
+    }
     if want_schedule {
         fields.push(("schedule".into(), schedule_to_json(schedule)));
     }
@@ -441,6 +550,68 @@ mod tests {
         assert_eq!(err.get("kind").unwrap().as_str(), Some("routing"));
         let info = info_response(&PopsTopology::new(4, 4), 2, 64);
         assert_eq!(info.get("n").unwrap().as_usize(), Some(16));
+    }
+
+    #[test]
+    fn cache_op_parses_all_actions_and_defaults_to_stats() {
+        let t = PopsTopology::new(2, 2);
+        for (text, want) in [
+            (r#"{"op":"cache"}"#, CacheAction::Stats),
+            (r#"{"op":"cache","action":"stats"}"#, CacheAction::Stats),
+            (r#"{"op":"cache","action":"save"}"#, CacheAction::Save),
+            (r#"{"op":"cache","action":"load"}"#, CacheAction::Load),
+        ] {
+            let doc = Json::parse(text).unwrap();
+            match parse_request(&doc, &t) {
+                Ok(WireRequest::Cache { action }) => assert_eq!(action, want, "{text}"),
+                other => panic!("{text}: {other:?}"),
+            }
+        }
+        let doc = Json::parse(r#"{"op":"cache","action":"warp"}"#).unwrap();
+        assert!(parse_request(&doc, &t).unwrap_err().contains("warp"));
+    }
+
+    #[test]
+    fn stats_and_cache_responses_split_l1_and_l2() {
+        let service = RoutingService::new(PopsTopology::new(4, 4));
+        service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        let snap = service.metrics();
+        for doc in [stats_response(&snap), cache_stats_response(&snap)] {
+            let cache = doc.get("cache").expect("cache object");
+            let l1 = cache.get("l1").expect("l1 object");
+            let l2 = cache.get("l2").expect("l2 object");
+            assert_eq!(l1.get("misses").unwrap().as_u64(), Some(1));
+            assert_eq!(l1.get("entries").unwrap().as_u64(), Some(1));
+            assert_eq!(l2.get("hits").unwrap().as_u64(), Some(0));
+            assert_eq!(
+                l2.get("entries").unwrap().as_u64(),
+                Some(1),
+                "theorem2 misses seed the phase cache"
+            );
+        }
+        let persisted = cache_persist_response(CacheAction::Save, 3, 7);
+        assert_eq!(persisted.get("l1_entries").unwrap().as_u64(), Some(3));
+        assert_eq!(persisted.get("l2_entries").unwrap().as_u64(), Some(7));
+        assert_eq!(persisted.get("action").unwrap().as_str(), Some("save"));
+    }
+
+    #[test]
+    fn h_relation_route_response_reports_phase_hits() {
+        let service = RoutingService::new(PopsTopology::new(2, 3));
+        let reply = service
+            .route(&ServiceRequest::HRelation {
+                relation: pops_core::HRelation::new(6, vec![(0, 1), (1, 0), (2, 5)]).unwrap(),
+            })
+            .unwrap();
+        let doc = route_response(RequestKind::HRelation, &reply, false);
+        assert_eq!(doc.get("phase_hits").unwrap().as_u64(), Some(0));
+        // Non-relation kinds do not carry the field.
+        let doc = route_response(RequestKind::Theorem2, &reply, false);
+        assert!(doc.get("phase_hits").is_none());
     }
 
     #[test]

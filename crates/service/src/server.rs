@@ -34,15 +34,18 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
+use crate::persist::cache_file_path;
 use crate::proto::{
-    error_response, info_response, parse_request, pong_response, route_response, shutdown_response,
-    stats_response, WireErrorKind, WireRequest,
+    cache_persist_response, cache_stats_response, error_response, info_response, parse_request,
+    pong_response, route_response, shutdown_response, stats_response, CacheAction, WireErrorKind,
+    WireRequest,
 };
 use crate::service::RoutingService;
 
@@ -62,6 +65,12 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Whether to set `TCP_NODELAY` on accepted sockets.
     pub tcp_nodelay: bool,
+    /// Directory the `{"op":"cache"}` save/load actions spill to and
+    /// restore from (the file is
+    /// [`crate::persist::CACHE_FILE_NAME`] inside it). `None` — the
+    /// default — answers those actions with a `bad-request` error; clients
+    /// never choose paths.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +84,7 @@ impl Default for ServerConfig {
             max_line_bytes: 16 << 20,
             max_connections: 256,
             tcp_nodelay: false,
+            cache_dir: None,
         }
     }
 }
@@ -471,7 +481,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                     continue;
                 }
                 state.requests.fetch_add(1, Ordering::Relaxed);
-                let (response, stop) = respond(&line, &state.service);
+                let (response, stop) = respond(&line, state);
                 writeln!(writer, "{response}")?;
                 writer.flush()?;
                 if stop {
@@ -485,7 +495,8 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
 }
 
 /// Answers one request line; the flag says "stop the server after this".
-fn respond(line: &str, service: &RoutingService) -> (Json, bool) {
+fn respond(line: &str, state: &ServeState) -> (Json, bool) {
+    let service = &state.service;
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
         Err(e) => return (error_response(WireErrorKind::Parse, e.to_string()), false),
@@ -500,10 +511,46 @@ fn respond(line: &str, service: &RoutingService) -> (Json, bool) {
         ),
         Ok(WireRequest::Stats) => (stats_response(&service.metrics()), false),
         Ok(WireRequest::Shutdown) => (shutdown_response(), true),
+        Ok(WireRequest::Cache { action }) => (respond_cache(action, state), false),
         Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
             Ok(reply) => (route_response(req.kind(), &reply, want_schedule), false),
             Err(e) => (error_response(WireErrorKind::Routing, e.to_string()), false),
         },
+    }
+}
+
+/// Answers a `cache` op. The spill path is fixed server-side (the
+/// `--cache-dir` file) — a client can trigger persistence but never
+/// chooses where the bytes go; without a configured directory the
+/// persistence actions are `bad-request`. Filesystem failures surface as
+/// `unavailable` with the I/O message.
+fn respond_cache(action: CacheAction, state: &ServeState) -> Json {
+    let service = &state.service;
+    match action {
+        CacheAction::Stats => cache_stats_response(&service.metrics()),
+        CacheAction::Save | CacheAction::Load => {
+            let Some(dir) = &state.config.cache_dir else {
+                return error_response(
+                    WireErrorKind::BadRequest,
+                    "server started without --cache-dir; cache persistence is disabled",
+                );
+            };
+            let path = cache_file_path(dir);
+            let done = match action {
+                CacheAction::Save => service.save_cache(&path),
+                CacheAction::Load => service.load_cache(&path),
+                CacheAction::Stats => unreachable!("handled above"),
+            };
+            match done {
+                Ok(summary) => {
+                    cache_persist_response(action, summary.l1_entries, summary.l2_entries)
+                }
+                Err(e) => error_response(
+                    WireErrorKind::Unavailable,
+                    format!("cache {} failed: {e}", action.name()),
+                ),
+            }
+        }
     }
 }
 
@@ -528,6 +575,7 @@ mod tests {
                 cache_capacity: 32,
                 max_in_flight: 4,
                 colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
             },
         ));
         let handle = std::thread::spawn(move || serve(listener, service).unwrap());
@@ -585,6 +633,87 @@ mod tests {
         client.ping().unwrap();
         client.shutdown().unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn cache_op_persists_across_server_restarts() {
+        let t = PopsTopology::new(4, 4);
+        let dir = std::env::temp_dir().join(format!(
+            "pops-server-cache-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = || ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let spawn = |config: ServerConfig| {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let service = Arc::new(RoutingService::with_config(
+                t,
+                ServiceConfig {
+                    shards: 1,
+                    cache_capacity: 16,
+                    max_in_flight: 2,
+                    colorer: ColorerKind::AlternatingPath,
+                    ..ServiceConfig::default()
+                },
+            ));
+            let handle =
+                std::thread::spawn(move || serve_with_config(listener, service, config).unwrap());
+            (addr, handle)
+        };
+
+        // First server: route, save, shut down.
+        let (addr, handle) = spawn(config());
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let pi = vector_reversal(16);
+        assert!(!client.route_permutation("theorem2", &pi).unwrap().cache_hit);
+        let saved = client.cache_op("save").unwrap();
+        assert_eq!(saved.get("l1_entries").unwrap().as_u64(), Some(1));
+        let stats = client.cache_op("stats").unwrap();
+        assert_eq!(
+            stats
+                .get("cache")
+                .unwrap()
+                .get("l1")
+                .unwrap()
+                .get("entries")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // Restarted server: load, and the very first repeat is a hit.
+        let (addr, handle) = spawn(config());
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let loaded = client.cache_op("load").unwrap();
+        assert_eq!(loaded.get("l1_entries").unwrap().as_u64(), Some(1));
+        let reply = client.route_permutation("theorem2", &pi).unwrap();
+        assert!(reply.cache_hit, "warm restart must hit immediately");
+        // The restored schedule still passes the client-side referee.
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&reply.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        // A server without --cache-dir refuses persistence, structurally.
+        let (addr, handle) = spawn(ServerConfig::default());
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let err = client.cache_op("save").unwrap_err();
+        assert_eq!(err.remote_kind(), Some("bad-request"), "{err}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

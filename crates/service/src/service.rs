@@ -1,15 +1,21 @@
-//! The routing service front door: admission → cache → pool → metrics.
+//! The routing service front door: admission → cache L1/L2 → pool →
+//! metrics.
 //!
 //! A [`RoutingService`] serves Mei–Rizzi routing for **one** topology as a
 //! shared, thread-safe facility:
 //!
 //! 1. the **admission gate** bounds in-flight requests (excess callers
 //!    queue on a condvar rather than piling onto the engine shards);
-//! 2. the **plan cache** ([`crate::cache`]) answers repeated requests with
-//!    an `Arc` clone of the previously computed outcome;
+//! 2. the **two-level plan cache** ([`crate::cache`]) answers repeated
+//!    requests with an `Arc` clone of the previously computed outcome
+//!    (level 1, whole-request keys) and assembles h-relations from cached
+//!    per-phase Theorem-2 plans (level 2, completed-permutation keys) —
+//!    both levels sharded so concurrent hits never serialize on one lock;
 //! 3. misses run on the **engine pool** ([`crate::pool`]) of warm,
 //!    zero-allocation engines;
-//! 4. every step feeds the [`ServiceMetrics`] registry.
+//! 4. every step feeds the [`ServiceMetrics`] registry, and both cache
+//!    levels can be spilled to and restored from disk ([`crate::persist`])
+//!    so a restarted server starts warm.
 //!
 //! ```
 //! use pops_permutation::families::vector_reversal;
@@ -25,19 +31,21 @@
 //! ```
 
 use std::num::NonZeroUsize;
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use pops_bipartite::ColorerKind;
 use pops_core::{
-    route_batch_with, HRelation, Router, RoutingEngine, RoutingError, RoutingOutcome, RoutingPlan,
-    RoutingRequest,
+    route_batch_with, HRelation, HRelationRouting, Router, RoutingEngine, RoutingError,
+    RoutingOutcome, RoutingPlan, RoutingRequest,
 };
-use pops_network::{FaultSet, PopsTopology};
+use pops_network::{FaultSet, PopsTopology, Schedule};
 use pops_permutation::Permutation;
 
-use crate::cache::{canonical_key, CachedOutcome, PlanCache};
+use crate::cache::{canonical_key, phase_key, CachedOutcome, CachedPhase, ShardedPlanCache};
 use crate::metrics::{MetricsSnapshot, RequestKind, ServiceMetrics};
+use crate::persist::{self, PersistSummary};
 use crate::pool::EnginePool;
 
 /// An owned routing query — the service-boundary mirror of the borrowing
@@ -109,8 +117,17 @@ impl ServiceRequest {
 pub struct ServiceConfig {
     /// Engine-pool shards (default: available parallelism).
     pub shards: usize,
-    /// Plan-cache capacity in entries; 0 disables the cache.
+    /// Level-1 (whole-request) plan-cache capacity in entries; 0 disables
+    /// that level.
     pub cache_capacity: usize,
+    /// Level-2 (per-phase) cache capacity in entries; 0 disables phase
+    /// caching (h-relations are still assembled phase by phase, every
+    /// phase a miss).
+    pub phase_cache_capacity: usize,
+    /// Lock shards per cache level (clamped to the level's capacity). One
+    /// mutex per shard: the single-lock LRU was the documented throughput
+    /// ceiling above ~10⁶ hits/sec.
+    pub cache_shards: usize,
     /// Maximum requests in flight; excess callers wait at the admission
     /// gate.
     pub max_in_flight: usize,
@@ -124,6 +141,8 @@ impl Default for ServiceConfig {
         Self {
             shards,
             cache_capacity: 1024,
+            phase_cache_capacity: 1024,
+            cache_shards: shards.next_power_of_two(),
             max_in_flight: 4 * shards,
             colorer: ColorerKind::AlternatingPath,
         }
@@ -136,8 +155,12 @@ pub struct ServiceReply {
     /// The routing outcome, shared with the cache (and any other caller
     /// holding the same plan).
     pub outcome: CachedOutcome,
-    /// Whether the plan came from the cache.
+    /// Whether the plan came from the level-1 cache.
     pub cache_hit: bool,
+    /// For h-relation requests assembled on a level-1 miss: how many of
+    /// the relation's phases were answered by the level-2 phase cache
+    /// (0 for every other kind and for level-1 hits).
+    pub phase_hits: u64,
     /// Wall-clock service time in microseconds.
     pub micros: u64,
 }
@@ -184,12 +207,30 @@ impl Drop for AdmissionGuard<'_> {
 }
 
 /// The concurrent routing service. See the [module docs](self).
+///
+/// ```
+/// use pops_permutation::families::vector_reversal;
+/// use pops_network::PopsTopology;
+/// use pops_service::{RoutingService, ServiceRequest};
+///
+/// let service = RoutingService::new(PopsTopology::new(4, 4));
+/// let req = ServiceRequest::Theorem2 { pi: vector_reversal(16) };
+/// assert!(!service.route(&req).unwrap().cache_hit); // computed
+/// assert!(service.route(&req).unwrap().cache_hit); // level-1 hit
+/// ```
 #[derive(Debug)]
 pub struct RoutingService {
     topology: PopsTopology,
     colorer: ColorerKind,
     pool: EnginePool,
-    cache: Mutex<PlanCache<CachedOutcome>>,
+    /// Level 1: whole-request canonical keys → shared outcomes.
+    cache: ShardedPlanCache<CachedOutcome>,
+    /// Level 2: completed-permutation phase keys → Theorem-2 schedules.
+    phase_cache: ShardedPlanCache<CachedPhase>,
+    /// Whether level 2 has any capacity — guards the schedule clones that
+    /// would otherwise be paid just to be dropped by a zero-capacity
+    /// insert.
+    phase_caching: bool,
     metrics: Arc<ServiceMetrics>,
     admission: Admission,
 }
@@ -211,7 +252,9 @@ impl RoutingService {
             topology,
             colorer: config.colorer,
             pool: EnginePool::new(topology, config.colorer, config.shards, metrics.clone()),
-            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            cache: ShardedPlanCache::new(config.cache_capacity, config.cache_shards),
+            phase_cache: ShardedPlanCache::new(config.phase_cache_capacity, config.cache_shards),
+            phase_caching: config.phase_cache_capacity > 0,
             metrics,
             admission: Admission::new(config.max_in_flight),
         }
@@ -227,25 +270,41 @@ impl RoutingService {
         self.pool.shard_count()
     }
 
-    /// The cache capacity.
+    /// The level-1 cache capacity.
     pub fn cache_capacity(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").capacity()
+        self.cache.capacity()
     }
 
-    /// Entries currently cached.
+    /// Level-1 entries currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache.len()
+    }
+
+    /// The level-2 (phase) cache capacity.
+    pub fn phase_cache_capacity(&self) -> usize {
+        self.phase_cache.capacity()
+    }
+
+    /// Level-2 (phase) entries currently cached.
+    pub fn cached_phases(&self) -> usize {
+        self.phase_cache.len()
+    }
+
+    /// Lock shards per cache level.
+    pub fn cache_shard_count(&self) -> usize {
+        self.cache.shard_count()
     }
 
     /// A snapshot of the metrics registry, with the service-level gauges
-    /// (arena footprint, plan-cache occupancy) filled in — the raw
-    /// registry cannot see the pool or the cache.
+    /// (arena footprint, occupancy of both cache levels) filled in — the
+    /// raw registry cannot see the pool or the caches.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         snap.arena_bytes = self.arena_footprint() as u64;
-        let cache = self.cache.lock().expect("cache lock poisoned");
-        snap.cache_entries = cache.len() as u64;
-        snap.cache_capacity = cache.capacity() as u64;
+        snap.cache_entries = self.cache.len() as u64;
+        snap.cache_capacity = self.cache.capacity() as u64;
+        snap.phase_cache_entries = self.phase_cache.len() as u64;
+        snap.phase_cache_capacity = self.phase_cache.capacity() as u64;
         snap
     }
 
@@ -259,49 +318,65 @@ impl RoutingService {
         self.pool.arena_footprint()
     }
 
-    /// Sheds pool arena memory and drops every cached plan.
+    /// Sheds pool arena memory and drops every cached plan on both levels.
     pub fn reset(&self) {
         self.pool.reset_all();
-        self.cache.lock().expect("cache lock poisoned").clear();
+        self.cache.clear();
+        self.phase_cache.clear();
     }
 
-    /// Routes one request through admission, cache, and pool.
+    /// Routes one request through admission, the two cache levels, and the
+    /// pool.
     ///
-    /// Successful outcomes are cached under the request's canonical key;
-    /// errors are returned (and counted) but never cached, so a transient
-    /// client mistake cannot poison the cache.
+    /// Successful outcomes are cached under the request's canonical key
+    /// (level 1); h-relation requests are additionally routed **phase by
+    /// phase** so shared phases across different relations are answered by
+    /// the level-2 cache, and `theorem2` misses populate level 2 too (a
+    /// permutation routed once later serves as a cached phase). Errors are
+    /// returned (and counted) but never cached, so a transient client
+    /// mistake cannot poison the cache.
     pub fn route(&self, req: &ServiceRequest) -> Result<ServiceReply, RoutingError> {
         let _slot = self.admission.acquire(&self.metrics);
         let start = Instant::now();
         let kind = req.kind();
         let key = canonical_key(self.topology.d(), self.topology.g(), req);
 
-        if let Some(outcome) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(outcome) = self.cache.get(&key) {
             let micros = start.elapsed().as_micros() as u64;
             self.metrics.record_hit(kind, micros);
             return Ok(ServiceReply {
                 outcome,
                 cache_hit: true,
+                phase_hits: 0,
                 micros,
             });
         }
 
-        let planned = self
-            .pool
-            .with_engine(|engine| engine.plan(&req.as_routing_request()));
+        let planned = match req {
+            ServiceRequest::HRelation { relation } => self.assemble_h_relation(relation),
+            _ => self
+                .pool
+                .with_engine(|engine| engine.plan(&req.as_routing_request()))
+                .map(|outcome| (outcome, 0)),
+        };
         match planned {
-            Ok(outcome) => {
+            Ok((outcome, phase_hits)) => {
                 let slots = outcome.schedule().slot_count();
                 let outcome = Arc::new(outcome);
-                self.cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .insert(key, outcome.clone());
+                if self.phase_caching && matches!(req, ServiceRequest::Theorem2 { .. }) {
+                    // The theorem2 canonical key IS the phase key of the
+                    // same permutation (see `phase_key`), so the plan also
+                    // becomes a level-2 entry for future h-relation phases.
+                    self.phase_cache
+                        .insert(key.clone(), Arc::new(outcome.schedule().clone()));
+                }
+                self.cache.insert(key, outcome.clone());
                 let micros = start.elapsed().as_micros() as u64;
                 self.metrics.record_miss(kind, slots, micros);
                 Ok(ServiceReply {
                     outcome,
                     cache_hit: false,
+                    phase_hits,
                     micros,
                 })
             }
@@ -310,6 +385,144 @@ impl RoutingService {
                 Err(e)
             }
         }
+    }
+
+    /// Routes an h-relation by König decomposition with per-phase caching:
+    /// each completed-permutation phase is looked up in the level-2 cache
+    /// and only the missing phases are planned on the pool. Returns the
+    /// assembled outcome and how many phases were level-2 hits. The
+    /// assembled schedule is byte-identical to
+    /// [`RoutingEngine::plan_h_relation`] output because both routes plan
+    /// phases with the same deterministic construction.
+    fn assemble_h_relation(
+        &self,
+        relation: &HRelation,
+    ) -> Result<(RoutingOutcome, u64), RoutingError> {
+        let t = self.topology;
+        if relation.n() != t.n() {
+            return Err(RoutingError::SizeMismatch {
+                expected: t.n(),
+                got: relation.n(),
+            });
+        }
+        let phases = self
+            .pool
+            .with_engine(|engine| engine.decompose_h_relation(relation));
+        let mut phase_hits = 0u64;
+        let mut blocks: Vec<Schedule> = Vec::with_capacity(phases.len());
+        for phase in &phases {
+            let completed = phase.complete();
+            let pkey = phase_key(t.d(), t.g(), &completed);
+            if let Some(cached) = self.phase_cache.get(&pkey) {
+                self.metrics.record_phase_hit();
+                phase_hits += 1;
+                blocks.push(Schedule {
+                    slots: cached.slots.clone(),
+                });
+            } else {
+                let plan = self
+                    .pool
+                    .with_engine(|engine| engine.plan_theorem2(&completed));
+                self.metrics.record_phase_miss();
+                if self.phase_caching {
+                    self.phase_cache
+                        .insert(pkey, Arc::new(plan.schedule.clone()));
+                }
+                blocks.push(plan.schedule);
+            }
+        }
+        Ok((
+            RoutingOutcome::HRelation(HRelationRouting::from_phase_schedules(t, phases, blocks)),
+            phase_hits,
+        ))
+    }
+
+    /// Spills both cache levels to `path` in the stable
+    /// [`crate::persist`] byte format (level-1 values are persisted as
+    /// their schedules). Entries are written least-recently-used first
+    /// per shard, so a restore into the same shard layout reproduces each
+    /// shard's recency ranking (and approximates it otherwise). The file
+    /// is written to a unique temporary sibling and atomically renamed
+    /// into place, so a crash mid-spill (or a concurrent save) can never
+    /// leave a truncated file where a good one was.
+    pub fn save_cache(&self, path: &Path) -> std::io::Result<PersistSummary> {
+        let mut l1: Vec<(Box<[u8]>, Schedule)> = Vec::new();
+        self.cache.for_each_lru(|key, outcome| {
+            l1.push((key.into(), outcome.schedule().clone()));
+        });
+        let mut l2: Vec<(Box<[u8]>, Schedule)> = Vec::new();
+        self.phase_cache.for_each_lru(|key, schedule| {
+            l2.push((
+                key.into(),
+                Schedule {
+                    slots: schedule.slots.clone(),
+                },
+            ));
+        });
+        let bytes = persist::encode_cache_file(self.topology.d(), self.topology.g(), &l1, &l2);
+        // Unique temp name per call: concurrent saves each write their own
+        // file and the (atomic) renames serialize on the final path.
+        static SPILL_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let written: std::io::Result<()> = (|| {
+            std::fs::write(&tmp, bytes)?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(PersistSummary {
+            l1_entries: l1.len(),
+            l2_entries: l2.len(),
+        })
+    }
+
+    /// Restores both cache levels from a file written by
+    /// [`RoutingService::save_cache`] for the **same topology**. Restored
+    /// level-1 entries carry the identical schedule and slot count but no
+    /// construction artefacts (like a schedule-only reply); restored
+    /// entries land in their capacity-bounded shards, so loading a file
+    /// larger than the cache keeps (approximately, per shard) its
+    /// most-recently-used tail. Decode failures — wrong magic, wrong
+    /// topology, truncation, a checksum mismatch, or a phase entry whose
+    /// slot count is not this topology's Theorem-2 cost — surface as
+    /// [`std::io::ErrorKind::InvalidData`] without touching the cache.
+    pub fn load_cache(&self, path: &Path) -> std::io::Result<PersistSummary> {
+        let bytes = std::fs::read(path)?;
+        let invalid =
+            |e: persist::PersistError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+        let decoded = persist::decode_cache_file(&bytes, self.topology.d(), self.topology.g())
+            .map_err(invalid)?;
+        // Phase entries feed the h-relation assembler, which (rightly)
+        // asserts every block is a Theorem-2 schedule — refuse a file
+        // that would plant a panic in the serving path.
+        let expect_slots = pops_core::theorem2_slots(self.topology.d(), self.topology.g());
+        if let Some((_, bad)) = decoded
+            .l2
+            .iter()
+            .find(|(_, schedule)| schedule.slot_count() != expect_slots)
+        {
+            return Err(invalid(persist::PersistError(format!(
+                "phase entry has {} slots, topology needs {expect_slots}",
+                bad.slot_count()
+            ))));
+        }
+        let summary = PersistSummary {
+            l1_entries: decoded.l1.len(),
+            l2_entries: decoded.l2.len(),
+        };
+        for (key, schedule) in decoded.l1 {
+            self.cache
+                .insert(key, Arc::new(RoutingOutcome::Schedule(schedule)));
+        }
+        for (key, schedule) in decoded.l2 {
+            self.phase_cache.insert(key, Arc::new(schedule));
+        }
+        Ok(summary)
     }
 
     /// Routes a whole batch of permutations, bypassing the cache and
@@ -357,6 +570,7 @@ mod tests {
                 cache_capacity: 8,
                 max_in_flight: 4,
                 colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -390,6 +604,199 @@ mod tests {
             sim.execute_schedule(reply.outcome.schedule()).unwrap();
             sim.verify_delivery(pi.as_slice()).unwrap();
         }
+    }
+
+    /// An h-relation made of `h` random full permutations.
+    fn random_relation(n: usize, h: usize, rng: &mut SplitMix64) -> HRelation {
+        let mut requests = Vec::with_capacity(n * h);
+        for _ in 0..h {
+            let p = random_permutation(n, rng);
+            requests.extend((0..n).map(|s| (s, p.apply(s))));
+        }
+        HRelation::new(n, requests).unwrap()
+    }
+
+    /// Executes each phase block of `reply` on a fresh simulator and
+    /// checks the phase's completed permutation is delivered — the referee
+    /// for assembled-from-phases schedules.
+    fn verify_phases(service: &RoutingService, reply: &ServiceReply) {
+        let RoutingOutcome::HRelation(routing) = reply.outcome.as_ref() else {
+            panic!("expected an h-relation outcome");
+        };
+        for (idx, phase) in routing.phases.iter().enumerate() {
+            let completed = phase.complete();
+            let mut sim = Simulator::with_unit_packets(service.topology());
+            let block = &routing.schedule.slots
+                [idx * routing.slots_per_phase..(idx + 1) * routing.slots_per_phase];
+            for frame in block {
+                sim.execute_frame(frame)
+                    .unwrap_or_else(|e| panic!("phase {idx}: {e}"));
+            }
+            sim.verify_delivery(completed.as_slice())
+                .unwrap_or_else(|e| panic!("phase {idx}: {e}"));
+        }
+    }
+
+    #[test]
+    fn h_relations_assemble_from_cached_phases() {
+        let service = small_service();
+        let mut rng = SplitMix64::new(21);
+        let relation = random_relation(16, 3, &mut rng);
+
+        // Cold: every phase is a level-2 miss; the assembled schedule
+        // passes the simulator referee phase by phase.
+        let cold = service
+            .route(&ServiceRequest::HRelation {
+                relation: relation.clone(),
+            })
+            .unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(cold.phase_hits, 0);
+        verify_phases(&service, &cold);
+        let snap = service.metrics();
+        assert_eq!((snap.phase_hits, snap.phase_misses), (0, 3));
+        assert_eq!(service.cached_phases(), 3);
+
+        // The identical relation (requests reshuffled) is a level-1 hit.
+        let mut shuffled = relation.requests().to_vec();
+        shuffled.reverse();
+        let again = service
+            .route(&ServiceRequest::HRelation {
+                relation: HRelation::new(16, shuffled).unwrap(),
+            })
+            .unwrap();
+        assert!(again.cache_hit);
+
+        // A *fresh* relation whose phases are already cached: decompose it
+        // up front (same deterministic colourer as the service), route its
+        // completed phases as plain theorem2 requests, then route the
+        // relation itself — its L1 key is new, but every phase hits L2.
+        let fresh = random_relation(16, 2, &mut rng);
+        let phases = RoutingEngine::with_colorer(service.topology(), ColorerKind::AlternatingPath)
+            .decompose_h_relation(&fresh);
+        for phase in &phases {
+            service
+                .route(&ServiceRequest::Theorem2 {
+                    pi: phase.complete(),
+                })
+                .unwrap();
+        }
+        let reply = service
+            .route(&ServiceRequest::HRelation { relation: fresh })
+            .unwrap();
+        assert!(!reply.cache_hit, "different relation, different L1 key");
+        assert_eq!(
+            reply.phase_hits, 2,
+            "every phase must be served from level 2"
+        );
+        verify_phases(&service, &reply);
+    }
+
+    #[test]
+    fn theorem2_requests_seed_the_phase_cache() {
+        let service = small_service();
+        let mut rng = SplitMix64::new(22);
+        let pi = random_permutation(16, &mut rng);
+        // Route the permutation as a plain request first...
+        service
+            .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+            .unwrap();
+        assert_eq!(service.cached_phases(), 1, "theorem2 misses seed level 2");
+        // ...then as a 1-relation: its single phase is exactly `pi`, so
+        // the assembly is all level-2 hits.
+        let relation = HRelation::new(16, (0..16).map(|s| (s, pi.apply(s))).collect()).unwrap();
+        let reply = service
+            .route(&ServiceRequest::HRelation { relation })
+            .unwrap();
+        assert!(!reply.cache_hit);
+        assert_eq!(reply.phase_hits, 1, "the phase rides the theorem2 plan");
+        verify_phases(&service, &reply);
+    }
+
+    #[test]
+    fn assembled_schedules_match_the_engine_exactly() {
+        // The per-phase cached assembly must be byte-identical to a bare
+        // engine's plan_h_relation, hits and misses alike.
+        let mut rng = SplitMix64::new(23);
+        let service = small_service();
+        let mut engine =
+            RoutingEngine::with_colorer(service.topology(), ColorerKind::AlternatingPath);
+        for h in [1usize, 2, 4] {
+            let relation = random_relation(16, h, &mut rng);
+            let reply = service
+                .route(&ServiceRequest::HRelation {
+                    relation: relation.clone(),
+                })
+                .unwrap();
+            let direct = engine.plan_h_relation(&relation);
+            assert_eq!(reply.outcome.schedule(), &direct.schedule, "h = {h}");
+        }
+    }
+
+    #[test]
+    fn cache_spills_and_restores_across_service_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "pops-cache-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = crate::persist::cache_file_path(&dir);
+
+        let mut rng = SplitMix64::new(24);
+        let pi = random_permutation(16, &mut rng);
+        let relation = random_relation(16, 2, &mut rng);
+
+        let first = small_service();
+        first
+            .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+            .unwrap();
+        first
+            .route(&ServiceRequest::HRelation {
+                relation: relation.clone(),
+            })
+            .unwrap();
+        let saved = first.save_cache(&path).unwrap();
+        assert_eq!(saved.l1_entries, 2);
+        assert_eq!(saved.l2_entries, 3, "1 theorem2-seeded + 2 relation phases");
+
+        // A restarted server: loads the spill, first repeats are hits.
+        let second = small_service();
+        let loaded = second.load_cache(&path).unwrap();
+        assert_eq!((loaded.l1_entries, loaded.l2_entries), (2, 3));
+        let reply = second
+            .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+            .unwrap();
+        assert!(reply.cache_hit, "warm restart must hit on repeats");
+        // The restored schedule still routes correctly.
+        let mut sim = Simulator::with_unit_packets(second.topology());
+        sim.execute_schedule(reply.outcome.schedule()).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        assert!(
+            second
+                .route(&ServiceRequest::HRelation { relation })
+                .unwrap()
+                .cache_hit
+        );
+
+        // Loading onto the wrong topology is refused.
+        let wrong = RoutingService::with_config(
+            PopsTopology::new(2, 8),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        );
+        let err = wrong.load_cache(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -505,6 +912,7 @@ mod tests {
                 cache_capacity: 16,
                 max_in_flight: 2,
                 colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
             },
         );
         let pi = vector_reversal(6);

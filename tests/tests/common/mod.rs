@@ -1,0 +1,65 @@
+//! Helpers shared by the service integration suites. Each test binary
+//! compiles this module independently (`mod common;`), so not every item
+//! is used by every binary.
+#![allow(dead_code)]
+
+use pops_core::{HRelation, RoutingOutcome};
+use pops_network::{PopsTopology, Schedule, Simulator};
+use pops_permutation::families::random_permutation;
+use pops_permutation::{Permutation, SplitMix64};
+
+/// An h-relation that is the union of `h` random full permutations.
+pub fn random_relation(n: usize, h: usize, rng: &mut SplitMix64) -> HRelation {
+    let mut requests = Vec::with_capacity(n * h);
+    for _ in 0..h {
+        let p = random_permutation(n, rng);
+        requests.extend((0..n).map(|s| (s, p.apply(s))));
+    }
+    HRelation::new(n, requests).unwrap()
+}
+
+/// Referee: `schedule` must execute legally from the unit-packet start
+/// and deliver every packet to `pi`.
+pub fn verify_permutation_schedule(t: PopsTopology, schedule: &Schedule, pi: &Permutation) {
+    let mut sim = Simulator::with_unit_packets(t);
+    sim.execute_schedule(schedule)
+        .unwrap_or_else(|(slot, e)| panic!("illegal schedule at slot {slot}: {e}"));
+    sim.verify_delivery(pi.as_slice())
+        .unwrap_or_else(|e| panic!("misdelivery: {e}"));
+}
+
+/// Referee for h-relations: each König phase's slice of the concatenated
+/// schedule must route that phase's completed permutation (phases reset
+/// packet identity, so each slice is verified from a fresh placement).
+pub fn verify_h_relation_outcome(t: PopsTopology, outcome: &RoutingOutcome) {
+    let RoutingOutcome::HRelation(routing) = outcome else {
+        panic!("expected an h-relation outcome");
+    };
+    assert_eq!(
+        routing.schedule.slot_count(),
+        routing.phases.len() * routing.slots_per_phase
+    );
+    for (i, phase) in routing.phases.iter().enumerate() {
+        let completed = phase.complete();
+        let slice = Schedule {
+            slots: routing.schedule.slots
+                [i * routing.slots_per_phase..(i + 1) * routing.slots_per_phase]
+                .to_vec(),
+        };
+        verify_permutation_schedule(t, &slice, &completed);
+    }
+}
+
+/// A fresh, uniquely named temp directory (caller removes it).
+pub fn unique_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pops-it-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

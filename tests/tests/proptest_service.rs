@@ -23,6 +23,7 @@ fn tiny_service(d: usize, g: usize) -> RoutingService {
             cache_capacity: 8,
             max_in_flight: 2,
             colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
         },
     )
 }

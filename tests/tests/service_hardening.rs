@@ -43,6 +43,7 @@ fn small_service_config() -> ServiceConfig {
         cache_capacity: 16,
         max_in_flight: 4,
         colorer: ColorerKind::AlternatingPath,
+        ..ServiceConfig::default()
     }
 }
 
@@ -308,6 +309,7 @@ fn shutdown_under_load_drains_every_in_flight_response() {
             cache_capacity: 0,
             max_in_flight: 1,
             colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
         },
         ServerConfig::default(),
     );

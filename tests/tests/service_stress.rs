@@ -3,47 +3,19 @@
 //! re-verified by the conflict-checking simulator referee, and the
 //! metrics ledger reconciled at the end.
 
+mod common;
+
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 
+use common::{verify_h_relation_outcome as verify_h_relation_routing, verify_permutation_schedule};
+
 use pops_bipartite::ColorerKind;
-use pops_core::{theorem2_slots, HRelation, RoutingOutcome};
-use pops_network::{PopsTopology, Schedule, Simulator};
+use pops_core::{theorem2_slots, HRelation};
+use pops_network::PopsTopology;
 use pops_permutation::families::{random_group_uniform, random_permutation};
 use pops_permutation::{Permutation, SplitMix64};
 use pops_service::{RoutingService, ServiceConfig, ServiceRequest};
-
-/// Referee: `schedule` must execute legally from the unit-packet start
-/// and deliver every packet to `pi`.
-fn verify_permutation_schedule(t: PopsTopology, schedule: &Schedule, pi: &Permutation) {
-    let mut sim = Simulator::with_unit_packets(t);
-    sim.execute_schedule(schedule)
-        .unwrap_or_else(|(slot, e)| panic!("illegal schedule at slot {slot}: {e}"));
-    sim.verify_delivery(pi.as_slice())
-        .unwrap_or_else(|e| panic!("misdelivery: {e}"));
-}
-
-/// Referee for h-relations: each König phase's slice of the concatenated
-/// schedule must route that phase's completed permutation (phases reset
-/// packet identity, so each slice is verified from a fresh placement).
-fn verify_h_relation_routing(t: PopsTopology, outcome: &RoutingOutcome) {
-    let RoutingOutcome::HRelation(routing) = outcome else {
-        panic!("expected an h-relation outcome");
-    };
-    assert_eq!(
-        routing.schedule.slot_count(),
-        routing.phases.len() * routing.slots_per_phase
-    );
-    for (i, phase) in routing.phases.iter().enumerate() {
-        let completed = phase.complete();
-        let slice = Schedule {
-            slots: routing.schedule.slots
-                [i * routing.slots_per_phase..(i + 1) * routing.slots_per_phase]
-                .to_vec(),
-        };
-        verify_permutation_schedule(t, &slice, &completed);
-    }
-}
 
 #[test]
 fn eight_threads_hammer_one_service() {
@@ -60,6 +32,7 @@ fn eight_threads_hammer_one_service() {
             // pool overflow path are genuinely exercised.
             max_in_flight: 5,
             colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
         },
     ));
 
@@ -140,6 +113,7 @@ fn concurrent_h_relations_verify_per_phase() {
             cache_capacity: 8,
             max_in_flight: 4,
             colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
         },
     ));
 
@@ -198,6 +172,7 @@ fn mixed_single_and_batch_traffic() {
             cache_capacity: 16,
             max_in_flight: 3,
             colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
         },
     ));
 
