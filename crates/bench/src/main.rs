@@ -1355,17 +1355,215 @@ fn experiment_bench_service() {
         ));
     }
 
+    let multi_topology = bench_multi_topology();
+    let wire_batch = bench_wire_batch();
+
     let json = format!(
         "{{\n  \"benchmark\": \"pops_routing_service\",\n  \"description\": \
          \"RoutingService cold vs warm-engine vs cache-hit plan throughput, plus \
          level-2 phase reuse (fresh h-relations assembled from cached phases vs \
-         all-phase-miss) and warm restart from a cache spill (first pass all hits \
-         vs cold); single client thread, alternating-path colourer; regenerate with \
-         `cargo run --release --bin experiments -- BENCH_SERVICE`\",\n  \"configs\": [\n{}\n  ]\n}}\n",
+         all-phase-miss), warm restart from a cache spill (first pass all hits \
+         vs cold), mixed-shape traffic through one TopologyRouter, and the wire \
+         batch op vs N single requests; single client thread, alternating-path \
+         colourer; regenerate with \
+         `cargo run --release --bin experiments -- BENCH_SERVICE`\",\n  \"configs\": [\n{}\n  ],\n\
+         {multi_topology},\n{wire_batch}\n}}\n",
         entries.join(",\n")
     );
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("\nwrote BENCH_service.json\n"),
         Err(e) => println!("\ncould not write BENCH_service.json: {e}\n"),
     }
+}
+
+/// The multi-topology scenario: one [`pops_service::TopologyRouter`]
+/// serving round-robin traffic across three `(d, g)` shapes (two of them
+/// sharing `n`, so any keying mistake would cross-contaminate). Sampled
+/// schedules are verified on the simulator referee per shape, and the
+/// aggregate mixed-shape throughput is recorded.
+fn bench_multi_topology() -> String {
+    use pops_service::{ServiceConfig, ServiceRequest, TopologyRouter, TopologyRouterConfig};
+
+    const SHAPES: [(usize, usize); 3] = [(16, 16), (8, 32), (32, 8)];
+    let router = TopologyRouter::new(
+        PopsTopology::new(SHAPES[0].0, SHAPES[0].1),
+        TopologyRouterConfig {
+            service: ServiceConfig {
+                shards: 2,
+                cache_capacity: 256,
+                max_in_flight: 4,
+                ..ServiceConfig::default()
+            },
+            max_topologies: 4,
+            ..TopologyRouterConfig::default()
+        },
+    );
+    let mut rng = SplitMix64::new(0x307A);
+    let count = 64usize;
+    // Mixed-shape request stream, shapes interleaved.
+    let stream: Vec<((usize, usize), Permutation)> = (0..count)
+        .map(|i| {
+            let (d, g) = SHAPES[i % SHAPES.len()];
+            ((d, g), random_permutation(d * g, &mut rng))
+        })
+        .collect();
+    // Warm-up pass doubles as the correctness referee.
+    for ((d, g), pi) in &stream {
+        let service = router.get(*d, *g).expect("admitted");
+        let reply = service
+            .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+            .expect("routes");
+        assert_eq!(
+            reply.outcome.schedule().slot_count(),
+            theorem2_slots(*d, *g),
+            "POPS({d}, {g})"
+        );
+        let mut sim = Simulator::with_unit_packets(PopsTopology::new(*d, *g));
+        sim.execute_schedule(reply.outcome.schedule())
+            .expect("legal");
+        sim.verify_delivery(pi.as_slice()).expect("delivers");
+    }
+    assert_eq!(router.len(), SHAPES.len(), "every shape resident");
+    let mut plans = 0usize;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 300 {
+        for ((d, g), pi) in &stream {
+            let service = router.get(*d, *g).expect("admitted");
+            let reply = service
+                .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+                .expect("routes");
+            std::hint::black_box(&reply);
+            plans += 1;
+        }
+    }
+    let per_sec = plans as f64 / start.elapsed().as_secs_f64();
+    let stats = router.stats();
+    assert_eq!(stats.evictions, 0, "no shape churn in steady state");
+    println!(
+        "multi-topology: {} shapes interleaved, {per_sec:>10.0} plans/s mixed-shape \
+         through one router ({} lookups hit a resident service)",
+        SHAPES.len(),
+        stats.hits,
+    );
+    format!(
+        "  \"multi_topology\": {{\n    \"shapes\": [[16, 16], [8, 32], [32, 8]],\n    \
+         \"verified_on_simulator\": true,\n    \
+         \"mixed_shape_plans_per_sec\": {per_sec:.1},\n    \
+         \"router_evictions\": {}\n  }}",
+        stats.evictions
+    )
+}
+
+/// The wire-batch scenario: one real TCP server, one client; the same
+/// 64 permutations sent as 64 single `route` ops vs one `{{"op":"batch"}}`
+/// op. Caches are disabled so both sides pay full planning — the delta
+/// isolates wire round-trips plus the batch fast path's worker-thread
+/// parallelism. Acceptance: the batch must beat the singles.
+fn bench_wire_batch() -> String {
+    use pops_service::{
+        serve_router, BatchItem, ServerConfig, ServiceClient, ServiceConfig, TopologyRouter,
+        TopologyRouterConfig,
+    };
+    use std::net::TcpListener;
+    use std::sync::Arc;
+
+    let (d, g) = (16usize, 16usize);
+    let n = d * g;
+    let count = 64usize;
+    let router = Arc::new(TopologyRouter::new(
+        PopsTopology::new(d, g),
+        TopologyRouterConfig {
+            service: ServiceConfig {
+                cache_capacity: 0, // both modes pay full planning
+                phase_cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+            ..TopologyRouterConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    // Nagle off on both ends: the singles side sends one small line per
+    // round trip, and delayed-ACK stalls would swamp the comparison.
+    let config = ServerConfig {
+        tcp_nodelay: true,
+        ..ServerConfig::default()
+    };
+    let server = std::thread::spawn(move || serve_router(listener, router, config));
+
+    let mut rng = SplitMix64::new(0xBA7C);
+    let perms: Vec<Permutation> = (0..count)
+        .map(|_| random_permutation(n, &mut rng))
+        .collect();
+    let items: Vec<BatchItem> = perms
+        .iter()
+        .map(|pi| BatchItem {
+            pi: pi.clone(),
+            shape: None,
+        })
+        .collect();
+    // Pre-rendered single-request lines (no schedule bodies) so the
+    // singles side measures the wire, not client-side JSON building.
+    let singles: Vec<String> = perms
+        .iter()
+        .map(|pi| {
+            let image: Vec<String> = pi.as_slice().iter().map(|v| v.to_string()).collect();
+            format!(
+                r#"{{"op":"route","kind":"theorem2","want_schedule":false,"perm":[{}]}}"#,
+                image.join(",")
+            )
+        })
+        .collect();
+
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    client.set_nodelay(true).expect("nodelay");
+    // Warm-up (engine arenas, TCP slow start) — one pass each.
+    for line in &singles {
+        client.call_raw(line).expect("routes");
+    }
+    client.batch(&items, false).expect("routes");
+
+    // Time-boxed at whole-cycle granularity: every measured cycle routes
+    // the identical 64 permutations, as N singles or as one batch.
+    let mut single_plans = 0usize;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 300 {
+        for line in &singles {
+            let doc = client.call_raw(line).expect("routes");
+            std::hint::black_box(&doc);
+            single_plans += 1;
+        }
+    }
+    let singles_secs = start.elapsed().as_secs_f64();
+    let mut batch_plans = 0usize;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 300 {
+        let reply = client.batch(&items, false).expect("routes");
+        assert_eq!(reply.summary.routed, count);
+        std::hint::black_box(&reply);
+        batch_plans += count;
+    }
+    let batch_secs = start.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("serve");
+
+    let singles_per_sec = single_plans as f64 / singles_secs;
+    let batch_per_sec = batch_plans as f64 / batch_secs;
+    let speedup = batch_per_sec / singles_per_sec;
+    println!(
+        "wire batch: {count} perms on POPS({d}, {g}) — {singles_per_sec:>8.0} plans/s as \
+         single requests, {batch_per_sec:>8.0} plans/s as one batch op ({speedup:.1}x)"
+    );
+    assert!(
+        speedup > 1.0,
+        "acceptance: the wire batch op must beat N single requests \
+         (got {speedup:.2}x)"
+    );
+    format!(
+        "  \"wire_batch\": {{\n    \"d\": {d},\n    \"g\": {g},\n    \
+         \"permutations\": {count},\n    \"tcp_nodelay\": true,\n    \
+         \"single_requests_plans_per_sec\": {singles_per_sec:.1},\n    \
+         \"batch_op_plans_per_sec\": {batch_per_sec:.1},\n    \
+         \"speedup\": {speedup:.1}\n  }}"
+    )
 }

@@ -21,7 +21,8 @@ use pops_network::{viz, FaultSet, PopsTopology, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::SplitMix64;
 use pops_service::{
-    serve_with_config, Json, RoutingService, ServerConfig, ServiceClient, ServiceConfig,
+    serve_router, BatchItem, Json, ServerConfig, ServiceClient, ServiceConfig, TopologyRouter,
+    TopologyRouterConfig,
 };
 
 use crate::opts::{err, CliError, Opts};
@@ -45,15 +46,24 @@ COMMANDS
   batch     --d D --g G [--count N]          route a batch of random perms
             [--threads T] [--no-artefacts]   (engine-per-worker fast path)
   serve     --d D --g G [--port P]           start the TCP/JSON routing service
+            [--topology DxG]...              pre-warm (and pin) more topologies; requests
+                                             may select any shape up to --max-topologies
+            [--max-topologies N]             topology registry bound (default 8, LRU)
             [--shards S] [--cache C] [--max-in-flight M]
             [--phase-cache C]                level-2 per-phase plan cache (default 1024)
             [--cache-shards N]               lock shards per cache level
             [--cache-dir DIR]                warm-start dir: load on boot, spill on shutdown
+                                             (one file per topology; foreign files skipped)
             [--read-timeout-ms T] [--write-timeout-ms T]   (0 disables; defaults 30000)
             [--max-line-bytes B]             request-line cap (default 16 MiB)
             [--max-conns N] [--nodelay]      connection cap (default 256), TCP_NODELAY
+            [--max-batch-items N]            wire-batch item cap (default 1024)
+            [--max-batch-topologies N]       distinct shapes per batch (default 8)
   request   --addr HOST:PORT [perm]          route one request via a server
+            [--d D --g G]                    select a topology (multi-topology servers)
             [--kind K] [--stats] [--shutdown]
+            [--batch-file FILE]              send one wire batch op from a JSON-lines file
+                                             (each line: perm with optional d/g fields)
             [--cache save|load|stats]        plan-cache op (save/load need --cache-dir serve)
             [--timeout-ms T]                 client timeout (default 30000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
@@ -413,12 +423,35 @@ fn timeout_ms(opts: &Opts, key: &str, default_ms: u64) -> Result<Option<Duration
     })
 }
 
+/// Parses one `--topology DxG` value (e.g. `2x8`).
+fn parse_topology_flag(value: &str) -> Result<(usize, usize), CliError> {
+    let (d, g) = value
+        .split_once(['x', 'X'])
+        .ok_or_else(|| err(format!("--topology expects DxG (e.g. 4x4), got '{value}'")))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| err(format!("--topology '{value}': '{s}' is not an integer")))
+    };
+    let (d, g) = (parse(d)?, parse(g)?);
+    if d == 0 || g == 0 {
+        return Err(err(format!(
+            "--topology '{value}': dimensions must be positive"
+        )));
+    }
+    Ok((d, g))
+}
+
 /// `pops serve`: the TCP/JSON-lines routing service. Prints the listening
 /// address immediately (stdout, flushed) so scripts can scrape an
 /// ephemeral port (`--port 0`), then blocks until a client sends a
 /// shutdown op — at which point in-flight handlers are drained (joined),
 /// so every accepted request gets its complete response before the
 /// process exits; the returned string is the exit summary.
+///
+/// One process serves **many topologies**: `--d`/`--g` name the default
+/// shape, repeated `--topology DxG` flags pre-warm (and pin) more, and
+/// requests may select any shape up to the `--max-topologies` LRU bound.
 fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     let t = shape(opts)?;
     // The service defaults to the alternating-path colourer — the one with
@@ -460,6 +493,9 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         max_connections: opts.usize_or("max-conns", server_defaults.max_connections)?,
         tcp_nodelay: opts.flag("nodelay"),
         cache_dir: cache_dir.clone(),
+        max_batch_items: opts.usize_or("max-batch-items", server_defaults.max_batch_items)?,
+        max_batch_topologies: opts
+            .usize_or("max-batch-topologies", server_defaults.max_batch_topologies)?,
     };
     if server_config.max_line_bytes == 0 {
         return Err(err("--max-line-bytes must be positive"));
@@ -467,69 +503,109 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     if server_config.max_connections == 0 {
         return Err(err("--max-conns must be positive"));
     }
+    if server_config.max_batch_items == 0 {
+        return Err(err("--max-batch-items must be positive"));
+    }
+    if server_config.max_batch_topologies == 0 {
+        return Err(err("--max-batch-topologies must be positive"));
+    }
+    let mut prewarm: Vec<(usize, usize)> = opts
+        .get_all("topology")
+        .iter()
+        .map(|v| parse_topology_flag(v))
+        .collect::<Result<_, _>>()?;
+    prewarm.sort_unstable();
+    prewarm.dedup();
+    let router_defaults = TopologyRouterConfig::default();
+    let max_topologies = opts.usize_or("max-topologies", router_defaults.max_topologies)?;
+    // The default topology plus every distinct pre-warm must fit the
+    // registry (repeated or default-equal --topology flags are harmless).
+    let pinned = 1 + prewarm
+        .iter()
+        .filter(|&&(d, g)| (d, g) != (t.d(), t.g()))
+        .count();
+    if max_topologies < pinned {
+        return Err(err(format!(
+            "--max-topologies {max_topologies} is too small for {pinned} pinned \
+             topolog{} (--d/--g plus every --topology)",
+            if pinned == 1 { "y" } else { "ies" }
+        )));
+    }
     let listener = TcpListener::bind(("127.0.0.1", port as u16))
         .map_err(|e| err(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
     let addr = listener
         .local_addr()
         .map_err(|e| err(format!("cannot read bound address: {e}")))?;
-    let service = Arc::new(RoutingService::with_config(
+    let router = Arc::new(TopologyRouter::new(
         t,
-        ServiceConfig {
-            shards,
-            cache_capacity,
-            phase_cache_capacity,
-            cache_shards,
-            max_in_flight,
-            colorer: kind,
+        TopologyRouterConfig {
+            service: ServiceConfig {
+                shards,
+                cache_capacity,
+                phase_cache_capacity,
+                cache_shards,
+                max_in_flight,
+                colorer: kind,
+            },
+            max_topologies,
+            ..router_defaults
         },
     ));
-    // Warm start: restore a previous spill before accepting traffic. A
-    // missing file is a cold start, not an error; a corrupt or
-    // wrong-topology file is refused loudly.
+    for &(d, g) in &prewarm {
+        router
+            .pin(d, g)
+            .map_err(|e| err(format!("cannot pre-warm --topology {d}x{g}: {e}")))?;
+    }
+    // Warm start: restore previous spills before accepting traffic. A
+    // missing or empty directory is a cold start; files for topologies
+    // this server does not pin, or corrupt files, are skipped with a
+    // warning — a stale --cache-dir must not turn the warm-start
+    // optimization into a startup outage.
     let mut warm_note = String::new();
     if let Some(dir) = &cache_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| err(format!("cannot create --cache-dir {}: {e}", dir.display())))?;
-        let path = pops_service::persist::cache_file_path(dir);
-        if path.exists() {
-            // A bad spill (crash mid-write, copied from the wrong
-            // topology) must not turn the cache optimization into a
-            // startup outage: warn and serve cold instead of refusing.
-            match service.load_cache(&path) {
-                Ok(loaded) => {
-                    warm_note = format!(
-                        ", warm-started: {} plan(s) + {} phase(s) from {}",
-                        loaded.l1_entries,
-                        loaded.l2_entries,
-                        path.display()
-                    );
-                }
-                Err(e) => {
-                    eprintln!(
-                        "warning: ignoring cache file {}: {e}; starting cold \
-                         (it will be overwritten on shutdown)",
-                        path.display()
-                    );
-                    warm_note = ", cache file ignored (see warning), starting cold".into();
-                }
-            }
+        let report = router
+            .load_dir(dir)
+            .map_err(|e| err(format!("cannot read --cache-dir {}: {e}", dir.display())))?;
+        for (path, reason) in &report.skipped {
+            eprintln!("warning: skipping cache file {}: {reason}", path.display());
+        }
+        if !report.loaded.is_empty() {
+            warm_note = format!(
+                ", warm-started: {} plan(s) + {} phase(s) across {} topolog{}",
+                report.l1_entries(),
+                report.l2_entries(),
+                report.loaded.len(),
+                if report.loaded.len() == 1 { "y" } else { "ies" },
+            );
+        } else if !report.skipped.is_empty() {
+            warm_note = ", cache files skipped (see warnings), starting cold".into();
         }
     }
+    let shapes: Vec<String> = router
+        .services()
+        .iter()
+        .map(|(topology, _)| format!("{}x{}", topology.d(), topology.g()))
+        .collect();
     let fmt_ms =
         |t: Option<Duration>| t.map_or("off".to_string(), |d| format!("{}ms", d.as_millis()));
     println!(
-        "pops-service listening on {addr} ({t}, {shards} shard(s), cache {cache_capacity}, \
+        "pops-service listening on {addr} ({t} default, topologies [{}] of max {max_topologies}, \
+         {shards} shard(s), cache {cache_capacity}, \
          phase cache {phase_cache_capacity}, {cache_shards} cache shard(s), \
          max in-flight {max_in_flight}, engine {}, read timeout {}, write timeout {}, \
-         line cap {} bytes, max conns {}{warm_note})",
+         line cap {} bytes, max conns {}, batch cap {} item(s){warm_note})",
+        shapes.join(", "),
         kind.name(),
         fmt_ms(server_config.read_timeout),
         fmt_ms(server_config.write_timeout),
         server_config.max_line_bytes,
         server_config.max_connections,
+        server_config.max_batch_items,
     );
     let _ = std::io::stdout().flush();
-    let summary = serve_with_config(listener, service.clone(), server_config)
+    let summary = serve_router(listener, router.clone(), server_config)
         .map_err(|e| err(format!("serve failed: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -537,25 +613,39 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         "shutdown after {} connection(s), {} request(s); all handlers drained",
         summary.connections, summary.requests
     );
-    // Spill on the way out so the next boot starts warm.
+    // Spill every topology on the way out so the next boot starts warm.
     if let Some(dir) = &cache_dir {
-        let path = pops_service::persist::cache_file_path(dir);
-        match service.save_cache(&path) {
-            Ok(saved) => {
-                let _ = writeln!(
-                    out,
-                    "spilled {} plan(s) + {} phase(s) to {}",
-                    saved.l1_entries,
-                    saved.l2_entries,
-                    path.display()
-                );
+        match router.save_all(dir) {
+            Ok(written) => {
+                for (topology, saved) in &written {
+                    let _ = writeln!(
+                        out,
+                        "spilled {} plan(s) + {} phase(s) to {}",
+                        saved.l1_entries,
+                        saved.l2_entries,
+                        pops_service::persist::topology_file_path(dir, topology.d(), topology.g())
+                            .display()
+                    );
+                }
             }
             Err(e) => {
-                let _ = writeln!(out, "cache spill to {} failed: {e}", path.display());
+                let _ = writeln!(out, "cache spill to {} failed: {e}", dir.display());
             }
         }
     }
-    let _ = write!(out, "{}", service.metrics());
+    // Per-topology traffic lines, then the fleet-wide aggregate.
+    for (topology, service) in router.services() {
+        let snap = service.metrics();
+        let _ = writeln!(
+            out,
+            "{topology}: {} request(s), {} hit(s), {} miss(es), {} error(s)",
+            snap.requests(),
+            snap.hits,
+            snap.misses,
+            snap.errors
+        );
+    }
+    let _ = write!(out, "{}", summary.metrics);
     Ok(out)
 }
 
@@ -619,9 +709,11 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
                 let count = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
                 let _ = writeln!(
                     out,
-                    "cache {action}: {} plan(s) + {} phase(s) at {addr}",
+                    "cache {action}: {} plan(s) + {} phase(s) at {addr} \
+                     ({} file(s) skipped)",
                     count("l1_entries"),
                     count("l2_entries"),
+                    count("skipped_files"),
                 );
             }
             _ => {
@@ -630,13 +722,29 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
         }
         return Ok(out);
     }
+    if let Some(path) = opts.get("batch-file") {
+        return request_batch_file(&mut client, addr, path);
+    }
 
     let info = client.info().map_err(|e| err(e.to_string()))?;
-    let t = PopsTopology::new(info.d, info.g);
-    let pi = spec::resolve(opts, info.d, info.g)?;
+    // --d/--g select a topology on a multi-topology server; absent flags
+    // fall back to the server's default shape, field by field.
+    let d = opts.usize_or("d", info.d)?;
+    let g = opts.usize_or("g", info.g)?;
+    if d == 0 || g == 0 {
+        return Err(err("--d and --g must be positive"));
+    }
+    // Same size cap as every other subcommand — without it, huge values
+    // would overflow-panic in PopsTopology::new or try to build a
+    // multi-GB permutation locally before the server could refuse.
+    if d.checked_mul(g).is_none_or(|n| n > 1 << 20) {
+        return Err(err("network too large (n > 2^20)"));
+    }
+    let t = PopsTopology::new(d, g);
+    let pi = spec::resolve(opts, d, g)?;
     let kind = opts.get("kind").unwrap_or("theorem2");
     let reply = client
-        .route_permutation(kind, &pi)
+        .route_permutation_on(kind, &pi, Some((d, g)))
         .map_err(|e| err(e.to_string()))?;
 
     // Referee: the returned schedule must execute and deliver locally.
@@ -649,8 +757,15 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{t} served by {addr} ({} shard(s), cache {})",
-        info.shards, info.cache_capacity
+        "{t} served by {addr} ({} shard(s), cache {}, {} topolog{} resident)",
+        info.shards,
+        info.cache_capacity,
+        info.topologies.len(),
+        if info.topologies.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
     );
     let _ = writeln!(
         out,
@@ -658,6 +773,118 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
         reply.slots,
         if reply.cache_hit { "hit" } else { "miss" },
         reply.micros
+    );
+    Ok(out)
+}
+
+/// `pops request --batch-file FILE`: reads a JSON-lines file — each
+/// non-empty line `{"perm":[...]}` with optional `"d"`/`"g"` shape fields
+/// — sends everything as **one** `{"op":"batch"}` request (schedules
+/// included), re-verifies every returned schedule on the local simulator
+/// referee for its own topology, and prints the summary.
+///
+/// ```text
+/// $ cat batch.jsonl
+/// {"perm":[15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0]}
+/// {"d":2,"g":8,"perm":[15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0]}
+/// $ pops request --addr 127.0.0.1:7077 --batch-file batch.jsonl
+/// batch of 2 item(s) served by 127.0.0.1:7077: 2 routed, 0 failed, ...
+/// ```
+fn request_batch_file(
+    client: &mut ServiceClient,
+    addr: &str,
+    path: &str,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read --batch-file {path}: {e}")))?;
+    let mut items = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| err(format!("{path}:{}: {e}", line_no + 1)))?;
+        let perm = doc
+            .get("perm")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| {
+                err(format!(
+                    "{path}:{}: needs an array field 'perm'",
+                    line_no + 1
+                ))
+            })?
+            .iter()
+            .map(|v| {
+                v.as_usize().ok_or_else(|| {
+                    err(format!(
+                        "{path}:{}: 'perm' entries must be integers",
+                        line_no + 1
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pi = pops_permutation::Permutation::new(perm)
+            .map_err(|e| err(format!("{path}:{}: {e}", line_no + 1)))?;
+        let shape = match (
+            doc.get("d").and_then(Json::as_usize),
+            doc.get("g").and_then(Json::as_usize),
+        ) {
+            (None, None) => None,
+            (Some(d), Some(g)) => Some((d, g)),
+            _ => {
+                return Err(err(format!(
+                    "{path}:{}: give both 'd' and 'g', or neither",
+                    line_no + 1
+                )))
+            }
+        };
+        items.push(BatchItem { pi, shape });
+    }
+    if items.is_empty() {
+        return Err(err(format!("--batch-file {path} holds no items")));
+    }
+    // Ask for schedule bodies so every item can be refereed locally.
+    let reply = client.batch(&items, true).map_err(|e| err(e.to_string()))?;
+
+    let mut out = String::new();
+    let mut verified = 0usize;
+    for (index, (item, result)) in items.iter().zip(&reply.items).enumerate() {
+        match result {
+            Err(e) => {
+                let _ = writeln!(out, "item {index} failed ({}): {}", e.kind, e.message);
+            }
+            Ok(routed) => {
+                let t = PopsTopology::new(routed.d, routed.g);
+                let mut sim = Simulator::with_unit_packets(t);
+                sim.execute_schedule(&routed.schedule)
+                    .map_err(|(slot, e)| {
+                        err(format!(
+                            "item {index}: returned schedule illegal at slot {slot}: {e}"
+                        ))
+                    })?;
+                sim.verify_delivery(item.pi.as_slice()).map_err(|e| {
+                    err(format!("item {index}: returned schedule misdelivers: {e}"))
+                })?;
+                verified += 1;
+            }
+        }
+    }
+    let s = &reply.summary;
+    let _ = writeln!(
+        out,
+        "batch of {} item(s) served by {addr}: {} routed, {} failed, {} slot(s), \
+         {} topolog{}, {} µs server-side",
+        s.items,
+        s.routed,
+        s.failed,
+        s.slots,
+        s.topologies.len(),
+        if s.topologies.len() == 1 { "y" } else { "ies" },
+        s.micros,
+    );
+    let _ = writeln!(
+        out,
+        "verified {verified} returned schedule(s) on the simulator referee"
     );
     Ok(out)
 }
@@ -1113,6 +1340,36 @@ mod tests {
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-conns", "0"]).is_err());
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--read-timeout-ms", "x"]).is_err());
         assert!(run_words(&["serve", "--d", "2", "--g", "2", "--cache-shards", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--max-batch-items", "0"]).is_err());
+        assert!(run_words(&[
+            "serve",
+            "--d",
+            "2",
+            "--g",
+            "2",
+            "--max-batch-topologies",
+            "0"
+        ])
+        .is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--topology", "x"]).is_err());
+        // The default + 2 distinct pre-warms cannot fit 2 slots; repeats
+        // of the same pre-warm are deduped and do fit.
+        assert!(run_words(&[
+            "serve",
+            "--d",
+            "2",
+            "--g",
+            "2",
+            "--topology",
+            "2x4",
+            "--topology",
+            "4x2",
+            "--max-topologies",
+            "2",
+        ])
+        .unwrap_err()
+        .0
+        .contains("--max-topologies"));
     }
 
     #[test]

@@ -8,11 +8,18 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Parsed command line: the subcommand and its `--key [value]` options.
+///
+/// Options are **repeatable**: every occurrence is kept in order.
+/// Single-valued accessors ([`Opts::get`] and the typed helpers) read the
+/// *last* occurrence — later flags override earlier ones, the
+/// conventional CLI behaviour — while list-valued options
+/// (`pops serve --topology 4x4 --topology 2x8`) read them all via
+/// [`Opts::get_all`].
 #[derive(Debug, Clone, Default)]
 pub struct Opts {
     /// The subcommand (first positional argument).
     pub command: String,
-    options: BTreeMap<String, String>,
+    options: BTreeMap<String, Vec<String>>,
 }
 
 /// A command-line error with a user-facing message.
@@ -51,16 +58,27 @@ impl Opts {
                 Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
                 _ => String::from("true"),
             };
-            if options.insert(key.to_string(), value).is_some() {
-                return Err(err(format!("option --{key} given twice")));
-            }
+            options
+                .entry(key.to_string())
+                .or_insert_with(Vec::new)
+                .push(value);
         }
         Ok(Self { command, options })
     }
 
-    /// The raw value of `--key`, if present.
+    /// The raw value of `--key`, if present (the last occurrence when the
+    /// option was repeated).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options
+            .get(key)
+            .and_then(|values| values.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of `--key`, in command-line order (empty if the
+    /// option was never given).
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.options.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// A required `usize` option.
@@ -145,8 +163,24 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_option_rejected() {
-        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+    fn repeated_options_accumulate_and_last_wins() {
+        let o = parse(&[
+            "serve",
+            "--topology",
+            "4x4",
+            "--topology",
+            "2x8",
+            "--a",
+            "1",
+        ])
+        .unwrap();
+        assert_eq!(o.get_all("topology"), ["4x4", "2x8"]);
+        assert_eq!(o.get("topology"), Some("2x8"), "single read sees the last");
+        assert_eq!(o.get_all("a"), ["1"]);
+        assert!(o.get_all("missing").is_empty());
+        // Typed accessors read the last occurrence too.
+        let o = parse(&["x", "--n", "3", "--n", "7"]).unwrap();
+        assert_eq!(o.usize_req("n").unwrap(), 7);
     }
 
     #[test]

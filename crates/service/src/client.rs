@@ -86,18 +86,82 @@ impl From<std::io::Error> for ClientError {
 }
 
 /// The serving topology and shape, from the `info` op.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerInfo {
-    /// Processors per group.
+    /// Processors per group of the **default** topology.
     pub d: usize,
-    /// Number of groups.
+    /// Number of groups of the default topology.
     pub g: usize,
-    /// Total processors.
+    /// Total processors of the default topology.
     pub n: usize,
-    /// Engine-pool shards.
+    /// Engine-pool shards (of the default topology's service).
     pub shards: usize,
-    /// Plan-cache capacity.
+    /// Plan-cache capacity (of the default topology's service).
     pub cache_capacity: usize,
+    /// Every topology currently resident on the server.
+    pub topologies: Vec<(usize, usize)>,
+    /// The server's topology residency bound.
+    pub max_topologies: usize,
+}
+
+/// One item of a wire-level batch ([`ServiceClient::batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The permutation to route.
+    pub pi: Permutation,
+    /// The `(d, g)` topology to route it on; `None` uses the server's
+    /// default topology.
+    pub shape: Option<(usize, usize)>,
+}
+
+/// One successfully routed batch item.
+#[derive(Debug, Clone)]
+pub struct BatchItemReply {
+    /// Processors per group of the topology that served this item.
+    pub d: usize,
+    /// Number of groups of the topology that served this item.
+    pub g: usize,
+    /// Slot count of the schedule.
+    pub slots: usize,
+    /// The schedule itself (empty unless the batch asked for schedules).
+    pub schedule: Schedule,
+}
+
+/// A per-item failure inside an otherwise-delivered batch.
+#[derive(Debug, Clone)]
+pub struct BatchItemError {
+    /// Machine-readable failure category (a
+    /// [`crate::proto::WireErrorKind`] wire name).
+    pub kind: String,
+    /// Human-facing message.
+    pub message: String,
+}
+
+/// The trailing summary line of a batch response.
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// Items the batch carried.
+    pub items: usize,
+    /// Items routed successfully.
+    pub routed: usize,
+    /// Items answered with per-item errors.
+    pub failed: usize,
+    /// Total slots across routed items.
+    pub slots: usize,
+    /// Server-side service time in microseconds.
+    pub micros: u64,
+    /// The distinct `(d, g)` topologies the batch touched.
+    pub topologies: Vec<(usize, usize)>,
+}
+
+/// A decoded batch exchange: per-item results in input order, then the
+/// summary.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// One result per submitted item, in the order they were sent.
+    pub items: Vec<Result<BatchItemReply, BatchItemError>>,
+    /// The summary line.
+    pub summary: BatchSummary,
 }
 
 /// A served route, from the `route` op.
@@ -196,19 +260,37 @@ impl ServiceClient {
         self.writer.set_write_timeout(timeout)
     }
 
-    /// Sends one raw request line and parses the response line, mapping
-    /// `{"ok":false}` responses to [`ClientError::Remote`]. A clean EOF
-    /// before any response byte is [`ClientError::Disconnected`]; a line
-    /// cut off mid-way is [`ClientError::Truncated`]. Timeouts,
-    /// truncation, and I/O errors poison the connection (see the type
-    /// docs); later calls fail with [`ClientError::Poisoned`].
-    pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+    /// Sets `TCP_NODELAY` on the connection — latency-sensitive callers
+    /// (one small request line per round trip) pair this with a
+    /// `--nodelay` server.
+    pub fn set_nodelay(&mut self, nodelay: bool) -> std::io::Result<()> {
+        self.writer.set_nodelay(nodelay)
+    }
+
+    /// Sends one raw request line without reading anything back —
+    /// multi-line exchanges (the batch op) pair this with
+    /// [`ServiceClient::read_doc`] once per expected line.
+    fn write_line(&mut self, line: &str) -> Result<(), ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let sent = (|| -> Result<(), ClientError> {
+            writeln!(self.writer, "{line}")?;
+            self.writer.flush()?;
+            Ok(())
+        })();
+        sent.inspect_err(|_| self.poisoned = true)
+    }
+
+    /// Reads and parses one response line. A clean EOF before any byte is
+    /// [`ClientError::Disconnected`]; a line cut off mid-way is
+    /// [`ClientError::Truncated`]. Timeouts, truncation, and I/O errors
+    /// poison the connection (see the type docs).
+    fn read_doc(&mut self) -> Result<Json, ClientError> {
         if self.poisoned {
             return Err(ClientError::Poisoned);
         }
         let exchange = |this: &mut Self| -> Result<String, ClientError> {
-            writeln!(this.writer, "{line}")?;
-            this.writer.flush()?;
             let mut response = String::new();
             let read = this.reader.read_line(&mut response)?;
             if read == 0 {
@@ -224,8 +306,11 @@ impl ServiceClient {
             // so the stream can no longer be re-synchronised.
             self.poisoned = !matches!(e, ClientError::Disconnected);
         })?;
-        let doc =
-            Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Json::parse(response.trim_end()).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Maps a `{"ok":false,...}` document to [`ClientError::Remote`].
+    fn check_ok(doc: Json) -> Result<Json, ClientError> {
         match doc.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(doc),
             Some(false) => Err(ClientError::Remote {
@@ -244,6 +329,18 @@ impl ServiceClient {
                 "response is missing the 'ok' field".into(),
             )),
         }
+    }
+
+    /// Sends one raw request line and parses the response line, mapping
+    /// `{"ok":false}` responses to [`ClientError::Remote`]. A clean EOF
+    /// before any response byte is [`ClientError::Disconnected`]; a line
+    /// cut off mid-way is [`ClientError::Truncated`]. Timeouts,
+    /// truncation, and I/O errors poison the connection (see the type
+    /// docs); later calls fail with [`ClientError::Poisoned`].
+    pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.write_line(line)?;
+        let doc = self.read_doc()?;
+        Self::check_ok(doc)
     }
 
     /// Sends one request document.
@@ -271,7 +368,33 @@ impl ServiceClient {
             n: field("n")?,
             shards: field("shards")?,
             cache_capacity: field("cache_capacity")?,
+            topologies: Self::decode_shapes(&doc)?,
+            max_topologies: doc
+                .get("max_topologies")
+                .and_then(Json::as_usize)
+                .unwrap_or(1),
         })
+    }
+
+    /// Decodes a `"topologies":[[d,g],...]` field (absent → empty). The
+    /// one decoder both `info` and the batch summary use, so malformed
+    /// entries fail loudly everywhere instead of being dropped in one
+    /// path and erroring in the other.
+    fn decode_shapes(doc: &Json) -> Result<Vec<(usize, usize)>, ClientError> {
+        let mut topologies = Vec::new();
+        if let Some(shapes) = doc.get("topologies").and_then(Json::as_arr) {
+            for shape in shapes {
+                let pair = shape
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .and_then(|p| Some((p[0].as_usize()?, p[1].as_usize()?)))
+                    .ok_or_else(|| {
+                        ClientError::Protocol("'topologies' entries must be [d, g]".into())
+                    })?;
+                topologies.push(pair);
+            }
+        }
+        Ok(topologies)
     }
 
     /// Fetches the raw metrics snapshot document.
@@ -297,19 +420,35 @@ impl ServiceClient {
     }
 
     /// Routes `pi` with the given request kind (a [`crate::RequestKind`]
-    /// wire name) and decodes the reply.
+    /// wire name) on the server's default topology and decodes the reply.
     pub fn route_permutation(
         &mut self,
         kind: &str,
         pi: &Permutation,
     ) -> Result<RouteReply, ClientError> {
+        self.route_permutation_on(kind, pi, None)
+    }
+
+    /// Routes `pi` on an explicit `(d, g)` topology — on a multi-topology
+    /// server the shape *selects* (and may lazily construct) the serving
+    /// backend; `None` uses the server's default.
+    pub fn route_permutation_on(
+        &mut self,
+        kind: &str,
+        pi: &Permutation,
+        shape: Option<(usize, usize)>,
+    ) -> Result<RouteReply, ClientError> {
         let perm = Json::Arr(pi.as_slice().iter().map(|&v| Json::num(v)).collect());
-        let request = Json::Obj(vec![
+        let mut fields = vec![
             ("op".into(), Json::str("route")),
             ("kind".into(), Json::str(kind)),
-            ("perm".into(), perm),
-        ]);
-        let doc = self.call(&request)?;
+        ];
+        if let Some((d, g)) = shape {
+            fields.push(("d".into(), Json::num(d)));
+            fields.push(("g".into(), Json::num(g)));
+        }
+        fields.push(("perm".into(), perm));
+        let doc = self.call(&Json::Obj(fields))?;
         Self::decode_route(&doc)
     }
 
@@ -331,6 +470,167 @@ impl ServiceClient {
         ]);
         let doc = self.call(&request)?;
         Self::decode_route(&doc)
+    }
+
+    /// Sends one `{"op":"batch"}` request carrying `items` (optionally
+    /// mixed-topology) and reads the streamed response: one line per item
+    /// in input order, then the summary line. Per-item failures come back
+    /// as `Err` entries in [`BatchReply::items`]; only transport problems
+    /// and whole-batch rejections (e.g. the server's batch-size cap) fail
+    /// the call itself.
+    ///
+    /// ```no_run
+    /// use pops_permutation::families::vector_reversal;
+    /// use pops_service::{BatchItem, ServiceClient};
+    ///
+    /// let mut client = ServiceClient::connect("127.0.0.1:7077")?;
+    /// let reply = client.batch(
+    ///     &[
+    ///         BatchItem { pi: vector_reversal(16), shape: None },           // server default
+    ///         BatchItem { pi: vector_reversal(16), shape: Some((2, 8)) },   // another shape
+    ///     ],
+    ///     false, // no schedule bodies — slot counts and the summary only
+    /// )?;
+    /// assert_eq!(reply.items.len(), 2);
+    /// println!(
+    ///     "routed {} of {} items, {} slots total, {} topologies",
+    ///     reply.summary.routed,
+    ///     reply.summary.items,
+    ///     reply.summary.slots,
+    ///     reply.summary.topologies.len(),
+    /// );
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn batch(
+        &mut self,
+        items: &[BatchItem],
+        want_schedule: bool,
+    ) -> Result<BatchReply, ClientError> {
+        let encoded: Vec<Json> = items
+            .iter()
+            .map(|item| {
+                let mut fields = Vec::with_capacity(3);
+                if let Some((d, g)) = item.shape {
+                    fields.push(("d".into(), Json::num(d)));
+                    fields.push(("g".into(), Json::num(g)));
+                }
+                fields.push((
+                    "perm".into(),
+                    Json::Arr(item.pi.as_slice().iter().map(|&v| Json::num(v)).collect()),
+                ));
+                Json::Obj(fields)
+            })
+            .collect();
+        let request = Json::Obj(vec![
+            ("op".into(), Json::str("batch")),
+            ("items".into(), Json::Arr(encoded)),
+            ("want_schedule".into(), Json::Bool(want_schedule)),
+        ]);
+        self.write_line(&request.to_string())?;
+        let reply = self.read_batch_stream(items.len());
+        if matches!(&reply, Err(ClientError::Protocol(_))) {
+            // A malformed or out-of-order line mid-stream leaves an
+            // unknown number of batch lines unread on the socket; later
+            // replies could no longer be matched to requests.
+            self.poisoned = true;
+        }
+        reply
+    }
+
+    /// Reads one batch response stream: item lines until the summary.
+    fn read_batch_stream(&mut self, expected: usize) -> Result<BatchReply, ClientError> {
+        let mut replies: Vec<Result<BatchItemReply, BatchItemError>> = Vec::new();
+        loop {
+            let doc = self.read_doc()?;
+            match doc.get("op").and_then(Json::as_str) {
+                Some("batch-item") => {
+                    let index = doc
+                        .get("index")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| ClientError::Protocol("item lacks 'index'".into()))?;
+                    if index != replies.len() || index >= expected {
+                        return Err(ClientError::Protocol(format!(
+                            "item {index} arrived out of order (expected {})",
+                            replies.len()
+                        )));
+                    }
+                    replies.push(Self::decode_batch_item(&doc)?);
+                }
+                Some("batch") => {
+                    // The summary terminates the stream; it is only valid
+                    // once every submitted item has been answered.
+                    Self::check_ok(doc.clone())?;
+                    if replies.len() != expected {
+                        return Err(ClientError::Protocol(format!(
+                            "summary after {} of {expected} items",
+                            replies.len(),
+                        )));
+                    }
+                    return Ok(BatchReply {
+                        items: replies,
+                        summary: Self::decode_batch_summary(&doc)?,
+                    });
+                }
+                _ => {
+                    // A whole-batch rejection (size cap, parse problem)
+                    // is a single plain error line.
+                    Self::check_ok(doc)?;
+                    return Err(ClientError::Protocol(
+                        "unexpected response line inside a batch exchange".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn decode_batch_item(
+        doc: &Json,
+    ) -> Result<Result<BatchItemReply, BatchItemError>, ClientError> {
+        if doc.get("ok").and_then(Json::as_bool) == Some(false) {
+            return Ok(Err(BatchItemError {
+                kind: doc
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("error")
+                    .to_string(),
+                message: doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified failure")
+                    .to_string(),
+            }));
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("batch item lacks '{name}'")))
+        };
+        let schedule = match doc.get("schedule") {
+            Some(body) => schedule_from_json(body).map_err(ClientError::Protocol)?,
+            None => Schedule::new(),
+        };
+        Ok(Ok(BatchItemReply {
+            d: field("d")?,
+            g: field("g")?,
+            slots: field("slots")?,
+            schedule,
+        }))
+    }
+
+    fn decode_batch_summary(doc: &Json) -> Result<BatchSummary, ClientError> {
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ClientError::Protocol(format!("batch summary lacks '{name}'")))
+        };
+        Ok(BatchSummary {
+            items: field("items")?,
+            routed: field("routed")?,
+            failed: field("failed")?,
+            slots: field("slots")?,
+            micros: doc.get("micros").and_then(Json::as_u64).unwrap_or(0),
+            topologies: Self::decode_shapes(doc)?,
+        })
     }
 
     fn decode_route(doc: &Json) -> Result<RouteReply, ClientError> {

@@ -20,8 +20,9 @@
 //! | [`cache`] | [`ShardedPlanCache`]: two-level canonical-key LRU (whole requests + per-phase plans), key-hashed lock shards |
 //! | [`persist`] | cache spill/restore — the stable on-disk byte format behind `--cache-dir` |
 //! | [`service`] | [`RoutingService`]: admission → cache L1/L2 → pool → metrics |
+//! | [`router`] | [`TopologyRouter`]: `(d, g)` → lazily-built `RoutingService`, LRU-bounded — one daemon, many topologies |
 //! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms, L1 vs L2 hit accounting |
-//! | [`json`], [`proto`] | dependency-free JSON and the wire protocol |
+//! | [`json`], [`proto`] | dependency-free JSON and the wire protocol (per-request topology selection, the `batch` op) |
 //! | [`server`], [`client`] | TCP/JSON-lines front door (`pops serve` / `pops request`) |
 //!
 //! # Quickstart
@@ -47,17 +48,22 @@ pub mod metrics;
 pub mod persist;
 pub mod pool;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use cache::{
     canonical_key, phase_key, CachedOutcome, CachedPhase, PlanCache, ShardedPlanCache,
 };
-pub use client::{ClientError, RouteReply, ServerInfo, ServiceClient};
+pub use client::{
+    BatchItem, BatchItemError, BatchItemReply, BatchReply, BatchSummary, ClientError, RouteReply,
+    ServerInfo, ServiceClient,
+};
 pub use json::{Json, JsonError, MAX_DEPTH};
 pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics};
 pub use persist::{PersistError, PersistSummary};
 pub use pool::EnginePool;
 pub use proto::WireErrorKind;
-pub use server::{serve, serve_with_config, ServerConfig, ServerSummary};
+pub use router::{DirLoadReport, RouterError, RouterStats, TopologyRouter, TopologyRouterConfig};
+pub use server::{serve, serve_router, serve_with_config, ServerConfig, ServerSummary};
 pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};

@@ -385,6 +385,67 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// A zeroed snapshot — the identity of [`MetricsSnapshot::absorb`].
+    pub fn zero() -> Self {
+        ServiceMetrics::new().snapshot()
+    }
+
+    /// Adds every counter (and gauge) of `other` into `self`.
+    ///
+    /// The multi-topology server keeps one metrics registry **per
+    /// topology** plus one for the connection layer; absorbing them into a
+    /// zero snapshot renders the single fleet-wide view the `stats` wire
+    /// op reports at its top level. Gauges (arena bytes, cache occupancy
+    /// and capacity) sum too, so the aggregate reads as fleet totals.
+    ///
+    /// ```
+    /// use pops_service::{MetricsSnapshot, RequestKind, ServiceMetrics};
+    ///
+    /// let a = ServiceMetrics::new();
+    /// a.record_miss(RequestKind::Theorem2, 2, 10);
+    /// let b = ServiceMetrics::new();
+    /// b.record_hit(RequestKind::Theorem2, 1);
+    ///
+    /// let mut total = MetricsSnapshot::zero();
+    /// total.absorb(&a.snapshot());
+    /// total.absorb(&b.snapshot());
+    /// assert_eq!((total.hits, total.misses), (1, 1));
+    /// assert_eq!(total.per_kind[0].requests, 2);
+    /// ```
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.phase_hits += other.phase_hits;
+        self.phase_misses += other.phase_misses;
+        self.slots_emitted += other.slots_emitted;
+        self.errors += other.errors;
+        self.pool_fast += other.pool_fast;
+        self.pool_overflows += other.pool_overflows;
+        self.pool_blocked += other.pool_blocked;
+        self.admission_waits += other.admission_waits;
+        self.batches += other.batches;
+        self.batch_plans += other.batch_plans;
+        self.conns_opened += other.conns_opened;
+        self.conns_closed += other.conns_closed;
+        self.conns_rejected += other.conns_rejected;
+        self.oversized_lines += other.oversized_lines;
+        self.read_timeouts += other.read_timeouts;
+        self.arena_bytes += other.arena_bytes;
+        self.cache_entries += other.cache_entries;
+        self.cache_capacity += other.cache_capacity;
+        self.phase_cache_entries += other.phase_cache_entries;
+        self.phase_cache_capacity += other.phase_cache_capacity;
+        for (mine, theirs) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            debug_assert_eq!(mine.kind, theirs.kind);
+            mine.requests += theirs.requests;
+            mine.errors += theirs.errors;
+            mine.total_micros += theirs.total_micros;
+            for (bucket, add) in mine.latency.iter_mut().zip(&theirs.latency) {
+                *bucket += add;
+            }
+        }
+    }
+
     /// Level-1 cache hit rate over single-request traffic (0 when idle).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -590,6 +651,31 @@ mod tests {
         k.latency[10] = 1; // one slow outlier
         assert_eq!(k.quantile_micros(0.5), 8);
         assert_eq!(k.quantile_micros(0.999), 1024);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_histograms() {
+        let a = ServiceMetrics::new();
+        a.record_miss(RequestKind::Theorem2, 2, 100);
+        a.record_phase_miss();
+        a.record_connection_opened();
+        let b = ServiceMetrics::new();
+        b.record_hit(RequestKind::Theorem2, 100);
+        b.record_error(RequestKind::HRelation);
+        b.record_phase_hit();
+
+        let mut total = MetricsSnapshot::zero();
+        total.absorb(&a.snapshot());
+        total.absorb(&b.snapshot());
+        assert_eq!((total.hits, total.misses), (1, 1));
+        assert_eq!((total.phase_hits, total.phase_misses), (1, 1));
+        assert_eq!(total.errors, 1);
+        assert_eq!(total.conns_opened, 1);
+        assert_eq!(total.per_kind[0].requests, 2);
+        assert_eq!(total.per_kind[2].errors, 1);
+        // Both 100 µs observations land in the same histogram bucket.
+        let bucket = (u64::BITS - 100u64.leading_zeros()) as usize;
+        assert_eq!(total.per_kind[0].latency[bucket], 2);
     }
 
     #[test]

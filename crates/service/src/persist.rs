@@ -245,8 +245,73 @@ pub fn decode_cache_file(
 }
 
 /// The cache-file path under a `--cache-dir`.
+///
+/// This is the **legacy single-topology** name (pre-multi-topology
+/// servers wrote exactly one file). Multi-topology servers write one file
+/// per topology ([`topology_file_path`]); loaders should scan the
+/// directory ([`scan_cache_dir`]) and match files by their *stamped*
+/// topology, not by name, so both layouts restore.
 pub fn cache_file_path(dir: &Path) -> std::path::PathBuf {
     dir.join(CACHE_FILE_NAME)
+}
+
+/// The per-topology cache-file name, e.g. `plans-4x4.popscache` for
+/// POPS(4, 4).
+pub fn topology_file_name(d: usize, g: usize) -> String {
+    format!("plans-{d}x{g}.popscache")
+}
+
+/// The per-topology cache-file path under a `--cache-dir`.
+pub fn topology_file_path(dir: &Path, d: usize, g: usize) -> std::path::PathBuf {
+    dir.join(topology_file_name(d, g))
+}
+
+/// Reads the `(d, g)` topology stamp out of a cache file's header without
+/// decoding (or checksumming) the body — how a directory scan decides
+/// which registered topology a file belongs to. Full validation still
+/// happens at load time.
+pub fn peek_topology(bytes: &[u8]) -> Result<(usize, usize), PersistError> {
+    if bytes.len() < CACHE_MAGIC.len() + 8 || &bytes[..CACHE_MAGIC.len()] != CACHE_MAGIC {
+        return bail("bad magic (not a POPSCACHE1 file)");
+    }
+    let mut cur = Cursor {
+        bytes,
+        at: CACHE_MAGIC.len(),
+    };
+    Ok((cur.u32()? as usize, cur.u32()? as usize))
+}
+
+/// Every `*.popscache` file in `dir` with the topology its header stamps,
+/// sorted by file name for deterministic load order. Files whose header
+/// does not parse are reported with the error instead of being dropped
+/// silently — the caller decides whether to warn or fail.
+#[allow(clippy::type_complexity)]
+pub fn scan_cache_dir(
+    dir: &Path,
+) -> std::io::Result<Vec<(std::path::PathBuf, Result<(usize, usize), PersistError>)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("popscache") {
+            continue;
+        }
+        // Only the fixed-size header is read here — the full file (which
+        // can be many MBs) is read once, at load time, by whoever decides
+        // this topology matches.
+        let mut header = [0u8; CACHE_MAGIC.len() + 8];
+        let peeked = match std::fs::File::open(&path)
+            .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut header))
+        {
+            Ok(()) => peek_topology(&header),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                bail("truncated (shorter than the header)")
+            }
+            Err(e) => Err(PersistError(format!("unreadable: {e}"))),
+        };
+        found.push((path, peeked));
+    }
+    found.sort_by(|(a, _), (b, _)| a.cmp(b));
+    Ok(found)
 }
 
 #[cfg(test)]
@@ -342,6 +407,59 @@ mod tests {
         bytes.extend_from_slice(&checksum.to_le_bytes());
         let err = decode_cache_file(&bytes, 4, 4).unwrap_err();
         assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn peek_reads_the_topology_stamp_without_decoding() {
+        let bytes = encode_cache_file(6, 3, &[(key_of(b"k"), sample_schedule())], &[]);
+        assert_eq!(peek_topology(&bytes).unwrap(), (6, 3));
+        // Peek works even when the body is corrupt (checksum broken)...
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert_eq!(peek_topology(&corrupt).unwrap(), (6, 3));
+        // ...but not when the header itself is damaged or missing.
+        assert!(peek_topology(b"not a cache file").is_err());
+        assert!(peek_topology(&bytes[..CACHE_MAGIC.len() + 3]).is_err());
+    }
+
+    #[test]
+    fn scan_finds_popscache_files_and_flags_garbage() {
+        let dir = std::env::temp_dir().join(format!(
+            "pops-persist-scan-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(topology_file_name(4, 4)),
+            encode_cache_file(4, 4, &[], &[]),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join(topology_file_name(2, 8)),
+            encode_cache_file(2, 8, &[], &[]),
+        )
+        .unwrap();
+        std::fs::write(dir.join("junk.popscache"), b"garbage").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"ignored").unwrap();
+
+        let scanned = scan_cache_dir(&dir).unwrap();
+        assert_eq!(scanned.len(), 3, "only .popscache files are scanned");
+        let shape_of = |name: &str| {
+            scanned
+                .iter()
+                .find(|(p, _)| p.file_name().unwrap().to_str() == Some(name))
+                .map(|(_, r)| r.clone())
+                .unwrap()
+        };
+        assert_eq!(shape_of("plans-4x4.popscache"), Ok((4, 4)));
+        assert_eq!(shape_of("plans-2x8.popscache"), Ok((2, 8)));
+        assert!(shape_of("junk.popscache").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

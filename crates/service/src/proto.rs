@@ -19,14 +19,24 @@
 //! The full spec, with framing rules and copy-pasteable examples, is
 //! `docs/PROTOCOL.md` at the repository root.
 //!
-//! Route requests may carry `"d"`/`"g"`; when present they must match the
-//! serving topology (a POPS(2, 8) request must not be answered by a
-//! POPS(4, 4) server even though both have n = 16). `"want_schedule":
-//! false` suppresses the schedule body for callers that only need the
-//! slot count. Responses always carry `"ok"`; failures are
+//! Route and batch requests may carry `"d"`/`"g"`: on a multi-topology
+//! server these **select** the serving backend (constructed lazily by
+//! the [`crate::TopologyRouter`]); absent fields fall back to the
+//! server's default topology, field by field. A shape the server cannot
+//! admit is refused with a `topology-limit` or `bad-request` error — a
+//! POPS(2, 8) request is never answered by a POPS(4, 4) backend even
+//! though both have n = 16. `"want_schedule": false` suppresses the
+//! schedule body for callers that only need the slot count.
+//!
+//! `{"op":"batch","items":[...]}` carries N permutations (optionally
+//! mixed-topology) and is answered with **N + 1 lines**: one
+//! `"op":"batch-item"` line per item in input order, then one
+//! `"op":"batch"` summary line.
+//!
+//! Responses always carry `"ok"`; failures are
 //! `{"ok":false,"kind":"...","error":"..."}` where `kind` is a machine-
 //! readable [`WireErrorKind`] category (`parse`, `bad-request`,
-//! `too-large`, `timeout`, `unavailable`, `routing`).
+//! `too-large`, `timeout`, `unavailable`, `routing`, `topology-limit`).
 
 use pops_core::HRelation;
 use pops_network::{FaultSet, PopsTopology, Schedule, SlotFrame, Transmission};
@@ -34,6 +44,7 @@ use pops_permutation::Permutation;
 
 use crate::json::Json;
 use crate::metrics::{MetricsSnapshot, RequestKind};
+use crate::router::RouterStats;
 use crate::service::{ServiceReply, ServiceRequest};
 
 /// Machine-readable failure category carried in every error response's
@@ -54,6 +65,9 @@ pub enum WireErrorKind {
     Unavailable,
     /// Routing itself failed (e.g. not single-slot routable).
     Routing,
+    /// The requested `(d, g)` shape could not be admitted: the topology
+    /// registry is full and every resident topology is pinned.
+    TopologyLimit,
 }
 
 impl WireErrorKind {
@@ -66,6 +80,7 @@ impl WireErrorKind {
             WireErrorKind::Timeout => "timeout",
             WireErrorKind::Unavailable => "unavailable",
             WireErrorKind::Routing => "routing",
+            WireErrorKind::TopologyLimit => "topology-limit",
         }
     }
 }
@@ -125,6 +140,31 @@ pub enum WireRequest {
         /// Whether the response should carry the schedule body.
         want_schedule: bool,
     },
+    /// A wire-level batch: N permutations, optionally mixed-topology.
+    Batch {
+        /// The items, in input order.
+        items: Vec<BatchItemRequest>,
+        /// Whether each item response should carry the schedule body
+        /// (default **false** for batches — the summary and slot counts
+        /// are usually what bulk callers want).
+        want_schedule: bool,
+    },
+}
+
+/// One parsed item of a `{"op":"batch"}` request. The shape is already
+/// resolved against the server's default topology (absent `d`/`g` fields
+/// fall back field by field), so the dispatcher can group items by
+/// `(d, g)` directly. A per-item parse problem is carried in `perm` and
+/// answered with a per-item error line — one bad item does not poison
+/// its siblings.
+#[derive(Debug, Clone)]
+pub struct BatchItemRequest {
+    /// Processors per group of the item's topology.
+    pub d: usize,
+    /// Number of groups of the item's topology.
+    pub g: usize,
+    /// The permutation to route, or why this item cannot be routed.
+    pub perm: Result<Permutation, String>,
 }
 
 /// Parses one request document against the serving `topology`.
@@ -145,8 +185,84 @@ pub fn parse_request(doc: &Json, topology: &PopsTopology) -> Result<WireRequest,
             Ok(WireRequest::Cache { action })
         }
         "route" => parse_route(doc, topology),
+        "batch" => parse_batch(doc, topology),
         other => Err(format!("unknown op '{other}'")),
     }
+}
+
+/// The `(d, g)` a request document selects, falling back to `default`
+/// **field by field** (a request carrying only `"d"` keeps the default
+/// `g`). Ill-typed fields are a request-level error. The multi-topology
+/// server resolves this *before* parsing the body, so the right backend's
+/// topology is in hand for size validation.
+pub fn requested_shape(doc: &Json, default: &PopsTopology) -> Result<(usize, usize), String> {
+    let field = |name: &str, fallback: usize| match doc.get(name) {
+        None => Ok(fallback),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("field '{name}' must be a non-negative integer")),
+    };
+    Ok((field("d", default.d())?, field("g", default.g())?))
+}
+
+/// Parses a `{"op":"batch"}` document. Top-level problems (missing or
+/// empty `items`) are request-level errors; per-item problems are carried
+/// inside each [`BatchItemRequest`] and answered line by line.
+fn parse_batch(doc: &Json, default: &PopsTopology) -> Result<WireRequest, String> {
+    let items = doc
+        .get("items")
+        .and_then(Json::as_arr)
+        .ok_or("batch request needs an array field 'items'")?;
+    if items.is_empty() {
+        return Err("batch 'items' must not be empty".into());
+    }
+    let want_schedule = doc
+        .get("want_schedule")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    Ok(WireRequest::Batch {
+        items: items
+            .iter()
+            .map(|item| parse_batch_item(item, default))
+            .collect(),
+        want_schedule,
+    })
+}
+
+fn parse_batch_item(item: &Json, default: &PopsTopology) -> BatchItemRequest {
+    let (d, g) = match requested_shape(item, default) {
+        Ok(shape) => shape,
+        Err(e) => {
+            return BatchItemRequest {
+                d: default.d(),
+                g: default.g(),
+                perm: Err(e),
+            }
+        }
+    };
+    let perm = (|| {
+        let arr = item
+            .get("perm")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "batch item needs an array field 'perm'".to_string())?;
+        let image = arr
+            .iter()
+            .map(|v| {
+                v.as_usize()
+                    .ok_or_else(|| "'perm' entries must be integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pi = Permutation::new(image).map_err(|e| e.to_string())?;
+        match d.checked_mul(g) {
+            Some(n) if n == pi.len() => Ok(pi),
+            _ => Err(format!(
+                "item permutation has length {}, POPS({d}, {g}) needs {}",
+                pi.len(),
+                d.saturating_mul(g)
+            )),
+        }
+    })();
+    BatchItemRequest { d, g, perm }
 }
 
 fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, String> {
@@ -241,8 +357,15 @@ pub fn pong_response() -> Json {
     ])
 }
 
-/// The `info` response: serving topology and service shape.
-pub fn info_response(topology: &PopsTopology, shards: usize, cache_capacity: usize) -> Json {
+/// The `info` response: default serving topology, service shape, and the
+/// topology registry (resident shapes and the residency bound).
+pub fn info_response(
+    topology: &PopsTopology,
+    shards: usize,
+    cache_capacity: usize,
+    topologies: &[(usize, usize)],
+    max_topologies: usize,
+) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("op".into(), Json::str("info")),
@@ -252,29 +375,73 @@ pub fn info_response(topology: &PopsTopology, shards: usize, cache_capacity: usi
         ("couplers".into(), Json::num(topology.coupler_count())),
         ("shards".into(), Json::num(shards)),
         ("cache_capacity".into(), Json::num(cache_capacity)),
+        ("topologies".into(), shapes_json(topologies)),
+        ("max_topologies".into(), Json::num(max_topologies)),
     ])
 }
 
-/// The `stats` response: a flattened metrics snapshot.
-pub fn stats_response(snap: &MetricsSnapshot) -> Json {
-    let kinds = snap
-        .per_kind
+/// `[[d, g], ...]` — the shape-list encoding shared by `info`, the batch
+/// summary, and the stats `topologies` section.
+fn shapes_json(shapes: &[(usize, usize)]) -> Json {
+    Json::Arr(
+        shapes
+            .iter()
+            .map(|&(d, g)| Json::Arr(vec![Json::num(d), Json::num(g)]))
+            .collect(),
+    )
+}
+
+/// The per-kind latency table of one snapshot (kinds with traffic only).
+fn kinds_json(snap: &MetricsSnapshot) -> Json {
+    Json::Arr(
+        snap.per_kind
+            .iter()
+            .filter(|k| k.requests > 0 || k.errors > 0)
+            .map(|k| {
+                Json::Obj(vec![
+                    ("kind".into(), Json::str(k.kind.name())),
+                    ("requests".into(), Json::Num(k.requests as f64)),
+                    ("errors".into(), Json::Num(k.errors as f64)),
+                    ("avg_micros".into(), Json::Num(k.avg_micros() as f64)),
+                    (
+                        "p50_micros".into(),
+                        Json::Num(k.quantile_micros(0.5) as f64),
+                    ),
+                    (
+                        "p99_micros".into(),
+                        Json::Num(k.quantile_micros(0.99) as f64),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The `stats` response. The top-level counters are the **fleet-wide
+/// aggregate** (every topology's registry absorbed, plus the connection
+/// layer); the `topologies` section breaks hits/misses/latency down per
+/// resident `(d, g)`, and `router` reports the registry's own counters.
+pub fn stats_response(
+    snap: &MetricsSnapshot,
+    topologies: &[(usize, usize, MetricsSnapshot)],
+    router: &RouterStats,
+) -> Json {
+    let per_topology = topologies
         .iter()
-        .filter(|k| k.requests > 0 || k.errors > 0)
-        .map(|k| {
+        .map(|(d, g, topo)| {
             Json::Obj(vec![
-                ("kind".into(), Json::str(k.kind.name())),
-                ("requests".into(), Json::Num(k.requests as f64)),
-                ("errors".into(), Json::Num(k.errors as f64)),
-                ("avg_micros".into(), Json::Num(k.avg_micros() as f64)),
-                (
-                    "p50_micros".into(),
-                    Json::Num(k.quantile_micros(0.5) as f64),
-                ),
-                (
-                    "p99_micros".into(),
-                    Json::Num(k.quantile_micros(0.99) as f64),
-                ),
+                ("d".into(), Json::num(*d)),
+                ("g".into(), Json::num(*g)),
+                ("requests".into(), Json::Num(topo.requests() as f64)),
+                ("hits".into(), Json::Num(topo.hits as f64)),
+                ("misses".into(), Json::Num(topo.misses as f64)),
+                ("hit_rate".into(), Json::Num(topo.hit_rate())),
+                ("errors".into(), Json::Num(topo.errors as f64)),
+                ("batches".into(), Json::Num(topo.batches as f64)),
+                ("batch_plans".into(), Json::Num(topo.batch_plans as f64)),
+                ("arena_bytes".into(), Json::Num(topo.arena_bytes as f64)),
+                ("cache".into(), cache_levels_json(topo)),
+                ("kinds".into(), kinds_json(topo)),
             ])
         })
         .collect();
@@ -321,7 +488,18 @@ pub fn stats_response(snap: &MetricsSnapshot) -> Json {
             "cache_capacity".into(),
             Json::Num(snap.cache_capacity as f64),
         ),
-        ("kinds".into(), Json::Arr(kinds)),
+        ("kinds".into(), kinds_json(snap)),
+        ("topologies".into(), Json::Arr(per_topology)),
+        (
+            "router".into(),
+            Json::Obj(vec![
+                ("topologies".into(), Json::num(topologies.len())),
+                ("hits".into(), Json::Num(router.hits as f64)),
+                ("built".into(), Json::Num(router.built as f64)),
+                ("evictions".into(), Json::Num(router.evictions as f64)),
+                ("rejections".into(), Json::Num(router.rejections as f64)),
+            ]),
+        ),
     ])
 }
 
@@ -368,14 +546,24 @@ pub fn cache_stats_response(snap: &MetricsSnapshot) -> Json {
 }
 
 /// The `cache` response for a completed `save` or `load`:
-/// `{"ok":true,"op":"cache","action":...,"l1_entries":N,"l2_entries":M}`.
-pub fn cache_persist_response(action: CacheAction, l1_entries: usize, l2_entries: usize) -> Json {
+/// `{"ok":true,"op":"cache","action":...,"l1_entries":N,"l2_entries":M,
+/// "skipped_files":K}`. Entry counts are totals across every resident
+/// topology; `skipped_files` counts cache-dir files a load left alone
+/// (stamped for a topology this server does not pin, or corrupt) — the
+/// warn-and-skip contract, surfaced so operators can see a stale dir.
+pub fn cache_persist_response(
+    action: CacheAction,
+    l1_entries: usize,
+    l2_entries: usize,
+    skipped_files: usize,
+) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("op".into(), Json::str("cache")),
         ("action".into(), Json::str(action.name())),
         ("l1_entries".into(), Json::num(l1_entries)),
         ("l2_entries".into(), Json::num(l2_entries)),
+        ("skipped_files".into(), Json::num(skipped_files)),
     ])
 }
 
@@ -419,6 +607,65 @@ pub fn route_response(kind: RequestKind, reply: &ServiceReply, want_schedule: bo
         fields.push(("schedule".into(), schedule_to_json(schedule)));
     }
     Json::Obj(fields)
+}
+
+/// One successful `batch-item` line: index and shape identify the item,
+/// `slots` (and optionally the schedule) carry the plan.
+pub fn batch_item_response(
+    index: usize,
+    d: usize,
+    g: usize,
+    schedule: &Schedule,
+    want_schedule: bool,
+) -> Json {
+    let mut fields = vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("batch-item")),
+        ("index".into(), Json::num(index)),
+        ("d".into(), Json::num(d)),
+        ("g".into(), Json::num(g)),
+        ("slots".into(), Json::num(schedule.slot_count())),
+    ];
+    if want_schedule {
+        fields.push(("schedule".into(), schedule_to_json(schedule)));
+    }
+    Json::Obj(fields)
+}
+
+/// One failed `batch-item` line — a structured error that still carries
+/// the item's index, so the stream stays in input order and one bad item
+/// never poisons its siblings.
+pub fn batch_item_error(index: usize, kind: WireErrorKind, msg: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("op".into(), Json::str("batch-item")),
+        ("index".into(), Json::num(index)),
+        ("kind".into(), Json::str(kind.name())),
+        ("error".into(), Json::Str(msg.into())),
+    ])
+}
+
+/// The trailing `batch` summary line: item accounting, total slots across
+/// routed items, wall-clock service time, and the distinct topologies the
+/// batch touched (in `(d, g)` order).
+pub fn batch_summary_response(
+    items: usize,
+    routed: usize,
+    failed: usize,
+    slots: usize,
+    micros: u64,
+    topologies: &[(usize, usize)],
+) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("batch")),
+        ("items".into(), Json::num(items)),
+        ("routed".into(), Json::num(routed)),
+        ("failed".into(), Json::num(failed)),
+        ("slots".into(), Json::num(slots)),
+        ("micros".into(), Json::Num(micros as f64)),
+        ("topologies".into(), shapes_json(topologies)),
+    ])
 }
 
 /// Encodes a schedule as nested arrays: slots → transmissions →
@@ -548,8 +795,12 @@ mod tests {
         let err = error_response(WireErrorKind::Routing, "nope");
         assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(err.get("kind").unwrap().as_str(), Some("routing"));
-        let info = info_response(&PopsTopology::new(4, 4), 2, 64);
+        let info = info_response(&PopsTopology::new(4, 4), 2, 64, &[(4, 4), (2, 8)], 8);
         assert_eq!(info.get("n").unwrap().as_usize(), Some(16));
+        assert_eq!(info.get("max_topologies").unwrap().as_usize(), Some(8));
+        let shapes = info.get("topologies").unwrap().as_arr().unwrap();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[1].as_arr().unwrap()[1].as_usize(), Some(8));
     }
 
     #[test]
@@ -580,7 +831,11 @@ mod tests {
             })
             .unwrap();
         let snap = service.metrics();
-        for doc in [stats_response(&snap), cache_stats_response(&snap)] {
+        let per_topology = [(4usize, 4usize, snap.clone())];
+        for doc in [
+            stats_response(&snap, &per_topology, &RouterStats::default()),
+            cache_stats_response(&snap),
+        ] {
             let cache = doc.get("cache").expect("cache object");
             let l1 = cache.get("l1").expect("l1 object");
             let l2 = cache.get("l2").expect("l2 object");
@@ -593,9 +848,10 @@ mod tests {
                 "theorem2 misses seed the phase cache"
             );
         }
-        let persisted = cache_persist_response(CacheAction::Save, 3, 7);
+        let persisted = cache_persist_response(CacheAction::Save, 3, 7, 1);
         assert_eq!(persisted.get("l1_entries").unwrap().as_u64(), Some(3));
         assert_eq!(persisted.get("l2_entries").unwrap().as_u64(), Some(7));
+        assert_eq!(persisted.get("skipped_files").unwrap().as_u64(), Some(1));
         assert_eq!(persisted.get("action").unwrap().as_str(), Some("save"));
     }
 
@@ -615,6 +871,127 @@ mod tests {
     }
 
     #[test]
+    fn stats_response_breaks_down_per_topology() {
+        let a = RoutingService::new(PopsTopology::new(4, 4));
+        a.route(&ServiceRequest::Theorem2 {
+            pi: vector_reversal(16),
+        })
+        .unwrap();
+        let b = RoutingService::new(PopsTopology::new(2, 3));
+        b.route(&ServiceRequest::Theorem2 {
+            pi: vector_reversal(6),
+        })
+        .unwrap();
+        let mut agg = MetricsSnapshot::zero();
+        agg.absorb(&a.metrics());
+        agg.absorb(&b.metrics());
+        let per = [(4, 4, a.metrics()), (2, 3, b.metrics())];
+        let router = RouterStats {
+            hits: 5,
+            built: 2,
+            evictions: 1,
+            rejections: 0,
+        };
+        let doc = stats_response(&agg, &per, &router);
+        assert_eq!(doc.get("misses").unwrap().as_u64(), Some(2), "aggregate");
+        let topos = doc.get("topologies").unwrap().as_arr().unwrap();
+        assert_eq!(topos.len(), 2);
+        assert_eq!(topos[0].get("d").unwrap().as_usize(), Some(4));
+        assert_eq!(topos[0].get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(topos[1].get("g").unwrap().as_usize(), Some(3));
+        let kinds = topos[1].get("kinds").unwrap().as_arr().unwrap();
+        assert_eq!(kinds[0].get("kind").unwrap().as_str(), Some("theorem2"));
+        let r = doc.get("router").unwrap();
+        assert_eq!(r.get("built").unwrap().as_u64(), Some(2));
+        assert_eq!(r.get("evictions").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn batch_parses_mixed_topology_items_and_flags_bad_ones() {
+        let default = PopsTopology::new(4, 4);
+        let perm16: Vec<String> = (0..16).rev().map(|i| i.to_string()).collect();
+        let doc = Json::parse(&format!(
+            r#"{{"op":"batch","items":[
+                {{"perm":[{p16}]}},
+                {{"d":2,"g":3,"perm":[5,4,3,2,1,0]}},
+                {{"d":2,"g":3,"perm":[{p16}]}},
+                {{"perm":[0,0,1,2]}},
+                {{"d":"x","perm":[0,1]}}
+            ]}}"#,
+            p16 = perm16.join(",")
+        ))
+        .unwrap();
+        let Ok(WireRequest::Batch {
+            items,
+            want_schedule,
+        }) = parse_request(&doc, &default)
+        else {
+            panic!("batch must parse");
+        };
+        assert!(!want_schedule, "batch defaults to no schedule bodies");
+        assert_eq!(items.len(), 5);
+        assert_eq!((items[0].d, items[0].g), (4, 4), "defaults applied");
+        assert!(items[0].perm.is_ok());
+        assert_eq!((items[1].d, items[1].g), (2, 3));
+        assert!(items[1].perm.is_ok());
+        assert!(
+            items[2].perm.as_ref().unwrap_err().contains("length 16"),
+            "size mismatch is a per-item error"
+        );
+        assert!(items[3].perm.is_err(), "not a permutation");
+        assert!(items[4].perm.is_err(), "ill-typed shape field");
+
+        // Top-level problems are request-level errors.
+        for bad in [r#"{"op":"batch"}"#, r#"{"op":"batch","items":[]}"#] {
+            let doc = Json::parse(bad).unwrap();
+            assert!(parse_request(&doc, &default).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn batch_response_lines_carry_index_order_and_summary() {
+        let service = RoutingService::new(PopsTopology::new(4, 4));
+        let reply = service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(16),
+            })
+            .unwrap();
+        let schedule = reply.outcome.schedule();
+        let item = batch_item_response(3, 4, 4, schedule, false);
+        assert_eq!(item.get("op").unwrap().as_str(), Some("batch-item"));
+        assert_eq!(item.get("index").unwrap().as_usize(), Some(3));
+        assert_eq!(item.get("slots").unwrap().as_usize(), Some(2));
+        assert!(item.get("schedule").is_none());
+        let with_schedule = batch_item_response(0, 4, 4, schedule, true);
+        let decoded = schedule_from_json(with_schedule.get("schedule").unwrap()).unwrap();
+        assert_eq!(&decoded, schedule);
+
+        let err = batch_item_error(7, WireErrorKind::BadRequest, "bad perm");
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(err.get("index").unwrap().as_usize(), Some(7));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("bad-request"));
+
+        let summary = batch_summary_response(5, 4, 1, 12, 321, &[(2, 3), (4, 4)]);
+        assert_eq!(summary.get("op").unwrap().as_str(), Some("batch"));
+        assert_eq!(summary.get("items").unwrap().as_usize(), Some(5));
+        assert_eq!(summary.get("routed").unwrap().as_usize(), Some(4));
+        assert_eq!(summary.get("failed").unwrap().as_usize(), Some(1));
+        let shapes = summary.get("topologies").unwrap().as_arr().unwrap();
+        assert_eq!(shapes[0].as_arr().unwrap()[0].as_usize(), Some(2));
+    }
+
+    #[test]
+    fn requested_shape_falls_back_field_by_field() {
+        let default = PopsTopology::new(4, 4);
+        let shape = |text: &str| requested_shape(&Json::parse(text).unwrap(), &default);
+        assert_eq!(shape(r#"{"op":"route"}"#), Ok((4, 4)));
+        assert_eq!(shape(r#"{"op":"route","d":2,"g":8}"#), Ok((2, 8)));
+        assert_eq!(shape(r#"{"op":"route","g":2}"#), Ok((4, 2)));
+        assert!(shape(r#"{"op":"route","d":-1}"#).is_err());
+        assert!(shape(r#"{"op":"route","g":"x"}"#).is_err());
+    }
+
+    #[test]
     fn error_kinds_have_distinct_wire_names() {
         let kinds = [
             WireErrorKind::Parse,
@@ -623,6 +1000,7 @@ mod tests {
             WireErrorKind::Timeout,
             WireErrorKind::Unavailable,
             WireErrorKind::Routing,
+            WireErrorKind::TopologyLimit,
         ];
         let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

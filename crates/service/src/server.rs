@@ -1,7 +1,14 @@
-//! The std-only TCP front door: a JSON-lines server over
-//! [`RoutingService`], hardened for hostile traffic.
+//! The std-only TCP front door: a JSON-lines server over a
+//! [`TopologyRouter`] of [`RoutingService`]s, hardened for hostile
+//! traffic.
 //!
-//! One thread per connection (the service's admission gate, not the
+//! One server fronts **many topologies**: each request's `d`/`g` fields
+//! select (and lazily construct) the backend service, bounded by the
+//! router's LRU registry; `{"op":"batch"}` requests fan a whole vector of
+//! permutations through the per-topology batch fast path and stream one
+//! response line per item plus a trailing summary.
+//!
+//! One thread per connection (each service's admission gate, not the
 //! thread count, bounds concurrent routing work), governed by a
 //! [`ServerConfig`]:
 //!
@@ -31,7 +38,7 @@
 //! no socket crate), so dead-peer detection is subsumed by the read
 //! deadline; `tcp_nodelay` is available for latency-sensitive callers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -41,12 +48,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
-use crate::persist::cache_file_path;
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::proto::{
-    cache_persist_response, cache_stats_response, error_response, info_response, parse_request,
-    pong_response, route_response, shutdown_response, stats_response, CacheAction, WireErrorKind,
+    batch_item_error, batch_item_response, batch_summary_response, cache_persist_response,
+    cache_stats_response, error_response, info_response, parse_request, pong_response,
+    requested_shape, route_response, shutdown_response, stats_response, CacheAction, WireErrorKind,
     WireRequest,
 };
+use crate::router::{RouterError, TopologyRouter, TopologyRouterConfig};
 use crate::service::RoutingService;
 
 /// Limits and timeouts of one [`serve_with_config`] loop.
@@ -66,11 +75,22 @@ pub struct ServerConfig {
     /// Whether to set `TCP_NODELAY` on accepted sockets.
     pub tcp_nodelay: bool,
     /// Directory the `{"op":"cache"}` save/load actions spill to and
-    /// restore from (the file is
-    /// [`crate::persist::CACHE_FILE_NAME`] inside it). `None` — the
-    /// default — answers those actions with a `bad-request` error; clients
-    /// never choose paths.
+    /// restore from (one file per topology,
+    /// [`crate::persist::topology_file_path`]). `None` — the default —
+    /// answers those actions with a `bad-request` error; clients never
+    /// choose paths.
     pub cache_dir: Option<PathBuf>,
+    /// Most items one `{"op":"batch"}` request may carry; larger batches
+    /// are refused whole with a `too-large` error (never silently
+    /// truncated).
+    pub max_batch_items: usize,
+    /// Most **distinct topologies** one batch may touch. Admitting a
+    /// topology can construct a warm service, so without this cap a
+    /// single batch line naming ~`max_batch_items` distinct shapes would
+    /// amplify into that many expensive constructions (and LRU-evict
+    /// every other client's warm shape on the way). Refused whole with
+    /// `too-large`.
+    pub max_batch_topologies: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,24 +105,34 @@ impl Default for ServerConfig {
             max_connections: 256,
             tcp_nodelay: false,
             cache_dir: None,
+            max_batch_items: 1024,
+            max_batch_topologies: 8,
         }
     }
 }
 
 /// What a finished [`serve`] loop saw.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerSummary {
     /// Connections accepted and handled (the shutdown wake-up and
     /// capacity-rejected connections excluded).
     pub connections: u64,
     /// Request lines answered.
     pub requests: u64,
+    /// The fleet-wide aggregate snapshot at shutdown: every resident
+    /// topology's registry absorbed, plus the connection layer.
+    pub metrics: MetricsSnapshot,
 }
 
-/// Shared state of one serve loop: the shutdown flag, the connection
-/// registry, and the counters the summary reports.
+/// Shared state of one serve loop: the topology router, the shutdown
+/// flag, the connection registry, and the counters the summary reports.
 struct ServeState {
-    service: Arc<RoutingService>,
+    router: Arc<TopologyRouter>,
+    /// Connection-layer counters (opened/closed/rejected, oversized
+    /// lines, read timeouts). Request counters live in each topology's
+    /// own service registry; the `stats` op absorbs both into one
+    /// fleet-wide view.
+    server_metrics: Arc<ServiceMetrics>,
     config: ServerConfig,
     listener_addr: SocketAddr,
     shutdown: AtomicBool,
@@ -144,16 +174,49 @@ pub fn serve(
 }
 
 /// Serves `service` on `listener` under `config` until a client sends
-/// `{"op":"shutdown"}`. Blocks the calling thread; returns only after
-/// **every** accepted connection's handler thread has been joined.
+/// `{"op":"shutdown"}` — the **single-topology** compatibility entry:
+/// the service is wrapped as the pinned sole resident of a one-slot
+/// [`TopologyRouter`], so requests for any other shape are refused with a
+/// `topology-limit` error exactly as a fixed-shape server should. Blocks
+/// the calling thread; returns only after **every** accepted connection's
+/// handler thread has been joined.
 pub fn serve_with_config(
     listener: TcpListener,
     service: Arc<RoutingService>,
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
-    let metrics = service.metrics_registry();
-    let state = Arc::new(ServeState {
+    // The caller already built (and owns the memory of) this service, so
+    // the router must accept its shape whatever its size — the size
+    // limits exist to stop *remote* clients minting services, and with a
+    // one-slot all-pinned registry no dynamic admission can happen.
+    let router_config = TopologyRouterConfig {
+        max_topologies: 1,
+        ..TopologyRouterConfig::default()
+    };
+    let max_n = router_config.max_n.max(service.topology().n());
+    let router = Arc::new(TopologyRouter::from_service(
         service,
+        TopologyRouterConfig {
+            max_n,
+            ..router_config
+        },
+    ));
+    serve_router(listener, router, config)
+}
+
+/// Serves a whole [`TopologyRouter`] on `listener` under `config` until a
+/// client sends `{"op":"shutdown"}` — the multi-topology entry behind
+/// `pops serve`. Blocks the calling thread; returns only after **every**
+/// accepted connection's handler thread has been joined.
+pub fn serve_router(
+    listener: TcpListener,
+    router: Arc<TopologyRouter>,
+    config: ServerConfig,
+) -> std::io::Result<ServerSummary> {
+    let metrics = Arc::new(ServiceMetrics::new());
+    let state = Arc::new(ServeState {
+        router,
+        server_metrics: metrics.clone(),
         config,
         listener_addr: listener.local_addr()?,
         shutdown: AtomicBool::new(false),
@@ -189,10 +252,7 @@ pub fn serve_with_config(
             .name(format!("pops-conn-{id}"))
             .spawn(move || {
                 let _ = handle_connection(stream, &handler_state);
-                handler_state
-                    .service
-                    .metrics_registry()
-                    .record_connection_closed();
+                handler_state.server_metrics.record_connection_closed();
                 handler_state
                     .finished
                     .lock()
@@ -226,9 +286,11 @@ pub fn serve_with_config(
         }
     }
 
+    let (aggregate, _) = aggregate_stats(&state);
     Ok(ServerSummary {
         connections,
         requests: state.requests.load(Ordering::Relaxed),
+        metrics: aggregate,
     })
 }
 
@@ -435,7 +497,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
         let _ = stream.set_nodelay(true);
     }
     stream.set_write_timeout(state.config.write_timeout)?;
-    let metrics = state.service.metrics_registry();
+    let metrics = &state.server_metrics;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     loop {
@@ -481,8 +543,13 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                     continue;
                 }
                 state.requests.fetch_add(1, Ordering::Relaxed);
-                let (response, stop) = respond(&line, state);
-                writeln!(writer, "{response}")?;
+                let (responses, stop) = respond(&line, state);
+                // One request may stream several lines (the batch op:
+                // one per item, then the summary) — written in order on
+                // this connection, each under the write timeout.
+                for response in &responses {
+                    writeln!(writer, "{response}")?;
+                }
                 writer.flush()?;
                 if stop {
                     state.initiate_shutdown();
@@ -494,40 +561,215 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
     Ok(())
 }
 
-/// Answers one request line; the flag says "stop the server after this".
-fn respond(line: &str, state: &ServeState) -> (Json, bool) {
-    let service = &state.service;
+/// The `(d, g)`-selected backend for one request, or the error line to
+/// answer with: unacceptable shapes are `bad-request`, a full registry of
+/// pinned topologies is `topology-limit`.
+fn select_service(
+    state: &ServeState,
+    d: usize,
+    g: usize,
+) -> Result<Arc<RoutingService>, (WireErrorKind, String)> {
+    state.router.get(d, g).map_err(|e| match e {
+        RouterError::BadShape(_) => (WireErrorKind::BadRequest, e.to_string()),
+        RouterError::AtCapacity { .. } => (WireErrorKind::TopologyLimit, e.to_string()),
+    })
+}
+
+/// The fleet-wide aggregate snapshot plus the per-topology breakdown the
+/// `stats` op reports. The aggregate includes the **retired ledger** —
+/// counters of topologies evicted since boot — so fleet totals stay
+/// monotonic across LRU churn.
+fn aggregate_stats(state: &ServeState) -> (MetricsSnapshot, Vec<(usize, usize, MetricsSnapshot)>) {
+    let mut aggregate = state.server_metrics.snapshot();
+    aggregate.absorb(&state.router.retired_metrics());
+    let mut per_topology = Vec::new();
+    for (topology, service) in state.router.services() {
+        let snap = service.metrics();
+        aggregate.absorb(&snap);
+        per_topology.push((topology.d(), topology.g(), snap));
+    }
+    (aggregate, per_topology)
+}
+
+/// Answers one request line with one or more response lines; the flag
+/// says "stop the server after this". Route and batch requests select
+/// their backend by the request's `d`/`g` fields (defaulting to the
+/// server's boot topology field by field); every other op is
+/// topology-independent.
+fn respond(line: &str, state: &ServeState) -> (Vec<Json>, bool) {
+    let router = &state.router;
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
-        Err(e) => return (error_response(WireErrorKind::Parse, e.to_string()), false),
+        Err(e) => {
+            return (
+                vec![error_response(WireErrorKind::Parse, e.to_string())],
+                false,
+            )
+        }
     };
-    let topology = service.topology();
-    match parse_request(&doc, &topology) {
-        Err(e) => (error_response(WireErrorKind::BadRequest, e), false),
-        Ok(WireRequest::Ping) => (pong_response(), false),
-        Ok(WireRequest::Info) => (
-            info_response(&topology, service.shard_count(), service.cache_capacity()),
-            false,
-        ),
-        Ok(WireRequest::Stats) => (stats_response(&service.metrics()), false),
-        Ok(WireRequest::Shutdown) => (shutdown_response(), true),
-        Ok(WireRequest::Cache { action }) => (respond_cache(action, state), false),
-        Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
-            Ok(reply) => (route_response(req.kind(), &reply, want_schedule), false),
-            Err(e) => (error_response(WireErrorKind::Routing, e.to_string()), false),
-        },
+    let default = router.default_topology();
+    let one = |response: Json| (vec![response], false);
+
+    // Route ops resolve their backend before body parsing (the body's
+    // size validation needs the right topology in hand).
+    if doc.get("op").and_then(Json::as_str) == Some("route") {
+        let (d, g) = match requested_shape(&doc, &default) {
+            Ok(shape) => shape,
+            Err(e) => return one(error_response(WireErrorKind::BadRequest, e)),
+        };
+        let service = match select_service(state, d, g) {
+            Ok(service) => service,
+            Err((kind, msg)) => return one(error_response(kind, msg)),
+        };
+        return match parse_request(&doc, &service.topology()) {
+            Err(e) => one(error_response(WireErrorKind::BadRequest, e)),
+            Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
+                Ok(reply) => one(route_response(req.kind(), &reply, want_schedule)),
+                Err(e) => one(error_response(WireErrorKind::Routing, e.to_string())),
+            },
+            Ok(_) => unreachable!("op 'route' parses to a route request"),
+        };
+    }
+
+    match parse_request(&doc, &default) {
+        Err(e) => one(error_response(WireErrorKind::BadRequest, e)),
+        Ok(WireRequest::Ping) => one(pong_response()),
+        Ok(WireRequest::Info) => {
+            let service = router.default_service();
+            let shapes: Vec<(usize, usize)> = router
+                .services()
+                .iter()
+                .map(|(t, _)| (t.d(), t.g()))
+                .collect();
+            one(info_response(
+                &default,
+                service.shard_count(),
+                service.cache_capacity(),
+                &shapes,
+                router.max_topologies(),
+            ))
+        }
+        Ok(WireRequest::Stats) => {
+            let (aggregate, per_topology) = aggregate_stats(state);
+            one(stats_response(&aggregate, &per_topology, &router.stats()))
+        }
+        Ok(WireRequest::Shutdown) => (vec![shutdown_response()], true),
+        Ok(WireRequest::Cache { action }) => one(respond_cache(action, state)),
+        Ok(WireRequest::Batch {
+            items,
+            want_schedule,
+        }) => (respond_batch(&items, want_schedule, state), false),
+        Ok(WireRequest::Route { .. }) => unreachable!("route ops are handled above"),
     }
 }
 
-/// Answers a `cache` op. The spill path is fixed server-side (the
-/// `--cache-dir` file) — a client can trigger persistence but never
-/// chooses where the bytes go; without a configured directory the
-/// persistence actions are `bad-request`. Filesystem failures surface as
-/// `unavailable` with the I/O message.
+/// Answers a `batch` op with one `batch-item` line per item **in input
+/// order**, then one `batch` summary line. Items are grouped by topology
+/// and each group rides [`RoutingService::route_batch`] — the in-process
+/// threads + no-artefacts fast path — so a mixed-shape batch costs one
+/// dispatch per distinct shape, not one per item. A batch larger than
+/// `max_batch_items` is refused whole with `too-large` (never silently
+/// truncated); per-item problems (bad permutation, unadmittable shape)
+/// get per-item error lines without poisoning their siblings.
+fn respond_batch(
+    items: &[crate::proto::BatchItemRequest],
+    want_schedule: bool,
+    state: &ServeState,
+) -> Vec<Json> {
+    if items.len() > state.config.max_batch_items {
+        return vec![error_response(
+            WireErrorKind::TooLarge,
+            format!(
+                "batch of {} items exceeds the {}-item cap",
+                items.len(),
+                state.config.max_batch_items
+            ),
+        )];
+    }
+    let start = Instant::now();
+    let mut lines: Vec<Option<Json>> = vec![None; items.len()];
+    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for (index, item) in items.iter().enumerate() {
+        match &item.perm {
+            Err(e) => lines[index] = Some(batch_item_error(index, WireErrorKind::BadRequest, e)),
+            Ok(_) => groups.entry((item.d, item.g)).or_default().push(index),
+        }
+    }
+    // Cap the distinct shapes BEFORE any lookup: admission can construct
+    // a warm service per shape, so a batch spraying novel shapes would
+    // otherwise amplify one request line into hundreds of builds (and
+    // churn every other client's warm topology out of the registry).
+    if groups.len() > state.config.max_batch_topologies {
+        return vec![error_response(
+            WireErrorKind::TooLarge,
+            format!(
+                "batch touches {} distinct topologies, exceeding the {}-topology cap",
+                groups.len(),
+                state.config.max_batch_topologies
+            ),
+        )];
+    }
+    let mut routed = 0usize;
+    let mut slots_total = 0usize;
+    let mut topologies: Vec<(usize, usize)> = Vec::new();
+    for ((d, g), indices) in groups {
+        match select_service(state, d, g) {
+            Err((kind, msg)) => {
+                for &index in &indices {
+                    lines[index] = Some(batch_item_error(index, kind, msg.clone()));
+                }
+            }
+            Ok(service) => {
+                let perms: Vec<_> = indices
+                    .iter()
+                    .map(|&index| items[index].perm.clone().expect("grouped items parsed"))
+                    .collect();
+                let plans = service.route_batch(&perms, None, false);
+                topologies.push((d, g));
+                for (&index, plan) in indices.iter().zip(&plans) {
+                    routed += 1;
+                    slots_total += plan.schedule.slot_count();
+                    lines[index] = Some(batch_item_response(
+                        index,
+                        d,
+                        g,
+                        &plan.schedule,
+                        want_schedule,
+                    ));
+                }
+            }
+        }
+    }
+    let mut out: Vec<Json> = lines
+        .into_iter()
+        .map(|line| line.expect("every item is answered"))
+        .collect();
+    out.push(batch_summary_response(
+        items.len(),
+        routed,
+        items.len() - routed,
+        slots_total,
+        start.elapsed().as_micros() as u64,
+        &topologies,
+    ));
+    out
+}
+
+/// Answers a `cache` op across **every resident topology**. The spill
+/// paths are fixed server-side (one file per topology under
+/// `--cache-dir`) — a client can trigger persistence but never chooses
+/// where the bytes go; without a configured directory the persistence
+/// actions are `bad-request`. A save stops at the first filesystem
+/// failure (`unavailable`); a load skips unmatchable files (wrong
+/// topology, corrupt) and reports how many, failing only if the
+/// directory itself cannot be listed.
 fn respond_cache(action: CacheAction, state: &ServeState) -> Json {
-    let service = &state.service;
+    let router = &state.router;
     match action {
-        CacheAction::Stats => cache_stats_response(&service.metrics()),
+        CacheAction::Stats => {
+            let (aggregate, _) = aggregate_stats(state);
+            cache_stats_response(&aggregate)
+        }
         CacheAction::Save | CacheAction::Load => {
             let Some(dir) = &state.config.cache_dir else {
                 return error_response(
@@ -535,20 +777,32 @@ fn respond_cache(action: CacheAction, state: &ServeState) -> Json {
                     "server started without --cache-dir; cache persistence is disabled",
                 );
             };
-            let path = cache_file_path(dir);
-            let done = match action {
-                CacheAction::Save => service.save_cache(&path),
-                CacheAction::Load => service.load_cache(&path),
+            match action {
+                CacheAction::Save => match router.save_all(dir) {
+                    Ok(written) => cache_persist_response(
+                        action,
+                        written.iter().map(|(_, s)| s.l1_entries).sum(),
+                        written.iter().map(|(_, s)| s.l2_entries).sum(),
+                        0,
+                    ),
+                    Err(e) => error_response(
+                        WireErrorKind::Unavailable,
+                        format!("cache save failed: {e}"),
+                    ),
+                },
+                CacheAction::Load => match router.load_dir(dir) {
+                    Ok(report) => cache_persist_response(
+                        action,
+                        report.l1_entries(),
+                        report.l2_entries(),
+                        report.skipped.len(),
+                    ),
+                    Err(e) => error_response(
+                        WireErrorKind::Unavailable,
+                        format!("cache load failed: {e}"),
+                    ),
+                },
                 CacheAction::Stats => unreachable!("handled above"),
-            };
-            match done {
-                Ok(summary) => {
-                    cache_persist_response(action, summary.l1_entries, summary.l2_entries)
-                }
-                Err(e) => error_response(
-                    WireErrorKind::Unavailable,
-                    format!("cache {} failed: {e}", action.name()),
-                ),
             }
         }
     }

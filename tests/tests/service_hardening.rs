@@ -66,9 +66,11 @@ fn error_kind(doc: &Json) -> &str {
 }
 
 /// After an orderly shutdown every handler must have been joined: the
-/// opened/closed connection counters agree and none leaked.
-fn assert_all_handlers_drained(service: &RoutingService) {
-    let snap = service.metrics();
+/// opened/closed connection counters agree and none leaked. Connection-
+/// layer counters live in the server's own registry, reported through the
+/// summary's fleet-wide aggregate snapshot.
+fn assert_all_handlers_drained(summary: &ServerSummary) {
+    let snap = &summary.metrics;
     assert_eq!(
         snap.active_connections(),
         0,
@@ -80,7 +82,7 @@ fn assert_all_handlers_drained(service: &RoutingService) {
 
 #[test]
 fn slow_loris_writer_is_timed_out_within_budget() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -116,15 +118,14 @@ fn slow_loris_writer_is_timed_out_within_budget() {
     let mut client = ServiceClient::connect(addr).unwrap();
     client.ping().unwrap();
     client.shutdown().unwrap();
-    handle.join().unwrap();
-    let snap = service.metrics();
-    assert_eq!(snap.read_timeouts, 1);
-    assert_all_handlers_drained(&service);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.metrics.read_timeouts, 1);
+    assert_all_handlers_drained(&summary);
 }
 
 #[test]
 fn unterminated_line_is_rejected_at_the_cap_not_buffered() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -159,14 +160,14 @@ fn unterminated_line_is_rejected_at_the_cap_not_buffered() {
     let mut client = ServiceClient::connect(addr).unwrap();
     client.ping().unwrap();
     client.shutdown().unwrap();
-    handle.join().unwrap();
-    assert_eq!(service.metrics().oversized_lines, 1);
-    assert_all_handlers_drained(&service);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.metrics.oversized_lines, 1);
+    assert_all_handlers_drained(&summary);
 }
 
 #[test]
 fn oversized_terminated_frame_gets_a_structured_error() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -187,13 +188,13 @@ fn oversized_terminated_frame_gets_a_structured_error() {
     let mut client = ServiceClient::connect(addr).unwrap();
     client.ping().unwrap();
     client.shutdown().unwrap();
-    handle.join().unwrap();
-    assert_all_handlers_drained(&service);
+    let summary = handle.join().unwrap();
+    assert_all_handlers_drained(&summary);
 }
 
 #[test]
 fn post_error_dripper_cannot_pin_the_handler_or_hang_shutdown() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -223,19 +224,19 @@ fn post_error_dripper_cannot_pin_the_handler_or_hang_shutdown() {
     let mut client = ServiceClient::connect(addr).unwrap();
     client.shutdown().unwrap();
     let start = Instant::now();
-    handle.join().unwrap();
+    let summary = handle.join().unwrap();
     assert!(
         start.elapsed() < Duration::from_secs(5),
         "shutdown hung {:?} behind a dripping client",
         start.elapsed()
     );
-    assert_all_handlers_drained(&service);
+    assert_all_handlers_drained(&summary);
     drip.join().unwrap();
 }
 
 #[test]
 fn dripping_client_cannot_stall_shutdown_even_with_timeouts_disabled() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -261,19 +262,19 @@ fn dripping_client_cannot_stall_shutdown_even_with_timeouts_disabled() {
     let mut client = ServiceClient::connect(addr).unwrap();
     client.shutdown().unwrap();
     let start = Instant::now();
-    handle.join().unwrap();
+    let summary = handle.join().unwrap();
     assert!(
         start.elapsed() < Duration::from_secs(5),
         "shutdown hung {:?} behind a dripping client with timeouts off",
         start.elapsed()
     );
-    assert_all_handlers_drained(&service);
+    assert_all_handlers_drained(&summary);
     drip.join().unwrap();
 }
 
 #[test]
 fn connection_cap_rejects_excess_clients_with_unavailable() {
-    let (addr, service, handle) = spawn_server(
+    let (addr, _service, handle) = spawn_server(
         PopsTopology::new(2, 2),
         small_service_config(),
         ServerConfig {
@@ -291,9 +292,9 @@ fn connection_cap_rejects_excess_clients_with_unavailable() {
     // The first client is unaffected; capacity frees when it leaves.
     first.ping().unwrap();
     first.shutdown().unwrap();
-    handle.join().unwrap();
-    assert_eq!(service.metrics().conns_rejected, 1);
-    assert_all_handlers_drained(&service);
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.metrics.conns_rejected, 1);
+    assert_all_handlers_drained(&summary);
 }
 
 #[test]
@@ -357,14 +358,14 @@ fn shutdown_under_load_drains_every_in_flight_response() {
     // serve() must not return until every handler finished its response:
     // the snapshot taken the instant it returns already shows all eight
     // routes served and no live handler threads.
-    handle.join().unwrap();
+    let summary = handle.join().unwrap();
     let snap = service.metrics();
     assert_eq!(
         snap.misses, CLIENTS as u64,
         "shutdown returned before all in-flight requests were served"
     );
     assert_eq!(snap.errors, 0);
-    assert_all_handlers_drained(&service);
+    assert_all_handlers_drained(&summary);
 
     for worker in workers {
         worker.join().unwrap();
