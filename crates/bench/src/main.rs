@@ -984,39 +984,50 @@ fn experiment_bench_json() {
             .collect();
         let slots_per_plan = theorem2_slots(d, g);
 
-        // Single-plan throughput on one warm engine (the zero-allocation
-        // alternating-path hot path, artefact export off).
+        // Both executors are built and warmed up front, then measured in
+        // alternating windows so machine drift hits both modes equally.
+        //
+        // Single-plan: one warm engine, plan dropped per iteration (the
+        // zero-allocation alternating-path hot path, artefact export off).
+        // Batch: the persistent chunk-based engine-per-worker executor in
+        // its steady-state form — worker arenas warm once, and each call
+        // recycles the previous batch's plan buffers, so every batch
+        // re-emits into the same cache-warm allocations.
         let mut engine = RoutingEngine::new(t);
         for pi in &perms {
             let plan = engine.plan_theorem2(pi);
             assert_eq!(plan.schedule.slot_count(), slots_per_plan);
         }
+        let mut batch_router = pops_core::BatchRouter::new(t, ColorerKind::AlternatingPath);
+        let mut plans = Vec::new();
+        batch_router.route_batch_into(&perms, None, &mut plans);
+        assert_eq!(plans.len(), count);
+
         let mut single_plans = 0usize;
-        let start = Instant::now();
-        while start.elapsed().as_millis() < 300 {
-            for pi in &perms {
-                let plan = engine.plan_theorem2(pi);
-                std::hint::black_box(&plan);
-                single_plans += 1;
+        let mut single_secs = 0.0f64;
+        let mut batch_plans = 0usize;
+        let mut batch_secs = 0.0f64;
+        for _ in 0..3 {
+            let start = Instant::now();
+            while start.elapsed().as_millis() < 100 {
+                for pi in &perms {
+                    let plan = engine.plan_theorem2(pi);
+                    std::hint::black_box(&plan);
+                    single_plans += 1;
+                }
             }
+            single_secs += start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            while start.elapsed().as_millis() < 100 {
+                batch_router.route_batch_into(&perms, None, &mut plans);
+                std::hint::black_box(&plans);
+                batch_plans += count;
+            }
+            batch_secs += start.elapsed().as_secs_f64();
         }
-        let single_secs = start.elapsed().as_secs_f64();
         let single_plans_per_sec = single_plans as f64 / single_secs;
         let single_slots_per_sec = single_plans_per_sec * slots_per_plan as f64;
-
-        // Batch throughput: the chunk-based engine-per-worker executor,
-        // artefact export off so both modes measure the same hot path.
-        let _ = pops_core::route_batch_with(&perms, t, ColorerKind::AlternatingPath, None, false);
-        let mut batch_plans = 0usize;
-        let start = Instant::now();
-        while start.elapsed().as_millis() < 300 {
-            let plans =
-                pops_core::route_batch_with(&perms, t, ColorerKind::AlternatingPath, None, false);
-            assert_eq!(plans.len(), count);
-            std::hint::black_box(&plans);
-            batch_plans += count;
-        }
-        let batch_secs = start.elapsed().as_secs_f64();
         let batch_plans_per_sec = batch_plans as f64 / batch_secs;
         let batch_slots_per_sec = batch_plans_per_sec * slots_per_plan as f64;
 
@@ -1535,34 +1546,70 @@ fn bench_wire_batch() -> String {
         }
     }
     let singles_secs = start.elapsed().as_secs_f64();
-    let mut batch_plans = 0usize;
+    let mut json_batch_plans = 0usize;
     let start = Instant::now();
     while start.elapsed().as_millis() < 300 {
         let reply = client.batch(&items, false).expect("routes");
         assert_eq!(reply.summary.routed, count);
         std::hint::black_box(&reply);
-        batch_plans += count;
+        json_batch_plans += count;
     }
-    let batch_secs = start.elapsed().as_secs_f64();
-    client.shutdown().expect("shutdown");
+    let json_batch_secs = start.elapsed().as_secs_f64();
+
+    // The same batch over the negotiated binary framing: raw u32 bodies
+    // in, dense batch-item frames out — the production miss path.
+    let mut binary = ServiceClient::connect(addr).expect("connect");
+    binary.set_nodelay(true).expect("nodelay");
+    binary
+        .set_format(pops_service::WireFormat::Binary)
+        .expect("hello");
+    binary.batch(&items, false).expect("routes");
+    let mut binary_batch_plans = 0usize;
+    let start = Instant::now();
+    while start.elapsed().as_millis() < 300 {
+        let reply = binary.batch(&items, false).expect("routes");
+        assert_eq!(reply.summary.routed, count);
+        std::hint::black_box(&reply);
+        binary_batch_plans += count;
+    }
+    let binary_batch_secs = start.elapsed().as_secs_f64();
+    binary.shutdown().expect("shutdown");
+    drop(client);
     server.join().expect("server thread").expect("serve");
 
     let singles_per_sec = single_plans as f64 / singles_secs;
-    let batch_per_sec = batch_plans as f64 / batch_secs;
+    let json_batch_per_sec = json_batch_plans as f64 / json_batch_secs;
+    let batch_per_sec = binary_batch_plans as f64 / binary_batch_secs;
+    let json_speedup = json_batch_per_sec / singles_per_sec;
     let speedup = batch_per_sec / singles_per_sec;
     println!(
         "wire batch: {count} perms on POPS({d}, {g}) — {singles_per_sec:>8.0} plans/s as \
-         single requests, {batch_per_sec:>8.0} plans/s as one batch op ({speedup:.1}x)"
+         single requests, {json_batch_per_sec:>8.0} plans/s as one JSON batch op \
+         ({json_speedup:.1}x), {batch_per_sec:>8.0} plans/s as one binary batch op \
+         ({speedup:.1}x)"
     );
+    // The JSON ratio is reported but not asserted: the faster the
+    // kernel makes planning, the more the JSON batch path is dominated
+    // by serialize/parse overhead (the singles side uses pre-rendered
+    // lines), and on fast machines it can dip to parity with singles —
+    // which is precisely what the binary framing exists to fix.
     assert!(
         speedup > 1.0,
-        "acceptance: the wire batch op must beat N single requests \
+        "acceptance: the binary batch op must beat N single requests \
          (got {speedup:.2}x)"
+    );
+    assert!(
+        speedup > json_speedup,
+        "acceptance: the binary framing must beat the JSON batch path \
+         (binary {speedup:.2}x vs JSON {json_speedup:.2}x)"
     );
     format!(
         "  \"wire_batch\": {{\n    \"d\": {d},\n    \"g\": {g},\n    \
          \"permutations\": {count},\n    \"tcp_nodelay\": true,\n    \
+         \"batch_format\": \"binary\",\n    \
          \"single_requests_plans_per_sec\": {singles_per_sec:.1},\n    \
+         \"json_batch_plans_per_sec\": {json_batch_per_sec:.1},\n    \
+         \"json_batch_speedup\": {json_speedup:.1},\n    \
          \"batch_op_plans_per_sec\": {batch_per_sec:.1},\n    \
          \"speedup\": {speedup:.1}\n  }}"
     )

@@ -1,0 +1,218 @@
+//! Word-parallel alternating-chain edge colouring.
+//!
+//! The same algorithm as [`crate::coloring::alternating`] — insert edges
+//! one at a time, resolve colour conflicts by flipping the maximal
+//! `(a, b)`-alternating chain — but the per-node "which colours are in
+//! use" state is tracked in **u64 bitset words** alongside the edge
+//! tables. `first_free` then costs one `trailing_zeros` on the
+//! complement word (one word covers Δ ≤ 64, which is every POPS shape up
+//! to `max(d, g) = 64`) instead of a linear scan over up to Δ table
+//! slots. The chain walk still follows the edge tables; only the
+//! free-colour queries are word-parallel.
+//!
+//! Because `first_free` returns the *minimum* free colour — exactly what
+//! the scalar scan returns — the kernel is **byte-identical** to
+//! [`crate::coloring::alternating::color`] on every input: same colour
+//! per edge, same `EdgeColoring`, and therefore identical downstream
+//! schedules. The engine-equivalence suite pins this.
+
+use crate::coloring::EdgeColoring;
+use crate::graph::{BipartiteMultigraph, EdgeId};
+
+const NONE: usize = usize::MAX;
+
+/// Number of u64 words needed to hold one bit per colour.
+#[inline]
+pub fn words_per_node(delta: usize) -> usize {
+    delta.div_ceil(64)
+}
+
+/// The lowest colour `< delta` whose bit is clear in `used`, where
+/// `used` is the node's colour mask (`words_per_node(delta)` words).
+///
+/// The caller guarantees such a colour exists (degrees stay below Δ
+/// while the node still has an uncoloured incident edge). Padding bits
+/// above `delta` in the last word must be kept **zero** by the caller;
+/// they are masked out here anyway so a stray bit cannot yield a colour
+/// `>= delta`.
+#[inline]
+pub fn first_free_in(used: &[u64], delta: usize) -> usize {
+    for (w, &word) in used.iter().enumerate() {
+        let mut free = !word;
+        // Mask the padding above Δ in the last word.
+        let bits_here = delta - w * 64;
+        if bits_here < 64 {
+            free &= (1u64 << bits_here) - 1;
+        }
+        if free != 0 {
+            return w * 64 + free.trailing_zeros() as usize;
+        }
+    }
+    unreachable!("a colour below Δ is always free at an uncoloured-incident node")
+}
+
+/// Sets colour `c`'s bit in node `node`'s mask.
+#[inline]
+pub fn mark_used(masks: &mut [u64], node: usize, words: usize, c: usize) {
+    masks[node * words + c / 64] |= 1u64 << (c % 64);
+}
+
+/// Clears colour `c`'s bit in node `node`'s mask.
+#[inline]
+pub fn mark_free(masks: &mut [u64], node: usize, words: usize, c: usize) {
+    masks[node * words + c / 64] &= !(1u64 << (c % 64));
+}
+
+/// Properly colours `g` with `max_degree(g)` colours, byte-identically to
+/// [`crate::coloring::alternating::color`].
+pub fn color(g: &BipartiteMultigraph) -> EdgeColoring {
+    let delta = g.max_degree();
+    let mut colors = vec![NONE; g.edge_count()];
+    if delta == 0 {
+        return EdgeColoring {
+            num_colors: 0,
+            colors,
+        };
+    }
+    let words = words_per_node(delta);
+
+    // table[node * delta + c] = edge of colour c at node, or NONE; the
+    // masks mirror the tables bit-for-bit (bit c set ⟺ table slot c used).
+    let mut left_table = vec![NONE; g.left_count() * delta];
+    let mut right_table = vec![NONE; g.right_count() * delta];
+    let mut left_used = vec![0u64; g.left_count() * words];
+    let mut right_used = vec![0u64; g.right_count() * words];
+
+    let mut chain: Vec<EdgeId> = Vec::new();
+    for (e, u, v) in g.edges() {
+        let a = first_free_in(&left_used[u * words..u * words + words], delta);
+        let b = first_free_in(&right_used[v * words..v * words + words], delta);
+        if a == b {
+            colors[e] = a;
+            left_table[u * delta + a] = e;
+            right_table[v * delta + a] = e;
+            mark_used(&mut left_used, u, words, a);
+            mark_used(&mut right_used, v, words, a);
+            continue;
+        }
+        // Flip the (a, b)-alternating chain starting at v — identical walk
+        // to the scalar colourer (see alternating.rs for the argument).
+        let mut want = a;
+        let mut at_right = true;
+        let mut node = v;
+        chain.clear();
+        loop {
+            let table = if at_right { &right_table } else { &left_table };
+            let next = table[node * delta + want];
+            if next == NONE {
+                break;
+            }
+            chain.push(next);
+            let (nu, nv) = g.endpoints(next);
+            node = if at_right { nu } else { nv };
+            at_right = !at_right;
+            want = if want == a { b } else { a };
+        }
+        debug_assert!(at_right || node != u, "alternating chain reached u");
+        // Two phases, clear then write, as in the scalar colourer:
+        // consecutive chain edges share nodes.
+        for &ce in chain.iter() {
+            let (cu, cv) = g.endpoints(ce);
+            let old = colors[ce];
+            left_table[cu * delta + old] = NONE;
+            right_table[cv * delta + old] = NONE;
+            mark_free(&mut left_used, cu, words, old);
+            mark_free(&mut right_used, cv, words, old);
+        }
+        for &ce in chain.iter() {
+            let (cu, cv) = g.endpoints(ce);
+            let new = if colors[ce] == a { b } else { a };
+            colors[ce] = new;
+            left_table[cu * delta + new] = ce;
+            right_table[cv * delta + new] = ce;
+            mark_used(&mut left_used, cu, words, new);
+            mark_used(&mut right_used, cv, words, new);
+        }
+        colors[e] = a;
+        left_table[u * delta + a] = e;
+        right_table[v * delta + a] = e;
+        mark_used(&mut left_used, u, words, a);
+        mark_used(&mut right_used, v, words, a);
+    }
+
+    EdgeColoring {
+        num_colors: delta,
+        colors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{alternating, verify_proper};
+    use crate::generators::{random_bipartite, random_multigraph, random_regular_multigraph};
+    use pops_permutation::SplitMix64;
+
+    #[test]
+    fn byte_identical_to_scalar_on_regular_multigraphs() {
+        let mut rng = SplitMix64::new(61);
+        for (n, k) in [(1usize, 1usize), (4, 2), (8, 8), (16, 11), (9, 4), (64, 64)] {
+            let g = random_regular_multigraph(n, k, &mut rng);
+            let fast = color(&g);
+            let slow = alternating::color(&g);
+            assert_eq!(fast, slow, "n={n} k={k}");
+            verify_proper(&g, &fast).unwrap();
+        }
+    }
+
+    #[test]
+    fn byte_identical_to_scalar_on_irregular_graphs() {
+        let mut rng = SplitMix64::new(62);
+        for _ in 0..20 {
+            let g = random_multigraph(6, 9, 50, &mut rng);
+            assert_eq!(color(&g), alternating::color(&g));
+        }
+        for _ in 0..10 {
+            let g = random_bipartite(12, 12, 0.7, &mut rng);
+            assert_eq!(color(&g), alternating::color(&g));
+        }
+    }
+
+    #[test]
+    fn handles_delta_above_one_word() {
+        // Δ = 80 > 64 exercises the multi-word first_free path and the
+        // padding mask in the final word.
+        let g = BipartiteMultigraph::from_edges(1, 1, std::iter::repeat_n((0, 0), 80)).unwrap();
+        let coloring = color(&g);
+        assert_eq!(coloring.num_colors, 80);
+        assert_eq!(coloring, alternating::color(&g));
+        verify_proper(&g, &coloring).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_needs_no_colors() {
+        let g = BipartiteMultigraph::new(3, 3);
+        let coloring = color(&g);
+        assert_eq!(coloring.num_colors, 0);
+        assert!(coloring.colors.is_empty());
+    }
+
+    #[test]
+    fn first_free_skips_full_words() {
+        // First word fully used: the free colour lives in word 1.
+        let used = [u64::MAX, 0b101];
+        assert_eq!(first_free_in(&used, 128), 65);
+        // Padding above Δ never leaks back as a "free" colour.
+        let used = [u64::MAX >> 1];
+        assert_eq!(first_free_in(&used, 64), 63);
+    }
+
+    #[test]
+    fn mark_round_trips() {
+        let mut masks = vec![0u64; 4];
+        mark_used(&mut masks, 1, 2, 70);
+        assert_eq!(masks[3], 1u64 << 6);
+        mark_free(&mut masks, 1, 2, 70);
+        assert_eq!(masks, vec![0u64; 4]);
+    }
+}

@@ -10,6 +10,7 @@
 //! [`verify_proper`]. Experiment T4 benchmarks them against each other.
 
 pub mod alternating;
+pub mod bitset;
 pub mod euler_split;
 pub mod greedy;
 pub mod koenig;

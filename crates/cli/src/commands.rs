@@ -65,6 +65,7 @@ COMMANDS
             [--batch-file FILE]              send one wire batch op from a JSON-lines file
                                              (each line: perm with optional d/g fields)
             [--cache save|load|stats]        plan-cache op (save/load need --cache-dir serve)
+            [--binary]                       negotiate the length-prefixed binary framing
             [--timeout-ms T]                 client timeout (default 30000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
@@ -661,6 +662,13 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     let timeout = timeout_ms(opts, "timeout-ms", 30_000)?;
     let mut client = ServiceClient::connect_with_timeout(addr, timeout)
         .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    // --binary upgrades the connection before the first real request;
+    // every op below then rides the length-prefixed framing.
+    if opts.flag("binary") {
+        client
+            .set_format(pops_service::WireFormat::Binary)
+            .map_err(|e| err(format!("binary negotiation failed: {e}")))?;
+    }
 
     if opts.flag("shutdown") {
         client
@@ -1219,6 +1227,62 @@ mod tests {
 
         let out = run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
         assert!(out.contains("acknowledged shutdown"), "{out}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn request_binary_round_trips_through_a_live_server() {
+        use pops_service::{serve, RoutingService, ServiceConfig};
+        use std::io::Write as _;
+        use std::net::TcpListener;
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = std::thread::spawn(move || serve(listener, service).unwrap());
+
+        // A --binary route is refereed locally like a JSON one.
+        let out = run_words(&[
+            "request", "--addr", &addr, "--family", "reversal", "--binary",
+        ])
+        .unwrap();
+        assert!(out.contains("verified 2-slot schedule"), "{out}");
+
+        // A --binary batch file streams item frames and is refereed too.
+        let path = std::env::temp_dir().join(format!(
+            "pops-cli-binary-batch-{}.jsonl",
+            std::process::id()
+        ));
+        let mut file = std::fs::File::create(&path).unwrap();
+        writeln!(file, "{{\"perm\":[15,14,13,12,11,10,9,8,7,6,5,4,3,2,1,0]}}").unwrap();
+        drop(file);
+        let out = run_words(&[
+            "request",
+            "--addr",
+            &addr,
+            "--batch-file",
+            path.to_str().unwrap(),
+            "--binary",
+        ])
+        .unwrap();
+        assert!(out.contains("1 routed, 0 failed"), "{out}");
+        let _ = std::fs::remove_file(&path);
+
+        // Per-format counters surface in the raw stats document.
+        let out = run_words(&["request", "--addr", &addr, "--stats"]).unwrap();
+        assert!(out.contains("\"binary\""), "{out}");
+
+        run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
         server.join().unwrap();
     }
 

@@ -41,7 +41,7 @@ pub fn multicast(
             sender: speaker,
             coupler: topology.coupler_id(dest_group, src_group),
             packet,
-            receivers,
+            receivers: receivers.into(),
         })
         .collect();
     SlotFrame { transmissions }

@@ -64,6 +64,7 @@
 //! the `engine_equivalence.rs` integration suite sweeps `(d, g)` shapes and
 //! permutation families asserting exactly that, warm engine included.
 
+use pops_bipartite::coloring::bitset;
 use pops_bipartite::BipartiteMultigraph;
 use pops_bipartite::ColorerKind;
 use pops_network::fault::FaultSet;
@@ -254,6 +255,26 @@ struct Scratch {
     demand: Vec<usize>,
     /// Per-coupler queue length (direct path).
     queue_len: Vec<usize>,
+    /// `group_lut[p] = p / d` for every processor `p` — filled once per
+    /// engine (the topology is fixed), so the Theorem-2 hot paths trade
+    /// three hardware divisions per processor (destination-group list,
+    /// delivery couplers) for L1 table lookups.
+    group_lut: Vec<u32>,
+    /// Per-left-node used-colour bitmask words (the word-parallel
+    /// kernel's mirror of `left_table`): bit `c` of
+    /// `left_used[u·W .. (u+1)·W]` is set iff `left_table[u·n₂ + c]`
+    /// holds an edge, where `W = ⌈n₂/64⌉`.
+    left_used: Vec<u64>,
+    /// Right-side used-colour masks, as `left_used`.
+    right_used: Vec<u64>,
+    /// Retired transmission buffers handed back through
+    /// [`RoutingEngine::recycle`]; schedule emission pops from here before
+    /// asking the allocator, so steady-state batch routing recirculates
+    /// the same cache-warm blocks instead of walking fresh cold pages for
+    /// every plan.
+    spare_tx: Vec<Vec<Transmission>>,
+    /// Retired intermediate-placement buffers (same recycling loop).
+    spare_intermediate: Vec<Vec<usize>>,
     /// Request multigraph of the h-relation path (cleared, not freed,
     /// between calls).
     hrel_graph: Option<BipartiteMultigraph>,
@@ -277,12 +298,51 @@ fn ensure<T: Clone + Default>(v: &mut Vec<T>, len: usize) {
     }
 }
 
+/// Selects the inner-loop implementation of the alternating-path edge
+/// colourer — the routine under every Theorem-1 fair distribution and
+/// every h-relation phase decomposition.
+///
+/// Both kernels run the *same algorithm* (identical insertion order,
+/// chain walks, and flips) and produce **byte-identical** colourings —
+/// and therefore byte-identical schedules — on every input; the
+/// engine-equivalence proptests pin this. They differ only in how "the
+/// lowest colour free at this node" is answered:
+///
+/// * [`ColoringKernel::Scalar`] walks the colour table linearly — up to
+///   `Δ = max(d, g)` slots per query.
+/// * [`ColoringKernel::Bitset`] mirrors the table into u64 used-colour
+///   masks and answers with one `trailing_zeros` per 64 colours — the
+///   word-parallel kernel, **default** now that the equivalence suite
+///   proves the outputs identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColoringKernel {
+    /// Linear table scan per free-colour query.
+    Scalar,
+    /// u64 used-colour masks; free-colour queries are word-parallel.
+    #[default]
+    Bitset,
+}
+
+impl ColoringKernel {
+    /// Both kernels, for comparison sweeps and equivalence tests.
+    pub const ALL: [ColoringKernel; 2] = [ColoringKernel::Scalar, ColoringKernel::Bitset];
+
+    /// Human-readable kernel name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColoringKernel::Scalar => "scalar",
+            ColoringKernel::Bitset => "bitset",
+        }
+    }
+}
+
 /// The unified routing engine: one topology, one colourer choice, reusable
 /// scratch arenas for every routing path. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct RoutingEngine {
     topology: PopsTopology,
     colorer: ColorerKind,
+    kernel: ColoringKernel,
     emit_artefacts: bool,
     scratch: Scratch,
 }
@@ -302,9 +362,27 @@ impl RoutingEngine {
         Self {
             topology,
             colorer,
+            kernel: ColoringKernel::default(),
             emit_artefacts: false,
             scratch: Scratch::default(),
         }
+    }
+
+    /// Selects the alternating-path colouring kernel (see
+    /// [`ColoringKernel`]); output is byte-identical either way.
+    pub fn coloring_kernel(mut self, kernel: ColoringKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Non-consuming form of [`RoutingEngine::coloring_kernel`].
+    pub fn set_coloring_kernel(&mut self, kernel: ColoringKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The engine's active colouring kernel.
+    pub fn kernel(&self) -> ColoringKernel {
+        self.kernel
     }
 
     /// Whether Theorem-2 plans carry their construction artefacts (the
@@ -342,6 +420,35 @@ impl RoutingEngine {
         self.scratch = Scratch::default();
     }
 
+    /// Hands a consumed plan's heap buffers back to the engine: the next
+    /// emitted schedules are written into the recycled allocations instead
+    /// of fresh ones. A batch executor that recycles the previous batch
+    /// before routing the next keeps its steady-state memory fixed and
+    /// cache-warm — the optimisation that lifts 1-thread batch throughput
+    /// to (and past) the drop-each-plan single-plan loop, which gets the
+    /// same recirculation from the allocator for free.
+    ///
+    /// Plans from any topology are accepted; only the buffers are kept,
+    /// and the pool is capped so over-donation cannot grow memory without
+    /// bound.
+    pub fn recycle(&mut self, plan: RoutingPlan) {
+        const SPARE_CAP: usize = 512;
+        let scratch = &mut self.scratch;
+        for frame in plan.schedule.slots {
+            if scratch.spare_tx.len() >= SPARE_CAP {
+                break;
+            }
+            let mut tx = frame.transmissions;
+            tx.clear();
+            scratch.spare_tx.push(tx);
+        }
+        if scratch.spare_intermediate.len() < SPARE_CAP {
+            let mut intermediate = plan.intermediate;
+            intermediate.clear();
+            scratch.spare_intermediate.push(intermediate);
+        }
+    }
+
     /// Approximate heap footprint of the scratch arenas in bytes — the
     /// flat vectors only (the h-relation request graph, whose size is
     /// workload-dependent, is excluded). A metrics hook for pools.
@@ -362,8 +469,15 @@ impl RoutingEngine {
         let u32_cells = s.edge_u.capacity()
             + s.edge_v.capacity()
             + s.incoming_h.capacity()
-            + s.incoming_i.capacity();
-        usize_cells * std::mem::size_of::<usize>() + u32_cells * std::mem::size_of::<u32>()
+            + s.incoming_i.capacity()
+            + s.group_lut.capacity();
+        let u64_cells = s.left_used.capacity() + s.right_used.capacity();
+        let spare_usize_cells: usize = s.spare_intermediate.iter().map(Vec::capacity).sum();
+        let spare_tx_cells: usize = s.spare_tx.iter().map(Vec::capacity).sum();
+        (usize_cells + spare_usize_cells) * std::mem::size_of::<usize>()
+            + u32_cells * std::mem::size_of::<u32>()
+            + u64_cells * std::mem::size_of::<u64>()
+            + spare_tx_cells * std::mem::size_of::<Transmission>()
     }
 
     /// The engine's topology.
@@ -619,7 +733,13 @@ impl RoutingEngine {
         for &(src, dst) in relation.requests() {
             graph.add_edge(src, dst);
         }
-        let coloring = self.colorer.color(graph);
+        // The bitset kernel is a byte-identical drop-in for the
+        // alternating-path colourer, so the request multigraph gets the
+        // word-parallel path too; other colourers are untouched.
+        let coloring = match (self.colorer, self.kernel) {
+            (ColorerKind::AlternatingPath, ColoringKernel::Bitset) => bitset::color(graph),
+            _ => self.colorer.color(graph),
+        };
         let (offsets, flat) = coloring.classes_flat();
         (0..coloring.num_colors)
             .map(|phase| {
@@ -716,6 +836,7 @@ impl RoutingEngine {
             };
         }
 
+        self.ensure_group_lut();
         let artefacts = self.compute_fair_distribution_with_artefacts(pi, want_artefacts);
         let (schedule, intermediate) = if d <= g {
             self.emit_d_le_g(pi)
@@ -789,6 +910,19 @@ impl RoutingEngine {
         (ls, fd)
     }
 
+    /// Fills `scratch.group_lut` with `p ↦ p / d` if it is not already at
+    /// full size. The divisions run once per engine lifetime; every plan
+    /// afterwards reads groups out of the table instead of dividing.
+    fn ensure_group_lut(&mut self) {
+        let n = self.topology.n();
+        let d = self.topology.d();
+        let lut = &mut self.scratch.group_lut;
+        if lut.len() < n {
+            lut.clear();
+            lut.extend((0..n).map(|p| (p / d) as u32));
+        }
+    }
+
     /// Fills `scratch.fd_targets` for `pi` on a `d > 1` topology using the
     /// engine's colourer; allocation-free when warm for the
     /// alternating-path colourer.
@@ -796,6 +930,7 @@ impl RoutingEngine {
         let t = self.topology;
         let (d, g) = (t.d(), t.g());
         debug_assert!(d > 1);
+        self.ensure_group_lut();
         if self.colorer != ColorerKind::AlternatingPath {
             let _ = self.legacy_fair_distribution_into_scratch(pi);
             return;
@@ -824,14 +959,16 @@ impl RoutingEngine {
         scratch.chain.clear();
         scratch.chain.reserve(2 * nodes + 2);
 
-        // The routing list system: L(h, i) = group(π(h·d + i)).
+        // The routing list system: L(h, i) = group(π(h·d + i)), with the
+        // per-processor division replaced by the engine's group table.
         for p in 0..m_real {
-            scratch.dest_group[p] = pi.apply(p) / d;
+            scratch.dest_group[p] = scratch.group_lut[pi.apply(p)] as usize;
         }
         // Real demand edges in (h, i) lexicographic order: edge h·d + i is
-        // (h, L(h, i)) — the same ids the legacy pipeline assigns.
+        // (h, L(h, i)) — the same ids the legacy pipeline assigns. The
+        // left endpoint e / d is again a group-table read (m_real = n).
         for (e, &dest) in scratch.dest_group[..m_real].iter().enumerate() {
-            scratch.edge_u[e] = (e / d) as u32;
+            scratch.edge_u[e] = scratch.group_lut[e];
             scratch.edge_v[e] = dest as u32;
         }
         // Pad edges, in the exact order `theorem1_pad` appends them:
@@ -863,8 +1000,17 @@ impl RoutingEngine {
     /// Allocation-free port of the alternating-chain edge colourer
     /// ([`pops_bipartite::coloring::alternating`]): identical insertion
     /// order, chain walk, and flip — hence byte-identical colours — but
-    /// working on the engine's flat arenas.
+    /// working on the engine's flat arenas. Dispatches on the engine's
+    /// [`ColoringKernel`]; both branches produce the same bytes.
     fn color_alternating(&mut self, nodes: usize, n2: usize, m_total: usize) {
+        match self.kernel {
+            ColoringKernel::Scalar => self.color_alternating_scalar(nodes, n2, m_total),
+            ColoringKernel::Bitset => self.color_alternating_bitset(nodes, n2, m_total),
+        }
+    }
+
+    /// The scalar kernel: free-colour queries walk the colour table.
+    fn color_alternating_scalar(&mut self, nodes: usize, n2: usize, m_total: usize) {
         let Scratch {
             edge_u,
             edge_v,
@@ -932,6 +1078,95 @@ impl RoutingEngine {
             colors[e] = a;
             left_table[u * n2 + a] = e;
             right_table[v * n2 + a] = e;
+        }
+    }
+
+    /// The word-parallel kernel: per-node u64 used-colour masks mirror
+    /// the colour tables, so a free-colour query is `trailing_zeros` of
+    /// the complement word ([`bitset::first_free_in`]) instead of a scan
+    /// over up to `n₂` table slots. Every table write pairs with a mask
+    /// update, keeping the mirror exact through chain flips; the chain
+    /// walk itself still follows the tables. Byte-identical output to
+    /// [`RoutingEngine::color_alternating_scalar`].
+    fn color_alternating_bitset(&mut self, nodes: usize, n2: usize, m_total: usize) {
+        let words = bitset::words_per_node(n2);
+        ensure(&mut self.scratch.left_used, nodes * words);
+        ensure(&mut self.scratch.right_used, nodes * words);
+        let Scratch {
+            edge_u,
+            edge_v,
+            left_table,
+            right_table,
+            colors,
+            chain,
+            left_used,
+            right_used,
+            ..
+        } = &mut self.scratch;
+        left_table[..nodes * n2].fill(NONE);
+        right_table[..nodes * n2].fill(NONE);
+        colors[..m_total].fill(NONE);
+        left_used[..nodes * words].fill(0);
+        right_used[..nodes * words].fill(0);
+
+        for e in 0..m_total {
+            let u = edge_u[e] as usize;
+            let v = edge_v[e] as usize;
+            let a = bitset::first_free_in(&left_used[u * words..(u + 1) * words], n2);
+            let b = bitset::first_free_in(&right_used[v * words..(v + 1) * words], n2);
+            if a == b {
+                colors[e] = a;
+                left_table[u * n2 + a] = e;
+                right_table[v * n2 + a] = e;
+                bitset::mark_used(left_used, u, words, a);
+                bitset::mark_used(right_used, v, words, a);
+                continue;
+            }
+            // Flip the (a, b)-alternating chain starting at v.
+            let mut want = a;
+            let mut at_right = true;
+            let mut node = v;
+            chain.clear();
+            loop {
+                let table: &[usize] = if at_right { right_table } else { left_table };
+                let next = table[node * n2 + want];
+                if next == NONE {
+                    break;
+                }
+                chain.push(next);
+                node = if at_right {
+                    edge_u[next] as usize
+                } else {
+                    edge_v[next] as usize
+                };
+                at_right = !at_right;
+                want = if want == a { b } else { a };
+            }
+            debug_assert!(at_right || node != u, "alternating chain reached u");
+            for &ce in chain.iter() {
+                let (cu, cv) = (edge_u[ce] as usize, edge_v[ce] as usize);
+                let old = colors[ce];
+                left_table[cu * n2 + old] = NONE;
+                right_table[cv * n2 + old] = NONE;
+                bitset::mark_free(left_used, cu, words, old);
+                bitset::mark_free(right_used, cv, words, old);
+            }
+            for &ce in chain.iter() {
+                let (cu, cv) = (edge_u[ce] as usize, edge_v[ce] as usize);
+                let new = if colors[ce] == a { b } else { a };
+                colors[ce] = new;
+                left_table[cu * n2 + new] = ce;
+                right_table[cv * n2 + new] = ce;
+                bitset::mark_used(left_used, cu, words, new);
+                bitset::mark_used(right_used, cv, words, new);
+            }
+            debug_assert_eq!(left_table[u * n2 + a], NONE);
+            debug_assert_eq!(right_table[v * n2 + a], NONE);
+            colors[e] = a;
+            left_table[u * n2 + a] = e;
+            right_table[v * n2 + a] = e;
+            bitset::mark_used(left_used, u, words, a);
+            bitset::mark_used(right_used, v, words, a);
         }
     }
 
@@ -1003,8 +1238,12 @@ impl RoutingEngine {
             "equation (2)"
         );
 
-        let mut intermediate = vec![NONE; n];
-        let mut slot1 = SlotFrame::new();
+        let mut intermediate = scratch.spare_intermediate.pop().unwrap_or_default();
+        intermediate.clear();
+        intermediate.resize(n, NONE);
+        let mut slot1 = SlotFrame {
+            transmissions: scratch.spare_tx.pop().unwrap_or_default(),
+        };
         slot1.transmissions.reserve_exact(n);
         for j in 0..g {
             for k in 0..d {
@@ -1022,17 +1261,19 @@ impl RoutingEngine {
             }
         }
 
-        // Slot 2: every packet is one hop from home (Fact 1).
-        let mut slot2 = SlotFrame::new();
+        // Slot 2: every packet is one hop from home (Fact 1). The coupler
+        // c(group(dest), group(holder)) comes from the group table — no
+        // divisions on the delivery path.
+        let mut slot2 = SlotFrame {
+            transmissions: scratch.spare_tx.pop().unwrap_or_default(),
+        };
         slot2.transmissions.reserve_exact(n);
         for (p, &holder) in intermediate.iter().enumerate() {
             let dest = pi.apply(p);
-            slot2.transmissions.push(Transmission::unicast(
-                holder,
-                t.coupler_between(holder, dest),
-                p,
-                dest,
-            ));
+            let coupler = scratch.group_lut[dest] as usize * g + scratch.group_lut[holder] as usize;
+            slot2
+                .transmissions
+                .push(Transmission::unicast(holder, coupler, p, dest));
         }
 
         (
@@ -1062,7 +1303,9 @@ impl RoutingEngine {
 
         let rounds = d.div_ceil(g);
         let mut slots = Vec::with_capacity(2 * rounds);
-        let mut intermediate = vec![NONE; n];
+        let mut intermediate = scratch.spare_intermediate.pop().unwrap_or_default();
+        intermediate.clear();
+        intermediate.resize(n, NONE);
 
         for q in 0..rounds {
             let block = q * g..((q + 1) * g).min(d);
@@ -1084,7 +1327,9 @@ impl RoutingEngine {
                 }
             }
 
-            let mut slot1 = SlotFrame::new();
+            let mut slot1 = SlotFrame {
+                transmissions: scratch.spare_tx.pop().unwrap_or_default(),
+            };
             slot1.transmissions.reserve_exact(g * block.len());
             for h in 0..g {
                 for j in block.clone() {
@@ -1102,18 +1347,19 @@ impl RoutingEngine {
             }
 
             // Second slot of the round: deliver the moved packets.
-            let mut slot2 = SlotFrame::new();
+            let mut slot2 = SlotFrame {
+                transmissions: scratch.spare_tx.pop().unwrap_or_default(),
+            };
             slot2.transmissions.reserve_exact(slot1.transmissions.len());
             for tr in &slot1.transmissions {
                 let packet = tr.packet;
                 let holder = tr.receivers[0];
                 let dest = pi.apply(packet);
-                slot2.transmissions.push(Transmission::unicast(
-                    holder,
-                    t.coupler_between(holder, dest),
-                    packet,
-                    dest,
-                ));
+                let coupler =
+                    scratch.group_lut[dest] as usize * g + scratch.group_lut[holder] as usize;
+                slot2
+                    .transmissions
+                    .push(Transmission::unicast(holder, coupler, packet, dest));
             }
 
             slots.push(slot1);

@@ -68,13 +68,15 @@ pub mod verify;
 
 pub use bounds::lower_bound;
 pub use compress::compress_schedule;
-pub use engine::{Router, RoutingEngine, RoutingError, RoutingOutcome, RoutingRequest};
+pub use engine::{
+    ColoringKernel, Router, RoutingEngine, RoutingError, RoutingOutcome, RoutingRequest,
+};
 pub use fair_distribution::{FairDistribution, FairnessViolation};
 pub use fault_routing::{route_greedy, route_with_faults, FaultRouting, FaultRoutingError};
 pub use h_relation::{route_h_relation, HRelation, HRelationRouting};
 pub use list_system::{ListSystem, ListSystemError};
 pub use optimal::{min_slots_two_hop, routable_in, SearchOutcome};
-pub use parallel::{route_batch, route_batch_with};
+pub use parallel::{route_batch, route_batch_with, BatchRouter};
 pub use router::{route, theorem2_slots, RoutingPlan};
 pub use single_slot::{is_single_slot_routable, route_single_slot};
 pub use verify::{route_and_verify, RoutingFailure, VerifiedRouting};

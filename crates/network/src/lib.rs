@@ -43,6 +43,6 @@ pub mod viz;
 
 pub use fault::FaultSet;
 pub use simulator::{DeliveryError, SimError, Simulator};
-pub use slot::{PacketId, Schedule, SlotFrame, Transmission};
+pub use slot::{PacketId, Receivers, Schedule, SlotFrame, Transmission};
 pub use stats::{CouplerLoad, ScheduleStats, SlotRecord};
 pub use topology::{CouplerId, GroupId, PopsTopology, ProcessorId};

@@ -585,13 +585,13 @@ mod tests {
                     sender: 0,
                     coupler: t.coupler_id(0, 0),
                     packet: 0,
-                    receivers: vec![1, 2],
+                    receivers: vec![1, 2].into(),
                 },
                 Transmission {
                     sender: 0,
                     coupler: t.coupler_id(1, 0),
                     packet: 0,
-                    receivers: vec![3, 4, 5],
+                    receivers: vec![3, 4, 5].into(),
                 },
             ],
         };
@@ -610,7 +610,7 @@ mod tests {
                 sender: 0,
                 coupler: t.coupler_id(1, 0),
                 packet: 0,
-                receivers: vec![],
+                receivers: vec![].into(),
             }],
         };
         assert!(matches!(

@@ -15,6 +15,90 @@ use crate::topology::{CouplerId, ProcessorId};
 /// processor as its id (`packet p_i` of the paper).
 pub type PacketId = usize;
 
+/// The receiver set of a [`Transmission`].
+///
+/// Permutation routing emits `2n` transmissions per plan, each with
+/// exactly one receiver; storing that receiver inline instead of in a
+/// one-element `Vec` removes two heap allocations per processor from the
+/// schedule-emission hot path. True multicasts (the one-to-all patterns
+/// of §1) still carry their receiver list on the heap.
+///
+/// The type dereferences to `[ProcessorId]`, so reading code treats it
+/// exactly like the `Vec<ProcessorId>` it replaces: indexing, `len`,
+/// `iter`, and `for &r in &t.receivers` all work unchanged. Equality is
+/// slice equality — `One(5)` and `Many(vec![5])` compare equal, so
+/// schedules survive encode/decode round-trips that rebuild the heap
+/// representation.
+#[derive(Clone)]
+pub enum Receivers {
+    /// Exactly one reading processor — every permutation-routing
+    /// transmission. Stored inline, no allocation.
+    One(ProcessorId),
+    /// A general receiver set (multicast, or empty for a blind send).
+    /// Boxed slice rather than `Vec`: schedules hold `2n` transmissions,
+    /// so the 8 bytes of unused capacity field are worth shaving.
+    Many(Box<[ProcessorId]>),
+}
+
+impl Receivers {
+    /// The receivers as a slice, whatever the representation.
+    pub fn as_slice(&self) -> &[ProcessorId] {
+        match self {
+            Receivers::One(r) => std::slice::from_ref(r),
+            Receivers::Many(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for Receivers {
+    type Target = [ProcessorId];
+
+    fn deref(&self) -> &[ProcessorId] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Receivers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for Receivers {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Receivers {}
+
+impl PartialEq<Vec<ProcessorId>> for Receivers {
+    fn eq(&self, other: &Vec<ProcessorId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<ProcessorId>> for Receivers {
+    fn from(v: Vec<ProcessorId>) -> Self {
+        Receivers::Many(v.into_boxed_slice())
+    }
+}
+
+impl FromIterator<ProcessorId> for Receivers {
+    fn from_iter<I: IntoIterator<Item = ProcessorId>>(iter: I) -> Self {
+        Receivers::Many(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Receivers {
+    type Item = &'a ProcessorId;
+    type IntoIter = std::slice::Iter<'a, ProcessorId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One optical transmission: `sender` drives `coupler` with `packet`, and
 /// each processor in `receivers` reads the coupler.
 ///
@@ -31,11 +115,12 @@ pub struct Transmission {
     /// The packet transmitted.
     pub packet: PacketId,
     /// The processors reading the coupler (each in the destination group).
-    pub receivers: Vec<ProcessorId>,
+    pub receivers: Receivers,
 }
 
 impl Transmission {
     /// Convenience constructor for the common single-receiver case.
+    /// Allocation-free: the receiver is stored inline.
     pub fn unicast(
         sender: ProcessorId,
         coupler: CouplerId,
@@ -46,7 +131,7 @@ impl Transmission {
             sender,
             coupler,
             packet,
-            receivers: vec![receiver],
+            receivers: Receivers::One(receiver),
         }
     }
 }
@@ -124,7 +209,7 @@ mod tests {
             sender: 2,
             coupler: 1,
             packet: 2,
-            receivers: vec![3, 4],
+            receivers: vec![3, 4].into(),
         });
         assert_eq!(slot.couplers_used(), 2);
         assert_eq!(slot.deliveries(), 3);

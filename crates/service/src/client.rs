@@ -1,17 +1,27 @@
-//! A blocking JSON-lines client for the service's TCP protocol — used by
-//! the `pops request` CLI subcommand, the integration tests, and the CI
-//! smoke check.
+//! A blocking client for the service's TCP protocol — used by the
+//! `pops request` CLI subcommand, the integration tests, and the CI
+//! smoke check. Connections speak JSON lines; calling
+//! [`ServiceClient::set_format`] with [`WireFormat::Binary`] negotiates
+//! the length-prefixed binary framing of [`crate::frame`], after which
+//! route and batch payloads travel as dense binary bodies (control ops
+//! keep their JSON documents, wrapped in frames).
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use pops_network::Schedule;
 use pops_permutation::Permutation;
 
+use crate::frame::{self, TAG_BATCH_ITEM, TAG_JSON, TAG_ROUTE_REPLY};
 use crate::json::Json;
-use crate::proto::schedule_from_json;
+use crate::metrics::RequestKind;
+use crate::proto::{schedule_from_json, WireFormat};
+
+/// Client-side cap on one incoming frame, so a hostile or corrupted
+/// length prefix cannot make the client allocate unbounded memory.
+const CLIENT_MAX_FRAME_BYTES: usize = 64 << 20;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -204,6 +214,7 @@ pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     poisoned: bool,
+    format: WireFormat,
 }
 
 impl ServiceClient {
@@ -217,6 +228,7 @@ impl ServiceClient {
             reader,
             writer: stream,
             poisoned: false,
+            format: WireFormat::Json,
         })
     }
 
@@ -239,6 +251,7 @@ impl ServiceClient {
                         reader: BufReader::new(stream.try_clone()?),
                         writer: stream,
                         poisoned: false,
+                        format: WireFormat::Json,
                     };
                     client.set_timeout(Some(timeout))?;
                     return Ok(client);
@@ -267,6 +280,43 @@ impl ServiceClient {
         self.writer.set_nodelay(nodelay)
     }
 
+    /// The wire format this connection currently speaks.
+    pub fn format(&self) -> WireFormat {
+        self.format
+    }
+
+    /// Negotiates the connection's wire format with the `hello` op.
+    /// Requesting the current format is a no-op; requesting
+    /// [`WireFormat::Binary`] upgrades the connection for its remaining
+    /// lifetime (the protocol has no downgrade — reconnect for JSON
+    /// lines). After a successful upgrade, route and batch payloads
+    /// travel as dense binary frames and every other op rides
+    /// JSON-in-a-frame transparently.
+    pub fn set_format(&mut self, format: WireFormat) -> Result<(), ClientError> {
+        if format == self.format {
+            return Ok(());
+        }
+        if format == WireFormat::Json {
+            return Err(ClientError::Protocol(
+                "the binary framing cannot be downgraded; reconnect for JSON lines".into(),
+            ));
+        }
+        let request = Json::Obj(vec![
+            ("op".into(), Json::str("hello")),
+            ("format".into(), Json::str(format.name())),
+        ]);
+        let doc = self.call(&request)?;
+        match doc.get("format").and_then(Json::as_str) {
+            Some(name) if name == format.name() => {
+                self.format = format;
+                Ok(())
+            }
+            _ => Err(ClientError::Protocol(
+                "hello response did not echo the requested format".into(),
+            )),
+        }
+    }
+
     /// Sends one raw request line without reading anything back —
     /// multi-line exchanges (the batch op) pair this with
     /// [`ServiceClient::read_doc`] once per expected line.
@@ -282,11 +332,101 @@ impl ServiceClient {
         sent.inspect_err(|_| self.poisoned = true)
     }
 
+    /// Sends one binary frame without reading anything back.
+    fn send_payload(&mut self, payload: &[u8]) -> Result<(), ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let sent = (|| -> Result<(), ClientError> {
+            frame::write_frame(&mut self.writer, payload)?;
+            self.writer.flush()?;
+            Ok(())
+        })();
+        sent.inspect_err(|_| self.poisoned = true)
+    }
+
+    /// Sends one request document in whatever format the connection
+    /// speaks: a bare line under JSON, a [`TAG_JSON`] frame under the
+    /// binary framing.
+    fn send_request(&mut self, line: &str) -> Result<(), ClientError> {
+        if self.format == WireFormat::Binary {
+            let mut payload = Vec::with_capacity(1 + line.len());
+            payload.push(TAG_JSON);
+            payload.extend_from_slice(line.as_bytes());
+            return self.send_payload(&payload);
+        }
+        self.write_line(line)
+    }
+
+    /// Reads one frame payload. A clean EOF before any header byte is
+    /// [`ClientError::Disconnected`]; an EOF mid-frame is
+    /// [`ClientError::Truncated`]. Timeouts, truncation, oversized
+    /// frames, and I/O errors poison the connection (see the type docs).
+    fn read_payload(&mut self) -> Result<Vec<u8>, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let exchange = |this: &mut Self| -> Result<Vec<u8>, ClientError> {
+            let mut header = [0u8; 4];
+            let mut filled = 0;
+            while filled < header.len() {
+                let read = this.reader.read(&mut header[filled..])?;
+                if read == 0 {
+                    return Err(if filled == 0 {
+                        ClientError::Disconnected
+                    } else {
+                        ClientError::Truncated
+                    });
+                }
+                filled += read;
+            }
+            let len = u32::from_le_bytes(header) as usize;
+            if len > CLIENT_MAX_FRAME_BYTES {
+                return Err(ClientError::Protocol(format!(
+                    "frame of {len} bytes exceeds the client's {CLIENT_MAX_FRAME_BYTES}-byte cap"
+                )));
+            }
+            let mut payload = vec![0u8; len];
+            let mut at = 0;
+            while at < len {
+                let read = this.reader.read(&mut payload[at..])?;
+                if read == 0 {
+                    return Err(ClientError::Truncated);
+                }
+                at += read;
+            }
+            Ok(payload)
+        };
+        exchange(self).inspect_err(|e| {
+            self.poisoned = !matches!(e, ClientError::Disconnected);
+        })
+    }
+
+    /// Decodes a [`TAG_JSON`] frame payload into a document.
+    fn doc_from_payload(payload: &[u8]) -> Result<Json, ClientError> {
+        match payload.split_first() {
+            Some((&TAG_JSON, body)) => {
+                let text = std::str::from_utf8(body).map_err(|_| {
+                    ClientError::Protocol("TAG_JSON frame is not valid UTF-8".into())
+                })?;
+                Json::parse(text).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            Some((&tag, _)) => Err(ClientError::Protocol(format!(
+                "expected a JSON frame, got tag 0x{tag:02x}"
+            ))),
+            None => Err(ClientError::Protocol("empty frame".into())),
+        }
+    }
+
     /// Reads and parses one response line. A clean EOF before any byte is
     /// [`ClientError::Disconnected`]; a line cut off mid-way is
     /// [`ClientError::Truncated`]. Timeouts, truncation, and I/O errors
     /// poison the connection (see the type docs).
     fn read_doc(&mut self) -> Result<Json, ClientError> {
+        if self.format == WireFormat::Binary {
+            let payload = self.read_payload()?;
+            return Self::doc_from_payload(&payload);
+        }
         if self.poisoned {
             return Err(ClientError::Poisoned);
         }
@@ -338,7 +478,7 @@ impl ServiceClient {
     /// truncation, and I/O errors poison the connection (see the type
     /// docs); later calls fail with [`ClientError::Poisoned`].
     pub fn call_raw(&mut self, line: &str) -> Result<Json, ClientError> {
-        self.write_line(line)?;
+        self.send_request(line)?;
         let doc = self.read_doc()?;
         Self::check_ok(doc)
     }
@@ -438,6 +578,23 @@ impl ServiceClient {
         pi: &Permutation,
         shape: Option<(usize, usize)>,
     ) -> Result<RouteReply, ClientError> {
+        if self.format == WireFormat::Binary {
+            let parsed = RequestKind::from_name(kind).filter(|k| {
+                matches!(
+                    k,
+                    RequestKind::Theorem2
+                        | RequestKind::SingleSlot
+                        | RequestKind::Direct
+                        | RequestKind::Structured
+                )
+            });
+            // Permutation-carrying kinds get the dense body; anything
+            // else falls through to JSON-in-a-frame, where the server
+            // produces the same validation errors it would on a line.
+            if let Some(kind) = parsed {
+                return self.route_permutation_binary(kind, pi, shape);
+            }
+        }
         let perm = Json::Arr(pi.as_slice().iter().map(|&v| Json::num(v)).collect());
         let mut fields = vec![
             ("op".into(), Json::str("route")),
@@ -450,6 +607,37 @@ impl ServiceClient {
         fields.push(("perm".into(), perm));
         let doc = self.call(&Json::Obj(fields))?;
         Self::decode_route(&doc)
+    }
+
+    /// The binary fast path of [`ServiceClient::route_permutation_on`]:
+    /// one `TAG_ROUTE` frame out, one `TAG_ROUTE_REPLY` (or JSON error)
+    /// frame back.
+    fn route_permutation_binary(
+        &mut self,
+        kind: RequestKind,
+        pi: &Permutation,
+        shape: Option<(usize, usize)>,
+    ) -> Result<RouteReply, ClientError> {
+        let payload = frame::encode_route_request(kind, true, shape, pi);
+        self.send_payload(&payload)?;
+        let reply = self.read_payload()?;
+        match reply.split_first() {
+            Some((&TAG_ROUTE_REPLY, body)) => {
+                let decoded = frame::decode_route_reply(body).map_err(ClientError::Protocol)?;
+                Ok(RouteReply {
+                    slots: decoded.slots,
+                    cache_hit: decoded.cache_hit,
+                    micros: decoded.micros,
+                    schedule: decoded.schedule,
+                })
+            }
+            _ => {
+                // Errors ride JSON frames; check_ok turns them into
+                // ClientError::Remote.
+                Self::check_ok(Self::doc_from_payload(&reply)?)?;
+                Err(ClientError::Protocol("expected a route reply frame".into()))
+            }
+        }
     }
 
     /// Routes an h-relation given as `(source, destination)` pairs.
@@ -506,32 +694,45 @@ impl ServiceClient {
         items: &[BatchItem],
         want_schedule: bool,
     ) -> Result<BatchReply, ClientError> {
-        let encoded: Vec<Json> = items
-            .iter()
-            .map(|item| {
-                let mut fields = Vec::with_capacity(3);
-                if let Some((d, g)) = item.shape {
-                    fields.push(("d".into(), Json::num(d)));
-                    fields.push(("g".into(), Json::num(g)));
-                }
-                fields.push((
-                    "perm".into(),
-                    Json::Arr(item.pi.as_slice().iter().map(|&v| Json::num(v)).collect()),
-                ));
-                Json::Obj(fields)
-            })
-            .collect();
-        let request = Json::Obj(vec![
-            ("op".into(), Json::str("batch")),
-            ("items".into(), Json::Arr(encoded)),
-            ("want_schedule".into(), Json::Bool(want_schedule)),
-        ]);
-        self.write_line(&request.to_string())?;
-        let reply = self.read_batch_stream(items.len());
+        let reply = if self.format == WireFormat::Binary {
+            let payload = frame::encode_batch_request(
+                want_schedule,
+                items.iter().map(|item| (item.shape, item.pi.clone())),
+            );
+            match self.send_payload(&payload) {
+                Err(e) => Err(e),
+                Ok(()) => self.read_batch_stream_binary(items.len()),
+            }
+        } else {
+            let encoded: Vec<Json> = items
+                .iter()
+                .map(|item| {
+                    let mut fields = Vec::with_capacity(3);
+                    if let Some((d, g)) = item.shape {
+                        fields.push(("d".into(), Json::num(d)));
+                        fields.push(("g".into(), Json::num(g)));
+                    }
+                    fields.push((
+                        "perm".into(),
+                        Json::Arr(item.pi.as_slice().iter().map(|&v| Json::num(v)).collect()),
+                    ));
+                    Json::Obj(fields)
+                })
+                .collect();
+            let request = Json::Obj(vec![
+                ("op".into(), Json::str("batch")),
+                ("items".into(), Json::Arr(encoded)),
+                ("want_schedule".into(), Json::Bool(want_schedule)),
+            ]);
+            match self.write_line(&request.to_string()) {
+                Err(e) => Err(e),
+                Ok(()) => self.read_batch_stream(items.len()),
+            }
+        };
         if matches!(&reply, Err(ClientError::Protocol(_))) {
-            // A malformed or out-of-order line mid-stream leaves an
-            // unknown number of batch lines unread on the socket; later
-            // replies could no longer be matched to requests.
+            // A malformed or out-of-order response mid-stream leaves an
+            // unknown number of batch responses unread on the socket;
+            // later replies could no longer be matched to requests.
             self.poisoned = true;
         }
         reply
@@ -542,43 +743,93 @@ impl ServiceClient {
         let mut replies: Vec<Result<BatchItemReply, BatchItemError>> = Vec::new();
         loop {
             let doc = self.read_doc()?;
-            match doc.get("op").and_then(Json::as_str) {
-                Some("batch-item") => {
-                    let index = doc
-                        .get("index")
-                        .and_then(Json::as_usize)
-                        .ok_or_else(|| ClientError::Protocol("item lacks 'index'".into()))?;
-                    if index != replies.len() || index >= expected {
-                        return Err(ClientError::Protocol(format!(
-                            "item {index} arrived out of order (expected {})",
-                            replies.len()
-                        )));
-                    }
-                    replies.push(Self::decode_batch_item(&doc)?);
+            if let Some(summary) = Self::accept_batch_doc(doc, &mut replies, expected)? {
+                return Ok(BatchReply {
+                    items: replies,
+                    summary,
+                });
+            }
+        }
+    }
+
+    /// Reads one binary batch response stream: successful items arrive as
+    /// `TAG_BATCH_ITEM` frames, per-item errors and the terminating
+    /// summary as JSON frames — the same in-order contract as the line
+    /// protocol.
+    fn read_batch_stream_binary(&mut self, expected: usize) -> Result<BatchReply, ClientError> {
+        let mut replies: Vec<Result<BatchItemReply, BatchItemError>> = Vec::new();
+        loop {
+            let payload = self.read_payload()?;
+            if let Some((&TAG_BATCH_ITEM, body)) = payload.split_first() {
+                let item = frame::decode_batch_item(body).map_err(ClientError::Protocol)?;
+                if item.index != replies.len() || item.index >= expected {
+                    return Err(ClientError::Protocol(format!(
+                        "item {} arrived out of order (expected {})",
+                        item.index,
+                        replies.len()
+                    )));
                 }
-                Some("batch") => {
-                    // The summary terminates the stream; it is only valid
-                    // once every submitted item has been answered.
-                    Self::check_ok(doc.clone())?;
-                    if replies.len() != expected {
-                        return Err(ClientError::Protocol(format!(
-                            "summary after {} of {expected} items",
-                            replies.len(),
-                        )));
-                    }
-                    return Ok(BatchReply {
-                        items: replies,
-                        summary: Self::decode_batch_summary(&doc)?,
-                    });
+                replies.push(Ok(BatchItemReply {
+                    d: item.d,
+                    g: item.g,
+                    slots: item.slots,
+                    schedule: item.schedule,
+                }));
+                continue;
+            }
+            let doc = Self::doc_from_payload(&payload)?;
+            if let Some(summary) = Self::accept_batch_doc(doc, &mut replies, expected)? {
+                return Ok(BatchReply {
+                    items: replies,
+                    summary,
+                });
+            }
+        }
+    }
+
+    /// Handles one JSON document of a batch stream: a `batch-item`
+    /// response or error appends to `replies`; the `batch` summary
+    /// terminates the stream (returned as `Some`); anything else is a
+    /// whole-batch rejection or a protocol violation.
+    fn accept_batch_doc(
+        doc: Json,
+        replies: &mut Vec<Result<BatchItemReply, BatchItemError>>,
+        expected: usize,
+    ) -> Result<Option<BatchSummary>, ClientError> {
+        match doc.get("op").and_then(Json::as_str) {
+            Some("batch-item") => {
+                let index = doc
+                    .get("index")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| ClientError::Protocol("item lacks 'index'".into()))?;
+                if index != replies.len() || index >= expected {
+                    return Err(ClientError::Protocol(format!(
+                        "item {index} arrived out of order (expected {})",
+                        replies.len()
+                    )));
                 }
-                _ => {
-                    // A whole-batch rejection (size cap, parse problem)
-                    // is a single plain error line.
-                    Self::check_ok(doc)?;
-                    return Err(ClientError::Protocol(
-                        "unexpected response line inside a batch exchange".into(),
-                    ));
+                replies.push(Self::decode_batch_item(&doc)?);
+                Ok(None)
+            }
+            Some("batch") => {
+                // The summary terminates the stream; it is only valid
+                // once every submitted item has been answered.
+                Self::check_ok(doc.clone())?;
+                if replies.len() != expected {
+                    return Err(ClientError::Protocol(format!(
+                        "summary after {} of {expected} items",
+                        replies.len(),
+                    )));
                 }
+                Ok(Some(Self::decode_batch_summary(&doc)?))
+            }
+            _ => {
+                // A whole-batch rejection (size cap, parse problem)
+                // is a single plain error response.
+                Self::check_ok(doc)?;
+                Err(ClientError::Protocol(
+                    "unexpected response line inside a batch exchange".into(),
+                ))
             }
         }
     }

@@ -23,7 +23,8 @@
 //! | [`router`] | [`TopologyRouter`]: `(d, g)` → lazily-built `RoutingService`, LRU-bounded — one daemon, many topologies |
 //! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms, L1 vs L2 hit accounting |
 //! | [`json`], [`proto`] | dependency-free JSON and the wire protocol (per-request topology selection, the `batch` op) |
-//! | [`server`], [`client`] | TCP/JSON-lines front door (`pops serve` / `pops request`) |
+//! | [`frame`] | opt-in length-prefixed binary framing, negotiated per connection with the `hello` op |
+//! | [`server`], [`client`] | TCP front door (`pops serve` / `pops request`): JSON lines by default, binary frames after negotiation |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod persist;
@@ -63,7 +65,7 @@ pub use json::{Json, JsonError, MAX_DEPTH};
 pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics};
 pub use persist::{PersistError, PersistSummary};
 pub use pool::EnginePool;
-pub use proto::WireErrorKind;
+pub use proto::{WireErrorKind, WireFormat};
 pub use router::{DirLoadReport, RouterError, RouterStats, TopologyRouter, TopologyRouterConfig};
 pub use server::{serve, serve_router, serve_with_config, ServerConfig, ServerSummary};
 pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};

@@ -143,6 +143,18 @@ pub struct ServiceMetrics {
     oversized_lines: AtomicU64,
     /// Connections dropped because a complete line never arrived in time.
     read_timeouts: AtomicU64,
+    /// Connections that negotiated the binary framing (every connection
+    /// starts as JSON; `conns_opened - conns_binary` is the JSON count).
+    conns_binary: AtomicU64,
+    /// Request bytes received on JSON-lines connections.
+    json_bytes_in: AtomicU64,
+    /// Response bytes written on JSON-lines connections.
+    json_bytes_out: AtomicU64,
+    /// Request bytes received on binary-framed connections (frames read
+    /// after negotiation; the negotiation line itself counts as JSON).
+    binary_bytes_in: AtomicU64,
+    /// Response bytes written on binary-framed connections.
+    binary_bytes_out: AtomicU64,
     per_kind: [KindMetrics; 6],
 }
 
@@ -241,6 +253,25 @@ impl ServiceMetrics {
         self.read_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a connection upgrading to the binary framing (a successful
+    /// `hello` negotiation).
+    pub fn record_binary_negotiated(&self) {
+        self.conns_binary.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records wire traffic: `bytes_in` request bytes received and
+    /// `bytes_out` response bytes written, attributed to the connection's
+    /// negotiated format.
+    pub fn record_wire_bytes(&self, binary: bool, bytes_in: u64, bytes_out: u64) {
+        let (in_counter, out_counter) = if binary {
+            (&self.binary_bytes_in, &self.binary_bytes_out)
+        } else {
+            (&self.json_bytes_in, &self.json_bytes_out)
+        };
+        in_counter.fetch_add(bytes_in, Ordering::Relaxed);
+        out_counter.fetch_add(bytes_out, Ordering::Relaxed);
+    }
+
     /// A plain-data copy of every counter at this instant.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -261,6 +292,11 @@ impl ServiceMetrics {
             conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
             oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
             read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            conns_binary: self.conns_binary.load(Ordering::Relaxed),
+            json_bytes_in: self.json_bytes_in.load(Ordering::Relaxed),
+            json_bytes_out: self.json_bytes_out.load(Ordering::Relaxed),
+            binary_bytes_in: self.binary_bytes_in.load(Ordering::Relaxed),
+            binary_bytes_out: self.binary_bytes_out.load(Ordering::Relaxed),
             arena_bytes: 0,
             cache_entries: 0,
             cache_capacity: 0,
@@ -368,6 +404,16 @@ pub struct MetricsSnapshot {
     pub oversized_lines: u64,
     /// Connections dropped on a read timeout.
     pub read_timeouts: u64,
+    /// Connections that negotiated the binary framing.
+    pub conns_binary: u64,
+    /// Request bytes received on JSON-lines connections.
+    pub json_bytes_in: u64,
+    /// Response bytes written on JSON-lines connections.
+    pub json_bytes_out: u64,
+    /// Request bytes received on binary-framed connections.
+    pub binary_bytes_in: u64,
+    /// Response bytes written on binary-framed connections.
+    pub binary_bytes_out: u64,
     /// Engine-arena bytes across the pool (gauge; filled by
     /// [`crate::RoutingService::metrics`], 0 from a bare registry).
     pub arena_bytes: u64,
@@ -430,6 +476,11 @@ impl MetricsSnapshot {
         self.conns_rejected += other.conns_rejected;
         self.oversized_lines += other.oversized_lines;
         self.read_timeouts += other.read_timeouts;
+        self.conns_binary += other.conns_binary;
+        self.json_bytes_in += other.json_bytes_in;
+        self.json_bytes_out += other.json_bytes_out;
+        self.binary_bytes_in += other.binary_bytes_in;
+        self.binary_bytes_out += other.binary_bytes_out;
         self.arena_bytes += other.arena_bytes;
         self.cache_entries += other.cache_entries;
         self.cache_capacity += other.cache_capacity;
@@ -475,6 +526,12 @@ impl MetricsSnapshot {
     pub fn active_connections(&self) -> u64 {
         self.conns_opened.saturating_sub(self.conns_closed)
     }
+
+    /// Connections that stayed on the default JSON-lines framing (opened
+    /// minus binary-negotiated).
+    pub fn json_connections(&self) -> u64 {
+        self.conns_opened.saturating_sub(self.conns_binary)
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -515,6 +572,17 @@ impl fmt::Display for MetricsSnapshot {
             self.conns_rejected,
             self.oversized_lines,
             self.read_timeouts,
+        )?;
+        writeln!(
+            f,
+            "wire: {} json conn(s) ({} B in, {} B out), {} binary conn(s) \
+             ({} B in, {} B out)",
+            self.json_connections(),
+            self.json_bytes_in,
+            self.json_bytes_out,
+            self.conns_binary,
+            self.binary_bytes_in,
+            self.binary_bytes_out,
         )?;
         writeln!(
             f,
@@ -635,6 +703,42 @@ mod tests {
         assert!(rendered.contains("2 active"), "{rendered}");
         assert!(rendered.contains("read timeouts: 1"), "{rendered}");
         assert!(rendered.contains("arena footprint"), "{rendered}");
+    }
+
+    #[test]
+    fn per_format_wire_counters_round_trip() {
+        let m = ServiceMetrics::new();
+        for _ in 0..3 {
+            m.record_connection_opened();
+        }
+        m.record_binary_negotiated();
+        m.record_wire_bytes(false, 100, 900);
+        m.record_wire_bytes(false, 20, 80);
+        m.record_wire_bytes(true, 50, 200);
+        let s = m.snapshot();
+        assert_eq!(s.conns_binary, 1);
+        assert_eq!(s.json_connections(), 2);
+        assert_eq!((s.json_bytes_in, s.json_bytes_out), (120, 980));
+        assert_eq!((s.binary_bytes_in, s.binary_bytes_out), (50, 200));
+        let rendered = s.to_string();
+        assert!(
+            rendered.contains("2 json conn(s) (120 B in, 980 B out)"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("1 binary conn(s) (50 B in, 200 B out)"),
+            "{rendered}"
+        );
+
+        // Aggregation across registries sums the per-format views too.
+        let other = ServiceMetrics::new();
+        other.record_wire_bytes(true, 1, 2);
+        other.record_binary_negotiated();
+        let mut total = MetricsSnapshot::zero();
+        total.absorb(&s);
+        total.absorb(&other.snapshot());
+        assert_eq!(total.conns_binary, 2);
+        assert_eq!((total.binary_bytes_in, total.binary_bytes_out), (51, 202));
     }
 
     #[test]

@@ -157,7 +157,7 @@ fn decode_schedule(cur: &mut Cursor<'_>) -> Result<Schedule, PersistError> {
                 sender,
                 coupler,
                 packet,
-                receivers,
+                receivers: receivers.into(),
             });
         }
         schedule.slots.push(frame);
@@ -328,7 +328,7 @@ mod tests {
                             sender: 1,
                             coupler: 2,
                             packet: 1,
-                            receivers: vec![4, 6, 7],
+                            receivers: vec![4, 6, 7].into(),
                         },
                     ],
                 },

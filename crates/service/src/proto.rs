@@ -85,6 +85,40 @@ impl WireErrorKind {
     }
 }
 
+/// The transport a connection speaks: JSON lines (the default every
+/// connection starts in) or the length-prefixed binary framing of
+/// [`crate::frame`], negotiated per connection with
+/// `{"op":"hello","format":"binary"}`. Negotiation itself — and every
+/// error sent before it completes — is always JSON, so a client that
+/// never sends `hello` observes a pure JSON-lines server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// One JSON document per `\n`-terminated line, each direction.
+    #[default]
+    Json,
+    /// Length-prefixed binary frames (see [`crate::frame`]).
+    Binary,
+}
+
+impl WireFormat {
+    /// The format's wire name (the `"format"` field of the `hello` op).
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(WireFormat::Json),
+            "binary" => Some(WireFormat::Binary),
+            _ => None,
+        }
+    }
+}
+
 /// What a `{"op":"cache"}` request asks of the plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheAction {
@@ -349,6 +383,18 @@ fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, Strin
     Ok(WireRequest::Route { req, want_schedule })
 }
 
+/// The `hello` response acknowledging a format negotiation:
+/// `{"ok":true,"op":"hello","format":"binary"}`. Always sent as a JSON
+/// line — the switch to binary framing takes effect on the **next**
+/// exchange, so the acknowledgement itself is readable in either format.
+pub fn hello_response(format: WireFormat) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("op".into(), Json::str("hello")),
+        ("format".into(), Json::str(format.name())),
+    ])
+}
+
 /// `{"ok":true,"op":"pong"}`.
 pub fn pong_response() -> Json {
     Json::Obj(vec![
@@ -475,6 +521,27 @@ pub fn stats_response(
                 ("opened".into(), Json::Num(snap.conns_opened as f64)),
                 ("closed".into(), Json::Num(snap.conns_closed as f64)),
                 ("rejected".into(), Json::Num(snap.conns_rejected as f64)),
+                ("json".into(), Json::Num(snap.json_connections() as f64)),
+                ("binary".into(), Json::Num(snap.conns_binary as f64)),
+            ]),
+        ),
+        (
+            "wire".into(),
+            Json::Obj(vec![
+                (
+                    "json".into(),
+                    Json::Obj(vec![
+                        ("bytes_in".into(), Json::Num(snap.json_bytes_in as f64)),
+                        ("bytes_out".into(), Json::Num(snap.json_bytes_out as f64)),
+                    ]),
+                ),
+                (
+                    "binary".into(),
+                    Json::Obj(vec![
+                        ("bytes_in".into(), Json::Num(snap.binary_bytes_in as f64)),
+                        ("bytes_out".into(), Json::Num(snap.binary_bytes_out as f64)),
+                    ]),
+                ),
             ]),
         ),
         (
@@ -718,7 +785,7 @@ pub fn schedule_from_json(value: &Json) -> Result<Schedule, String> {
                 sender: nums[0],
                 coupler: nums[1],
                 packet: nums[2],
-                receivers: nums[3..].to_vec(),
+                receivers: nums[3..].to_vec().into(),
             });
         }
         out.slots.push(frame);

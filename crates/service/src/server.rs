@@ -8,6 +8,15 @@
 //! permutations through the per-topology batch fast path and stream one
 //! response line per item plus a trailing summary.
 //!
+//! Connections speak JSON lines until (and unless) they negotiate the
+//! opt-in binary framing with `{"op":"hello","format":"binary"}` — the
+//! acknowledgement is the last JSON line, and both directions then switch
+//! to the length-prefixed frames of [`crate::frame`]. The binary reader
+//! enforces the same caps as the line reader (`max_line_bytes` bounds the
+//! frame payload, `read_timeout` bounds one complete frame) and control
+//! ops keep their JSON bodies inside `TAG_JSON` frames, so the two
+//! transports share one feature set and error vocabulary.
+//!
 //! One thread per connection (each service's admission gate, not the
 //! thread count, bounds concurrent routing work), governed by a
 //! [`ServerConfig`]:
@@ -47,16 +56,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::frame::{self, TAG_BATCH, TAG_JSON, TAG_ROUTE};
 use crate::json::Json;
-use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{MetricsSnapshot, RequestKind, ServiceMetrics};
+use crate::proto::BatchItemRequest;
 use crate::proto::{
     batch_item_error, batch_item_response, batch_summary_response, cache_persist_response,
-    cache_stats_response, error_response, info_response, parse_request, pong_response,
-    requested_shape, route_response, shutdown_response, stats_response, CacheAction, WireErrorKind,
-    WireRequest,
+    cache_stats_response, error_response, hello_response, info_response, parse_request,
+    pong_response, requested_shape, route_response, shutdown_response, stats_response, CacheAction,
+    WireErrorKind, WireFormat, WireRequest,
 };
 use crate::router::{RouterError, TopologyRouter, TopologyRouterConfig};
-use crate::service::RoutingService;
+use crate::service::{RoutingService, ServiceRequest};
 
 /// Limits and timeouts of one [`serve_with_config`] loop.
 #[derive(Debug, Clone)]
@@ -492,6 +503,142 @@ fn read_bounded_line(
     }
 }
 
+/// How reading one binary frame ended — the frame-mode mirror of
+/// [`LineOutcome`], under the same caps and deadlines.
+enum FrameOutcome {
+    /// A complete frame payload (the 4-byte length prefix stripped).
+    Frame(Vec<u8>),
+    /// The peer closed the connection (mid-frame partials are dropped).
+    Eof,
+    /// The declared payload length exceeded the configured cap.
+    TooLong,
+    /// No complete frame arrived within the read deadline.
+    TimedOut,
+    /// The server is shutting down — the handler should close quietly.
+    ShuttingDown,
+}
+
+/// Reads one length-prefixed frame, enforcing the payload cap and the
+/// whole-frame deadline with the same shutdown-poll contract as
+/// [`read_bounded_line`]: a frame fully delivered before shutdown is
+/// read and served; only partial frames are dropped. The cap is checked
+/// against the **declared** length as soon as the 4-byte prefix arrives,
+/// so an oversized frame is refused before buffering any of its payload.
+fn read_bounded_frame(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+    deadline: Option<Duration>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<FrameOutcome> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut payload_len: Option<usize> = None;
+    let started = Instant::now();
+    let mut shutdown_grace_used = false;
+    loop {
+        let mut slice = SHUTDOWN_POLL;
+        if let Some(budget) = deadline {
+            match budget.checked_sub(started.elapsed()) {
+                None => return Ok(FrameOutcome::TimedOut),
+                Some(remaining) if remaining.is_zero() => return Ok(FrameOutcome::TimedOut),
+                Some(remaining) => slice = slice.min(remaining),
+            }
+        }
+        reader.get_ref().set_read_timeout(Some(slice))?;
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if shutdown_grace_used {
+                        return Ok(FrameOutcome::ShuttingDown);
+                    }
+                    shutdown_grace_used = true;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(FrameOutcome::Eof);
+        }
+        // Consume only this frame's bytes; pipelined frames stay buffered.
+        let needed = match payload_len {
+            None => 4 - buf.len(),
+            Some(len) => 4 + len - buf.len(),
+        };
+        let take = needed.min(available.len());
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if payload_len.is_none() && buf.len() == 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if len > max_bytes {
+                return Ok(FrameOutcome::TooLong);
+            }
+            payload_len = Some(len);
+        }
+        if let Some(len) = payload_len {
+            if buf.len() == 4 + len {
+                buf.drain(..4);
+                return Ok(FrameOutcome::Frame(buf));
+            }
+        }
+        // Still mid-frame: a shutdown abandons the partial (only complete
+        // frames are owed a response), exactly like the line reader.
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(FrameOutcome::ShuttingDown);
+        }
+    }
+}
+
+/// One response unit: a JSON document (a line on JSON connections, a
+/// `TAG_JSON` frame on binary ones) or an already-encoded binary frame
+/// payload (binary connections only — the JSON dispatcher never emits
+/// these).
+enum Outgoing {
+    Json(Json),
+    Frame(Vec<u8>),
+}
+
+/// Writes one batch of responses in the connection's negotiated format,
+/// returning the bytes put on the wire (newlines and length prefixes
+/// included) for the per-format traffic counters.
+fn write_responses(
+    writer: &mut TcpStream,
+    format: WireFormat,
+    responses: &[Outgoing],
+) -> std::io::Result<u64> {
+    let mut bytes_out = 0u64;
+    for response in responses {
+        match (format, response) {
+            (WireFormat::Json, Outgoing::Json(doc)) => {
+                let text = doc.to_string();
+                bytes_out += text.len() as u64 + 1;
+                writer.write_all(text.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            (WireFormat::Json, Outgoing::Frame(_)) => {
+                unreachable!("the JSON dispatcher never emits binary frames")
+            }
+            (WireFormat::Binary, Outgoing::Json(doc)) => {
+                let payload = frame::json_payload(doc);
+                bytes_out += payload.len() as u64 + 4;
+                frame::write_frame(writer, &payload)?;
+            }
+            (WireFormat::Binary, Outgoing::Frame(payload)) => {
+                bytes_out += payload.len() as u64 + 4;
+                frame::write_frame(writer, payload)?;
+            }
+        }
+    }
+    writer.flush()?;
+    Ok(bytes_out)
+}
+
 fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<()> {
     if state.config.tcp_nodelay {
         let _ = stream.set_nodelay(true);
@@ -500,57 +647,111 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
     let metrics = &state.server_metrics;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut format = WireFormat::Json;
     loop {
         // No shutdown check here: already-delivered requests (buffered or
         // still a segment in flight) must be served first, and the reader
         // notices the flag itself within two poll ticks.
-        let outcome = read_bounded_line(
-            &mut reader,
-            state.config.max_line_bytes,
-            state.config.read_timeout,
-            &state.shutdown,
-        )?;
-        match outcome {
-            LineOutcome::Eof | LineOutcome::ShuttingDown => break,
-            LineOutcome::TimedOut => {
-                metrics.record_read_timeout();
-                let response = error_response(
-                    WireErrorKind::Timeout,
-                    format!(
-                        "no complete request line within {:?}",
-                        state.config.read_timeout.unwrap_or_default()
-                    ),
-                );
-                let _ = writeln!(writer, "{response}");
-                close_after_error(&mut writer);
-                break;
-            }
-            LineOutcome::TooLong => {
-                metrics.record_oversized_line();
-                let response = error_response(
-                    WireErrorKind::TooLarge,
-                    format!(
-                        "request line exceeds the {}-byte cap",
-                        state.config.max_line_bytes
-                    ),
-                );
-                let _ = writeln!(writer, "{response}");
-                close_after_error(&mut writer);
-                break;
-            }
-            LineOutcome::Line(line) => {
-                if line.trim().is_empty() {
-                    continue;
+        let fatal = |kind: WireErrorKind, msg: String| (kind, msg);
+        let exchange: Result<(Vec<Outgoing>, u64, bool, Option<WireFormat>), _> = match format {
+            WireFormat::Json => {
+                let outcome = read_bounded_line(
+                    &mut reader,
+                    state.config.max_line_bytes,
+                    state.config.read_timeout,
+                    &state.shutdown,
+                )?;
+                match outcome {
+                    LineOutcome::Eof | LineOutcome::ShuttingDown => break,
+                    LineOutcome::TimedOut => {
+                        metrics.record_read_timeout();
+                        Err(fatal(
+                            WireErrorKind::Timeout,
+                            format!(
+                                "no complete request line within {:?}",
+                                state.config.read_timeout.unwrap_or_default()
+                            ),
+                        ))
+                    }
+                    LineOutcome::TooLong => {
+                        metrics.record_oversized_line();
+                        Err(fatal(
+                            WireErrorKind::TooLarge,
+                            format!(
+                                "request line exceeds the {}-byte cap",
+                                state.config.max_line_bytes
+                            ),
+                        ))
+                    }
+                    LineOutcome::Line(line) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        state.requests.fetch_add(1, Ordering::Relaxed);
+                        let (responses, stop, negotiated) = respond(&line, state, format);
+                        Ok((responses, line.len() as u64 + 1, stop, negotiated))
+                    }
                 }
-                state.requests.fetch_add(1, Ordering::Relaxed);
-                let (responses, stop) = respond(&line, state);
-                // One request may stream several lines (the batch op:
+            }
+            WireFormat::Binary => {
+                let outcome = read_bounded_frame(
+                    &mut reader,
+                    state.config.max_line_bytes,
+                    state.config.read_timeout,
+                    &state.shutdown,
+                )?;
+                match outcome {
+                    FrameOutcome::Eof | FrameOutcome::ShuttingDown => break,
+                    FrameOutcome::TimedOut => {
+                        metrics.record_read_timeout();
+                        Err(fatal(
+                            WireErrorKind::Timeout,
+                            format!(
+                                "no complete frame within {:?}",
+                                state.config.read_timeout.unwrap_or_default()
+                            ),
+                        ))
+                    }
+                    FrameOutcome::TooLong => {
+                        metrics.record_oversized_line();
+                        Err(fatal(
+                            WireErrorKind::TooLarge,
+                            format!(
+                                "frame exceeds the {}-byte payload cap",
+                                state.config.max_line_bytes
+                            ),
+                        ))
+                    }
+                    FrameOutcome::Frame(payload) => {
+                        state.requests.fetch_add(1, Ordering::Relaxed);
+                        let (responses, stop) = respond_frame(&payload, state);
+                        Ok((responses, payload.len() as u64 + 4, stop, None))
+                    }
+                }
+            }
+        };
+        match exchange {
+            Err((kind, msg)) => {
+                // Fatal transport-level problem: answer in the connection's
+                // negotiated format (best effort) and close.
+                let responses = [Outgoing::Json(error_response(kind, msg))];
+                let bytes_out = write_responses(&mut writer, format, &responses).unwrap_or(0);
+                metrics.record_wire_bytes(format == WireFormat::Binary, 0, bytes_out);
+                close_after_error(&mut writer);
+                break;
+            }
+            Ok((responses, bytes_in, stop, negotiated)) => {
+                // One request may stream several responses (the batch op:
                 // one per item, then the summary) — written in order on
                 // this connection, each under the write timeout.
-                for response in &responses {
-                    writeln!(writer, "{response}")?;
+                let bytes_out = write_responses(&mut writer, format, &responses)?;
+                metrics.record_wire_bytes(format == WireFormat::Binary, bytes_in, bytes_out);
+                if let Some(new_format) = negotiated {
+                    if new_format == WireFormat::Binary && format != WireFormat::Binary {
+                        metrics.record_binary_negotiated();
+                    }
+                    format = new_format;
                 }
-                writer.flush()?;
                 if stop {
                     state.initiate_shutdown();
                     break;
@@ -591,24 +792,48 @@ fn aggregate_stats(state: &ServeState) -> (MetricsSnapshot, Vec<(usize, usize, M
     (aggregate, per_topology)
 }
 
-/// Answers one request line with one or more response lines; the flag
-/// says "stop the server after this". Route and batch requests select
-/// their backend by the request's `d`/`g` fields (defaulting to the
-/// server's boot topology field by field); every other op is
-/// topology-independent.
-fn respond(line: &str, state: &ServeState) -> (Vec<Json>, bool) {
+/// Answers one JSON request document with one or more responses; the
+/// flags say "stop the server after this" and "the connection negotiated
+/// this format". Route and batch requests select their backend by the
+/// request's `d`/`g` fields (defaulting to the server's boot topology
+/// field by field); every other op is topology-independent. In binary
+/// mode the same dispatcher serves `TAG_JSON` frames — everything works
+/// identically except `hello`, which is only meaningful on a JSON line.
+fn respond(
+    line: &str,
+    state: &ServeState,
+    format: WireFormat,
+) -> (Vec<Outgoing>, bool, Option<WireFormat>) {
     let router = &state.router;
+    let one = |response: Json| (vec![Outgoing::Json(response)], false, None);
     let doc = match Json::parse(line) {
         Ok(doc) => doc,
-        Err(e) => {
-            return (
-                vec![error_response(WireErrorKind::Parse, e.to_string())],
-                false,
-            )
-        }
+        Err(e) => return one(error_response(WireErrorKind::Parse, e.to_string())),
     };
     let default = router.default_topology();
-    let one = |response: Json| (vec![response], false);
+
+    // Format negotiation. The acknowledgement rides the current format;
+    // the switch takes effect on the next exchange.
+    if doc.get("op").and_then(Json::as_str) == Some("hello") {
+        if format == WireFormat::Binary {
+            return one(error_response(
+                WireErrorKind::BadRequest,
+                "connection already negotiated the binary framing",
+            ));
+        }
+        let name = doc.get("format").and_then(Json::as_str).unwrap_or("json");
+        return match WireFormat::from_name(name) {
+            None => one(error_response(
+                WireErrorKind::BadRequest,
+                format!("unknown format '{name}' (json|binary)"),
+            )),
+            Some(requested) => (
+                vec![Outgoing::Json(hello_response(requested))],
+                false,
+                Some(requested),
+            ),
+        };
+    }
 
     // Route ops resolve their backend before body parsing (the body's
     // size validation needs the right topology in hand).
@@ -653,13 +878,132 @@ fn respond(line: &str, state: &ServeState) -> (Vec<Json>, bool) {
             let (aggregate, per_topology) = aggregate_stats(state);
             one(stats_response(&aggregate, &per_topology, &router.stats()))
         }
-        Ok(WireRequest::Shutdown) => (vec![shutdown_response()], true),
+        Ok(WireRequest::Shutdown) => (vec![Outgoing::Json(shutdown_response())], true, None),
         Ok(WireRequest::Cache { action }) => one(respond_cache(action, state)),
         Ok(WireRequest::Batch {
             items,
             want_schedule,
-        }) => (respond_batch(&items, want_schedule, state), false),
+        }) => (
+            respond_batch(&items, want_schedule, state, false),
+            false,
+            None,
+        ),
         Ok(WireRequest::Route { .. }) => unreachable!("route ops are handled above"),
+    }
+}
+
+/// Answers one binary frame. `TAG_JSON` frames carry any JSON op and ride
+/// the ordinary dispatcher (their responses come back as `TAG_JSON`
+/// frames); `TAG_ROUTE` and `TAG_BATCH` get the dense binary bodies and
+/// binary replies. Malformed frames are answered with a structured JSON
+/// error frame — the framing itself stays intact, so the connection
+/// survives exactly like a JSON connection survives a bad line.
+fn respond_frame(payload: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
+    let one = |response: Json| (vec![Outgoing::Json(response)], false);
+    let Some((&tag, body)) = payload.split_first() else {
+        return one(error_response(WireErrorKind::Parse, "empty frame"));
+    };
+    match tag {
+        TAG_JSON => match std::str::from_utf8(body) {
+            Err(_) => one(error_response(
+                WireErrorKind::Parse,
+                "TAG_JSON frame is not valid UTF-8",
+            )),
+            Ok(line) => {
+                let (responses, stop, _) = respond(line, state, WireFormat::Binary);
+                (responses, stop)
+            }
+        },
+        TAG_ROUTE => respond_route_frame(body, state),
+        TAG_BATCH => match frame::decode_batch_request(body) {
+            Err(e) => one(error_response(WireErrorKind::Parse, e)),
+            Ok((frame_items, want_schedule)) => {
+                let default = state.router.default_topology();
+                let items: Vec<BatchItemRequest> = frame_items
+                    .into_iter()
+                    .map(|item| {
+                        // (0, 0) means "the server's default shape",
+                        // mirroring a JSON item without d/g fields.
+                        let (d, g) = match item.shape {
+                            (0, 0) => (default.d(), default.g()),
+                            shape => shape,
+                        };
+                        let perm = item.perm.and_then(|pi| match d.checked_mul(g) {
+                            Some(n) if n == pi.len() => Ok(pi),
+                            _ => Err(format!(
+                                "item permutation has length {}, POPS({d}, {g}) needs {}",
+                                pi.len(),
+                                d.saturating_mul(g)
+                            )),
+                        });
+                        BatchItemRequest { d, g, perm }
+                    })
+                    .collect();
+                (respond_batch(&items, want_schedule, state, true), false)
+            }
+        },
+        other => one(error_response(
+            WireErrorKind::BadRequest,
+            format!("unknown frame tag 0x{other:02x}"),
+        )),
+    }
+}
+
+/// Answers one `TAG_ROUTE` frame: resolve the shape, validate the
+/// permutation against the selected topology, route, and reply with a
+/// `TAG_ROUTE_REPLY` frame (errors stay structured JSON frames).
+fn respond_route_frame(body: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
+    let one = |response: Json| (vec![Outgoing::Json(response)], false);
+    let route = match frame::decode_route_request(body) {
+        Ok(route) => route,
+        Err(e) => return one(error_response(WireErrorKind::Parse, e)),
+    };
+    let default = state.router.default_topology();
+    let (d, g) = match route.shape {
+        (0, 0) => (default.d(), default.g()),
+        shape => shape,
+    };
+    let service = match select_service(state, d, g) {
+        Ok(service) => service,
+        Err((kind, msg)) => return one(error_response(kind, msg)),
+    };
+    let pi = match route.perm {
+        Ok(pi) => pi,
+        Err(e) => return one(error_response(WireErrorKind::BadRequest, e)),
+    };
+    if pi.len() != service.topology().n() {
+        return one(error_response(
+            WireErrorKind::BadRequest,
+            format!(
+                "permutation has length {}, {} needs {}",
+                pi.len(),
+                service.topology(),
+                service.topology().n()
+            ),
+        ));
+    }
+    let req = match route.kind {
+        RequestKind::Theorem2 => ServiceRequest::Theorem2 { pi },
+        RequestKind::SingleSlot => ServiceRequest::SingleSlot { pi },
+        RequestKind::Direct => ServiceRequest::Direct { pi },
+        RequestKind::Structured => ServiceRequest::Structured { pi },
+        // The decoder refuses these kinds; their richer bodies ride
+        // TAG_JSON frames instead.
+        RequestKind::HRelation | RequestKind::WithFaults => {
+            unreachable!("decode_route_request only admits permutation kinds")
+        }
+    };
+    match service.route(&req) {
+        Err(e) => one(error_response(WireErrorKind::Routing, e.to_string())),
+        Ok(reply) => (
+            vec![Outgoing::Frame(frame::encode_route_reply(
+                reply.cache_hit,
+                reply.micros,
+                reply.outcome.schedule(),
+                route.want_schedule,
+            ))],
+            false,
+        ),
     }
 }
 
@@ -675,23 +1019,30 @@ fn respond_batch(
     items: &[crate::proto::BatchItemRequest],
     want_schedule: bool,
     state: &ServeState,
-) -> Vec<Json> {
+    binary: bool,
+) -> Vec<Outgoing> {
     if items.len() > state.config.max_batch_items {
-        return vec![error_response(
+        return vec![Outgoing::Json(error_response(
             WireErrorKind::TooLarge,
             format!(
                 "batch of {} items exceeds the {}-item cap",
                 items.len(),
                 state.config.max_batch_items
             ),
-        )];
+        ))];
     }
     let start = Instant::now();
-    let mut lines: Vec<Option<Json>> = vec![None; items.len()];
+    let mut lines: Vec<Option<Outgoing>> = (0..items.len()).map(|_| None).collect();
     let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
     for (index, item) in items.iter().enumerate() {
         match &item.perm {
-            Err(e) => lines[index] = Some(batch_item_error(index, WireErrorKind::BadRequest, e)),
+            Err(e) => {
+                lines[index] = Some(Outgoing::Json(batch_item_error(
+                    index,
+                    WireErrorKind::BadRequest,
+                    e,
+                )))
+            }
             Ok(_) => groups.entry((item.d, item.g)).or_default().push(index),
         }
     }
@@ -700,14 +1051,14 @@ fn respond_batch(
     // otherwise amplify one request line into hundreds of builds (and
     // churn every other client's warm topology out of the registry).
     if groups.len() > state.config.max_batch_topologies {
-        return vec![error_response(
+        return vec![Outgoing::Json(error_response(
             WireErrorKind::TooLarge,
             format!(
                 "batch touches {} distinct topologies, exceeding the {}-topology cap",
                 groups.len(),
                 state.config.max_batch_topologies
             ),
-        )];
+        ))];
     }
     let mut routed = 0usize;
     let mut slots_total = 0usize;
@@ -716,7 +1067,7 @@ fn respond_batch(
         match select_service(state, d, g) {
             Err((kind, msg)) => {
                 for &index in &indices {
-                    lines[index] = Some(batch_item_error(index, kind, msg.clone()));
+                    lines[index] = Some(Outgoing::Json(batch_item_error(index, kind, msg.clone())));
                 }
             }
             Ok(service) => {
@@ -729,29 +1080,39 @@ fn respond_batch(
                 for (&index, plan) in indices.iter().zip(&plans) {
                     routed += 1;
                     slots_total += plan.schedule.slot_count();
-                    lines[index] = Some(batch_item_response(
-                        index,
-                        d,
-                        g,
-                        &plan.schedule,
-                        want_schedule,
-                    ));
+                    lines[index] = Some(if binary {
+                        Outgoing::Frame(frame::encode_batch_item(
+                            index,
+                            d,
+                            g,
+                            &plan.schedule,
+                            want_schedule,
+                        ))
+                    } else {
+                        Outgoing::Json(batch_item_response(
+                            index,
+                            d,
+                            g,
+                            &plan.schedule,
+                            want_schedule,
+                        ))
+                    });
                 }
             }
         }
     }
-    let mut out: Vec<Json> = lines
+    let mut out: Vec<Outgoing> = lines
         .into_iter()
         .map(|line| line.expect("every item is answered"))
         .collect();
-    out.push(batch_summary_response(
+    out.push(Outgoing::Json(batch_summary_response(
         items.len(),
         routed,
         items.len() - routed,
         slots_total,
         start.elapsed().as_micros() as u64,
         &topologies,
-    ));
+    )));
     out
 }
 
@@ -968,6 +1329,135 @@ mod tests {
         handle.join().unwrap();
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binary_negotiation_routes_batches_and_counts_bytes() {
+        let t = PopsTopology::new(4, 4);
+        let (addr, handle) = spawn_server(t);
+        let mut client = ServiceClient::connect(addr).unwrap();
+
+        client.set_format(WireFormat::Binary).unwrap();
+        assert_eq!(client.format(), WireFormat::Binary);
+        // Re-negotiating the current format is a client-side no-op...
+        client.set_format(WireFormat::Binary).unwrap();
+        // ...but a second hello on the wire is a structural error.
+        let err = client.call_raw(r#"{"op":"hello","format":"binary"}"#);
+        assert_eq!(err.unwrap_err().remote_kind(), Some("bad-request"));
+
+        // Control ops ride JSON-in-a-frame transparently.
+        client.ping().unwrap();
+        let info = client.info().unwrap();
+        assert_eq!((info.d, info.g), (4, 4));
+
+        // Dense binary route: referee the schedule, then hit the cache.
+        let pi = vector_reversal(16);
+        let first = client.route_permutation("theorem2", &pi).unwrap();
+        assert_eq!(first.slots, 2);
+        assert!(!first.cache_hit);
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&first.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        let again = client.route_permutation("theorem2", &pi).unwrap();
+        assert!(again.cache_hit);
+        assert_eq!(again.schedule, first.schedule);
+
+        // Dense binary batch, schedules included, default + explicit shape.
+        let items = vec![
+            crate::client::BatchItem {
+                pi: pi.clone(),
+                shape: None,
+            },
+            crate::client::BatchItem {
+                pi: pi.clone(),
+                shape: Some((4, 4)),
+            },
+        ];
+        let batch = client.batch(&items, true).unwrap();
+        assert_eq!(batch.summary.routed, 2);
+        for item in &batch.items {
+            let item = item.as_ref().unwrap();
+            assert_eq!(item.slots, 2);
+            let mut sim = Simulator::with_unit_packets(t);
+            sim.execute_schedule(&item.schedule).unwrap();
+            sim.verify_delivery(pi.as_slice()).unwrap();
+        }
+
+        // The stats op reports this connection as binary and the wire
+        // byte counters from completed exchanges are non-zero. (Bytes
+        // are recorded per exchange, so everything before this stats
+        // request is already counted.)
+        let stats = client.stats().unwrap();
+        let conns = stats.get("connections").unwrap();
+        assert_eq!(conns.get("binary").unwrap().as_u64(), Some(1));
+        let wire = stats.get("wire").unwrap();
+        let binary = wire.get("binary").unwrap();
+        assert!(binary.get("bytes_in").unwrap().as_u64().unwrap() > 0);
+        assert!(binary.get("bytes_out").unwrap().as_u64().unwrap() > 0);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn binary_and_json_clients_interoperate_on_one_server() {
+        let t = PopsTopology::new(2, 8);
+        let (addr, handle) = spawn_server(t);
+        let pi = vector_reversal(16);
+
+        let mut json_client = ServiceClient::connect(addr).unwrap();
+        let mut binary_client = ServiceClient::connect(addr).unwrap();
+        binary_client.set_format(WireFormat::Binary).unwrap();
+
+        // Identical requests produce identical schedules regardless of
+        // the transport (the second is the first's cache hit).
+        let via_json = json_client.route_permutation("theorem2", &pi).unwrap();
+        let via_binary = binary_client.route_permutation("theorem2", &pi).unwrap();
+        assert_eq!(via_json.schedule, via_binary.schedule);
+        assert!(via_binary.cache_hit);
+
+        let stats = json_client.stats().unwrap();
+        let conns = stats.get("connections").unwrap();
+        assert_eq!(conns.get("binary").unwrap().as_u64(), Some(1));
+        assert_eq!(conns.get("json").unwrap().as_u64(), Some(1));
+
+        json_client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_binary_frames_get_error_frames_and_do_not_kill_the_connection() {
+        let (addr, handle) = spawn_server(PopsTopology::new(2, 2));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(stream, r#"{{"op":"hello","format":"binary"}}"#).unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert!(ack.contains(r#""format":"binary""#), "{ack}");
+
+        // An unknown tag is answered with a structured JSON error frame
+        // and the connection survives.
+        crate::frame::write_frame(&mut stream, &[0xff]).unwrap();
+        let payload = crate::frame::read_frame(&mut reader, 1 << 20).unwrap();
+        assert_eq!(payload[0], TAG_JSON);
+        let doc = Json::parse(std::str::from_utf8(&payload[1..]).unwrap()).unwrap();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bad-request"));
+
+        // Still serving: a ping in a JSON frame round-trips.
+        let json_frame = |body: &[u8]| {
+            let mut payload = vec![TAG_JSON];
+            payload.extend_from_slice(body);
+            payload
+        };
+        crate::frame::write_frame(&mut stream, &json_frame(br#"{"op":"ping"}"#)).unwrap();
+        let payload = crate::frame::read_frame(&mut reader, 1 << 20).unwrap();
+        assert_eq!(payload[0], TAG_JSON);
+        assert!(std::str::from_utf8(&payload[1..]).unwrap().contains("pong"));
+
+        // A shutdown in a JSON frame stops the server.
+        crate::frame::write_frame(&mut stream, &json_frame(br#"{"op":"shutdown"}"#)).unwrap();
+        let _ = crate::frame::read_frame(&mut reader, 1 << 20).unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

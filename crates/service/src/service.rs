@@ -37,8 +37,8 @@ use std::time::Instant;
 
 use pops_bipartite::ColorerKind;
 use pops_core::{
-    route_batch_with, HRelation, HRelationRouting, Router, RoutingEngine, RoutingError,
-    RoutingOutcome, RoutingPlan, RoutingRequest,
+    BatchRouter, HRelation, HRelationRouting, Router, RoutingEngine, RoutingError, RoutingOutcome,
+    RoutingPlan, RoutingRequest,
 };
 use pops_network::{FaultSet, PopsTopology, Schedule};
 use pops_permutation::Permutation;
@@ -231,6 +231,11 @@ pub struct RoutingService {
     /// would otherwise be paid just to be dropped by a zero-capacity
     /// insert.
     phase_caching: bool,
+    /// Persistent batch executor: worker engines warmed by the first
+    /// batch op and reused by every later one, so repeated wire batches
+    /// stay on the zero-allocation hot path. Batches serialize on this
+    /// lock (each already occupies a whole admission slot).
+    batch_router: Mutex<BatchRouter>,
     metrics: Arc<ServiceMetrics>,
     admission: Admission,
 }
@@ -255,6 +260,7 @@ impl RoutingService {
             cache: ShardedPlanCache::new(config.cache_capacity, config.cache_shards),
             phase_cache: ShardedPlanCache::new(config.phase_cache_capacity, config.cache_shards),
             phase_caching: config.phase_cache_capacity > 0,
+            batch_router: Mutex::new(BatchRouter::new(topology, config.colorer)),
             metrics,
             admission: Admission::new(config.max_in_flight),
         }
@@ -263,6 +269,11 @@ impl RoutingService {
     /// The topology this service routes on.
     pub fn topology(&self) -> PopsTopology {
         self.topology
+    }
+
+    /// The colourer this service's engines run.
+    pub fn colorer(&self) -> ColorerKind {
+        self.colorer
     }
 
     /// The pool's shard count.
@@ -526,10 +537,11 @@ impl RoutingService {
     }
 
     /// Routes a whole batch of permutations, bypassing the cache and
-    /// fanning out over worker threads via [`route_batch_with`]. One batch
-    /// occupies one admission slot. With `emit_artefacts = false` (the
-    /// fast path) the plans carry schedules only — no per-plan artefact
-    /// clones.
+    /// fanning out over worker threads via the service's persistent
+    /// [`BatchRouter`] (worker engines stay warm across batch ops). One
+    /// batch occupies one admission slot. With `emit_artefacts = false`
+    /// (the fast path) the plans carry schedules only — no per-plan
+    /// artefact clones.
     pub fn route_batch(
         &self,
         batch: &[Permutation],
@@ -537,7 +549,10 @@ impl RoutingService {
         emit_artefacts: bool,
     ) -> Vec<RoutingPlan> {
         let _slot = self.admission.acquire(&self.metrics);
-        let plans = route_batch_with(batch, self.topology, self.colorer, threads, emit_artefacts);
+        let mut router = self.batch_router.lock().expect("batch router poisoned");
+        router.set_emit_artefacts(emit_artefacts);
+        let plans = router.route_batch(batch, threads);
+        drop(router);
         let slots: usize = plans.iter().map(|p| p.schedule.slot_count()).sum();
         self.metrics.record_batch(plans.len(), slots);
         plans

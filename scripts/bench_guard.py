@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Fail if regenerated BENCH_*.json throughput falls below a baseline.
+
+Compares every throughput leaf (numeric values whose key ends in
+``_per_sec``, equals ``speedup``, or ends in ``_speedup``) of a candidate
+benchmark file against the same leaf in a baseline, and exits non-zero if
+any candidate value falls below ``tolerance * baseline``. Leaves present
+only in the candidate (new scenarios) are ignored; leaves present only in
+the baseline (a dropped scenario) are a failure — a guard that silently
+stops guarding is worse than one that fails.
+
+Typical use, after ``cargo run --release --bin experiments -- BENCH
+BENCH_SERVICE`` rewrote the files in the working tree::
+
+    python3 scripts/bench_guard.py BENCH_routing.json BENCH_service.json
+
+which checks each file against its committed version (``git show
+HEAD:<file>``). To compare two explicit files instead::
+
+    python3 scripts/bench_guard.py --baseline old.json new.json
+
+The default tolerance is 0.90: these runs are time-boxed and noisy
+(single-core CI runners and laptops both jitter by ~10%), so the guard
+catches real regressions — a kernel change halving cold throughput, a
+wire change erasing the batch speedup — not run-to-run wobble. Tighten
+with ``--tolerance`` on quiet hardware.
+
+Baselines are machine-relative: comparing a laptop regeneration against
+numbers committed from CI (or vice versa) measures the hardware, not the
+code. When a guarded leaf fails, rerun the *committed* code on the same
+machine (``git worktree add /tmp/base HEAD`` + regenerate there) and
+guard against that with ``--baseline`` before concluding regression.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def throughput_leaves(doc, path=""):
+    """Yield (dotted_path, value) for every guarded numeric leaf."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            here = f"{path}.{key}" if path else key
+            if isinstance(value, (dict, list)):
+                yield from throughput_leaves(value, here)
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if key.endswith("_per_sec") or key == "speedup" or key.endswith("_speedup"):
+                    yield here, float(value)
+    elif isinstance(doc, list):
+        for index, value in enumerate(doc):
+            yield from throughput_leaves(value, f"{path}[{index}]")
+
+
+def committed_version(filename):
+    """The file's content at HEAD, via git."""
+    out = subprocess.run(
+        ["git", "show", f"HEAD:{filename}"],
+        capture_output=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def guard(baseline_doc, candidate_doc, tolerance, label):
+    baseline = dict(throughput_leaves(baseline_doc))
+    candidate = dict(throughput_leaves(candidate_doc))
+    failures = []
+    for path, base_value in sorted(baseline.items()):
+        cand_value = candidate.get(path)
+        if cand_value is None:
+            failures.append(f"  {path}: present in baseline, missing from candidate")
+            continue
+        if base_value <= 0:
+            continue  # nothing meaningful to guard against
+        ratio = cand_value / base_value
+        status = "ok" if ratio >= tolerance else "FAIL"
+        print(f"  [{status}] {path}: {cand_value:.1f} vs {base_value:.1f} ({ratio:.2f}x)")
+        if ratio < tolerance:
+            failures.append(
+                f"  {path}: {cand_value:.1f} < {tolerance:.2f} x {base_value:.1f}"
+            )
+    fresh = sorted(set(candidate) - set(baseline))
+    for path in fresh:
+        print(f"  [new ] {path}: {candidate[path]:.1f} (no baseline)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="+",
+        help="candidate BENCH_*.json files (baseline: same path at git HEAD)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="explicit baseline file; requires exactly one candidate file",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.90,
+        help="minimum candidate/baseline ratio (default %(default)s)",
+    )
+    args = parser.parse_args()
+    if args.baseline and len(args.files) != 1:
+        parser.error("--baseline takes exactly one candidate file")
+
+    all_failures = []
+    for filename in args.files:
+        with open(filename) as handle:
+            candidate_doc = json.load(handle)
+        if args.baseline:
+            with open(args.baseline) as handle:
+                baseline_doc = json.load(handle)
+            label = f"{filename} vs {args.baseline}"
+        else:
+            baseline_doc = committed_version(filename)
+            label = f"{filename} vs HEAD"
+        print(f"{label}:")
+        failures = guard(baseline_doc, candidate_doc, args.tolerance, label)
+        if failures:
+            all_failures.append((label, failures))
+
+    if all_failures:
+        print("\nbench guard FAILED:")
+        for label, failures in all_failures:
+            print(f"{label}:")
+            print("\n".join(failures))
+        return 1
+    print("\nbench guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -516,3 +516,92 @@ fn trait_dispatch_matches_typed_methods() {
         .unwrap();
     assert_eq!(outcome.into_schedule(), typed.plan_direct(&pi));
 }
+
+// --- Word-parallel colouring kernel equivalence ---------------------
+//
+// The bitset kernel must be *byte-identical* to the scalar walk — not
+// just produce valid schedules — because plan caching, persistence, and
+// the wire protocol all compare and hash schedules structurally.
+
+use pops_core::engine::ColoringKernel;
+use proptest::prelude::*;
+
+/// Shapes covering every colouring regime: d = 1, d < g, d = g, d > g,
+/// and Δ just above/below a multiple of 64 is irrelevant at these sizes,
+/// but the mask path still exercises partial last words everywhere.
+const KERNEL_SHAPES: [(usize, usize); 8] = [
+    (1, 5),
+    (2, 4),
+    (3, 3),
+    (4, 6),
+    (5, 2),
+    (6, 3),
+    (7, 3),
+    (9, 4),
+];
+
+/// One engine per kernel, artefacts on so the comparison covers the fair
+/// distribution and list system, not just the final schedule.
+fn kernel_pair(t: PopsTopology) -> (RoutingEngine, RoutingEngine) {
+    (
+        RoutingEngine::new(t)
+            .coloring_kernel(ColoringKernel::Scalar)
+            .emit_artefacts(true),
+        RoutingEngine::new(t)
+            .coloring_kernel(ColoringKernel::Bitset)
+            .emit_artefacts(true),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bitset_kernel_is_byte_identical_on_random_permutations(
+        seed in any::<u64>(),
+        shape in 0usize..KERNEL_SHAPES.len(),
+    ) {
+        let (d, g) = KERNEL_SHAPES[shape];
+        let t = PopsTopology::new(d, g);
+        let (mut scalar, mut bitset) = kernel_pair(t);
+        let mut rng = SplitMix64::new(seed);
+        let pi = random_permutation(d * g, &mut rng);
+        let a = scalar.plan_theorem2(&pi);
+        let b = bitset.plan_theorem2(&pi);
+        prop_assert_eq!(&a.schedule, &b.schedule, "d={} g={}", d, g);
+        prop_assert_eq!(&a.intermediate, &b.intermediate);
+        prop_assert_eq!(&a.fair_distribution, &b.fair_distribution);
+        prop_assert_eq!(&a.list_system, &b.list_system);
+    }
+
+    #[test]
+    fn bitset_kernel_is_byte_identical_on_random_h_relations(
+        seed in any::<u64>(),
+        shape in 0usize..KERNEL_SHAPES.len(),
+        h in 1usize..4,
+    ) {
+        let (d, g) = KERNEL_SHAPES[shape];
+        let t = PopsTopology::new(d, g);
+        let n = d * g;
+        let (mut scalar, mut bitset) = kernel_pair(t);
+        let mut rng = SplitMix64::new(seed);
+        // h permutation layers: every processor sends and receives
+        // exactly h packets, the canonical h-relation shape.
+        let mut requests = Vec::with_capacity(n * h);
+        for _ in 0..h {
+            let p = random_permutation(n, &mut rng);
+            for src in 0..n {
+                requests.push((src, p.apply(src)));
+            }
+        }
+        let relation = HRelation::new(n, requests).unwrap();
+        let a = scalar.plan_h_relation(&relation);
+        let b = bitset.plan_h_relation(&relation);
+        prop_assert_eq!(&a.schedule, &b.schedule, "h={} d={} g={}", h, d, g);
+        prop_assert_eq!(&a.slots_per_phase, &b.slots_per_phase);
+        prop_assert_eq!(a.phases.len(), b.phases.len());
+        for (x, y) in a.phases.iter().zip(&b.phases) {
+            prop_assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+}

@@ -55,7 +55,7 @@ fn redirecting_a_receiver_trips_receive_contention() {
             topology.coupler_dest_group(schedule.slots[0].transmissions[i].coupler) == dest_group
         })
         .expect("some other packet also enters this group");
-    schedule.slots[0].transmissions[idx].receivers = vec![stolen];
+    schedule.slots[0].transmissions[idx].receivers = vec![stolen].into();
     let mut sim = Simulator::with_unit_packets(topology);
     let (_, err) = sim.execute_schedule(&schedule).unwrap_err();
     assert!(matches!(err, SimError::ReceiveContention { receiver } if receiver == stolen));
@@ -137,8 +137,8 @@ fn misdelivery_is_caught_by_verification() {
     {
         let a = slot1[0].receivers[0];
         let b = slot1[other].receivers[0];
-        slot1[0].receivers = vec![b];
-        slot1[other].receivers = vec![a];
+        slot1[0].receivers = vec![b].into();
+        slot1[other].receivers = vec![a].into();
         let mut sim = Simulator::with_unit_packets(topology);
         sim.execute_schedule(&schedule).unwrap();
         assert!(sim.verify_delivery(pi.as_slice()).is_err());
