@@ -59,6 +59,13 @@ COMMANDS
             [--max-conns N] [--nodelay]      connection cap (default 256), TCP_NODELAY
             [--max-batch-items N]            wire-batch item cap (default 1024)
             [--max-batch-topologies N]       distinct shapes per batch (default 8)
+            [--overload-watermark N]         shed route/batch work beyond N in flight
+                                             (typed 'overloaded' error, retry-after-ms)
+            [--quota-rps N] [--quota-burst B]  per-client-IP token-bucket quota
+            [--slow-ms T]                    trace requests slower than T ms to stderr
+                                             (rate-limited; ids echoed on responses)
+            [--metrics-port P]               Prometheus sidecar listener; the main
+                                             port answers GET /metrics regardless
   request   --addr HOST:PORT [perm]          route one request via a server
             [--d D --g G]                    select a topology (multi-topology servers)
             [--kind K] [--stats] [--shutdown]
@@ -66,6 +73,11 @@ COMMANDS
                                              (each line: perm with optional d/g fields)
             [--cache save|load|stats]        plan-cache op (save/load need --cache-dir serve)
             [--binary]                       negotiate the length-prefixed binary framing
+            [--timeout-ms T]                 client timeout (default 30000, 0 disables)
+  stats     --addr HOST:PORT                 one-line operational summary of a server
+            [--watch N]                      resample every N seconds, printing deltas
+                                             (plans/s, hit rate, sheds) until interrupted
+            [--samples M]                    stop after M watch lines (default: forever)
             [--timeout-ms T]                 client timeout (default 30000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
@@ -91,6 +103,7 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "batch" => cmd_batch(opts),
         "serve" => cmd_serve(opts),
         "request" => cmd_request(opts),
+        "stats" => cmd_stats(opts),
         "collectives" => cmd_collectives(opts),
         "families" => Ok(format!("families:\n{}\n", spec::FAMILY_HELP)),
         "" | "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -497,7 +510,48 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         max_batch_items: opts.usize_or("max-batch-items", server_defaults.max_batch_items)?,
         max_batch_topologies: opts
             .usize_or("max-batch-topologies", server_defaults.max_batch_topologies)?,
+        // All four observability/overload knobs are presence-gated: absent
+        // flags keep the ServerConfig defaults (everything off), so the
+        // serving hot path is byte-identical to previous releases.
+        overload_watermark: opts
+            .get("overload-watermark")
+            .map(|_| opts.usize_or("overload-watermark", 0))
+            .transpose()?,
+        quota_rps: opts
+            .get("quota-rps")
+            .map(|_| opts.u64_or("quota-rps", 0))
+            .transpose()?,
+        quota_burst: opts
+            .get("quota-burst")
+            .map(|_| opts.u64_or("quota-burst", 0))
+            .transpose()?,
+        slow_threshold: opts
+            .get("slow-ms")
+            .map(|_| opts.u64_or("slow-ms", 0).map(Duration::from_millis))
+            .transpose()?,
+        metrics_port: match opts.get("metrics-port") {
+            None => None,
+            Some(_) => {
+                let port = opts.usize_or("metrics-port", 0)?;
+                if port == 0 || port > u16::MAX as usize {
+                    return Err(err(
+                        "--metrics-port must be 1..=65535 (an ephemeral sidecar \
+                         port would not be discoverable by scrapers)",
+                    ));
+                }
+                Some(port as u16)
+            }
+        },
     };
+    if server_config.quota_rps == Some(0) {
+        return Err(err("--quota-rps must be positive"));
+    }
+    if server_config.quota_burst.is_some() && server_config.quota_rps.is_none() {
+        return Err(err("--quota-burst needs --quota-rps"));
+    }
+    if server_config.quota_burst == Some(0) {
+        return Err(err("--quota-burst must be positive"));
+    }
     if server_config.max_line_bytes == 0 {
         return Err(err("--max-line-bytes must be positive"));
     }
@@ -591,12 +645,26 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         .collect();
     let fmt_ms =
         |t: Option<Duration>| t.map_or("off".to_string(), |d| format!("{}ms", d.as_millis()));
+    let mut obs_note = String::new();
+    if let Some(w) = server_config.overload_watermark {
+        let _ = write!(obs_note, ", watermark {w}");
+    }
+    if let Some(rps) = server_config.quota_rps {
+        let burst = server_config.quota_burst.unwrap_or(rps).max(1);
+        let _ = write!(obs_note, ", quota {rps}/s (burst {burst})");
+    }
+    if let Some(slow) = server_config.slow_threshold {
+        let _ = write!(obs_note, ", slow log {}ms", slow.as_millis());
+    }
+    if let Some(port) = server_config.metrics_port {
+        let _ = write!(obs_note, ", metrics sidecar on port {port}");
+    }
     println!(
         "pops-service listening on {addr} ({t} default, topologies [{}] of max {max_topologies}, \
          {shards} shard(s), cache {cache_capacity}, \
          phase cache {phase_cache_capacity}, {cache_shards} cache shard(s), \
          max in-flight {max_in_flight}, engine {}, read timeout {}, write timeout {}, \
-         line cap {} bytes, max conns {}, batch cap {} item(s){warm_note})",
+         line cap {} bytes, max conns {}, batch cap {} item(s){obs_note}{warm_note})",
         shapes.join(", "),
         kind.name(),
         fmt_ms(server_config.read_timeout),
@@ -783,6 +851,99 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
         reply.micros
     );
     Ok(out)
+}
+
+/// Walks a dotted path into a stats document; absent fields read as 0 so
+/// the watcher keeps working against older servers.
+fn stats_field(doc: &Json, path: &[&str]) -> u64 {
+    let mut node = Some(doc);
+    for key in path {
+        node = node.and_then(|n| n.get(key));
+    }
+    node.and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Renders one `pops stats` line. With a previous sample the line leads
+/// with the deltas (plans/s over the elapsed window); without one it is a
+/// point-in-time summary.
+fn stats_watch_line(prev: Option<&Json>, cur: &Json, elapsed: Duration) -> String {
+    let plans = |doc: &Json| stats_field(doc, &["hits"]) + stats_field(doc, &["misses"]);
+    let rate = |hits: u64, misses: u64| {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / (hits + misses) as f64
+        }
+    };
+    let (hits, misses) = (stats_field(cur, &["hits"]), stats_field(cur, &["misses"]));
+    let errors = stats_field(cur, &["errors"]);
+    let sheds = stats_field(cur, &["sheds", "total"]);
+    let conns = stats_field(cur, &["connections", "active"]);
+    match prev {
+        None => format!(
+            "plans {}   hit rate {:.1}%   errors {errors}   sheds {sheds}   conns {conns}",
+            plans(cur),
+            rate(hits, misses),
+        ),
+        Some(prev) => {
+            let d_plans = plans(cur).saturating_sub(plans(prev));
+            let d_hits = hits.saturating_sub(stats_field(prev, &["hits"]));
+            let d_misses = misses.saturating_sub(stats_field(prev, &["misses"]));
+            let d_errors = errors.saturating_sub(stats_field(prev, &["errors"]));
+            let d_sheds = sheds.saturating_sub(stats_field(prev, &["sheds", "total"]));
+            let secs = elapsed.as_secs_f64().max(1e-9);
+            format!(
+                "plans +{d_plans} ({:.1}/s)   hit rate {:.1}%   errors +{d_errors}   \
+                 sheds +{d_sheds}   conns {conns}",
+                d_plans as f64 / secs,
+                rate(d_hits, d_misses),
+            )
+        }
+    }
+}
+
+/// `pops stats`: a one-line operational summary of a running server.
+/// Point-in-time by default; `--watch N` keeps the connection open and
+/// prints a **delta** line every N seconds (plans/s, windowed hit rate,
+/// shed and error increments) until interrupted — `--samples M` bounds
+/// the line count for scripting.
+fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| err("--addr HOST:PORT is required"))?;
+    let timeout = timeout_ms(opts, "timeout-ms", 30_000)?;
+    let mut client = ServiceClient::connect_with_timeout(addr, timeout)
+        .map_err(|e| err(format!("cannot connect to {addr}: {e}")))?;
+    let interval = match opts.get("watch") {
+        None => None,
+        Some(_) => Some(Duration::from_secs(opts.u64_or("watch", 2)?)),
+    };
+    let samples = opts.u64_or("samples", 0)?;
+    let Some(interval) = interval else {
+        let doc = client.stats().map_err(|e| err(e.to_string()))?;
+        return Ok(format!(
+            "{}\n",
+            stats_watch_line(None, &doc, Duration::ZERO)
+        ));
+    };
+    // Watch mode streams to stdout as samples arrive (the returned string
+    // would only surface after the loop ends).
+    let mut prev: Option<Json> = None;
+    let mut last = Instant::now();
+    let mut taken = 0u64;
+    loop {
+        let doc = client.stats().map_err(|e| err(e.to_string()))?;
+        let now = Instant::now();
+        println!("{}", stats_watch_line(prev.as_ref(), &doc, now - last));
+        let _ = std::io::stdout().flush();
+        last = now;
+        prev = Some(doc);
+        taken += 1;
+        if samples != 0 && taken >= samples {
+            return Ok(String::new());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `pops request --batch-file FILE`: reads a JSON-lines file — each
@@ -975,9 +1136,18 @@ mod tests {
         let out = run_words(&["help"]).unwrap();
         for cmd in [
             "topology", "route", "bounds", "optimal", "faults", "sweep", "batch", "serve",
-            "request",
+            "request", "stats",
         ] {
             assert!(out.contains(cmd), "missing {cmd}");
+        }
+        for flag in [
+            "--overload-watermark",
+            "--quota-rps",
+            "--slow-ms",
+            "--metrics-port",
+            "--watch",
+        ] {
+            assert!(out.contains(flag), "missing {flag}");
         }
     }
 
@@ -1434,6 +1604,80 @@ mod tests {
         .unwrap_err()
         .0
         .contains("--max-topologies"));
+    }
+
+    #[test]
+    fn serve_validates_observability_options() {
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--metrics-port", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--metrics-port", "70000"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--quota-rps", "0"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--quota-burst", "4"]).is_err());
+        assert!(run_words(&["serve", "--d", "2", "--g", "2", "--slow-ms", "x"]).is_err());
+    }
+
+    #[test]
+    fn stats_requires_addr() {
+        assert!(run_words(&["stats"]).unwrap_err().0.contains("--addr"));
+    }
+
+    #[test]
+    fn stats_one_shot_and_watch_against_a_live_server() {
+        use pops_service::{serve, RoutingService, ServiceConfig};
+        use std::net::TcpListener;
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = std::thread::spawn(move || serve(listener, service).unwrap());
+
+        run_words(&["request", "--addr", &addr, "--family", "reversal"]).unwrap();
+        let out = run_words(&["stats", "--addr", &addr]).unwrap();
+        assert!(out.contains("plans 1"), "{out}");
+        assert!(out.contains("hit rate 0.0%"), "{out}");
+        assert!(out.contains("sheds 0"), "{out}");
+
+        // Watch mode streams to stdout and returns once --samples is hit.
+        let out = run_words(&["stats", "--addr", &addr, "--watch", "0", "--samples", "2"]).unwrap();
+        assert!(out.is_empty(), "{out}");
+
+        run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn stats_watch_lines_render_absolutes_then_deltas() {
+        let first = Json::parse(
+            r#"{"hits":2,"misses":2,"errors":1,"sheds":{"total":3},"connections":{"active":2}}"#,
+        )
+        .unwrap();
+        let line = stats_watch_line(None, &first, Duration::ZERO);
+        assert_eq!(
+            line,
+            "plans 4   hit rate 50.0%   errors 1   sheds 3   conns 2"
+        );
+        let second = Json::parse(
+            r#"{"hits":5,"misses":3,"errors":1,"sheds":{"total":4},"connections":{"active":1}}"#,
+        )
+        .unwrap();
+        let line = stats_watch_line(Some(&first), &second, Duration::from_secs(2));
+        assert_eq!(
+            line,
+            "plans +4 (2.0/s)   hit rate 75.0%   errors +0   sheds +1   conns 1"
+        );
+        // Fields an older server lacks read as zero instead of erroring.
+        let sparse = Json::parse(r#"{"hits":1,"misses":0}"#).unwrap();
+        let line = stats_watch_line(None, &sparse, Duration::ZERO);
+        assert!(line.contains("sheds 0"), "{line}");
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub enum ClientError {
         kind: String,
         /// Human-facing message.
         message: String,
+        /// Back-off hint in milliseconds, carried by `overloaded`
+        /// responses (the server's admission control shed the request).
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -58,6 +61,17 @@ impl ClientError {
     pub fn remote_kind(&self) -> Option<&str> {
         match self {
             ClientError::Remote { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// The `retry-after-ms` back-off hint of an `overloaded`
+    /// [`ClientError::Remote`], if any. Callers seeing `Some` should
+    /// sleep that long before retrying instead of hammering a shedding
+    /// server.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Remote { retry_after_ms, .. } => *retry_after_ms,
             _ => None,
         }
     }
@@ -77,8 +91,16 @@ impl fmt::Display for ClientError {
                 "connection poisoned by an earlier mid-exchange failure; reconnect"
             ),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ClientError::Remote { kind, message } => {
-                write!(f, "server error ({kind}): {message}")
+            ClientError::Remote {
+                kind,
+                message,
+                retry_after_ms,
+            } => {
+                write!(f, "server error ({kind}): {message}")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms} ms)")?;
+                }
+                Ok(())
             }
         }
     }
@@ -112,6 +134,12 @@ pub struct ServerInfo {
     pub topologies: Vec<(usize, usize)>,
     /// The server's topology residency bound.
     pub max_topologies: usize,
+    /// The server's build version (empty when talking to a server that
+    /// predates the field).
+    pub version: String,
+    /// Seconds since the server started accepting connections (zero when
+    /// the server predates the field).
+    pub uptime_secs: u64,
 }
 
 /// One item of a wire-level batch ([`ServiceClient::batch`]).
@@ -464,6 +492,7 @@ impl ServiceClient {
                     .and_then(Json::as_str)
                     .unwrap_or("unspecified failure")
                     .to_string(),
+                retry_after_ms: doc.get("retry-after-ms").and_then(Json::as_u64),
             }),
             None => Err(ClientError::Protocol(
                 "response is missing the 'ok' field".into(),
@@ -513,6 +542,12 @@ impl ServiceClient {
                 .get("max_topologies")
                 .and_then(Json::as_usize)
                 .unwrap_or(1),
+            version: doc
+                .get("version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            uptime_secs: doc.get("uptime_secs").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 

@@ -1,0 +1,874 @@
+//! Prometheus text exposition for the serving daemon.
+//!
+//! [`render`] turns the fleet-wide [`MetricsSnapshot`] (plus the
+//! per-topology breakdown and the [`TopologyRouter`](crate::TopologyRouter)
+//! registry counters) into the Prometheus text format, version 0.0.4:
+//! every family is announced with `# HELP`/`# TYPE` lines, counters carry
+//! the `_total` suffix, and the log₂ latency histograms become proper
+//! cumulative-`le` histogram families. Metric names are part of the
+//! operational contract — dashboards and alert rules reference them — so
+//! treat renames like wire-protocol changes (see docs/OPERATIONS.md for
+//! the full name table).
+//!
+//! Label conventions:
+//!
+//! - `kind="theorem2"` … — the request kind, on fleet request/latency
+//!   families ([`RequestKind::name`](crate::RequestKind::name)).
+//! - `topology="4x4"` — a resident `(d, g)` shape, on `pops_topology_*`
+//!   families. Fleet totals intentionally live in *separate* families:
+//!   per-topology series disappear when a shape is evicted, while the
+//!   fleet families keep counting (the retired-topology ledger keeps them
+//!   monotonic).
+//! - `format="json"|"binary"` — the wire framing, on connection and byte
+//!   counters.
+//! - `error_kind="parse"|…|"overloaded"` — the typed wire-error kind on
+//!   `pops_wire_errors_total` ([`WireErrorKind::name`]).
+//! - `cause="watermark"|"quota"` — why overload control shed a request.
+//!
+//! The module also owns the minimal HTTP plumbing the server needs to
+//! answer `GET /metrics` on its main listener or a `--metrics-port`
+//! sidecar: [`http_request_path`] sniffs an HTTP request line apart from
+//! the JSON/binary wire protocol, and [`http_ok`]/[`http_not_found`]
+//! build complete `HTTP/1.0` close-delimited responses.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{KindSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use crate::proto::WireErrorKind;
+use crate::router::RouterStats;
+
+/// The content type of the rendered exposition.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// The path the exposition is served under.
+pub const METRICS_PATH: &str = "/metrics";
+
+/// Everything [`render`] needs, borrowed from the server at scrape time.
+#[derive(Debug)]
+pub struct Exposition<'a> {
+    /// The fleet-wide aggregate (every topology's registry absorbed, plus
+    /// the retired-topology ledger and the connection layer) — the same
+    /// snapshot the `stats` op reports at its top level.
+    pub aggregate: &'a MetricsSnapshot,
+    /// Per-resident-topology `(d, g, snapshot)` breakdown.
+    pub topologies: &'a [(usize, usize, MetricsSnapshot)],
+    /// Topology-registry counters.
+    pub router: &'a RouterStats,
+    /// The server's crate version, for `pops_build_info`.
+    pub version: &'a str,
+    /// Seconds since the server started, for `pops_uptime_seconds`.
+    pub uptime_secs: u64,
+}
+
+/// Renders the full exposition document.
+pub fn render(x: &Exposition<'_>) -> String {
+    let mut out = String::with_capacity(8192);
+    let snap = x.aggregate;
+
+    family(
+        &mut out,
+        "pops_build_info",
+        "gauge",
+        "Constant 1, labelled with the server's crate version.",
+    );
+    sample(&mut out, "pops_build_info", &[("version", x.version)], 1);
+    family(
+        &mut out,
+        "pops_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+    );
+    sample(&mut out, "pops_uptime_seconds", &[], x.uptime_secs);
+
+    family(
+        &mut out,
+        "pops_requests_total",
+        "counter",
+        "Single routing requests served, by request kind.",
+    );
+    for k in &snap.per_kind {
+        sample(
+            &mut out,
+            "pops_requests_total",
+            &[("kind", k.kind.name())],
+            k.requests,
+        );
+    }
+    family(
+        &mut out,
+        "pops_request_errors_total",
+        "counter",
+        "Routing requests that returned an error, by request kind.",
+    );
+    for k in &snap.per_kind {
+        sample(
+            &mut out,
+            "pops_request_errors_total",
+            &[("kind", k.kind.name())],
+            k.errors,
+        );
+    }
+    family(
+        &mut out,
+        "pops_request_duration_microseconds",
+        "histogram",
+        "Service latency of single routing requests, by request kind.",
+    );
+    for k in &snap.per_kind {
+        histogram(
+            &mut out,
+            "pops_request_duration_microseconds",
+            &[("kind", k.kind.name())],
+            &k.latency,
+            k.total_micros,
+        );
+    }
+
+    family(
+        &mut out,
+        "pops_cache_hits_total",
+        "counter",
+        "Plan-cache hits: level l1 is whole plans, l2 is h-relation phases.",
+    );
+    sample(
+        &mut out,
+        "pops_cache_hits_total",
+        &[("level", "l1")],
+        snap.hits,
+    );
+    sample(
+        &mut out,
+        "pops_cache_hits_total",
+        &[("level", "l2")],
+        snap.phase_hits,
+    );
+    family(
+        &mut out,
+        "pops_cache_misses_total",
+        "counter",
+        "Plan-cache misses, by cache level.",
+    );
+    sample(
+        &mut out,
+        "pops_cache_misses_total",
+        &[("level", "l1")],
+        snap.misses,
+    );
+    sample(
+        &mut out,
+        "pops_cache_misses_total",
+        &[("level", "l2")],
+        snap.phase_misses,
+    );
+    family(
+        &mut out,
+        "pops_cache_entries",
+        "gauge",
+        "Plans currently cached, by cache level.",
+    );
+    sample(
+        &mut out,
+        "pops_cache_entries",
+        &[("level", "l1")],
+        snap.cache_entries,
+    );
+    sample(
+        &mut out,
+        "pops_cache_entries",
+        &[("level", "l2")],
+        snap.phase_cache_entries,
+    );
+    family(
+        &mut out,
+        "pops_cache_capacity",
+        "gauge",
+        "Plan-cache capacity, by cache level.",
+    );
+    sample(
+        &mut out,
+        "pops_cache_capacity",
+        &[("level", "l1")],
+        snap.cache_capacity,
+    );
+    sample(
+        &mut out,
+        "pops_cache_capacity",
+        &[("level", "l2")],
+        snap.phase_cache_capacity,
+    );
+
+    family(
+        &mut out,
+        "pops_slots_emitted_total",
+        "counter",
+        "Total slots across every schedule the service emitted.",
+    );
+    sample(
+        &mut out,
+        "pops_slots_emitted_total",
+        &[],
+        snap.slots_emitted,
+    );
+    family(
+        &mut out,
+        "pops_pool_acquisitions_total",
+        "counter",
+        "Engine-pool acquisitions, by outcome.",
+    );
+    sample(
+        &mut out,
+        "pops_pool_acquisitions_total",
+        &[("outcome", "fast")],
+        snap.pool_fast,
+    );
+    sample(
+        &mut out,
+        "pops_pool_acquisitions_total",
+        &[("outcome", "overflow")],
+        snap.pool_overflows,
+    );
+    sample(
+        &mut out,
+        "pops_pool_acquisitions_total",
+        &[("outcome", "blocked")],
+        snap.pool_blocked,
+    );
+    family(
+        &mut out,
+        "pops_admission_waits_total",
+        "counter",
+        "Requests that had to wait at the admission gate.",
+    );
+    sample(
+        &mut out,
+        "pops_admission_waits_total",
+        &[],
+        snap.admission_waits,
+    );
+    family(
+        &mut out,
+        "pops_batches_total",
+        "counter",
+        "Batch submissions.",
+    );
+    sample(&mut out, "pops_batches_total", &[], snap.batches);
+    family(
+        &mut out,
+        "pops_batch_plans_total",
+        "counter",
+        "Plans produced by batch submissions.",
+    );
+    sample(&mut out, "pops_batch_plans_total", &[], snap.batch_plans);
+
+    family(
+        &mut out,
+        "pops_connections_opened_total",
+        "counter",
+        "Connections accepted and handed to a handler.",
+    );
+    sample(
+        &mut out,
+        "pops_connections_opened_total",
+        &[],
+        snap.conns_opened,
+    );
+    family(
+        &mut out,
+        "pops_connections_closed_total",
+        "counter",
+        "Connections whose handler has exited.",
+    );
+    sample(
+        &mut out,
+        "pops_connections_closed_total",
+        &[],
+        snap.conns_closed,
+    );
+    family(
+        &mut out,
+        "pops_connections_rejected_total",
+        "counter",
+        "Connections refused at the capacity limit.",
+    );
+    sample(
+        &mut out,
+        "pops_connections_rejected_total",
+        &[],
+        snap.conns_rejected,
+    );
+    family(
+        &mut out,
+        "pops_connections_active",
+        "gauge",
+        "Connections currently live.",
+    );
+    sample(
+        &mut out,
+        "pops_connections_active",
+        &[],
+        snap.active_connections(),
+    );
+    family(
+        &mut out,
+        "pops_connections_format_total",
+        "counter",
+        "Connections by negotiated wire format (every connection starts \
+         as json; binary counts successful hello negotiations).",
+    );
+    sample(
+        &mut out,
+        "pops_connections_format_total",
+        &[("format", "json")],
+        snap.json_connections(),
+    );
+    sample(
+        &mut out,
+        "pops_connections_format_total",
+        &[("format", "binary")],
+        snap.conns_binary,
+    );
+    family(
+        &mut out,
+        "pops_wire_bytes_total",
+        "counter",
+        "Wire traffic in bytes, by format and direction.",
+    );
+    for (format, bytes_in, bytes_out) in [
+        ("json", snap.json_bytes_in, snap.json_bytes_out),
+        ("binary", snap.binary_bytes_in, snap.binary_bytes_out),
+    ] {
+        sample(
+            &mut out,
+            "pops_wire_bytes_total",
+            &[("format", format), ("direction", "in")],
+            bytes_in,
+        );
+        sample(
+            &mut out,
+            "pops_wire_bytes_total",
+            &[("format", format), ("direction", "out")],
+            bytes_out,
+        );
+    }
+    family(
+        &mut out,
+        "pops_oversized_lines_total",
+        "counter",
+        "Request lines rejected for exceeding the length cap.",
+    );
+    sample(
+        &mut out,
+        "pops_oversized_lines_total",
+        &[],
+        snap.oversized_lines,
+    );
+    family(
+        &mut out,
+        "pops_read_timeouts_total",
+        "counter",
+        "Connections dropped because a complete request never arrived in time.",
+    );
+    sample(
+        &mut out,
+        "pops_read_timeouts_total",
+        &[],
+        snap.read_timeouts,
+    );
+
+    family(
+        &mut out,
+        "pops_sheds_total",
+        "counter",
+        "Requests shed by overload control, by cause.",
+    );
+    sample(
+        &mut out,
+        "pops_sheds_total",
+        &[("cause", "watermark")],
+        snap.sheds_watermark,
+    );
+    sample(
+        &mut out,
+        "pops_sheds_total",
+        &[("cause", "quota")],
+        snap.sheds_quota,
+    );
+    family(
+        &mut out,
+        "pops_slow_traces_total",
+        "counter",
+        "Slow-request trace lines, by whether the rate limiter let them through.",
+    );
+    sample(
+        &mut out,
+        "pops_slow_traces_total",
+        &[("outcome", "emitted")],
+        snap.slow_traces,
+    );
+    sample(
+        &mut out,
+        "pops_slow_traces_total",
+        &[("outcome", "suppressed")],
+        snap.slow_traces_suppressed,
+    );
+    family(
+        &mut out,
+        "pops_wire_errors_total",
+        "counter",
+        "Typed error responses written on the wire, by error kind.",
+    );
+    for (kind, count) in WireErrorKind::ALL.into_iter().zip(snap.wire_errors) {
+        sample(
+            &mut out,
+            "pops_wire_errors_total",
+            &[("error_kind", kind.name())],
+            count,
+        );
+    }
+
+    family(
+        &mut out,
+        "pops_arena_bytes",
+        "gauge",
+        "Engine-arena bytes across every resident topology's pool.",
+    );
+    sample(&mut out, "pops_arena_bytes", &[], snap.arena_bytes);
+
+    family(
+        &mut out,
+        "pops_router_topologies",
+        "gauge",
+        "Topologies currently resident in the registry.",
+    );
+    sample(
+        &mut out,
+        "pops_router_topologies",
+        &[],
+        x.topologies.len() as u64,
+    );
+    family(
+        &mut out,
+        "pops_router_hits_total",
+        "counter",
+        "Registry lookups answered by an already-resident service.",
+    );
+    sample(&mut out, "pops_router_hits_total", &[], x.router.hits);
+    family(
+        &mut out,
+        "pops_router_built_total",
+        "counter",
+        "Services constructed on demand.",
+    );
+    sample(&mut out, "pops_router_built_total", &[], x.router.built);
+    family(
+        &mut out,
+        "pops_router_evictions_total",
+        "counter",
+        "Unpinned topologies evicted to make room.",
+    );
+    sample(
+        &mut out,
+        "pops_router_evictions_total",
+        &[],
+        x.router.evictions,
+    );
+    family(
+        &mut out,
+        "pops_router_rejections_total",
+        "counter",
+        "Registry lookups refused at capacity.",
+    );
+    sample(
+        &mut out,
+        "pops_router_rejections_total",
+        &[],
+        x.router.rejections,
+    );
+
+    // Per-topology families. These cover *resident* shapes only — series
+    // vanish on eviction, which is why fleet totals live in the separate
+    // (monotonic) families above.
+    family(
+        &mut out,
+        "pops_topology_requests_total",
+        "counter",
+        "Single requests served by a resident topology.",
+    );
+    for (d, g, s) in x.topologies {
+        let label = topology_label(*d, *g);
+        sample(
+            &mut out,
+            "pops_topology_requests_total",
+            &[("topology", &label)],
+            s.requests(),
+        );
+    }
+    family(
+        &mut out,
+        "pops_topology_errors_total",
+        "counter",
+        "Routing errors on a resident topology.",
+    );
+    for (d, g, s) in x.topologies {
+        let label = topology_label(*d, *g);
+        sample(
+            &mut out,
+            "pops_topology_errors_total",
+            &[("topology", &label)],
+            s.errors,
+        );
+    }
+    family(
+        &mut out,
+        "pops_topology_cache_hits_total",
+        "counter",
+        "Level-1 plan-cache hits on a resident topology.",
+    );
+    for (d, g, s) in x.topologies {
+        let label = topology_label(*d, *g);
+        sample(
+            &mut out,
+            "pops_topology_cache_hits_total",
+            &[("topology", &label)],
+            s.hits,
+        );
+    }
+    family(
+        &mut out,
+        "pops_topology_arena_bytes",
+        "gauge",
+        "Engine-arena bytes held by a resident topology's pool.",
+    );
+    for (d, g, s) in x.topologies {
+        let label = topology_label(*d, *g);
+        sample(
+            &mut out,
+            "pops_topology_arena_bytes",
+            &[("topology", &label)],
+            s.arena_bytes,
+        );
+    }
+    family(
+        &mut out,
+        "pops_topology_request_duration_microseconds",
+        "histogram",
+        "Service latency on a resident topology, all request kinds merged.",
+    );
+    for (d, g, s) in x.topologies {
+        let label = topology_label(*d, *g);
+        let (buckets, total_micros) = merge_kind_histograms(&s.per_kind);
+        histogram(
+            &mut out,
+            "pops_topology_request_duration_microseconds",
+            &[("topology", &label)],
+            &buckets,
+            total_micros,
+        );
+    }
+
+    out
+}
+
+/// The `topology` label value for a `(d, g)` shape: `"4x4"`.
+pub fn topology_label(d: usize, g: usize) -> String {
+    format!("{d}x{g}")
+}
+
+/// Sums the per-kind latency histograms into one bucket array, returning
+/// `(buckets, total_micros)`.
+fn merge_kind_histograms(kinds: &[KindSnapshot]) -> ([u64; HISTOGRAM_BUCKETS], u64) {
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut total_micros = 0u64;
+    for k in kinds {
+        for (slot, add) in buckets.iter_mut().zip(&k.latency) {
+            *slot += add;
+        }
+        total_micros += k.total_micros;
+    }
+    (buckets, total_micros)
+}
+
+/// Writes the `# HELP` / `# TYPE` header for one family.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Writes one sample line: `name{k="v",...} value`.
+fn sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(name);
+    write_labels(out, labels);
+    let _ = writeln!(out, " {value}");
+}
+
+/// Renders one log₂ histogram as cumulative `le` buckets plus `_sum` and
+/// `_count`. Latencies are recorded in integer microseconds, so bucket
+/// `i` (counting `2^(i-1) ≤ µs < 2^i`) has the **exact** inclusive upper
+/// bound `2^i - 1`; the rendered bounds are `0, 1, 3, 7, …`.
+fn histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    buckets: &[u64; HISTOGRAM_BUCKETS],
+    sum_micros: u64,
+) {
+    let mut cumulative = 0u64;
+    for (i, count) in buckets.iter().enumerate() {
+        cumulative += count;
+        let le = (1u64 << i) - 1;
+        bucket_line(out, name, labels, &le.to_string(), cumulative);
+    }
+    bucket_line(out, name, labels, "+Inf", cumulative);
+    out.push_str(name);
+    out.push_str("_sum");
+    write_labels(out, labels);
+    let _ = writeln!(out, " {sum_micros}");
+    out.push_str(name);
+    out.push_str("_count");
+    write_labels(out, labels);
+    let _ = writeln!(out, " {cumulative}");
+}
+
+fn bucket_line(out: &mut String, name: &str, labels: &[(&str, &str)], le: &str, value: u64) {
+    out.push_str(name);
+    out.push_str("_bucket{");
+    for (k, v) in labels {
+        let _ = write!(out, "{k}=\"{}\",", escape_label(v));
+    }
+    let _ = writeln!(out, "le=\"{le}\"}} {value}");
+}
+
+fn write_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// If `line` is an HTTP GET request line (`GET <path> HTTP/1.x`, or a
+/// bare `GET <path>`), returns the path (query string stripped). The
+/// server uses this to tell a scraper apart from a JSON/binary wire
+/// client: no JSON request starts with `GET `, and in the binary framing
+/// the bytes `GET ` would be an implausibly huge little-endian length.
+pub fn http_request_path(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("GET ")?;
+    let path = rest.split_whitespace().next()?;
+    let path = path.split('?').next().unwrap_or(path);
+    if path.starts_with('/') {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// A complete `HTTP/1.0 200` response carrying `body` with the
+/// exposition content type. `HTTP/1.0` deliberately: the connection
+/// closes after the response, which every scraper handles.
+pub fn http_ok(body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// A complete `HTTP/1.0 404` response for any other path.
+pub fn http_not_found() -> Vec<u8> {
+    let body = "not found; try /metrics\n";
+    format!(
+        "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServiceMetrics;
+    use crate::RequestKind;
+
+    fn demo_exposition() -> String {
+        let m = ServiceMetrics::new();
+        m.record_miss(RequestKind::Theorem2, 4, 100);
+        m.record_hit(RequestKind::Theorem2, 3);
+        m.record_hit(RequestKind::HRelation, 900);
+        m.record_error(RequestKind::SingleSlot);
+        m.record_shed(false);
+        m.record_shed(true);
+        m.record_wire_error(WireErrorKind::Overloaded);
+        m.record_wire_bytes(true, 10, 20);
+        let aggregate = m.snapshot();
+        let per_topology = vec![
+            (4, 4, m.snapshot()),
+            (2, 8, ServiceMetrics::new().snapshot()),
+        ];
+        let router = RouterStats {
+            hits: 5,
+            built: 2,
+            evictions: 1,
+            rejections: 0,
+        };
+        render(&Exposition {
+            aggregate: &aggregate,
+            topologies: &per_topology,
+            router: &router,
+            version: "1.2.3",
+            uptime_secs: 42,
+        })
+    }
+
+    /// Strips histogram sample suffixes to recover the family name.
+    fn family_of(sample_name: &str) -> &str {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = sample_name.strip_suffix(suffix) {
+                return base;
+            }
+        }
+        sample_name
+    }
+
+    #[test]
+    fn every_sample_is_preceded_by_its_type_and_families_are_unique() {
+        let text = demo_exposition();
+        let mut declared = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(declared.insert(name.to_string()), "duplicate family {name}");
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let name_end = line.find(['{', ' ']).unwrap();
+                let fam = family_of(&line[..name_end]);
+                assert!(declared.contains(fam), "sample before # TYPE: {line}");
+            }
+        }
+        assert!(declared.len() > 20, "expected a rich exposition");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let text = demo_exposition();
+        let prefix = "pops_request_duration_microseconds_bucket{kind=\"theorem2\",";
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with(prefix)) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "buckets must be cumulative: {line}");
+            last = value;
+            if line.contains("le=\"+Inf\"") {
+                saw_inf = true;
+                assert_eq!(value, 2, "theorem2 saw two requests");
+            }
+        }
+        assert!(saw_inf, "+Inf bucket present");
+        assert!(
+            text.contains("pops_request_duration_microseconds_count{kind=\"theorem2\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_request_duration_microseconds_sum{kind=\"theorem2\"} 103"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labels_cover_topology_format_and_error_kind() {
+        let text = demo_exposition();
+        assert!(
+            text.contains("pops_topology_requests_total{topology=\"4x4\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_topology_requests_total{topology=\"2x8\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_wire_bytes_total{format=\"binary\",direction=\"out\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_wire_errors_total{error_kind=\"overloaded\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_sheds_total{cause=\"watermark\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_sheds_total{cause=\"quota\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pops_topology_request_duration_microseconds_bucket{topology=\"4x4\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn build_info_and_uptime_are_present() {
+        let text = demo_exposition();
+        assert!(
+            text.contains("pops_build_info{version=\"1.2.3\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pops_uptime_seconds 42"), "{text}");
+        assert!(text.contains("pops_router_evictions_total 1"), "{text}");
+        assert!(text.contains("pops_router_topologies 2"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn http_request_lines_are_recognised() {
+        assert_eq!(http_request_path("GET /metrics HTTP/1.1"), Some("/metrics"));
+        assert_eq!(
+            http_request_path("GET /metrics?x=1 HTTP/1.0"),
+            Some("/metrics")
+        );
+        assert_eq!(http_request_path("GET /other"), Some("/other"));
+        assert_eq!(http_request_path("{\"op\":\"ping\"}"), None);
+        assert_eq!(http_request_path("GET metrics"), None);
+    }
+
+    #[test]
+    fn http_responses_are_complete() {
+        let ok = http_ok("hello\n");
+        let text = String::from_utf8(ok).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 6\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhello\n"), "{text}");
+        let nf = String::from_utf8(http_not_found()).unwrap();
+        assert!(nf.starts_with("HTTP/1.0 404"), "{nf}");
+    }
+}

@@ -22,6 +22,8 @@
 //! | [`service`] | [`RoutingService`]: admission → cache L1/L2 → pool → metrics |
 //! | [`router`] | [`TopologyRouter`]: `(d, g)` → lazily-built `RoutingService`, LRU-bounded — one daemon, many topologies |
 //! | [`metrics`] | [`ServiceMetrics`]: lock-free counters + latency histograms, L1 vs L2 hit accounting |
+//! | [`exposition`] | Prometheus text exposition — `GET /metrics` on the main listener or a `--metrics-port` sidecar |
+//! | [`trace`] | per-request trace ids and stage timings, plus the rate-limited slow-request log |
 //! | [`json`], [`proto`] | dependency-free JSON and the wire protocol (per-request topology selection, the `batch` op) |
 //! | [`frame`] | opt-in length-prefixed binary framing, negotiated per connection with the `hello` op |
 //! | [`server`], [`client`] | TCP front door (`pops serve` / `pops request`): JSON lines by default, binary frames after negotiation |
@@ -44,6 +46,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod exposition;
 pub mod frame;
 pub mod json;
 pub mod metrics;
@@ -53,6 +56,7 @@ pub mod proto;
 pub mod router;
 pub mod server;
 pub mod service;
+pub mod trace;
 
 pub use cache::{
     canonical_key, phase_key, CachedOutcome, CachedPhase, PlanCache, ShardedPlanCache,
@@ -69,3 +73,4 @@ pub use proto::{WireErrorKind, WireFormat};
 pub use router::{DirLoadReport, RouterError, RouterStats, TopologyRouter, TopologyRouterConfig};
 pub use server::{serve, serve_router, serve_with_config, ServerConfig, ServerSummary};
 pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};
+pub use trace::{RequestTrace, SlowLog, SlowVerdict};

@@ -8,9 +8,15 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::proto::WireErrorKind;
+
 /// Number of latency buckets: bucket `i` counts requests whose latency in
 /// microseconds `µs` satisfies `2^(i-1) ≤ µs < 2^i` (bucket 0 is `< 1 µs`).
 pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// Number of wire-error kinds tracked by the per-kind error counters
+/// (one slot per [`WireErrorKind`], indexed by [`WireErrorKind::index`]).
+pub const WIRE_ERROR_KINDS: usize = WireErrorKind::ALL.len();
 
 /// The request kinds the service distinguishes in its per-kind metrics —
 /// one per [`pops_core::RoutingRequest`] variant.
@@ -143,6 +149,17 @@ pub struct ServiceMetrics {
     oversized_lines: AtomicU64,
     /// Connections dropped because a complete line never arrived in time.
     read_timeouts: AtomicU64,
+    /// Requests shed at the global in-flight watermark (answered with an
+    /// `overloaded` error instead of queueing).
+    sheds_watermark: AtomicU64,
+    /// Requests shed by a per-client token-bucket quota.
+    sheds_quota: AtomicU64,
+    /// Slow-request trace lines actually emitted to the log.
+    slow_traces: AtomicU64,
+    /// Slow-request trace lines suppressed by the rate limiter.
+    slow_traces_suppressed: AtomicU64,
+    /// Wire-level error responses written, by [`WireErrorKind`] index.
+    wire_errors: [AtomicU64; WIRE_ERROR_KINDS],
     /// Connections that negotiated the binary framing (every connection
     /// starts as JSON; `conns_opened - conns_binary` is the JSON count).
     conns_binary: AtomicU64,
@@ -253,6 +270,34 @@ impl ServiceMetrics {
         self.read_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request shed by overload control: at the global in-flight
+    /// watermark (`quota = false`) or by a per-client quota (`quota = true`).
+    pub fn record_shed(&self, quota: bool) {
+        let counter = if quota {
+            &self.sheds_quota
+        } else {
+            &self.sheds_watermark
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a slow-request trace line: emitted to the log, or suppressed
+    /// by the rate limiter (`emitted = false`).
+    pub fn record_slow_trace(&self, emitted: bool) {
+        let counter = if emitted {
+            &self.slow_traces
+        } else {
+            &self.slow_traces_suppressed
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wire-level error response of the given kind (the typed
+    /// `"kind"` field the server put on an `ok: false` reply).
+    pub fn record_wire_error(&self, kind: WireErrorKind) {
+        self.wire_errors[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a connection upgrading to the binary framing (a successful
     /// `hello` negotiation).
     pub fn record_binary_negotiated(&self) {
@@ -292,6 +337,11 @@ impl ServiceMetrics {
             conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
             oversized_lines: self.oversized_lines.load(Ordering::Relaxed),
             read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            sheds_watermark: self.sheds_watermark.load(Ordering::Relaxed),
+            sheds_quota: self.sheds_quota.load(Ordering::Relaxed),
+            slow_traces: self.slow_traces.load(Ordering::Relaxed),
+            slow_traces_suppressed: self.slow_traces_suppressed.load(Ordering::Relaxed),
+            wire_errors: std::array::from_fn(|i| self.wire_errors[i].load(Ordering::Relaxed)),
             conns_binary: self.conns_binary.load(Ordering::Relaxed),
             json_bytes_in: self.json_bytes_in.load(Ordering::Relaxed),
             json_bytes_out: self.json_bytes_out.load(Ordering::Relaxed),
@@ -404,6 +454,17 @@ pub struct MetricsSnapshot {
     pub oversized_lines: u64,
     /// Connections dropped on a read timeout.
     pub read_timeouts: u64,
+    /// Requests shed at the global in-flight watermark.
+    pub sheds_watermark: u64,
+    /// Requests shed by a per-client token-bucket quota.
+    pub sheds_quota: u64,
+    /// Slow-request trace lines emitted to the log.
+    pub slow_traces: u64,
+    /// Slow-request trace lines suppressed by the rate limiter.
+    pub slow_traces_suppressed: u64,
+    /// Wire-level error responses written, indexed by
+    /// [`WireErrorKind::index`].
+    pub wire_errors: [u64; WIRE_ERROR_KINDS],
     /// Connections that negotiated the binary framing.
     pub conns_binary: u64,
     /// Request bytes received on JSON-lines connections.
@@ -476,6 +537,13 @@ impl MetricsSnapshot {
         self.conns_rejected += other.conns_rejected;
         self.oversized_lines += other.oversized_lines;
         self.read_timeouts += other.read_timeouts;
+        self.sheds_watermark += other.sheds_watermark;
+        self.sheds_quota += other.sheds_quota;
+        self.slow_traces += other.slow_traces;
+        self.slow_traces_suppressed += other.slow_traces_suppressed;
+        for (mine, theirs) in self.wire_errors.iter_mut().zip(&other.wire_errors) {
+            *mine += theirs;
+        }
         self.conns_binary += other.conns_binary;
         self.json_bytes_in += other.json_bytes_in;
         self.json_bytes_out += other.json_bytes_out;
@@ -532,6 +600,16 @@ impl MetricsSnapshot {
     pub fn json_connections(&self) -> u64 {
         self.conns_opened.saturating_sub(self.conns_binary)
     }
+
+    /// Requests shed by overload control, all causes combined.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_watermark + self.sheds_quota
+    }
+
+    /// Wire-level error responses written, all kinds combined.
+    pub fn wire_errors_total(&self) -> u64 {
+        self.wire_errors.iter().sum()
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -572,6 +650,17 @@ impl fmt::Display for MetricsSnapshot {
             self.conns_rejected,
             self.oversized_lines,
             self.read_timeouts,
+        )?;
+        writeln!(
+            f,
+            "sheds: {} ({} watermark, {} quota)   slow traces: {} emitted, \
+             {} suppressed   wire errors: {}",
+            self.sheds(),
+            self.sheds_watermark,
+            self.sheds_quota,
+            self.slow_traces,
+            self.slow_traces_suppressed,
+            self.wire_errors_total(),
         )?;
         writeln!(
             f,
@@ -780,6 +869,52 @@ mod tests {
         // Both 100 µs observations land in the same histogram bucket.
         let bucket = (u64::BITS - 100u64.leading_zeros()) as usize;
         assert_eq!(total.per_kind[0].latency[bucket], 2);
+    }
+
+    #[test]
+    fn shed_and_slow_trace_counters_round_trip() {
+        let m = ServiceMetrics::new();
+        m.record_shed(false);
+        m.record_shed(false);
+        m.record_shed(true);
+        m.record_slow_trace(true);
+        m.record_slow_trace(false);
+        m.record_slow_trace(false);
+        let s = m.snapshot();
+        assert_eq!((s.sheds_watermark, s.sheds_quota), (2, 1));
+        assert_eq!(s.sheds(), 3);
+        assert_eq!((s.slow_traces, s.slow_traces_suppressed), (1, 2));
+        let rendered = s.to_string();
+        assert!(
+            rendered.contains("sheds: 3 (2 watermark, 1 quota)"),
+            "{rendered}"
+        );
+
+        // Aggregation sums the overload view too.
+        let mut total = MetricsSnapshot::zero();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.sheds(), 6);
+        assert_eq!(total.slow_traces_suppressed, 4);
+    }
+
+    #[test]
+    fn wire_error_counters_round_trip_per_kind() {
+        let m = ServiceMetrics::new();
+        m.record_wire_error(WireErrorKind::Parse);
+        m.record_wire_error(WireErrorKind::Parse);
+        m.record_wire_error(WireErrorKind::Overloaded);
+        let s = m.snapshot();
+        assert_eq!(s.wire_errors[WireErrorKind::Parse.index()], 2);
+        assert_eq!(s.wire_errors[WireErrorKind::Overloaded.index()], 1);
+        assert_eq!(s.wire_errors_total(), 3);
+        assert!(s.to_string().contains("wire errors: 3"), "{s}");
+
+        let mut total = MetricsSnapshot::zero();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.wire_errors[WireErrorKind::Parse.index()], 4);
+        assert_eq!(total.wire_errors_total(), 6);
     }
 
     #[test]

@@ -36,7 +36,8 @@
 //! Responses always carry `"ok"`; failures are
 //! `{"ok":false,"kind":"...","error":"..."}` where `kind` is a machine-
 //! readable [`WireErrorKind`] category (`parse`, `bad-request`,
-//! `too-large`, `timeout`, `unavailable`, `routing`, `topology-limit`).
+//! `too-large`, `timeout`, `unavailable`, `routing`, `topology-limit`,
+//! `overloaded`).
 
 use pops_core::HRelation;
 use pops_network::{FaultSet, PopsTopology, Schedule, SlotFrame, Transmission};
@@ -68,9 +69,45 @@ pub enum WireErrorKind {
     /// The requested `(d, g)` shape could not be admitted: the topology
     /// registry is full and every resident topology is pinned.
     TopologyLimit,
+    /// The request was shed by overload control (the global in-flight
+    /// watermark or a per-client quota); the error carries
+    /// `retry-after-ms` — back off and retry.
+    Overloaded,
 }
 
 impl WireErrorKind {
+    /// All kinds, in wire-name order — the index into per-kind arrays
+    /// (e.g. the wire-error counters of [`crate::ServiceMetrics`]).
+    pub const ALL: [WireErrorKind; 8] = [
+        WireErrorKind::Parse,
+        WireErrorKind::BadRequest,
+        WireErrorKind::TooLarge,
+        WireErrorKind::Timeout,
+        WireErrorKind::Unavailable,
+        WireErrorKind::Routing,
+        WireErrorKind::TopologyLimit,
+        WireErrorKind::Overloaded,
+    ];
+
+    /// The kind's index into [`WireErrorKind::ALL`]-ordered arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WireErrorKind::Parse => 0,
+            WireErrorKind::BadRequest => 1,
+            WireErrorKind::TooLarge => 2,
+            WireErrorKind::Timeout => 3,
+            WireErrorKind::Unavailable => 4,
+            WireErrorKind::Routing => 5,
+            WireErrorKind::TopologyLimit => 6,
+            WireErrorKind::Overloaded => 7,
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        WireErrorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// The kind's wire name.
     pub fn name(self) -> &'static str {
         match self {
@@ -81,6 +118,7 @@ impl WireErrorKind {
             WireErrorKind::Unavailable => "unavailable",
             WireErrorKind::Routing => "routing",
             WireErrorKind::TopologyLimit => "topology-limit",
+            WireErrorKind::Overloaded => "overloaded",
         }
     }
 }
@@ -403,14 +441,17 @@ pub fn pong_response() -> Json {
     ])
 }
 
-/// The `info` response: default serving topology, service shape, and the
-/// topology registry (resident shapes and the residency bound).
+/// The `info` response: default serving topology, service shape, the
+/// topology registry (resident shapes and the residency bound), the
+/// server's crate version, and its uptime in whole seconds.
 pub fn info_response(
     topology: &PopsTopology,
     shards: usize,
     cache_capacity: usize,
     topologies: &[(usize, usize)],
     max_topologies: usize,
+    version: &str,
+    uptime_secs: u64,
 ) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
@@ -423,6 +464,8 @@ pub fn info_response(
         ("cache_capacity".into(), Json::num(cache_capacity)),
         ("topologies".into(), shapes_json(topologies)),
         ("max_topologies".into(), Json::num(max_topologies)),
+        ("version".into(), Json::str(version)),
+        ("uptime_secs".into(), Json::Num(uptime_secs as f64)),
     ])
 }
 
@@ -549,6 +592,34 @@ pub fn stats_response(
             Json::Num(snap.oversized_lines as f64),
         ),
         ("read_timeouts".into(), Json::Num(snap.read_timeouts as f64)),
+        (
+            "sheds".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::Num(snap.sheds() as f64)),
+                ("watermark".into(), Json::Num(snap.sheds_watermark as f64)),
+                ("quota".into(), Json::Num(snap.sheds_quota as f64)),
+            ]),
+        ),
+        (
+            "slow_traces".into(),
+            Json::Obj(vec![
+                ("emitted".into(), Json::Num(snap.slow_traces as f64)),
+                (
+                    "suppressed".into(),
+                    Json::Num(snap.slow_traces_suppressed as f64),
+                ),
+            ]),
+        ),
+        (
+            "wire_errors".into(),
+            Json::Obj(
+                WireErrorKind::ALL
+                    .into_iter()
+                    .zip(snap.wire_errors)
+                    .map(|(kind, count)| (kind.name().to_string(), Json::Num(count as f64)))
+                    .collect(),
+            ),
+        ),
         ("arena_bytes".into(), Json::Num(snap.arena_bytes as f64)),
         ("cache_entries".into(), Json::Num(snap.cache_entries as f64)),
         (
@@ -649,6 +720,34 @@ pub fn error_response(kind: WireErrorKind, msg: impl Into<String>) -> Json {
         ("kind".into(), Json::str(kind.name())),
         ("error".into(), Json::Str(msg.into())),
     ])
+}
+
+/// The overload-control shed response:
+/// `{"ok":false,"kind":"overloaded","error":...,"retry-after-ms":N}`.
+/// `retry_after_ms` tells a well-behaved client how long to back off —
+/// the token-bucket refill interval for quota sheds, a fixed backoff for
+/// watermark sheds.
+pub fn overloaded_response(msg: impl Into<String>, retry_after_ms: u64) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("kind".into(), Json::str(WireErrorKind::Overloaded.name())),
+        ("error".into(), Json::Str(msg.into())),
+        ("retry-after-ms".into(), Json::Num(retry_after_ms as f64)),
+    ])
+}
+
+/// Appends a `"trace"` field carrying the request's trace id to a JSON
+/// response document, so a wire response can be correlated with the
+/// server's slow-request log lines. Non-object documents are returned
+/// unchanged.
+pub fn attach_trace(doc: Json, trace_id: &str) -> Json {
+    match doc {
+        Json::Obj(mut fields) => {
+            fields.push(("trace".into(), Json::Str(trace_id.into())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 /// The `route` response for a served request.
@@ -862,12 +961,38 @@ mod tests {
         let err = error_response(WireErrorKind::Routing, "nope");
         assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
         assert_eq!(err.get("kind").unwrap().as_str(), Some("routing"));
-        let info = info_response(&PopsTopology::new(4, 4), 2, 64, &[(4, 4), (2, 8)], 8);
+        let info = info_response(
+            &PopsTopology::new(4, 4),
+            2,
+            64,
+            &[(4, 4), (2, 8)],
+            8,
+            "1.2.3",
+            42,
+        );
         assert_eq!(info.get("n").unwrap().as_usize(), Some(16));
         assert_eq!(info.get("max_topologies").unwrap().as_usize(), Some(8));
         let shapes = info.get("topologies").unwrap().as_arr().unwrap();
         assert_eq!(shapes.len(), 2);
         assert_eq!(shapes[1].as_arr().unwrap()[1].as_usize(), Some(8));
+        assert_eq!(info.get("version").unwrap().as_str(), Some("1.2.3"));
+        assert_eq!(info.get("uptime_secs").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let doc = overloaded_response("shed at watermark", 250);
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(doc.get("retry-after-ms").unwrap().as_u64(), Some(250));
+    }
+
+    #[test]
+    fn attach_trace_appends_the_id() {
+        let doc = attach_trace(pong_response(), "c3-r7");
+        assert_eq!(doc.get("trace").unwrap().as_str(), Some("c3-r7"));
+        // Non-object documents pass through unchanged.
+        assert_eq!(attach_trace(Json::Bool(true), "x"), Json::Bool(true));
     }
 
     #[test]
@@ -971,6 +1096,14 @@ mod tests {
         let r = doc.get("router").unwrap();
         assert_eq!(r.get("built").unwrap().as_u64(), Some(2));
         assert_eq!(r.get("evictions").unwrap().as_u64(), Some(1));
+        let sheds = doc.get("sheds").unwrap();
+        assert_eq!(sheds.get("total").unwrap().as_u64(), Some(0));
+        assert_eq!(sheds.get("watermark").unwrap().as_u64(), Some(0));
+        let slow = doc.get("slow_traces").unwrap();
+        assert_eq!(slow.get("emitted").unwrap().as_u64(), Some(0));
+        let wire_errors = doc.get("wire_errors").unwrap();
+        assert_eq!(wire_errors.get("overloaded").unwrap().as_u64(), Some(0));
+        assert_eq!(wire_errors.get("parse").unwrap().as_u64(), Some(0));
     }
 
     #[test]
@@ -1068,6 +1201,7 @@ mod tests {
             WireErrorKind::Unavailable,
             WireErrorKind::Routing,
             WireErrorKind::TopologyLimit,
+            WireErrorKind::Overloaded,
         ];
         let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

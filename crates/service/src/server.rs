@@ -49,25 +49,27 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::exposition::{self, Exposition};
 use crate::frame::{self, TAG_BATCH, TAG_JSON, TAG_ROUTE};
 use crate::json::Json;
 use crate::metrics::{MetricsSnapshot, RequestKind, ServiceMetrics};
 use crate::proto::BatchItemRequest;
 use crate::proto::{
-    batch_item_error, batch_item_response, batch_summary_response, cache_persist_response,
-    cache_stats_response, error_response, hello_response, info_response, parse_request,
-    pong_response, requested_shape, route_response, shutdown_response, stats_response, CacheAction,
-    WireErrorKind, WireFormat, WireRequest,
+    attach_trace, batch_item_error, batch_item_response, batch_summary_response,
+    cache_persist_response, cache_stats_response, error_response, hello_response, info_response,
+    overloaded_response, parse_request, pong_response, requested_shape, route_response,
+    shutdown_response, stats_response, CacheAction, WireErrorKind, WireFormat, WireRequest,
 };
 use crate::router::{RouterError, TopologyRouter, TopologyRouterConfig};
 use crate::service::{RoutingService, ServiceRequest};
+use crate::trace::{RequestTrace, SlowLog, SlowVerdict};
 
 /// Limits and timeouts of one [`serve_with_config`] loop.
 #[derive(Debug, Clone)]
@@ -102,6 +104,32 @@ pub struct ServerConfig {
     /// every other client's warm shape on the way). Refused whole with
     /// `too-large`.
     pub max_batch_topologies: usize,
+    /// Global admission watermark: the most route/batch requests allowed
+    /// in service at once across every connection. A request beyond it is
+    /// **shed** — answered immediately with a typed `overloaded` error
+    /// carrying `retry-after-ms` — instead of queueing unboundedly at the
+    /// per-service admission gate. Control ops (ping, info, stats, cache)
+    /// are never shed, so the server stays observable under overload.
+    /// `None` — the default — disables watermark shedding.
+    pub overload_watermark: Option<usize>,
+    /// Per-client token-bucket quota in route/batch requests per second,
+    /// keyed by peer IP. Requests beyond the bucket are shed with an
+    /// `overloaded` error whose `retry-after-ms` is the time until the
+    /// next token. `None` — the default — disables quotas.
+    pub quota_rps: Option<u64>,
+    /// Token-bucket burst capacity (tokens a quiet client accumulates).
+    /// `None` defaults to the rate, i.e. a one-second burst.
+    pub quota_burst: Option<u64>,
+    /// Threshold above which a finished request emits a rate-limited
+    /// slow-request trace line (see [`crate::trace`]) to stderr. `None` —
+    /// the default — disables the slow log; trace ids are still assigned
+    /// and echoed on JSON responses either way.
+    pub slow_threshold: Option<Duration>,
+    /// Port for a dedicated metrics sidecar listener answering
+    /// `GET /metrics`, bound on the same interface as the main listener
+    /// (the main listener answers `GET /metrics` regardless, so scrapers
+    /// work without this). `None` — the default — binds no sidecar.
+    pub metrics_port: Option<u16>,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +146,11 @@ impl Default for ServerConfig {
             cache_dir: None,
             max_batch_items: 1024,
             max_batch_topologies: 8,
+            overload_watermark: None,
+            quota_rps: None,
+            quota_burst: None,
+            slow_threshold: None,
+            metrics_port: None,
         }
     }
 }
@@ -135,6 +168,139 @@ pub struct ServerSummary {
     pub metrics: MetricsSnapshot,
 }
 
+/// What clients are told to wait when a watermark shed happens. The
+/// watermark clears as soon as any in-flight request finishes, so this
+/// is deliberately short.
+const WATERMARK_RETRY_MS: u64 = 100;
+
+/// Most peer IPs tracked by the quota map at once; beyond this, fully
+/// refilled (idle) buckets are pruned, and as a last resort the map is
+/// cleared — a source-address spray degrades quota precision, never
+/// memory.
+const MAX_QUOTA_CLIENTS: usize = 4096;
+
+/// Why a request was shed, and what to tell the client.
+#[derive(Debug)]
+struct Shed {
+    /// `true` for a per-client quota shed, `false` for the watermark.
+    quota: bool,
+    retry_after_ms: u64,
+    msg: String,
+}
+
+/// One peer's token bucket: `tokens` refill at the configured rate up to
+/// the burst capacity; each admitted route/batch request spends one.
+struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn refill(&mut self, now: Instant, rps: u64, burst: u64) {
+        let elapsed = now.duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * rps as f64).min(burst as f64);
+        self.refilled = now;
+    }
+}
+
+/// Overload control for route/batch work: a per-client token-bucket
+/// quota (checked first — a noisy neighbour is shed before it can claim
+/// a watermark slot) and a global in-flight watermark. Both default off;
+/// with neither configured [`OverloadControl::try_admit`] is two `None`
+/// checks and touches no shared state.
+struct OverloadControl {
+    watermark: Option<usize>,
+    quota_rps: Option<u64>,
+    quota_burst: u64,
+    inflight: AtomicU64,
+    buckets: Mutex<HashMap<IpAddr, TokenBucket>>,
+}
+
+impl OverloadControl {
+    fn from_config(config: &ServerConfig) -> Self {
+        Self {
+            watermark: config.overload_watermark,
+            quota_rps: config.quota_rps,
+            quota_burst: config.quota_burst.or(config.quota_rps).unwrap_or(1).max(1),
+            inflight: AtomicU64::new(0),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admits one route/batch request or says how it was shed. The
+    /// returned guard releases the watermark slot when dropped — hold it
+    /// for the request's whole time in service.
+    fn try_admit(&self, peer: Option<IpAddr>) -> Result<InflightGuard<'_>, Shed> {
+        if let (Some(rps), Some(ip)) = (self.quota_rps, peer) {
+            let burst = self.quota_burst;
+            let now = Instant::now();
+            let mut buckets = self.buckets.lock().expect("quota lock poisoned");
+            let bucket = buckets.entry(ip).or_insert(TokenBucket {
+                tokens: burst as f64,
+                refilled: now,
+            });
+            bucket.refill(now, rps, burst);
+            if bucket.tokens < 1.0 {
+                let deficit = 1.0 - bucket.tokens;
+                let retry_after_ms = ((deficit / rps as f64) * 1000.0).ceil().max(1.0) as u64;
+                drop(buckets);
+                return Err(Shed {
+                    quota: true,
+                    retry_after_ms,
+                    msg: format!("client quota exceeded ({rps} requests/s, burst {burst})"),
+                });
+            }
+            bucket.tokens -= 1.0;
+            if buckets.len() > MAX_QUOTA_CLIENTS {
+                buckets.retain(|_, b| {
+                    let mut probe = TokenBucket {
+                        tokens: b.tokens,
+                        refilled: b.refilled,
+                    };
+                    probe.refill(now, rps, burst);
+                    probe.tokens < burst as f64
+                });
+                if buckets.len() > MAX_QUOTA_CLIENTS {
+                    buckets.clear();
+                }
+            }
+        }
+        if let Some(watermark) = self.watermark {
+            let previous = self.inflight.fetch_add(1, Ordering::SeqCst);
+            if previous as usize >= watermark {
+                self.inflight.fetch_sub(1, Ordering::SeqCst);
+                return Err(Shed {
+                    quota: false,
+                    retry_after_ms: WATERMARK_RETRY_MS,
+                    msg: format!("server is at its in-flight watermark ({watermark})"),
+                });
+            }
+            return Ok(InflightGuard {
+                control: self,
+                counted: true,
+            });
+        }
+        Ok(InflightGuard {
+            control: self,
+            counted: false,
+        })
+    }
+}
+
+/// Releases the watermark slot its request held.
+struct InflightGuard<'a> {
+    control: &'a OverloadControl,
+    counted: bool,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if self.counted {
+            self.control.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Shared state of one serve loop: the topology router, the shutdown
 /// flag, the connection registry, and the counters the summary reports.
 struct ServeState {
@@ -146,6 +312,12 @@ struct ServeState {
     server_metrics: Arc<ServiceMetrics>,
     config: ServerConfig,
     listener_addr: SocketAddr,
+    /// When the server started, for `uptime_secs` and the exposition.
+    started: Instant,
+    /// The slow-request log, present when `slow_threshold` is set.
+    slow_log: Option<SlowLog>,
+    /// Overload control for route/batch work (no-op unless configured).
+    overload: OverloadControl,
     shutdown: AtomicBool,
     /// Live connections by id: their join handles (joined by the accept
     /// loop's reaper or the final drain) — also the live-connection count
@@ -225,17 +397,36 @@ pub fn serve_router(
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
     let metrics = Arc::new(ServiceMetrics::new());
+    let listener_addr = listener.local_addr()?;
     let state = Arc::new(ServeState {
         router,
         server_metrics: metrics.clone(),
+        listener_addr,
+        started: Instant::now(),
+        slow_log: config.slow_threshold.map(SlowLog::new),
+        overload: OverloadControl::from_config(&config),
         config,
-        listener_addr: listener.local_addr()?,
         shutdown: AtomicBool::new(false),
         conns: Mutex::new(HashMap::new()),
         finished: Mutex::new(Vec::new()),
         requests: AtomicU64::new(0),
         reject_threads: AtomicU64::new(0),
     });
+    // Optional metrics sidecar: a second listener on the same interface
+    // that only ever answers HTTP GETs, so a scraper never competes with
+    // wire clients for the main accept loop or the connection cap.
+    let sidecar = match state.config.metrics_port {
+        None => None,
+        Some(port) => {
+            let sidecar_listener = TcpListener::bind((listener_addr.ip(), port))?;
+            let sidecar_state = state.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("pops-metrics".into())
+                    .spawn(move || metrics_sidecar_loop(sidecar_listener, &sidecar_state))?,
+            )
+        }
+    };
     let mut next_id: u64 = 0;
     let mut connections: u64 = 0;
 
@@ -262,7 +453,7 @@ pub fn serve_router(
         let spawned = std::thread::Builder::new()
             .name(format!("pops-conn-{id}"))
             .spawn(move || {
-                let _ = handle_connection(stream, &handler_state);
+                let _ = handle_connection(stream, &handler_state, id);
                 handler_state.server_metrics.record_connection_closed();
                 handler_state
                     .finished
@@ -295,6 +486,9 @@ pub fn serve_router(
         if let Some(join) = conn.join.take() {
             let _ = join.join();
         }
+    }
+    if let Some(join) = sidecar {
+        let _ = join.join();
     }
 
     let (aggregate, _) = aggregate_stats(&state);
@@ -369,7 +563,17 @@ fn reject_at_capacity(stream: TcpStream, state: &Arc<ServeState>) {
                     helper_state.config.max_connections
                 ),
             );
-            let _ = writeln!(writer, "{response}");
+            let text = response.to_string();
+            if writeln!(writer, "{text}").is_ok() {
+                // Even a courtesy rejection is wire traffic and a typed
+                // error — the counters must see both.
+                helper_state
+                    .server_metrics
+                    .record_wire_bytes(false, 0, text.len() as u64 + 1);
+                helper_state
+                    .server_metrics
+                    .record_wire_error(WireErrorKind::Unavailable);
+            }
             close_after_error(&mut writer);
             helper_state.reject_threads.fetch_sub(1, Ordering::SeqCst);
         });
@@ -407,10 +611,12 @@ enum LineOutcome {
     Line(String),
     /// The peer closed the connection (mid-line partials are dropped).
     Eof,
-    /// The line exceeded the configured cap.
-    TooLong,
-    /// No complete line arrived within the read deadline.
-    TimedOut,
+    /// The line exceeded the configured cap; carries the bytes consumed
+    /// before giving up, so the traffic counters still see them.
+    TooLong { consumed: u64 },
+    /// No complete line arrived within the read deadline; carries the
+    /// partial bytes consumed while waiting.
+    TimedOut { consumed: u64 },
     /// The server is shutting down and no bytes were pending — the
     /// handler should close quietly.
     ShuttingDown,
@@ -433,11 +639,14 @@ fn read_bounded_line(
     let started = Instant::now();
     let mut shutdown_grace_used = false;
     loop {
+        let consumed = line.len() as u64;
         let mut slice = SHUTDOWN_POLL;
         if let Some(budget) = deadline {
             match budget.checked_sub(started.elapsed()) {
-                None => return Ok(LineOutcome::TimedOut),
-                Some(remaining) if remaining.is_zero() => return Ok(LineOutcome::TimedOut),
+                None => return Ok(LineOutcome::TimedOut { consumed }),
+                Some(remaining) if remaining.is_zero() => {
+                    return Ok(LineOutcome::TimedOut { consumed })
+                }
                 Some(remaining) => slice = slice.min(remaining),
             }
         }
@@ -470,7 +679,9 @@ fn read_bounded_line(
         match available.iter().position(|&b| b == b'\n') {
             Some(newline) => {
                 if line.len() + newline > max_bytes {
-                    return Ok(LineOutcome::TooLong);
+                    return Ok(LineOutcome::TooLong {
+                        consumed: (line.len() + newline) as u64,
+                    });
                 }
                 line.extend_from_slice(&available[..newline]);
                 reader.consume(newline + 1);
@@ -486,7 +697,9 @@ fn read_bounded_line(
             None => {
                 let chunk = available.len();
                 if line.len() + chunk > max_bytes {
-                    return Ok(LineOutcome::TooLong);
+                    return Ok(LineOutcome::TooLong {
+                        consumed: (line.len() + chunk) as u64,
+                    });
                 }
                 line.extend_from_slice(available);
                 reader.consume(chunk);
@@ -510,10 +723,12 @@ enum FrameOutcome {
     Frame(Vec<u8>),
     /// The peer closed the connection (mid-frame partials are dropped).
     Eof,
-    /// The declared payload length exceeded the configured cap.
-    TooLong,
-    /// No complete frame arrived within the read deadline.
-    TimedOut,
+    /// The declared payload length exceeded the configured cap; carries
+    /// the prefix bytes consumed.
+    TooLong { consumed: u64 },
+    /// No complete frame arrived within the read deadline; carries the
+    /// partial bytes consumed while waiting.
+    TimedOut { consumed: u64 },
     /// The server is shutting down — the handler should close quietly.
     ShuttingDown,
 }
@@ -535,11 +750,14 @@ fn read_bounded_frame(
     let started = Instant::now();
     let mut shutdown_grace_used = false;
     loop {
+        let consumed = buf.len() as u64;
         let mut slice = SHUTDOWN_POLL;
         if let Some(budget) = deadline {
             match budget.checked_sub(started.elapsed()) {
-                None => return Ok(FrameOutcome::TimedOut),
-                Some(remaining) if remaining.is_zero() => return Ok(FrameOutcome::TimedOut),
+                None => return Ok(FrameOutcome::TimedOut { consumed }),
+                Some(remaining) if remaining.is_zero() => {
+                    return Ok(FrameOutcome::TimedOut { consumed })
+                }
                 Some(remaining) => slice = slice.min(remaining),
             }
         }
@@ -577,7 +795,7 @@ fn read_bounded_frame(
         if payload_len.is_none() && buf.len() == 4 {
             let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
             if len > max_bytes {
-                return Ok(FrameOutcome::TooLong);
+                return Ok(FrameOutcome::TooLong { consumed: 4 });
             }
             payload_len = Some(len);
         }
@@ -639,21 +857,48 @@ fn write_responses(
     Ok(bytes_out)
 }
 
-fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<()> {
+/// Records the typed `kind` of every `ok: false` JSON response about to
+/// go on the wire, feeding the `error_kind`-labelled exposition family.
+fn record_wire_errors(metrics: &ServiceMetrics, responses: &[Outgoing]) {
+    for response in responses {
+        let Outgoing::Json(doc) = response else {
+            continue;
+        };
+        if doc.get("ok").and_then(Json::as_bool) != Some(false) {
+            continue;
+        }
+        if let Some(kind) = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(WireErrorKind::from_name)
+        {
+            metrics.record_wire_error(kind);
+        }
+    }
+}
+
+/// One fully-read request's worth of work: its trace, the responses to
+/// write, the request bytes consumed, whether the connection should stop,
+/// and a wire-format switch negotiated by a `hello`.
+type Exchange = (RequestTrace, Vec<Outgoing>, u64, bool, Option<WireFormat>);
+
+fn handle_connection(stream: TcpStream, state: &ServeState, conn_id: u64) -> std::io::Result<()> {
     if state.config.tcp_nodelay {
         let _ = stream.set_nodelay(true);
     }
     stream.set_write_timeout(state.config.write_timeout)?;
     let metrics = &state.server_metrics;
+    let peer = stream.peer_addr().ok().map(|addr| addr.ip());
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut format = WireFormat::Json;
+    let mut seq: u64 = 0;
     loop {
         // No shutdown check here: already-delivered requests (buffered or
         // still a segment in flight) must be served first, and the reader
         // notices the flag itself within two poll ticks.
-        let fatal = |kind: WireErrorKind, msg: String| (kind, msg);
-        let exchange: Result<(Vec<Outgoing>, u64, bool, Option<WireFormat>), _> = match format {
+        let fatal = |kind: WireErrorKind, msg: String, consumed: u64| (kind, msg, consumed);
+        let exchange: Result<Exchange, _> = match format {
             WireFormat::Json => {
                 let outcome = read_bounded_line(
                     &mut reader,
@@ -663,7 +908,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                 )?;
                 match outcome {
                     LineOutcome::Eof | LineOutcome::ShuttingDown => break,
-                    LineOutcome::TimedOut => {
+                    LineOutcome::TimedOut { consumed } => {
                         metrics.record_read_timeout();
                         Err(fatal(
                             WireErrorKind::Timeout,
@@ -671,9 +916,10 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                                 "no complete request line within {:?}",
                                 state.config.read_timeout.unwrap_or_default()
                             ),
+                            consumed,
                         ))
                     }
-                    LineOutcome::TooLong => {
+                    LineOutcome::TooLong { consumed } => {
                         metrics.record_oversized_line();
                         Err(fatal(
                             WireErrorKind::TooLarge,
@@ -681,15 +927,26 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                                 "request line exceeds the {}-byte cap",
                                 state.config.max_line_bytes
                             ),
+                            consumed,
                         ))
                     }
                     LineOutcome::Line(line) => {
                         if line.trim().is_empty() {
                             continue;
                         }
+                        // A scraper, not a wire client: answer the
+                        // HTTP request and close.
+                        if let Some(path) = exposition::http_request_path(&line) {
+                            let bytes_out = answer_http(&mut writer, state, path);
+                            metrics.record_wire_bytes(false, line.len() as u64 + 1, bytes_out);
+                            break;
+                        }
+                        seq += 1;
+                        let mut trace = RequestTrace::start(conn_id, seq);
                         state.requests.fetch_add(1, Ordering::Relaxed);
-                        let (responses, stop, negotiated) = respond(&line, state, format);
-                        Ok((responses, line.len() as u64 + 1, stop, negotiated))
+                        let (responses, stop, negotiated) =
+                            respond(&line, state, format, peer, &mut trace);
+                        Ok((trace, responses, line.len() as u64 + 1, stop, negotiated))
                     }
                 }
             }
@@ -702,7 +959,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                 )?;
                 match outcome {
                     FrameOutcome::Eof | FrameOutcome::ShuttingDown => break,
-                    FrameOutcome::TimedOut => {
+                    FrameOutcome::TimedOut { consumed } => {
                         metrics.record_read_timeout();
                         Err(fatal(
                             WireErrorKind::Timeout,
@@ -710,9 +967,10 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                                 "no complete frame within {:?}",
                                 state.config.read_timeout.unwrap_or_default()
                             ),
+                            consumed,
                         ))
                     }
-                    FrameOutcome::TooLong => {
+                    FrameOutcome::TooLong { consumed } => {
                         metrics.record_oversized_line();
                         Err(fatal(
                             WireErrorKind::TooLarge,
@@ -720,32 +978,60 @@ fn handle_connection(stream: TcpStream, state: &ServeState) -> std::io::Result<(
                                 "frame exceeds the {}-byte payload cap",
                                 state.config.max_line_bytes
                             ),
+                            consumed,
                         ))
                     }
                     FrameOutcome::Frame(payload) => {
+                        seq += 1;
+                        let mut trace = RequestTrace::start(conn_id, seq);
                         state.requests.fetch_add(1, Ordering::Relaxed);
-                        let (responses, stop) = respond_frame(&payload, state);
-                        Ok((responses, payload.len() as u64 + 4, stop, None))
+                        let (responses, stop) = respond_frame(&payload, state, peer, &mut trace);
+                        Ok((trace, responses, payload.len() as u64 + 4, stop, None))
                     }
                 }
             }
         };
         match exchange {
-            Err((kind, msg)) => {
+            Err((kind, msg, bytes_in)) => {
                 // Fatal transport-level problem: answer in the connection's
-                // negotiated format (best effort) and close.
+                // negotiated format (best effort) and close. The partial
+                // request bytes consumed before giving up still count.
+                metrics.record_wire_error(kind);
                 let responses = [Outgoing::Json(error_response(kind, msg))];
                 let bytes_out = write_responses(&mut writer, format, &responses).unwrap_or(0);
-                metrics.record_wire_bytes(format == WireFormat::Binary, 0, bytes_out);
+                metrics.record_wire_bytes(format == WireFormat::Binary, bytes_in, bytes_out);
                 close_after_error(&mut writer);
                 break;
             }
-            Ok((responses, bytes_in, stop, negotiated)) => {
+            Ok((mut trace, mut responses, bytes_in, stop, negotiated)) => {
+                record_wire_errors(metrics, &responses);
+                // Echo the trace id on every JSON response so a client
+                // can quote it back and an operator can match it to the
+                // slow-request log. (Dense binary reply frames have no
+                // spare field; their trace ids appear in the log only.)
+                for response in &mut responses {
+                    if let Outgoing::Json(doc) = response {
+                        let tagged =
+                            attach_trace(std::mem::replace(doc, Json::Bool(false)), trace.id());
+                        *doc = tagged;
+                    }
+                }
                 // One request may stream several responses (the batch op:
                 // one per item, then the summary) — written in order on
                 // this connection, each under the write timeout.
                 let bytes_out = write_responses(&mut writer, format, &responses)?;
                 metrics.record_wire_bytes(format == WireFormat::Binary, bytes_in, bytes_out);
+                trace.stage("serialize");
+                if let Some(slow_log) = &state.slow_log {
+                    match slow_log.observe(&trace) {
+                        SlowVerdict::Fast => {}
+                        SlowVerdict::Emit(line) => {
+                            metrics.record_slow_trace(true);
+                            eprintln!("{line}");
+                        }
+                        SlowVerdict::Suppressed => metrics.record_slow_trace(false),
+                    }
+                }
                 if let Some(new_format) = negotiated {
                     if new_format == WireFormat::Binary && format != WireFormat::Binary {
                         metrics.record_binary_negotiated();
@@ -792,17 +1078,99 @@ fn aggregate_stats(state: &ServeState) -> (MetricsSnapshot, Vec<(usize, usize, M
     (aggregate, per_topology)
 }
 
+/// Renders the Prometheus exposition for the current fleet state.
+fn render_metrics(state: &ServeState) -> String {
+    let (aggregate, per_topology) = aggregate_stats(state);
+    exposition::render(&Exposition {
+        aggregate: &aggregate,
+        topologies: &per_topology,
+        router: &state.router.stats(),
+        version: env!("CARGO_PKG_VERSION"),
+        uptime_secs: state.started.elapsed().as_secs(),
+    })
+}
+
+/// Answers one HTTP request line on an already-sniffed connection:
+/// `GET /metrics` gets the exposition, anything else a 404. Returns the
+/// bytes written. The response is `HTTP/1.0` + `Connection: close`, so
+/// the caller closes afterwards; any headers the client pipelined behind
+/// the request line are swallowed by the close-side drain.
+fn answer_http(writer: &mut TcpStream, state: &ServeState, path: &str) -> u64 {
+    let response = if path == exposition::METRICS_PATH {
+        exposition::http_ok(&render_metrics(state))
+    } else {
+        exposition::http_not_found()
+    };
+    let written = match writer.write_all(&response) {
+        Ok(()) => response.len() as u64,
+        Err(_) => 0,
+    };
+    let _ = writer.flush();
+    close_after_error(writer);
+    written
+}
+
+/// The metrics sidecar accept loop: answers `GET /metrics` (and 404s any
+/// other path) until the server shuts down. Scrapes are short-lived
+/// one-request connections handled inline — a scraper that stalls
+/// mid-request is bounded by a short fixed read deadline, not the main
+/// listener's configurable one.
+fn metrics_sidecar_loop(listener: TcpListener, state: &Arc<ServeState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                });
+                let mut writer = stream;
+                let outcome = read_bounded_line(
+                    &mut reader,
+                    8 * 1024,
+                    Some(Duration::from_secs(2)),
+                    &state.shutdown,
+                );
+                if let Ok(LineOutcome::Line(line)) = outcome {
+                    let path = exposition::http_request_path(&line).unwrap_or("");
+                    let bytes_out = answer_http(&mut writer, state, path);
+                    state
+                        .server_metrics
+                        .record_wire_bytes(false, line.len() as u64 + 1, bytes_out);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SHUTDOWN_POLL);
+            }
+            Err(_) => std::thread::sleep(SHUTDOWN_POLL),
+        }
+    }
+}
+
+/// Records a shed in the connection-layer registry and builds the typed
+/// `overloaded` response the client gets instead of queueing.
+fn shed_response(state: &ServeState, shed: Shed) -> Json {
+    state.server_metrics.record_shed(shed.quota);
+    overloaded_response(shed.msg, shed.retry_after_ms)
+}
+
 /// Answers one JSON request document with one or more responses; the
 /// flags say "stop the server after this" and "the connection negotiated
 /// this format". Route and batch requests select their backend by the
 /// request's `d`/`g` fields (defaulting to the server's boot topology
-/// field by field); every other op is topology-independent. In binary
-/// mode the same dispatcher serves `TAG_JSON` frames — everything works
-/// identically except `hello`, which is only meaningful on a JSON line.
+/// field by field) and pass through overload control first; every other
+/// op is topology-independent and never shed. In binary mode the same
+/// dispatcher serves `TAG_JSON` frames — everything works identically
+/// except `hello`, which is only meaningful on a JSON line.
 fn respond(
     line: &str,
     state: &ServeState,
     format: WireFormat,
+    peer: Option<IpAddr>,
+    trace: &mut RequestTrace,
 ) -> (Vec<Outgoing>, bool, Option<WireFormat>) {
     let router = &state.router;
     let one = |response: Json| (vec![Outgoing::Json(response)], false, None);
@@ -810,6 +1178,7 @@ fn respond(
         Ok(doc) => doc,
         Err(e) => return one(error_response(WireErrorKind::Parse, e.to_string())),
     };
+    trace.stage("parse");
     let default = router.default_topology();
 
     // Format negotiation. The acknowledgement rides the current format;
@@ -842,6 +1211,13 @@ fn respond(
             Ok(shape) => shape,
             Err(e) => return one(error_response(WireErrorKind::BadRequest, e)),
         };
+        // Overload control gates everything expensive: admitting the
+        // topology (which may construct a warm service) and routing.
+        let _admitted = match state.overload.try_admit(peer) {
+            Ok(guard) => guard,
+            Err(shed) => return one(shed_response(state, shed)),
+        };
+        trace.stage("admission");
         let service = match select_service(state, d, g) {
             Ok(service) => service,
             Err((kind, msg)) => return one(error_response(kind, msg)),
@@ -849,8 +1225,14 @@ fn respond(
         return match parse_request(&doc, &service.topology()) {
             Err(e) => one(error_response(WireErrorKind::BadRequest, e)),
             Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
-                Ok(reply) => one(route_response(req.kind(), &reply, want_schedule)),
-                Err(e) => one(error_response(WireErrorKind::Routing, e.to_string())),
+                Ok(reply) => {
+                    trace.stage(if reply.cache_hit { "cache" } else { "plan" });
+                    one(route_response(req.kind(), &reply, want_schedule))
+                }
+                Err(e) => {
+                    trace.stage("plan");
+                    one(error_response(WireErrorKind::Routing, e.to_string()))
+                }
             },
             Ok(_) => unreachable!("op 'route' parses to a route request"),
         };
@@ -872,6 +1254,8 @@ fn respond(
                 service.cache_capacity(),
                 &shapes,
                 router.max_topologies(),
+                env!("CARGO_PKG_VERSION"),
+                state.started.elapsed().as_secs(),
             ))
         }
         Ok(WireRequest::Stats) => {
@@ -884,7 +1268,7 @@ fn respond(
             items,
             want_schedule,
         }) => (
-            respond_batch(&items, want_schedule, state, false),
+            respond_batch(&items, want_schedule, state, false, peer, trace),
             false,
             None,
         ),
@@ -898,7 +1282,12 @@ fn respond(
 /// binary replies. Malformed frames are answered with a structured JSON
 /// error frame — the framing itself stays intact, so the connection
 /// survives exactly like a JSON connection survives a bad line.
-fn respond_frame(payload: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
+fn respond_frame(
+    payload: &[u8],
+    state: &ServeState,
+    peer: Option<IpAddr>,
+    trace: &mut RequestTrace,
+) -> (Vec<Outgoing>, bool) {
     let one = |response: Json| (vec![Outgoing::Json(response)], false);
     let Some((&tag, body)) = payload.split_first() else {
         return one(error_response(WireErrorKind::Parse, "empty frame"));
@@ -910,11 +1299,11 @@ fn respond_frame(payload: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
                 "TAG_JSON frame is not valid UTF-8",
             )),
             Ok(line) => {
-                let (responses, stop, _) = respond(line, state, WireFormat::Binary);
+                let (responses, stop, _) = respond(line, state, WireFormat::Binary, peer, trace);
                 (responses, stop)
             }
         },
-        TAG_ROUTE => respond_route_frame(body, state),
+        TAG_ROUTE => respond_route_frame(body, state, peer, trace),
         TAG_BATCH => match frame::decode_batch_request(body) {
             Err(e) => one(error_response(WireErrorKind::Parse, e)),
             Ok((frame_items, want_schedule)) => {
@@ -939,7 +1328,10 @@ fn respond_frame(payload: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
                         BatchItemRequest { d, g, perm }
                     })
                     .collect();
-                (respond_batch(&items, want_schedule, state, true), false)
+                (
+                    respond_batch(&items, want_schedule, state, true, peer, trace),
+                    false,
+                )
             }
         },
         other => one(error_response(
@@ -952,17 +1344,28 @@ fn respond_frame(payload: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
 /// Answers one `TAG_ROUTE` frame: resolve the shape, validate the
 /// permutation against the selected topology, route, and reply with a
 /// `TAG_ROUTE_REPLY` frame (errors stay structured JSON frames).
-fn respond_route_frame(body: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool) {
+fn respond_route_frame(
+    body: &[u8],
+    state: &ServeState,
+    peer: Option<IpAddr>,
+    trace: &mut RequestTrace,
+) -> (Vec<Outgoing>, bool) {
     let one = |response: Json| (vec![Outgoing::Json(response)], false);
     let route = match frame::decode_route_request(body) {
         Ok(route) => route,
         Err(e) => return one(error_response(WireErrorKind::Parse, e)),
     };
+    trace.stage("parse");
     let default = state.router.default_topology();
     let (d, g) = match route.shape {
         (0, 0) => (default.d(), default.g()),
         shape => shape,
     };
+    let _admitted = match state.overload.try_admit(peer) {
+        Ok(guard) => guard,
+        Err(shed) => return one(shed_response(state, shed)),
+    };
+    trace.stage("admission");
     let service = match select_service(state, d, g) {
         Ok(service) => service,
         Err((kind, msg)) => return one(error_response(kind, msg)),
@@ -994,16 +1397,22 @@ fn respond_route_frame(body: &[u8], state: &ServeState) -> (Vec<Outgoing>, bool)
         }
     };
     match service.route(&req) {
-        Err(e) => one(error_response(WireErrorKind::Routing, e.to_string())),
-        Ok(reply) => (
-            vec![Outgoing::Frame(frame::encode_route_reply(
-                reply.cache_hit,
-                reply.micros,
-                reply.outcome.schedule(),
-                route.want_schedule,
-            ))],
-            false,
-        ),
+        Err(e) => {
+            trace.stage("plan");
+            one(error_response(WireErrorKind::Routing, e.to_string()))
+        }
+        Ok(reply) => {
+            trace.stage(if reply.cache_hit { "cache" } else { "plan" });
+            (
+                vec![Outgoing::Frame(frame::encode_route_reply(
+                    reply.cache_hit,
+                    reply.micros,
+                    reply.outcome.schedule(),
+                    route.want_schedule,
+                ))],
+                false,
+            )
+        }
     }
 }
 
@@ -1020,6 +1429,8 @@ fn respond_batch(
     want_schedule: bool,
     state: &ServeState,
     binary: bool,
+    peer: Option<IpAddr>,
+    trace: &mut RequestTrace,
 ) -> Vec<Outgoing> {
     if items.len() > state.config.max_batch_items {
         return vec![Outgoing::Json(error_response(
@@ -1031,6 +1442,14 @@ fn respond_batch(
             ),
         ))];
     }
+    // A whole batch spends one admission slot/token: its fan-out is
+    // bounded by max_batch_items, and charging per item would let one
+    // batch line starve every other client's quota.
+    let _admitted = match state.overload.try_admit(peer) {
+        Ok(guard) => guard,
+        Err(shed) => return vec![Outgoing::Json(shed_response(state, shed))],
+    };
+    trace.stage("admission");
     let start = Instant::now();
     let mut lines: Vec<Option<Outgoing>> = (0..items.len()).map(|_| None).collect();
     let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
@@ -1101,6 +1520,7 @@ fn respond_batch(
             }
         }
     }
+    trace.stage("plan");
     let mut out: Vec<Outgoing> = lines
         .into_iter()
         .map(|line| line.expect("every item is answered"))
@@ -1485,6 +1905,332 @@ mod tests {
         let hits = stats.get("hits").unwrap().as_u64().unwrap();
         assert!((1..=4).contains(&misses), "misses {misses}");
         assert_eq!(hits + misses, 20);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    fn spawn_server_with(
+        topology: PopsTopology,
+        config: ServerConfig,
+    ) -> (SocketAddr, std::thread::JoinHandle<ServerSummary>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(RoutingService::with_config(
+            topology,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 32,
+                max_in_flight: 4,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let handle =
+            std::thread::spawn(move || serve_with_config(listener, service, config).unwrap());
+        (addr, handle)
+    }
+
+    /// One HTTP exchange against `addr`: request `path`, read to EOF.
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        use std::io::Read as _;
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: pops\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut page = String::new();
+        stream.read_to_string(&mut page).unwrap();
+        page
+    }
+
+    /// [`http_get`], but retrying the connect — for the sidecar listener,
+    /// which binds on the serve thread after the test already holds the
+    /// main address.
+    fn http_get_retry(addr: SocketAddr, path: &str) -> String {
+        for _ in 0..200 {
+            if TcpStream::connect(addr).is_ok() {
+                return http_get(addr, path);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("metrics sidecar on {addr} never came up");
+    }
+
+    #[test]
+    fn overload_control_enforces_the_watermark_and_the_quota() {
+        let peer = Some("10.0.0.1".parse().unwrap());
+
+        // Watermark: one in-flight slot, released by the guard's drop.
+        let control = OverloadControl::from_config(&ServerConfig {
+            overload_watermark: Some(1),
+            ..ServerConfig::default()
+        });
+        let guard = control.try_admit(peer).unwrap();
+        let shed = control.try_admit(peer).err().expect("second admit sheds");
+        assert!(!shed.quota);
+        assert_eq!(shed.retry_after_ms, WATERMARK_RETRY_MS);
+        drop(guard);
+        assert!(control.try_admit(peer).is_ok(), "slot freed by drop");
+
+        // Quota: a burst of two tokens, then a deficit-derived hint.
+        let control = OverloadControl::from_config(&ServerConfig {
+            quota_rps: Some(1),
+            quota_burst: Some(2),
+            ..ServerConfig::default()
+        });
+        assert!(control.try_admit(peer).is_ok());
+        assert!(control.try_admit(peer).is_ok());
+        let shed = control.try_admit(peer).err().expect("burst spent");
+        assert!(shed.quota);
+        assert!(shed.retry_after_ms >= 1, "{}", shed.retry_after_ms);
+        // Another peer has its own bucket.
+        let other = Some("10.0.0.2".parse().unwrap());
+        assert!(control.try_admit(other).is_ok());
+
+        // A peerless connection (no resolvable address) bypasses quota
+        // but still honours the watermark.
+        let control = OverloadControl::from_config(&ServerConfig {
+            overload_watermark: Some(0),
+            quota_rps: Some(1),
+            ..ServerConfig::default()
+        });
+        let shed = control.try_admit(None).err().expect("watermark zero");
+        assert!(!shed.quota);
+    }
+
+    #[test]
+    fn a_zero_watermark_sheds_routes_with_typed_errors_but_not_control_ops() {
+        let (addr, handle) = spawn_server_with(
+            PopsTopology::new(4, 4),
+            ServerConfig {
+                overload_watermark: Some(0),
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = ServiceClient::connect(addr).unwrap();
+        // Control ops are never shed: the server stays observable.
+        client.ping().unwrap();
+        let err = client
+            .route_permutation("theorem2", &vector_reversal(16))
+            .unwrap_err();
+        assert_eq!(err.remote_kind(), Some("overloaded"), "{err}");
+        assert_eq!(err.retry_after_ms(), Some(WATERMARK_RETRY_MS));
+        // The connection survives a shed; the next call works.
+        let stats = client.stats().unwrap();
+        let sheds = stats.get("sheds").unwrap();
+        assert_eq!(sheds.get("watermark").unwrap().as_u64(), Some(1));
+        assert_eq!(sheds.get("quota").unwrap().as_u64(), Some(0));
+        let wire_errors = stats.get("wire_errors").unwrap();
+        assert_eq!(wire_errors.get("overloaded").unwrap().as_u64(), Some(1));
+        // The shed reaches the exposition with its cause label.
+        let page = http_get(addr, "/metrics");
+        assert!(
+            page.contains(r#"pops_sheds_total{cause="watermark"} 1"#),
+            "{page}"
+        );
+        assert!(
+            page.contains(r#"pops_wire_errors_total{error_kind="overloaded"} 1"#),
+            "{page}"
+        );
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn a_quota_shed_carries_a_deficit_derived_retry_hint() {
+        let (addr, handle) = spawn_server_with(
+            PopsTopology::new(4, 4),
+            ServerConfig {
+                quota_rps: Some(1),
+                quota_burst: Some(1),
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let pi = vector_reversal(16);
+        client.route_permutation("theorem2", &pi).unwrap();
+        let err = client.route_permutation("theorem2", &pi).unwrap_err();
+        assert_eq!(err.remote_kind(), Some("overloaded"), "{err}");
+        assert!(err.retry_after_ms().unwrap() >= 1, "{err}");
+        let stats = client.stats().unwrap();
+        let quota_sheds = stats.get("sheds").unwrap().get("quota").unwrap();
+        assert!(quota_sheds.as_u64().unwrap() >= 1);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn get_metrics_on_the_main_listener_returns_the_exposition() {
+        let (addr, handle) = spawn_server(PopsTopology::new(4, 4));
+        let mut client = ServiceClient::connect(addr).unwrap();
+        client
+            .route_permutation("theorem2", &vector_reversal(16))
+            .unwrap();
+
+        let page = http_get(addr, "/metrics");
+        assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+        assert!(page.contains(exposition::CONTENT_TYPE), "{page}");
+        assert!(
+            page.contains("# TYPE pops_requests_total counter"),
+            "{page}"
+        );
+        assert!(
+            page.contains(r#"pops_requests_total{kind="theorem2"} 1"#),
+            "{page}"
+        );
+        assert!(
+            page.contains(r#"pops_topology_requests_total{topology="4x4"} 1"#),
+            "{page}"
+        );
+        assert!(page.contains("pops_uptime_seconds"), "{page}");
+        assert!(page.contains("pops_build_info{"), "{page}");
+
+        // Unknown paths 404; the JSON protocol is undisturbed either way.
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        client.ping().unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn the_metrics_sidecar_serves_the_exposition_and_stops_with_the_server() {
+        // Reserve a free port, then hand it to the sidecar.
+        let port = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let (addr, handle) = spawn_server_with(
+            PopsTopology::new(2, 2),
+            ServerConfig {
+                metrics_port: Some(port),
+                ..ServerConfig::default()
+            },
+        );
+        let sidecar = SocketAddr::from(([127, 0, 0, 1], port));
+        let page = http_get_retry(sidecar, "/metrics");
+        assert!(page.starts_with("HTTP/1.0 200 OK\r\n"), "{page}");
+        assert!(page.contains("pops_build_info{"), "{page}");
+        assert!(page.contains("pops_connections_active"), "{page}");
+
+        // serve() joins the sidecar thread on shutdown — if it hangs,
+        // this join hangs and the test harness times out.
+        let mut client = ServiceClient::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn a_zero_slow_threshold_traces_every_request_and_rate_limits_the_log() {
+        let (addr, handle) = spawn_server_with(
+            PopsTopology::new(2, 2),
+            ServerConfig {
+                slow_threshold: Some(Duration::ZERO),
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = ServiceClient::connect(addr).unwrap();
+        // Every JSON response echoes its trace id.
+        let doc = client.call_raw(r#"{"op":"ping"}"#).unwrap();
+        let trace = doc.get("trace").and_then(Json::as_str).unwrap();
+        assert!(trace.starts_with('c') && trace.contains("-r"), "{trace}");
+        for _ in 0..5 {
+            client.ping().unwrap();
+        }
+        // Six exchanges observed so far (the stats request below is only
+        // observed after its response is written): the limiter lets one
+        // through per interval and suppresses the rest of the storm.
+        let stats = client.stats().unwrap();
+        let slow = stats.get("slow_traces").unwrap();
+        let emitted = slow.get("emitted").unwrap().as_u64().unwrap();
+        let suppressed = slow.get("suppressed").unwrap().as_u64().unwrap();
+        assert!(emitted >= 1, "emitted={emitted}");
+        assert!(suppressed >= 1, "suppressed={suppressed}");
+        assert_eq!(emitted + suppressed, 6);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_ids_are_echoed_even_without_a_slow_log() {
+        let (addr, handle) = spawn_server(PopsTopology::new(2, 2));
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let doc = client.call_raw(r#"{"op":"ping"}"#).unwrap();
+        assert!(doc.get("trace").and_then(Json::as_str).is_some());
+        // Request sequence numbers advance per connection.
+        let first = doc.get("trace").unwrap().as_str().unwrap().to_string();
+        let doc = client.call_raw(r#"{"op":"ping"}"#).unwrap();
+        let second = doc.get("trace").unwrap().as_str().unwrap();
+        assert_ne!(first, second);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn fatal_oversized_lines_charge_consumed_bytes_and_the_error_response() {
+        let (addr, handle) = spawn_server_with(
+            PopsTopology::new(2, 2),
+            ServerConfig {
+                max_line_bytes: 256,
+                ..ServerConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(&vec![b'x'; 1024]).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("too-large"), "{reply}");
+        let error_len = reply.len() as u64;
+        // Fatal framing errors close the connection.
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+
+        // A fresh connection's stats see the aborted exchange's bytes:
+        // at least the refused prefix on the way in, and exactly the
+        // error response on the way out.
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        let json = stats.get("wire").unwrap().get("json").unwrap();
+        let bytes_in = json.get("bytes_in").unwrap().as_u64().unwrap();
+        assert!(bytes_in >= 256, "bytes_in={bytes_in}");
+        assert_eq!(json.get("bytes_out").unwrap().as_u64(), Some(error_len));
+        let wire_errors = stats.get("wire_errors").unwrap();
+        assert_eq!(wire_errors.get("too-large").unwrap().as_u64(), Some(1));
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn the_hello_exchange_is_charged_to_the_json_byte_counters() {
+        let (addr, handle) = spawn_server(PopsTopology::new(2, 2));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let request = r#"{"op":"hello","format":"binary"}"#;
+        writeln!(stream, "{request}").unwrap();
+        stream.flush().unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert!(ack.contains(r#""format":"binary""#), "{ack}");
+
+        // The negotiation itself happened in JSON, and is accounted as
+        // such; no binary bytes have moved yet.
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let stats = client.stats().unwrap();
+        let wire = stats.get("wire").unwrap();
+        let json = wire.get("json").unwrap();
+        assert_eq!(
+            json.get("bytes_in").unwrap().as_u64(),
+            Some(request.len() as u64 + 1)
+        );
+        assert_eq!(
+            json.get("bytes_out").unwrap().as_u64(),
+            Some(ack.len() as u64)
+        );
+        let binary = wire.get("binary").unwrap();
+        assert_eq!(binary.get("bytes_in").unwrap().as_u64(), Some(0));
+        assert_eq!(binary.get("bytes_out").unwrap().as_u64(), Some(0));
         client.shutdown().unwrap();
         handle.join().unwrap();
     }

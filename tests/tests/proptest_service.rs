@@ -8,7 +8,10 @@ use pops_core::HRelation;
 use pops_network::PopsTopology;
 use pops_permutation::families::random_permutation;
 use pops_permutation::{Permutation, SplitMix64};
-use pops_service::{canonical_key, RoutingService, ServiceConfig, ServiceRequest};
+use pops_service::{
+    canonical_key, MetricsSnapshot, RoutingService, ServiceConfig, ServiceRequest, TopologyRouter,
+    TopologyRouterConfig,
+};
 
 /// Strategy: plausible (d, g) shapes with n = d·g ≤ 144.
 fn shapes() -> impl Strategy<Value = (usize, usize)> {
@@ -128,5 +131,74 @@ proptest! {
             relation: HRelation::new(n, fewer).unwrap(),
         };
         prop_assert_ne!(canonical_key(d, g, &a), canonical_key(d, g, &c));
+    }
+
+    #[test]
+    fn zero_absorb_is_the_identity_on_counters((d, g) in shapes(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let service = tiny_service(d, g);
+        for _ in 0..3 {
+            let pi = random_permutation(d * g, &mut rng);
+            service.route(&ServiceRequest::Theorem2 { pi }).unwrap();
+        }
+        let snap = service.metrics();
+        let mut folded = MetricsSnapshot::zero();
+        folded.absorb(&snap);
+        prop_assert_eq!(folded.requests(), snap.requests());
+        prop_assert_eq!(folded.hits, snap.hits);
+        prop_assert_eq!(folded.misses, snap.misses);
+        prop_assert_eq!(folded.errors, snap.errors);
+        prop_assert_eq!(folded.slots_emitted, snap.slots_emitted);
+        prop_assert_eq!(folded.wire_errors_total(), snap.wire_errors_total());
+        prop_assert_eq!(folded.arena_bytes, snap.arena_bytes);
+    }
+
+    /// Fleet totals — the retired-topology ledger plus every resident
+    /// service — must be monotone across LRU evictions and rebuilds.
+    /// The Prometheus exposition renders exactly this sum, and a counter
+    /// that ever went backwards would break every scrape-side `rate()`.
+    #[test]
+    fn fleet_counters_never_decrease_across_evictions(seed in any::<u64>(), steps in 4usize..24) {
+        let mut rng = SplitMix64::new(seed);
+        // Four shapes through a two-slot registry: the default is pinned,
+        // so the remaining slot churns and evictions are frequent.
+        let shapes = [(2usize, 2usize), (2, 4), (4, 2), (3, 3)];
+        let router = TopologyRouter::new(
+            PopsTopology::new(2, 2),
+            TopologyRouterConfig {
+                service: ServiceConfig {
+                    shards: 1,
+                    cache_capacity: 4,
+                    max_in_flight: 2,
+                    colorer: ColorerKind::AlternatingPath,
+                    ..ServiceConfig::default()
+                },
+                max_topologies: 2,
+                ..TopologyRouterConfig::default()
+            },
+        );
+        let fleet = |router: &TopologyRouter| {
+            let mut total = MetricsSnapshot::zero();
+            total.absorb(&router.retired_metrics());
+            for (_, service) in router.services() {
+                total.absorb(&service.metrics());
+            }
+            total
+        };
+        let mut prev = fleet(&router);
+        for _ in 0..steps {
+            let (d, g) = shapes[(rng.next_u64() % shapes.len() as u64) as usize];
+            let service = router.get(d, g).unwrap();
+            let pi = random_permutation(d * g, &mut rng);
+            service.route(&ServiceRequest::Theorem2 { pi }).unwrap();
+            let cur = fleet(&router);
+            prop_assert!(cur.requests() > prev.requests(), "each step routes");
+            prop_assert!(cur.hits >= prev.hits);
+            prop_assert!(cur.misses >= prev.misses);
+            prop_assert!(cur.errors >= prev.errors);
+            prop_assert!(cur.slots_emitted >= prev.slots_emitted);
+            prop_assert!(cur.batches >= prev.batches);
+            prev = cur;
+        }
     }
 }

@@ -372,6 +372,144 @@ fn shutdown_under_load_drains_every_in_flight_response() {
     }
 }
 
+/// One `GET /metrics` scrape of the main listener, read to EOF.
+fn scrape_metrics(addr: SocketAddr) -> String {
+    use std::io::Read as _;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    let mut page = String::new();
+    stream.read_to_string(&mut page).unwrap();
+    page
+}
+
+#[test]
+fn overload_watermark_sheds_typed_errors_and_drops_nothing() {
+    const WORKERS: usize = 4;
+    const REQUESTS: usize = 8;
+    // No cache, one shard, and a large topology: every admitted request
+    // spends milliseconds in service, so concurrent clients reliably pile
+    // onto the watermark while a plan is being computed.
+    let topology = PopsTopology::new(64, 64);
+    let (addr, _service, handle) = spawn_server(
+        topology,
+        ServiceConfig {
+            shards: 1,
+            cache_capacity: 0,
+            max_in_flight: 4,
+            colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
+        },
+        ServerConfig {
+            overload_watermark: Some(1),
+            ..ServerConfig::default()
+        },
+    );
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(7000 + i as u64);
+                let mut client = ServiceClient::connect(addr).unwrap();
+                let (mut admitted, mut shed) = (0u64, 0u64);
+                let mut latencies = Vec::new();
+                for _ in 0..REQUESTS {
+                    let pi = random_permutation(topology.n(), &mut rng);
+                    let start = Instant::now();
+                    match client.route_permutation("theorem2", &pi) {
+                        Ok(reply) => {
+                            assert!(reply.slots >= 1);
+                            latencies.push(start.elapsed());
+                            admitted += 1;
+                        }
+                        Err(e) => {
+                            // Every rejection is the typed overload error
+                            // with a usable back-off hint — nothing is
+                            // dropped on the floor and nothing else leaks
+                            // through.
+                            assert_eq!(e.remote_kind(), Some("overloaded"), "{e}");
+                            assert!(e.retry_after_ms().unwrap() >= 1, "{e}");
+                            shed += 1;
+                        }
+                    }
+                }
+                (admitted, shed, latencies)
+            })
+        })
+        .collect();
+
+    let (mut admitted, mut shed) = (0u64, 0u64);
+    let mut latencies = Vec::new();
+    for worker in workers {
+        let (a, s, l) = worker.join().unwrap();
+        admitted += a;
+        shed += s;
+        latencies.extend(l);
+    }
+    // Zero dropped: every request got exactly one complete response.
+    assert_eq!(admitted + shed, (WORKERS * REQUESTS) as u64);
+    assert!(shed >= 1, "watermark 1 under {WORKERS} clients must shed");
+    assert!(admitted >= 1, "some requests must get through");
+    // Shedding keeps the admitted path bounded — no unbounded queueing
+    // behind the watermark (bound is deliberately loose for slow CI).
+    latencies.sort();
+    let p99 = latencies[((latencies.len() as f64 * 0.99) as usize).min(latencies.len() - 1)];
+    assert!(p99 < Duration::from_secs(5), "admitted p99 {p99:?}");
+
+    // The shed counts surface identically in the stats op and on the
+    // Prometheus page, with their cause labels.
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let sheds = stats.get("sheds").unwrap();
+    assert_eq!(sheds.get("watermark").unwrap().as_u64(), Some(shed));
+    assert_eq!(sheds.get("quota").unwrap().as_u64(), Some(0));
+    assert_eq!(sheds.get("total").unwrap().as_u64(), Some(shed));
+    let wire_errors = stats.get("wire_errors").unwrap();
+    assert_eq!(wire_errors.get("overloaded").unwrap().as_u64(), Some(shed));
+    let page = scrape_metrics(addr);
+    assert!(
+        page.contains(&format!("pops_sheds_total{{cause=\"watermark\"}} {shed}")),
+        "{page}"
+    );
+    assert!(
+        page.contains(r#"pops_sheds_total{cause="quota"} 0"#),
+        "{page}"
+    );
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert_all_handlers_drained(&summary);
+}
+
+#[test]
+fn a_generous_slow_threshold_never_emits_traces() {
+    let (addr, _service, handle) = spawn_server(
+        PopsTopology::new(2, 2),
+        small_service_config(),
+        ServerConfig {
+            slow_threshold: Some(Duration::from_secs(3600)),
+            ..ServerConfig::default()
+        },
+    );
+    let mut client = ServiceClient::connect(addr).unwrap();
+    for _ in 0..5 {
+        client.ping().unwrap();
+    }
+    // Sub-threshold requests never reach the slow log — neither emitted
+    // nor suppressed — but their responses still carry trace ids.
+    let doc = client.call_raw(r#"{"op":"ping"}"#).unwrap();
+    assert!(doc.get("trace").is_some(), "{doc}");
+    let stats = client.stats().unwrap();
+    let slow = stats.get("slow_traces").unwrap();
+    assert_eq!(slow.get("emitted").unwrap().as_u64(), Some(0));
+    assert_eq!(slow.get("suppressed").unwrap().as_u64(), Some(0));
+    client.shutdown().unwrap();
+    let summary = handle.join().unwrap();
+    assert_all_handlers_drained(&summary);
+}
+
 #[test]
 fn client_distinguishes_clean_eof_from_truncated_response() {
     // Clean EOF: the "server" reads the request, then closes without
