@@ -22,6 +22,7 @@ use crate::graph::{BipartiteMultigraph, EdgeId};
 const NONE: usize = usize::MAX;
 
 /// Number of u64 words needed to hold one bit per colour.
+// lint: hot-path
 #[inline]
 pub fn words_per_node(delta: usize) -> usize {
     delta.div_ceil(64)
@@ -35,6 +36,7 @@ pub fn words_per_node(delta: usize) -> usize {
 /// above `delta` in the last word must be kept **zero** by the caller;
 /// they are masked out here anyway so a stray bit cannot yield a colour
 /// `>= delta`.
+// lint: hot-path
 #[inline]
 pub fn first_free_in(used: &[u64], delta: usize) -> usize {
     for (w, &word) in used.iter().enumerate() {
@@ -52,12 +54,14 @@ pub fn first_free_in(used: &[u64], delta: usize) -> usize {
 }
 
 /// Sets colour `c`'s bit in node `node`'s mask.
+// lint: hot-path
 #[inline]
 pub fn mark_used(masks: &mut [u64], node: usize, words: usize, c: usize) {
     masks[node * words + c / 64] |= 1u64 << (c % 64);
 }
 
 /// Clears colour `c`'s bit in node `node`'s mask.
+// lint: hot-path
 #[inline]
 pub fn mark_free(masks: &mut [u64], node: usize, words: usize, c: usize) {
     masks[node * words + c / 64] &= !(1u64 << (c % 64));
@@ -65,7 +69,9 @@ pub fn mark_free(masks: &mut [u64], node: usize, words: usize, c: usize) {
 
 /// Properly colours `g` with `max_degree(g)` colours, byte-identically to
 /// [`crate::coloring::alternating::color`].
+// lint: hot-path
 pub fn color(g: &BipartiteMultigraph) -> EdgeColoring {
+    // lint: setup-begin
     let delta = g.max_degree();
     let mut colors = vec![NONE; g.edge_count()];
     if delta == 0 {
@@ -84,6 +90,7 @@ pub fn color(g: &BipartiteMultigraph) -> EdgeColoring {
     let mut right_used = vec![0u64; g.right_count() * words];
 
     let mut chain: Vec<EdgeId> = Vec::new();
+    // lint: setup-end
     for (e, u, v) in g.edges() {
         let a = first_free_in(&left_used[u * words..u * words + words], delta);
         let b = first_free_in(&right_used[v * words..v * words + words], delta);

@@ -13,6 +13,8 @@
 //! pops request --addr 127.0.0.1:7077 --family reversal
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 mod commands;
 mod opts;
 mod spec;

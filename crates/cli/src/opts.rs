@@ -55,7 +55,9 @@ impl Opts {
                 return Err(err("empty option name '--'"));
             }
             let value = match it.peek() {
-                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                Some(next) if !next.starts_with("--") => {
+                    it.next().unwrap_or_else(|| String::from("true"))
+                }
                 _ => String::from("true"),
             };
             options

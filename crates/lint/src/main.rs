@@ -1,0 +1,65 @@
+//! `cargo run -p pops-lint` — walk the workspace, print findings,
+//! exit non-zero if any. `--root <dir>` overrides root discovery.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root_arg: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "pops-lint: repo-native static analysis (panic-freedom, hot-path,\n\
+                     protocol-sync, lock-discipline). Usage: pops-lint [--root <dir>]\n\
+                     Suppress a finding in place: // lint: allow(<rule>) -- <reason>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        // The binary normally runs via `cargo run -p pops-lint`, from
+        // somewhere inside the workspace.
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| pops_lint::find_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("could not find a workspace root (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match pops_lint::run_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("pops-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("pops-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("pops-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

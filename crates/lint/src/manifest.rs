@@ -1,0 +1,115 @@
+//! The checked-in lock-order manifest (`crates/lint/lock-order.toml`).
+//!
+//! Every place the code holds a guard from one named mutex while
+//! acquiring another must be declared here, as an ordered
+//! `outer -> inner` pair with a reason. The `lock-discipline` rule
+//! flags any undeclared nesting; the manifest is the reviewable,
+//! diffable list of the pairs the codebase deliberately allows (and
+//! the place a reviewer notices a *new* nesting being smuggled in).
+//!
+//! The parser is a deliberately tiny line-based subset of TOML — table
+//! arrays (`[[pair]]`) of string assignments — because the repo is
+//! std-only and the format does not need more.
+
+/// One declared ordering: holding `outer` while taking `inner` is fine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockPair {
+    /// Mutex named by the guard that is already live.
+    pub outer: String,
+    /// Mutex acquired while `outer`'s guard is live.
+    pub inner: String,
+    /// Why the nesting is safe (mandatory, like suppression reasons).
+    pub reason: String,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Declared pairs, in file order.
+    pub pairs: Vec<LockPair>,
+}
+
+impl Manifest {
+    /// Whether acquiring `inner` under a live `outer` guard is declared.
+    pub fn allows(&self, outer: &str, inner: &str) -> bool {
+        self.pairs
+            .iter()
+            .any(|p| p.outer == outer && p.inner == inner)
+    }
+
+    /// Parses manifest `text`; malformed entries (missing field or
+    /// empty reason) are reported as errors, not silently dropped — a
+    /// manifest that stops parsing must not stop guarding.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let mut pairs = Vec::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<String>)> = None;
+        let flush = |entry: Option<(Option<String>, Option<String>, Option<String>)>,
+                     line: usize|
+         -> Result<Option<LockPair>, String> {
+            match entry {
+                None => Ok(None),
+                Some((Some(outer), Some(inner), Some(reason))) if !reason.trim().is_empty() => {
+                    Ok(Some(LockPair {
+                        outer,
+                        inner,
+                        reason,
+                    }))
+                }
+                Some(_) => Err(format!(
+                    "lock-order.toml: [[pair]] ending before line {line} needs non-empty \
+                     `outer`, `inner`, and `reason`"
+                )),
+            }
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[pair]]" {
+                if let Some(pair) = flush(current.take(), i + 1)? {
+                    pairs.push(pair);
+                }
+                current = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lock-order.toml line {}: expected `key = \"value\"`",
+                    i + 1
+                ));
+            };
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!(
+                        "lock-order.toml line {}: value must be double-quoted",
+                        i + 1
+                    )
+                })?;
+            let slot = current.as_mut().ok_or_else(|| {
+                format!(
+                    "lock-order.toml line {}: assignment outside [[pair]]",
+                    i + 1
+                )
+            })?;
+            match key.trim() {
+                "outer" => slot.0 = Some(value.to_owned()),
+                "inner" => slot.1 = Some(value.to_owned()),
+                "reason" => slot.2 = Some(value.to_owned()),
+                other => {
+                    return Err(format!(
+                        "lock-order.toml line {}: unknown key `{other}`",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        if let Some(pair) = flush(current.take(), text.lines().count() + 1)? {
+            pairs.push(pair);
+        }
+        Ok(Manifest { pairs })
+    }
+}

@@ -1,0 +1,49 @@
+//! Rule `hot-path`: no per-call allocation in `// lint: hot-path`
+//! regions, outside declared setup blocks.
+//!
+//! The engine's warm path is allocation-counted in tests; this rule is
+//! the static backstop that stops an innocent `format!` or `.clone()`
+//! from landing in a coloring kernel or frame encoder between test
+//! runs. Arena construction belongs in a
+//! `// lint: setup-begin` … `// lint: setup-end` block.
+
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "hot-path";
+
+/// Patterns that allocate (or format, which allocates) per call.
+const ALLOCATING: [&str; 8] = [
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+    ".to_vec()",
+    "Vec::new(",
+    "String::new(",
+    "vec![",
+    ".clone()",
+];
+
+/// Scans one file; only annotated regions produce findings.
+pub fn check(src: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, code) in src.code.iter().enumerate() {
+        if !src.hot[i] || src.setup[i] || src.test[i] || src.allowed(i, RULE) {
+            continue;
+        }
+        for pat in ALLOCATING {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    rule: RULE,
+                    path: src.path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "`{pat}` allocates inside a hot-path region; hoist it into a \
+                         `lint: setup-begin` block or reuse a buffer"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

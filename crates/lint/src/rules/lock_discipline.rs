@@ -1,0 +1,241 @@
+//! Rule `lock-discipline`: taking one mutex while holding another must
+//! be a declared pair in `crates/lint/lock-order.toml`.
+//!
+//! This encodes the PR-5 lesson — service construction happens
+//! *outside* the router's registry lock — as a standing check: any new
+//! `.lock()` / `.read()` / `.write()` acquired while a guard from a
+//! *different* named mutex is live in the same scope is flagged unless
+//! the ordered pair is in the manifest. Mutex identity is the last
+//! field/binding name in the receiver chain (`state.conns.lock()` →
+//! `conns`), which is unique across this codebase.
+//!
+//! The tracker is scope-accurate but deliberately over-approximate
+//! about lifetimes: a `let`-bound guard is considered live to the end
+//! of its enclosing block unless `drop(binding)` appears first, while
+//! an acquisition whose chain continues past the poison adapters
+//! (`.lock().unwrap_or_else(..).len()`) is a temporary that dies with
+//! its statement.
+
+use crate::manifest::Manifest;
+use crate::source::SourceFile;
+use crate::Finding;
+
+const RULE: &str = "lock-discipline";
+
+/// Zero-argument acquisition methods this rule tracks.
+const ACQUIRERS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Chain adapters that still yield the guard (poison handling).
+const GUARD_ADAPTERS: [&str; 4] = ["expect", "unwrap", "unwrap_or_else", "unwrap_or_default"];
+
+struct Guard {
+    binding: String,
+    mutex: String,
+    line: usize,
+}
+
+/// Scans one file against the manifest.
+pub fn check(src: &SourceFile, manifest: &Manifest) -> Vec<Finding> {
+    let text: Vec<char> = src.code.join("\n").chars().collect();
+    // line_of[i] = 0-based line containing text char i.
+    let mut line_of = Vec::with_capacity(text.len());
+    let mut line = 0;
+    for &c in &text {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut blocks: Vec<Vec<Guard>> = vec![Vec::new()];
+    let mut i = 0;
+    while i < text.len() {
+        match text[i] {
+            '{' => blocks.push(Vec::new()),
+            '}' => {
+                blocks.pop();
+                if blocks.is_empty() {
+                    blocks.push(Vec::new());
+                }
+            }
+            '.' => {
+                if let Some(pat) = ACQUIRERS.iter().find(|p| matches_at(&text, i, p)) {
+                    let at_line = line_of[i];
+                    if !src.test[at_line] {
+                        let mutex = receiver_name(&text, i);
+                        if !src.allowed(at_line, RULE) {
+                            for guard in blocks.iter().flatten() {
+                                if guard.mutex != mutex && !manifest.allows(&guard.mutex, &mutex) {
+                                    findings.push(Finding {
+                                        rule: RULE,
+                                        path: src.path.clone(),
+                                        line: at_line + 1,
+                                        message: format!(
+                                            "`{mutex}{pat}` while a `{}` guard (line {}) is \
+                                             live; declare `{} -> {mutex}` in \
+                                             crates/lint/lock-order.toml or narrow the scopes",
+                                            guard.mutex,
+                                            guard.line + 1,
+                                            guard.mutex
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                        let end = i + pat.chars().count();
+                        if yields_guard(&text, end) {
+                            if let Some(binding) = let_binding(&text, i) {
+                                if let Some(top) = blocks.last_mut() {
+                                    top.push(Guard {
+                                        binding,
+                                        mutex,
+                                        line: at_line,
+                                    });
+                                }
+                            }
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            'd' if matches_at(&text, i, "drop(") && !prev_is_ident(&text, i) => {
+                let mut j = i + "drop(".len();
+                let mut name = String::new();
+                while j < text.len() && (text[j].is_alphanumeric() || text[j] == '_') {
+                    name.push(text[j]);
+                    j += 1;
+                }
+                if text.get(j) == Some(&')') && !name.is_empty() {
+                    for block in &mut blocks {
+                        block.retain(|g| g.binding != name);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    findings
+}
+
+fn matches_at(text: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, p)| text.get(at + k) == Some(&p))
+}
+
+fn prev_is_ident(text: &[char], at: usize) -> bool {
+    at > 0 && (text[at - 1].is_alphanumeric() || text[at - 1] == '_')
+}
+
+/// The mutex name: the last identifier in the receiver chain before the
+/// acquisition, skipping one balanced `()`/`[]` group (so
+/// `self.shards[i].lock()` names `shards` and `self.inner().lock()`
+/// names `inner`).
+fn receiver_name(text: &[char], dot: usize) -> String {
+    let mut j = dot; // exclusive end; walk left
+    let mut depth = 0i64;
+    while j > 0 {
+        let c = text[j - 1];
+        match c {
+            ')' | ']' => {
+                depth += 1;
+                j -= 1;
+            }
+            '(' | '[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                j -= 1;
+            }
+            _ if depth > 0 => j -= 1,
+            _ if c.is_alphanumeric() || c == '_' => {
+                let mut start = j - 1;
+                while start > 0 && (text[start - 1].is_alphanumeric() || text[start - 1] == '_') {
+                    start -= 1;
+                }
+                return text[start..j].iter().collect();
+            }
+            _ => break,
+        }
+    }
+    "<expr>".to_owned()
+}
+
+/// Whether the chain after the acquisition yields the guard itself
+/// (ends, or continues only through poison adapters). A chain that
+/// calls anything else consumed the guard within the statement.
+fn yields_guard(text: &[char], mut at: usize) -> bool {
+    loop {
+        while at < text.len() && text[at].is_whitespace() {
+            at += 1;
+        }
+        if text.get(at) != Some(&'.') {
+            return true;
+        }
+        let mut j = at + 1;
+        let mut method = String::new();
+        while j < text.len() && (text[j].is_alphanumeric() || text[j] == '_') {
+            method.push(text[j]);
+            j += 1;
+        }
+        if !GUARD_ADAPTERS.contains(&method.as_str()) {
+            return false;
+        }
+        while j < text.len() && text[j].is_whitespace() {
+            j += 1;
+        }
+        if text.get(j) != Some(&'(') {
+            return false;
+        }
+        let mut depth = 0i64;
+        while j < text.len() {
+            match text[j] {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        at = j;
+    }
+}
+
+/// The `let` binding receiving this acquisition's statement, if any:
+/// the last identifier before the statement's first `=` (handles
+/// `let mut g`, `if let Ok(mut g) =`, `while let Some(g) =`).
+fn let_binding(text: &[char], acquisition: usize) -> Option<String> {
+    let mut start = acquisition;
+    while start > 0 && !matches!(text[start - 1], ';' | '{' | '}') {
+        start -= 1;
+    }
+    let stmt: String = text[start..acquisition].iter().collect();
+    let let_at = stmt.rfind("let ").filter(|&at| {
+        !stmt[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    })?;
+    let after_let = &stmt[let_at + 4..];
+    let eq_at = after_let.find('=')?;
+    let binder = &after_let[..eq_at];
+    let name: String = binder
+        .chars()
+        .rev()
+        .skip_while(|c| !c.is_alphanumeric() && *c != '_')
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    (!name.is_empty()).then_some(name)
+}

@@ -1,0 +1,451 @@
+//! The source model every rule scans: one parsed file with comments and
+//! string literals blanked out, per-line brace depth, `#[cfg(test)]`
+//! regions, and the `// lint:` directive layer (suppressions, hot-path
+//! annotations, setup blocks).
+//!
+//! The stripper is a character state machine, not a parser: it knows
+//! just enough Rust lexical structure (line/block comments, string and
+//! raw-string literals, char literals vs. lifetimes) to blank content
+//! that must never match a rule pattern. Blanking preserves the char
+//! count of every line, so a char index is valid in both the raw and
+//! the stripped view of a line.
+
+use crate::Finding;
+
+/// Rule names a `lint: allow(...)` directive may reference.
+pub const KNOWN_RULES: [&str; 4] = [
+    "panic-freedom",
+    "hot-path",
+    "protocol-sync",
+    "lock-discipline",
+];
+
+/// One parsed source file, ready for rule scans. All line vectors are
+/// indexed 0-based; findings report 1-based lines.
+pub struct SourceFile {
+    /// Display path (repo-relative where possible).
+    pub path: String,
+    /// The file's lines, verbatim.
+    pub raw: Vec<String>,
+    /// The same lines with comments and literal contents blanked to
+    /// spaces (string delimiters are kept so quoted positions remain
+    /// recognizable). Char count per line matches `raw`.
+    pub code: Vec<String>,
+    /// Whether the line is inside `#[cfg(test)]` / `#[test]` code.
+    pub test: Vec<bool>,
+    /// Brace depth at the start of the line.
+    pub depth: Vec<u32>,
+    /// Rules suppressed on each line by `// lint: allow(rule) -- reason`.
+    pub allows: Vec<Vec<String>>,
+    /// Whether the line is inside a `// lint: hot-path` region.
+    pub hot: Vec<bool>,
+    /// Whether the line is inside a `// lint: setup-begin/end` block.
+    pub setup: Vec<bool>,
+    /// Malformed-directive findings discovered while parsing.
+    pub directive_findings: Vec<Finding>,
+}
+
+impl SourceFile {
+    /// Parses `text` into the rule-ready model.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let stripped = strip(text);
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let mut code: Vec<String> = stripped.lines().map(str::to_owned).collect();
+        code.resize(raw.len(), String::new());
+
+        let (test, depth) = test_regions(&code);
+        let mut src = SourceFile {
+            path: path.to_owned(),
+            raw,
+            code,
+            test,
+            depth,
+            allows: Vec::new(),
+            hot: Vec::new(),
+            setup: Vec::new(),
+            directive_findings: Vec::new(),
+        };
+        src.allows = vec![Vec::new(); src.raw.len()];
+        src.hot = vec![false; src.raw.len()];
+        src.setup = vec![false; src.raw.len()];
+        src.apply_directives();
+        src
+    }
+
+    /// Whether `rule` is suppressed on 0-based line `line`.
+    pub fn allowed(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    /// 0-based index of the next line at or after `from` whose stripped
+    /// code is non-blank.
+    fn next_code_line(&self, from: usize) -> Option<usize> {
+        (from..self.code.len()).find(|&i| !self.code[i].trim().is_empty())
+    }
+
+    fn apply_directives(&mut self) {
+        for line in 0..self.raw.len() {
+            let Some(directive) = directive_on(&self.raw[line], &self.code[line]) else {
+                continue;
+            };
+            let own_line = self.code[line].trim().is_empty();
+            match parse_directive(&directive) {
+                Ok(Directive::Allow(rule)) => {
+                    let target = if own_line {
+                        self.next_code_line(line + 1)
+                    } else {
+                        Some(line)
+                    };
+                    if let Some(t) = target {
+                        self.allows[t].push(rule);
+                    }
+                }
+                Ok(Directive::HotPath) => self.mark_hot(line, own_line),
+                Ok(Directive::SetupBegin) => self.mark_setup(line),
+                Ok(Directive::SetupEnd) => {}
+                Err(message) => self.directive_findings.push(Finding {
+                    rule: "lint-directive",
+                    path: self.path.clone(),
+                    line: line + 1,
+                    message,
+                }),
+            }
+        }
+    }
+
+    /// Marks the region a `hot-path` directive covers: the whole file
+    /// when the directive sits in the file's leading comment block,
+    /// otherwise the next item's brace-matched body.
+    fn mark_hot(&mut self, line: usize, own_line: bool) {
+        let file_level = own_line && self.code[..line].iter().all(|l| l.trim().is_empty());
+        if file_level {
+            self.hot.iter_mut().for_each(|h| *h = true);
+            return;
+        }
+        let start = if own_line {
+            match self.next_code_line(line + 1) {
+                Some(s) => s,
+                None => return,
+            }
+        } else {
+            line
+        };
+        let end = match first_open_brace(&self.code, start).and_then(|at| close_of(&self.code, at))
+        {
+            Some(e) => e,
+            None => self.code.len() - 1,
+        };
+        for h in &mut self.hot[start..=end] {
+            *h = true;
+        }
+    }
+
+    /// Marks lines from a `setup-begin` to the matching `setup-end` (or
+    /// end of file when unterminated — the conservative direction).
+    fn mark_setup(&mut self, line: usize) {
+        let mut at = line;
+        while at < self.raw.len() {
+            self.setup[at] = true;
+            let ended = directive_on(&self.raw[at], &self.code[at])
+                .is_some_and(|d| d.trim() == "setup-end");
+            if ended && at > line {
+                break;
+            }
+            at += 1;
+        }
+    }
+}
+
+enum Directive {
+    Allow(String),
+    HotPath,
+    SetupBegin,
+    SetupEnd,
+}
+
+/// Extracts the text after `// lint:` when the line carries a directive
+/// comment: the comment's own text must *begin* with `lint:` (a doc
+/// sentence merely mentioning `// lint:` mid-line is not a directive),
+/// and the `//` must be a real comment in the stripped view (so a
+/// directive spelled inside a string literal is ignored).
+fn directive_on(raw: &str, code: &str) -> Option<String> {
+    let byte = raw.find("// lint:")?;
+    if !raw[..byte].trim_end().is_empty()
+        && !raw[..byte].ends_with(' ')
+        && !raw[..byte].ends_with('\t')
+    {
+        return None;
+    }
+    let chars_before = raw[..byte].chars().count();
+    // In the stripped view a line comment is blanked from its `//` to the
+    // end of the line. A directive *mentioned inside a string literal*
+    // (help text, doc examples) is blanked too, but the string's closing
+    // `"` delimiter survives stripping — so requiring the whole tail to
+    // be blank rejects it.
+    if !code.chars().skip(chars_before).all(|c| c == ' ') {
+        return None;
+    }
+    Some(raw[byte + "// lint:".len()..].trim().to_owned())
+}
+
+fn parse_directive(directive: &str) -> Result<Directive, String> {
+    if let Some(rest) = directive.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            return Err("malformed `lint: allow(...)` — missing `)`".to_owned());
+        };
+        let rule = rest[..close].trim();
+        if !KNOWN_RULES.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` in `lint: allow(...)` (known: {})",
+                KNOWN_RULES.join(", ")
+            ));
+        }
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '-', ':', '\u{2014}'])
+            .trim();
+        if reason.is_empty() {
+            return Err(format!(
+                "`lint: allow({rule})` needs a reason: `// lint: allow({rule}) -- <why>`"
+            ));
+        }
+        return Ok(Directive::Allow(rule.to_owned()));
+    }
+    let head = directive.split_whitespace().next().unwrap_or("");
+    match head {
+        "hot-path" => Ok(Directive::HotPath),
+        "setup-begin" => Ok(Directive::SetupBegin),
+        "setup-end" => Ok(Directive::SetupEnd),
+        other => Err(format!(
+            "unknown `lint:` directive `{other}` (known: allow(<rule>), hot-path, setup-begin, setup-end)"
+        )),
+    }
+}
+
+/// 0-based line of the first `{` at or after line `from`.
+fn first_open_brace(code: &[String], from: usize) -> Option<(usize, usize)> {
+    for (offset, line) in code[from..].iter().enumerate() {
+        if let Some(col) = line.chars().position(|c| c == '{') {
+            return Some((from + offset, col));
+        }
+    }
+    None
+}
+
+/// 0-based line of the `}` matching the `{` at `(line, col)`.
+fn close_of(code: &[String], (line, col): (usize, usize)) -> Option<usize> {
+    let mut depth = 0i64;
+    for (offset, text) in code[line..].iter().enumerate() {
+        let skip = if offset == 0 { col } else { 0 };
+        for c in text.chars().skip(skip) {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(line + offset);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Computes per-line test-region membership and start-of-line brace
+/// depth. A `#[cfg(test)]` or `#[test]` attribute claims the next
+/// braced item; regions nest via a depth stack.
+fn test_regions(code: &[String]) -> (Vec<bool>, Vec<u32>) {
+    let mut test = vec![false; code.len()];
+    let mut depth_at_start = vec![0u32; code.len()];
+    let mut depth = 0u32;
+    let mut pending = false;
+    let mut stack: Vec<u32> = Vec::new();
+
+    for (i, line) in code.iter().enumerate() {
+        depth_at_start[i] = depth;
+        let attr_here = line.contains("#[cfg(test)]")
+            || line.contains("#[cfg(all(test")
+            || line.contains("#[test]");
+        if attr_here {
+            pending = true;
+        }
+        let mut line_test = !stack.is_empty() || attr_here;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                        line_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if stack.last() == Some(&depth) {
+                        stack.pop();
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use ...;` — attribute spent on a
+                    // braceless item.
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+        test[i] = line_test || !stack.is_empty();
+    }
+    (test, depth_at_start)
+}
+
+/// Blanks comments and literal contents to spaces, preserving newlines
+/// and per-line char counts. String delimiters (`"`) survive so rules
+/// can still recognize quoted positions.
+pub fn strip(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    out.push_str("  ");
+                    i += 2;
+                    st = St::Line;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    out.push_str("  ");
+                    i += 2;
+                    st = St::Block(1);
+                    continue;
+                }
+                '"' => {
+                    out.push('"');
+                    st = St::Str;
+                }
+                'r' | 'b' => {
+                    // Possible raw-string prefix: r"", r#""#, br"", ...
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (c == 'r' || chars.get(i + 1) == Some(&'r')) {
+                        out.extend(&chars[i..=j]);
+                        i = j + 1;
+                        st = St::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    if next == Some('\\') {
+                        out.push('\'');
+                        st = St::Char;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        // 'x' char literal (not '' or a lifetime).
+                        out.push('\'');
+                        out.push(' ');
+                        out.push('\'');
+                        i += 3;
+                        continue;
+                    } else {
+                        out.push('\''); // lifetime
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::Line => {
+                if c == '\n' {
+                    out.push('\n');
+                    st = St::Code;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Block(d) => {
+                if c == '*' && next == Some('/') {
+                    out.push_str("  ");
+                    i += 2;
+                    st = if d == 1 { St::Code } else { St::Block(d - 1) };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    out.push_str("  ");
+                    i += 2;
+                    st = St::Block(d + 1);
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            St::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    out.push('"');
+                    st = St::Code;
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            St::RawStr(hashes) => {
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    i += 1 + hashes;
+                    st = St::Code;
+                    continue;
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+            }
+            St::Char => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    out.push('\'');
+                    st = St::Code;
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}

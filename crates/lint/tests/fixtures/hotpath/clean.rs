@@ -1,0 +1,17 @@
+// Fixture: a hot region whose allocations sit in a declared setup
+// block, and a cold function free to allocate. `cold` comes first so
+// the directive below is item-scoped, not file-level.
+pub fn cold(values: &[u32]) -> String {
+    format!("allocations are fine outside hot regions: {}", values.len())
+}
+
+// lint: hot-path
+pub fn encode(values: &[u32], out: &mut Vec<u8>) {
+    // lint: setup-begin
+    let mut scratch: Vec<u32> = Vec::new();
+    // lint: setup-end
+    for v in values {
+        scratch.push(*v);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}

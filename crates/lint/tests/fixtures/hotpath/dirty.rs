@@ -1,0 +1,9 @@
+// Fixture: allocation inside an annotated hot region.
+// lint: hot-path
+pub fn encode(values: &[u32]) -> String {
+    let mut out = String::new();
+    for v in values {
+        out.push_str(&format!("{v},"));
+    }
+    out
+}

@@ -1,0 +1,34 @@
+// Fixture: lock usage the discipline rule accepts — scoped guards,
+// explicit drop before the next acquisition, and reacquiring the same
+// mutex after release.
+use std::sync::Mutex;
+
+pub struct State {
+    pub conns: Mutex<Vec<u32>>,
+    pub registry: Mutex<Vec<u32>>,
+}
+
+pub fn scoped(state: &State) -> usize {
+    let held = {
+        let conns = state.conns.lock().unwrap();
+        conns.len()
+    };
+    let registry = state.registry.lock().unwrap();
+    held + registry.len()
+}
+
+pub fn dropped(state: &State) -> usize {
+    let conns = state.conns.lock().unwrap();
+    let opened = conns.len();
+    drop(conns);
+    let registry = state.registry.lock().unwrap();
+    opened + registry.len()
+}
+
+pub fn same_mutex_twice(state: &State) -> usize {
+    let first = state.conns.lock().unwrap();
+    let n = first.len();
+    drop(first);
+    let second = state.conns.lock().unwrap();
+    n + second.len()
+}

@@ -1,0 +1,14 @@
+// Fixture: a second mutex acquired while the first guard is live, with
+// no declared order in lock-order.toml.
+use std::sync::Mutex;
+
+pub struct State {
+    pub conns: Mutex<Vec<u32>>,
+    pub registry: Mutex<Vec<u32>>,
+}
+
+pub fn nested(state: &State) -> usize {
+    let conns = state.conns.lock().unwrap();
+    let registry = state.registry.lock().unwrap();
+    conns.len() + registry.len()
+}

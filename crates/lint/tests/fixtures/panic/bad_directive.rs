@@ -1,0 +1,9 @@
+// Fixture: suppression directives that do not parse. Each is itself a
+// finding — a silent typo must not silently stop suppressing.
+pub fn bad(maybe: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom)
+    let missing_reason = maybe.unwrap_or(0);
+    // lint: allow(unknown-rule) -- no such rule exists
+    let unknown_rule = maybe.unwrap_or(0);
+    missing_reason + unknown_rule
+}

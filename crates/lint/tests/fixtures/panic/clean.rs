@@ -1,0 +1,18 @@
+// Fixture: the same operations written panic-free, plus one explicit
+// suppression and test code (where the rule never applies).
+pub fn clean(values: &[u32], maybe: Option<u32>) -> u32 {
+    let first = values.first().copied().unwrap_or(0);
+    let second = maybe.unwrap_or_default();
+    // lint: allow(panic-freedom) -- fixture: the caller's contract guarantees a value here
+    let third = maybe.unwrap();
+    first + second + third
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = [1u32, 2];
+        assert_eq!(v[0] + Some(1u32).unwrap(), 2);
+    }
+}

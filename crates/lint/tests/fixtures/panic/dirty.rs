@@ -1,0 +1,10 @@
+// Fixture: every panic-freedom violation class, one per line.
+pub fn dirty(values: &[u32], maybe: Option<u32>) -> u32 {
+    let first = values[0];
+    let second = maybe.unwrap();
+    let third = maybe.expect("always present");
+    if first == 0 {
+        panic!("zero");
+    }
+    first + second + third
+}

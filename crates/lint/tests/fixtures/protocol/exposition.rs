@@ -1,0 +1,14 @@
+// Fixture: miniature exposition.rs — registered metric families as
+// `"pops_*"` string literals, with decoys the extractor must skip.
+pub fn families() -> Vec<&'static str> {
+    // "pops_in_a_comment_total" must not register.
+    vec!["pops_requests_total", "pops_uptime_seconds"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_families_do_not_register() {
+        assert!(!super::families().contains(&"pops_test_only_total"));
+    }
+}

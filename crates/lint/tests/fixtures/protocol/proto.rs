@@ -1,0 +1,23 @@
+// Fixture: miniature proto.rs with the two shapes the protocol-sync
+// extractors read — WireErrorKind wire names and `match op` dispatch.
+pub enum WireErrorKind {
+    Parse,
+    Routing,
+}
+
+impl WireErrorKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            WireErrorKind::Parse => "parse",
+            WireErrorKind::Routing => "routing",
+        }
+    }
+}
+
+pub fn parse_request(op: &str) -> Result<u32, String> {
+    match op {
+        "ping" => Ok(0),
+        "info" => Ok(1),
+        _ => Err(format!("unknown op '{op}'")),
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: miniature server.rs — ops short-circuited on `.get("op")`
+// before generic dispatch.
+pub fn respond(doc: &Doc) -> u32 {
+    if doc.get("op").and_then(Doc::as_str) == Some("hello") {
+        return 1;
+    }
+    if doc.get("op").and_then(Doc::as_str) == Some("route") {
+        return 2;
+    }
+    0
+}

@@ -359,7 +359,9 @@ impl<V: Clone> ShardedPlanCache<V> {
     }
 
     fn lock<'a>(&self, shard: &'a Mutex<PlanCache<V>>) -> std::sync::MutexGuard<'a, PlanCache<V>> {
-        shard.lock().expect("cache shard poisoned")
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn shard_of(&self, key: &[u8]) -> &Mutex<PlanCache<V>> {

@@ -398,6 +398,7 @@ impl ServiceClient {
             let mut header = [0u8; 4];
             let mut filled = 0;
             while filled < header.len() {
+                // lint: allow(panic-freedom) -- filled < header.len() by the loop guard
                 let read = this.reader.read(&mut header[filled..])?;
                 if read == 0 {
                     return Err(if filled == 0 {
@@ -417,6 +418,7 @@ impl ServiceClient {
             let mut payload = vec![0u8; len];
             let mut at = 0;
             while at < len {
+                // lint: allow(panic-freedom) -- at < len == payload.len() by the loop guard
                 let read = this.reader.read(&mut payload[at..])?;
                 if read == 0 {
                     return Err(ClientError::Truncated);
@@ -562,7 +564,7 @@ impl ServiceClient {
                 let pair = shape
                     .as_arr()
                     .filter(|p| p.len() == 2)
-                    .and_then(|p| Some((p[0].as_usize()?, p[1].as_usize()?)))
+                    .and_then(|p| Some((p.first()?.as_usize()?, p.get(1)?.as_usize()?)))
                     .ok_or_else(|| {
                         ClientError::Protocol("'topologies' entries must be [d, g]".into())
                     })?;

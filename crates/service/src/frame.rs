@@ -130,17 +130,25 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, String> {
         let end = self.pos.checked_add(4).filter(|&e| e <= self.buf.len());
         let end = end.ok_or("frame truncated")?;
-        let v = u32::from_le_bytes(self.buf[self.pos..end].try_into().expect("4 bytes"));
+        let bytes: [u8; 4] = self
+            .buf
+            .get(self.pos..end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or("frame truncated")?;
         self.pos = end;
-        Ok(v)
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
         let end = self.pos.checked_add(8).filter(|&e| e <= self.buf.len());
         let end = end.ok_or("frame truncated")?;
-        let v = u64::from_le_bytes(self.buf[self.pos..end].try_into().expect("8 bytes"));
+        let bytes: [u8; 8] = self
+            .buf
+            .get(self.pos..end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or("frame truncated")?;
         self.pos = end;
-        Ok(v)
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads a `count`-prefixed `u32` array, first proving the bytes for
@@ -170,11 +178,13 @@ impl<'a> Reader<'a> {
     }
 }
 
+// lint: hot-path
 fn push_u32(buf: &mut Vec<u8>, v: usize) {
     buf.extend_from_slice(&(v as u32).to_le_bytes());
 }
 
 /// Appends the slot-prefixed flat schedule encoding to `buf`.
+// lint: hot-path
 pub fn encode_schedule(buf: &mut Vec<u8>, schedule: &Schedule) {
     push_u32(buf, schedule.slots.len());
     for slot in &schedule.slots {
@@ -238,6 +248,7 @@ pub struct RouteFrame {
 }
 
 /// Encodes a [`TAG_ROUTE`] request payload.
+// lint: hot-path
 pub fn encode_route_request(
     kind: RequestKind,
     want_schedule: bool,
@@ -303,6 +314,7 @@ pub struct BatchFrameItem {
 
 /// Encodes a [`TAG_BATCH`] request payload. `shape = None` items ride as
 /// `d = g = 0` (server default).
+// lint: hot-path
 pub fn encode_batch_request(
     want_schedule: bool,
     items: impl IntoIterator<Item = (Option<(usize, usize)>, Permutation)>,
@@ -353,6 +365,7 @@ pub fn decode_batch_request(body: &[u8]) -> Result<(Vec<BatchFrameItem>, bool), 
 }
 
 /// Encodes a [`TAG_ROUTE_REPLY`] payload.
+// lint: hot-path
 pub fn encode_route_reply(
     cache_hit: bool,
     micros: u64,
@@ -411,6 +424,7 @@ pub fn decode_route_reply(body: &[u8]) -> Result<RouteReplyFrame, String> {
 }
 
 /// Encodes a [`TAG_BATCH_ITEM`] payload for one successful item.
+// lint: hot-path
 pub fn encode_batch_item(
     index: usize,
     d: usize,

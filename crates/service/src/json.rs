@@ -284,7 +284,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| fail(start, "invalid number"))?;
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| fail(start, format!("invalid number '{text}'")))
@@ -361,7 +362,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 // Consume one UTF-8 scalar (multi-byte sequences included).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| fail(*pos, "invalid UTF-8 in string"))?;
-                let c = rest.chars().next().expect("non-empty by match arm");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| fail(*pos, "invalid UTF-8 in string"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

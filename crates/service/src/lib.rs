@@ -41,6 +41,7 @@
 //! assert!(service.route(&req).unwrap().cache_hit);  // served from cache
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -105,11 +105,15 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn u32(&mut self) -> Result<u32, PersistError> {
-        let Some(chunk) = self.bytes.get(self.at..self.at + 4) else {
+        let Some(chunk) = self
+            .bytes
+            .get(self.at..self.at + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        else {
             return bail("truncated (expected a u32)");
         };
         self.at += 4;
-        Ok(u32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(chunk))
     }
 
     /// A count field, validated against the bytes that must still follow
@@ -207,7 +211,10 @@ pub fn decode_cache_file(
     // The trailing checksum guards against bit rot and truncated writes:
     // a corrupted-but-structurally-plausible file must not decode.
     let (body, trailer) = bytes.split_at(bytes.len() - 8);
-    let expect = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    let Ok(trailer) = <[u8; 8]>::try_from(trailer) else {
+        return bail("truncated trailer");
+    };
+    let expect = u64::from_le_bytes(trailer);
     let got = crate::cache::fnv1a64(body);
     if got != expect {
         return bail(format!("checksum mismatch ({got:#018x} != {expect:#018x})"));

@@ -62,6 +62,9 @@ impl EnginePool {
 
     /// Runs `f` with an exclusive engine: home shard if free, else the
     /// first idle shard (overflow), else blocking on the home shard.
+    // Poison propagation is deliberate: a panicking plan can leave the
+    // shard's arena mid-mutation, so a poisoned shard must not be reused.
+    #[allow(clippy::expect_used)]
     pub fn with_engine<R>(&self, f: impl FnOnce(&mut RoutingEngine) -> R) -> R {
         let count = self.shards.len();
         let home = self.cursor.fetch_add(1, Ordering::Relaxed) % count;
@@ -84,6 +87,7 @@ impl EnginePool {
 
     /// Total arena footprint across all shards in bytes (blocks briefly on
     /// each shard in turn).
+    #[allow(clippy::expect_used)] // deliberate poison propagation, as above
     pub fn arena_footprint(&self) -> usize {
         self.shards
             .iter()
@@ -98,6 +102,7 @@ impl EnginePool {
 
     /// Releases every shard's arenas ([`RoutingEngine::reset`]) — the
     /// memory-shedding hook for idle services.
+    #[allow(clippy::expect_used)] // deliberate poison propagation, as above
     pub fn reset_all(&self) {
         for shard in &self.shards {
             shard

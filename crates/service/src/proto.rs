@@ -386,11 +386,13 @@ fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, Strin
                     .as_arr()
                     .filter(|p| p.len() == 2)
                     .ok_or("'requests' entries must be [source, destination] pairs")?;
-                let src = pair[0]
-                    .as_usize()
+                let src = pair
+                    .first()
+                    .and_then(Json::as_usize)
                     .ok_or("request endpoints must be integers")?;
-                let dst = pair[1]
-                    .as_usize()
+                let dst = pair
+                    .get(1)
+                    .and_then(Json::as_usize)
                     .ok_or("request endpoints must be integers")?;
                 pairs.push((src, dst));
             }
@@ -880,11 +882,14 @@ pub fn schedule_from_json(value: &Json) -> Result<Schedule, String> {
                 .iter()
                 .map(|c| c.as_usize().ok_or("transmission cells must be integers"))
                 .collect::<Result<Vec<_>, _>>()?;
+            let [sender, coupler, packet, receivers @ ..] = nums.as_slice() else {
+                return Err("transmission must be [sender, coupler, packet, receiver...]".into());
+            };
             frame.transmissions.push(Transmission {
-                sender: nums[0],
-                coupler: nums[1],
-                packet: nums[2],
-                receivers: nums[3..].to_vec().into(),
+                sender: *sender,
+                coupler: *coupler,
+                packet: *packet,
+                receivers: receivers.to_vec().into(),
             });
         }
         out.slots.push(frame);

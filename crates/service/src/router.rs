@@ -191,10 +191,13 @@ impl TopologyRouter {
     /// # Panics
     ///
     /// Panics under the same conditions as [`TopologyRouter::new`].
+    #[allow(clippy::expect_used)] // documented "# Panics" boot contract
     pub fn from_service(service: Arc<RoutingService>, config: TopologyRouterConfig) -> Self {
         assert!(config.max_topologies > 0, "need room for the default");
         let default = service.topology();
         Self::check_shape(default.d(), default.g(), config.max_n, true)
+            // lint: allow(panic-freedom) -- documented "# Panics" contract: operator
+            // config error at boot, before any connection is accepted
             .expect("default topology must satisfy the router's own limits");
         let mut registry = Registry::default();
         registry.entries.insert(
@@ -249,8 +252,11 @@ impl TopologyRouter {
     }
 
     /// The service of the default topology (always resident — pinned).
+    #[allow(clippy::expect_used)] // the pinned-entry invariant below
     pub fn default_service(&self) -> Arc<RoutingService> {
         self.peek(self.default_topology.d(), self.default_topology.g())
+            // lint: allow(panic-freedom) -- the default entry is pinned at
+            // construction and eviction never removes pinned entries
             .expect("the default topology is pinned")
     }
 
@@ -281,7 +287,11 @@ impl TopologyRouter {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
-        self.registry.lock().expect("router registry poisoned")
+        // A panic mid-plan poisons nothing structural here: registry ops are
+        // short map edits, so recover the guard rather than cascade the panic.
+        self.registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The resident service for `(d, g)` without admitting, constructing,
@@ -376,9 +386,10 @@ impl TopologyRouter {
                 .map(|(&shape, _)| shape);
             match coldest {
                 Some(shape) => {
-                    let evicted = registry.entries.remove(&shape).expect("chosen above");
-                    self.retire(&evicted.service);
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(evicted) = registry.entries.remove(&shape) {
+                        self.retire(&evicted.service);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 None => {
                     self.rejections.fetch_add(1, Ordering::Relaxed);
@@ -414,7 +425,7 @@ impl TopologyRouter {
         snap.phase_cache_capacity = 0;
         self.retired
             .lock()
-            .expect("retired ledger poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .absorb(&snap);
     }
 
@@ -422,7 +433,7 @@ impl TopologyRouter {
     pub fn retired_metrics(&self) -> MetricsSnapshot {
         self.retired
             .lock()
-            .expect("retired ledger poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 

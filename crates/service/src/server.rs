@@ -70,6 +70,7 @@ use crate::proto::{
 use crate::router::{RouterError, TopologyRouter, TopologyRouterConfig};
 use crate::service::{RoutingService, ServiceRequest};
 use crate::trace::{RequestTrace, SlowLog, SlowVerdict};
+use pops_permutation::Permutation;
 
 /// Limits and timeouts of one [`serve_with_config`] loop.
 #[derive(Debug, Clone)]
@@ -234,7 +235,10 @@ impl OverloadControl {
         if let (Some(rps), Some(ip)) = (self.quota_rps, peer) {
             let burst = self.quota_burst;
             let now = Instant::now();
-            let mut buckets = self.buckets.lock().expect("quota lock poisoned");
+            let mut buckets = self
+                .buckets
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let bucket = buckets.entry(ip).or_insert(TokenBucket {
                 tokens: burst as f64,
                 refilled: now,
@@ -439,7 +443,11 @@ pub fn serve_router(
             Err(_) => continue,
         };
         reap_finished(&state);
-        let active = state.conns.lock().expect("registry lock poisoned").len();
+        let active = state
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
         if active >= state.config.max_connections {
             metrics.record_connection_rejected();
             reject_at_capacity(stream, &state);
@@ -458,7 +466,7 @@ pub fn serve_router(
                 handler_state
                     .finished
                     .lock()
-                    .expect("finished lock poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .push(id);
             });
         match spawned {
@@ -466,7 +474,7 @@ pub fn serve_router(
                 state
                     .conns
                     .lock()
-                    .expect("registry lock poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .insert(id, ConnHandle { join: Some(join) });
             }
             Err(_) => {
@@ -479,7 +487,10 @@ pub fn serve_router(
     // within a poll tick; in-flight ones finish writing their complete
     // responses first.
     let drained: Vec<ConnHandle> = {
-        let mut conns = state.conns.lock().expect("registry lock poisoned");
+        let mut conns = state
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         conns.drain().map(|(_, conn)| conn).collect()
     };
     for mut conn in drained {
@@ -504,13 +515,19 @@ pub fn serve_router(
 /// server.
 fn reap_finished(state: &ServeState) {
     let finished: Vec<u64> = {
-        let mut list = state.finished.lock().expect("finished lock poisoned");
+        let mut list = state
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         std::mem::take(&mut *list)
     };
     if finished.is_empty() {
         return;
     }
-    let mut conns = state.conns.lock().expect("registry lock poisoned");
+    let mut conns = state
+        .conns
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for id in finished {
         if let Some(mut conn) = conns.remove(&id) {
             if let Some(join) = conn.join.take() {
@@ -683,6 +700,7 @@ fn read_bounded_line(
                         consumed: (line.len() + newline) as u64,
                     });
                 }
+                // lint: allow(panic-freedom) -- `newline` was returned by position() over `available`
                 line.extend_from_slice(&available[..newline]);
                 reader.consume(newline + 1);
                 if line.last() == Some(&b'\r') {
@@ -790,10 +808,11 @@ fn read_bounded_frame(
             Some(len) => 4 + len - buf.len(),
         };
         let take = needed.min(available.len());
+        // lint: allow(panic-freedom) -- `take` is clamped to available.len() on the line above
         buf.extend_from_slice(&available[..take]);
         reader.consume(take);
-        if payload_len.is_none() && buf.len() == 4 {
-            let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        if let (None, Some(header)) = (payload_len, buf.first_chunk::<4>()) {
+            let len = u32::from_le_bytes(*header) as usize;
             if len > max_bytes {
                 return Ok(FrameOutcome::TooLong { consumed: 4 });
             }
@@ -840,7 +859,11 @@ fn write_responses(
                 writer.write_all(b"\n")?;
             }
             (WireFormat::Json, Outgoing::Frame(_)) => {
-                unreachable!("the JSON dispatcher never emits binary frames")
+                // The JSON dispatcher never queues binary frames; refuse
+                // the write rather than panic the connection thread.
+                return Err(std::io::Error::other(
+                    "internal: binary frame queued on a JSON connection",
+                ));
             }
             (WireFormat::Binary, Outgoing::Json(doc)) => {
                 let payload = frame::json_payload(doc);
@@ -1234,7 +1257,10 @@ fn respond(
                     one(error_response(WireErrorKind::Routing, e.to_string()))
                 }
             },
-            Ok(_) => unreachable!("op 'route' parses to a route request"),
+            Ok(_) => one(error_response(
+                WireErrorKind::BadRequest,
+                "internal: op 'route' parsed to a non-route request",
+            )),
         };
     }
 
@@ -1272,7 +1298,10 @@ fn respond(
             false,
             None,
         ),
-        Ok(WireRequest::Route { .. }) => unreachable!("route ops are handled above"),
+        Ok(WireRequest::Route { .. }) => one(error_response(
+            WireErrorKind::BadRequest,
+            "internal: route op fell through its dedicated dispatcher",
+        )),
     }
 }
 
@@ -1393,7 +1422,10 @@ fn respond_route_frame(
         // The decoder refuses these kinds; their richer bodies ride
         // TAG_JSON frames instead.
         RequestKind::HRelation | RequestKind::WithFaults => {
-            unreachable!("decode_route_request only admits permutation kinds")
+            return one(error_response(
+                WireErrorKind::BadRequest,
+                "h-relation and fault bodies ride TAG_JSON frames, not TAG_ROUTE",
+            ))
         }
     };
     match service.route(&req) {
@@ -1452,17 +1484,21 @@ fn respond_batch(
     trace.stage("admission");
     let start = Instant::now();
     let mut lines: Vec<Option<Outgoing>> = (0..items.len()).map(|_| None).collect();
-    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    let mut groups: BTreeMap<(usize, usize), Vec<(usize, Permutation)>> = BTreeMap::new();
     for (index, item) in items.iter().enumerate() {
         match &item.perm {
             Err(e) => {
+                // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
                 lines[index] = Some(Outgoing::Json(batch_item_error(
                     index,
                     WireErrorKind::BadRequest,
                     e,
                 )))
             }
-            Ok(_) => groups.entry((item.d, item.g)).or_default().push(index),
+            Ok(pi) => groups
+                .entry((item.d, item.g))
+                .or_default()
+                .push((index, pi.clone())),
         }
     }
     // Cap the distinct shapes BEFORE any lookup: admission can construct
@@ -1482,23 +1518,22 @@ fn respond_batch(
     let mut routed = 0usize;
     let mut slots_total = 0usize;
     let mut topologies: Vec<(usize, usize)> = Vec::new();
-    for ((d, g), indices) in groups {
+    for ((d, g), members) in groups {
         match select_service(state, d, g) {
             Err((kind, msg)) => {
-                for &index in &indices {
+                for (index, _) in members {
+                    // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
                     lines[index] = Some(Outgoing::Json(batch_item_error(index, kind, msg.clone())));
                 }
             }
             Ok(service) => {
-                let perms: Vec<_> = indices
-                    .iter()
-                    .map(|&index| items[index].perm.clone().expect("grouped items parsed"))
-                    .collect();
+                let (indices, perms): (Vec<usize>, Vec<Permutation>) = members.into_iter().unzip();
                 let plans = service.route_batch(&perms, None, false);
                 topologies.push((d, g));
                 for (&index, plan) in indices.iter().zip(&plans) {
                     routed += 1;
                     slots_total += plan.schedule.slot_count();
+                    // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
                     lines[index] = Some(if binary {
                         Outgoing::Frame(frame::encode_batch_item(
                             index,
@@ -1523,7 +1558,18 @@ fn respond_batch(
     trace.stage("plan");
     let mut out: Vec<Outgoing> = lines
         .into_iter()
-        .map(|line| line.expect("every item is answered"))
+        .enumerate()
+        .map(|(index, line)| {
+            // Every index is assigned exactly once above (error or plan);
+            // answer with a structured error rather than panic if not.
+            line.unwrap_or_else(|| {
+                Outgoing::Json(batch_item_error(
+                    index,
+                    WireErrorKind::BadRequest,
+                    "internal: batch item was not answered",
+                ))
+            })
+        })
         .collect();
     out.push(Outgoing::Json(batch_summary_response(
         items.len(),
@@ -1583,6 +1629,7 @@ fn respond_cache(action: CacheAction, state: &ServeState) -> Json {
                         format!("cache load failed: {e}"),
                     ),
                 },
+                // lint: allow(panic-freedom) -- the outer match answers `Stats` before this arm can be reached
                 CacheAction::Stats => unreachable!("handled above"),
             }
         }
@@ -1994,6 +2041,52 @@ mod tests {
         });
         let shed = control.try_admit(None).err().expect("watermark zero");
         assert!(!shed.quota);
+    }
+
+    #[test]
+    fn quota_bucket_map_is_pruned_at_the_client_cap() {
+        // A source-address spray must degrade quota precision, never
+        // memory: crossing MAX_QUOTA_CLIENTS prunes refilled (idle)
+        // buckets, and when no bucket is idle the map is cleared.
+        let spray_ip = |i: usize| IpAddr::from([10, (i >> 16) as u8, (i >> 8) as u8, i as u8]);
+
+        // rps = 1: no bucket can refill within the loop, so the prune
+        // finds nothing idle and falls back to clearing the whole map.
+        let control = OverloadControl::from_config(&ServerConfig {
+            quota_rps: Some(1),
+            quota_burst: Some(1),
+            ..ServerConfig::default()
+        });
+        for i in 0..=MAX_QUOTA_CLIENTS {
+            assert!(
+                control.try_admit(Some(spray_ip(i))).is_ok(),
+                "every distinct peer admits on its burst token"
+            );
+        }
+        let len = control.buckets.lock().unwrap().len();
+        assert_eq!(len, 0, "nothing idle: the cap clears the map");
+
+        // A fast refill rate leaves earlier buckets idle by the time the
+        // cap is crossed, so the prune keeps the map bounded without the
+        // clear fallback.
+        let control = OverloadControl::from_config(&ServerConfig {
+            quota_rps: Some(1_000_000),
+            quota_burst: Some(1),
+            ..ServerConfig::default()
+        });
+        for i in 0..=MAX_QUOTA_CLIENTS {
+            assert!(control.try_admit(Some(spray_ip(i))).is_ok());
+        }
+        let len = control.buckets.lock().unwrap().len();
+        assert!(
+            len <= MAX_QUOTA_CLIENTS,
+            "the map stays bounded after the prune (kept {len})"
+        );
+
+        // Quota still functions for a fresh peer after prune/clear.
+        assert!(control
+            .try_admit(Some(IpAddr::from([192, 168, 0, 1])))
+            .is_ok());
     }
 
     #[test]

@@ -183,11 +183,17 @@ impl Admission {
     }
 
     fn acquire<'a>(&'a self, metrics: &ServiceMetrics) -> AdmissionGuard<'a> {
-        let mut count = self.in_flight.lock().expect("admission lock poisoned");
+        let mut count = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if *count >= self.max {
             metrics.record_admission_wait();
             while *count >= self.max {
-                count = self.freed.wait(count).expect("admission lock poisoned");
+                count = self
+                    .freed
+                    .wait(count)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
         *count += 1;
@@ -199,7 +205,11 @@ struct AdmissionGuard<'a>(&'a Admission);
 
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
-        let mut count = self.0.in_flight.lock().expect("admission lock poisoned");
+        let mut count = self
+            .0
+            .in_flight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *count -= 1;
         drop(count);
         self.0.freed.notify_one();
@@ -549,7 +559,10 @@ impl RoutingService {
         emit_artefacts: bool,
     ) -> Vec<RoutingPlan> {
         let _slot = self.admission.acquire(&self.metrics);
-        let mut router = self.batch_router.lock().expect("batch router poisoned");
+        let mut router = self
+            .batch_router
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         router.set_emit_artefacts(emit_artefacts);
         let plans = router.route_batch(batch, threads);
         drop(router);

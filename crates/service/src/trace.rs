@@ -193,6 +193,36 @@ mod tests {
     }
 
     #[test]
+    fn suppressed_counts_stay_accurate_across_a_window_boundary() {
+        // Drive a burst through one rate window, cross the boundary, and
+        // drive a second burst: exactly one line per window may emit and
+        // every other slow request must count as suppressed — the split
+        // `pops_slow_traces_total{outcome}` reports.
+        let window = Duration::from_millis(150);
+        let log = SlowLog::with_rate(Duration::ZERO, window);
+        let t = RequestTrace::start(5, 1);
+        let mut emitted = 0u64;
+        let mut suppressed = 0u64;
+        let mut count = |verdict: SlowVerdict| match verdict {
+            SlowVerdict::Emit(_) => emitted += 1,
+            SlowVerdict::Suppressed => suppressed += 1,
+            SlowVerdict::Fast => panic!("zero threshold never judges fast"),
+        };
+        for _ in 0..10 {
+            count(log.observe(&t));
+        }
+        std::thread::sleep(window + Duration::from_millis(30));
+        for _ in 0..5 {
+            count(log.observe(&t));
+        }
+        assert_eq!(emitted, 2, "one line per window");
+        assert_eq!(
+            suppressed, 13,
+            "every other slow request is counted, none double-counted"
+        );
+    }
+
+    #[test]
     fn emitted_line_carries_the_trace_id() {
         let log = SlowLog::new(Duration::ZERO);
         let mut t = RequestTrace::start(9, 4);
