@@ -1368,17 +1368,19 @@ fn experiment_bench_service() {
 
     let multi_topology = bench_multi_topology();
     let wire_batch = bench_wire_batch();
+    let degraded_routing = bench_degraded_routing();
 
     let json = format!(
         "{{\n  \"benchmark\": \"pops_routing_service\",\n  \"description\": \
          \"RoutingService cold vs warm-engine vs cache-hit plan throughput, plus \
          level-2 phase reuse (fresh h-relations assembled from cached phases vs \
          all-phase-miss), warm restart from a cache spill (first pass all hits \
-         vs cold), mixed-shape traffic through one TopologyRouter, and the wire \
-         batch op vs N single requests; single client thread, alternating-path \
-         colourer; regenerate with \
+         vs cold), mixed-shape traffic through one TopologyRouter, the wire \
+         batch op vs N single requests, and degraded routing (healthy vs \
+         one-coupler-down vs 5%-of-fabric-down on the fault-keyed cache); \
+         single client thread, alternating-path colourer; regenerate with \
          `cargo run --release --bin experiments -- BENCH_SERVICE`\",\n  \"configs\": [\n{}\n  ],\n\
-         {multi_topology},\n{wire_batch}\n}}\n",
+         {multi_topology},\n{wire_batch},\n{degraded_routing}\n}}\n",
         entries.join(",\n")
     );
     match std::fs::write("BENCH_service.json", &json) {
@@ -1511,6 +1513,7 @@ fn bench_wire_batch() -> String {
         .map(|pi| BatchItem {
             pi: pi.clone(),
             shape: None,
+            faults: Vec::new(),
         })
         .collect();
     // Pre-rendered single-request lines (no schedule bodies) so the
@@ -1612,5 +1615,117 @@ fn bench_wire_batch() -> String {
          \"json_batch_speedup\": {json_speedup:.1},\n    \
          \"batch_op_plans_per_sec\": {batch_per_sec:.1},\n    \
          \"speedup\": {speedup:.1}\n  }}"
+    )
+}
+
+/// The degraded-fabric scenario: the same permutations planned on a
+/// healthy POPS(32, 32), with one coupler down, and with 5% of the
+/// fabric down — cold (full fault-aware construction per plan) and from
+/// the fault-keyed plan cache. Every degraded schedule is verified on a
+/// simulator with the same couplers failed, and each scenario warms (and
+/// hits) its own cache entries, since healthy and degraded plans never
+/// share a key.
+fn bench_degraded_routing() -> String {
+    use pops_network::FaultSet;
+    use pops_service::{RoutingService, ServiceConfig, ServiceRequest};
+
+    let (d, g) = (32usize, 32usize);
+    let t = PopsTopology::new(d, g);
+    let n = d * g;
+    let count = 32usize;
+    let mut rng = SplitMix64::new(0xFA17);
+    let perms: Vec<Permutation> = (0..count)
+        .map(|_| random_permutation(n, &mut rng))
+        .collect();
+    let colorer = ColorerKind::AlternatingPath;
+
+    // Three fabrics: healthy, one coupler down, 5% of the 1024 couplers
+    // down (spread deterministically across the fabric).
+    let five_percent: Vec<usize> = (0..t.coupler_count() / 20).map(|k| k * 20).collect();
+    let scenarios: [(&str, Vec<usize>); 3] = [
+        ("healthy", Vec::new()),
+        ("one_coupler_down", vec![0]),
+        ("five_percent_down", five_percent),
+    ];
+
+    let mut fragments = Vec::new();
+    for (name, ids) in &scenarios {
+        let mut faults = FaultSet::none(&t);
+        for &c in ids {
+            faults.fail_coupler(c);
+        }
+        assert!(faults.fully_routable(&t), "{name} must stay routable");
+        let request = |pi: &Permutation| {
+            if ids.is_empty() {
+                ServiceRequest::Theorem2 { pi: pi.clone() }
+            } else {
+                ServiceRequest::WithFaults {
+                    pi: pi.clone(),
+                    faults: faults.clone(),
+                }
+            }
+        };
+
+        // Cold: every plan pays full (fault-aware) construction.
+        let mut cold_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let outcome = RoutingService::route_cold(t, colorer, &request(pi)).expect("routes");
+                std::hint::black_box(&outcome);
+                cold_plans += 1;
+            }
+        }
+        let cold_per_sec = cold_plans as f64 / start.elapsed().as_secs_f64();
+
+        // Warm the fault-keyed cache, refereeing every schedule on a
+        // simulator with the same couplers failed.
+        let service = RoutingService::with_config(
+            t,
+            ServiceConfig {
+                shards: 2,
+                cache_capacity: 2 * count,
+                max_in_flight: 4,
+                colorer,
+                ..ServiceConfig::default()
+            },
+        );
+        for pi in &perms {
+            let reply = service.route(&request(pi)).expect("routes");
+            assert!(!reply.cache_hit);
+            assert_eq!(reply.degraded, !ids.is_empty());
+            let mut sim = Simulator::with_unit_packets_and_faults(t, faults.clone());
+            sim.execute_schedule(reply.outcome.schedule())
+                .expect("legal");
+            sim.verify_delivery(pi.as_slice()).expect("delivers");
+        }
+        let mut hit_plans = 0usize;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 300 {
+            for pi in &perms {
+                let reply = service.route(&request(pi)).expect("routes");
+                debug_assert!(reply.cache_hit);
+                std::hint::black_box(&reply);
+                hit_plans += 1;
+            }
+        }
+        let hit_per_sec = hit_plans as f64 / start.elapsed().as_secs_f64();
+
+        println!(
+            "degraded routing [{name:>17}]: {:>2} coupler(s) down — cold {cold_per_sec:>9.0} \
+             plans/s, cache-hit {hit_per_sec:>10.0} plans/s",
+            ids.len()
+        );
+        fragments.push(format!(
+            "    \"{name}\": {{\n      \"failed_couplers\": {},\n      \
+             \"cold_plans_per_sec\": {cold_per_sec:.1},\n      \
+             \"cache_hit_plans_per_sec\": {hit_per_sec:.1}\n    }}",
+            ids.len()
+        ));
+    }
+    format!(
+        "  \"degraded_routing\": {{\n    \"d\": {d},\n    \"g\": {g},\n    \"n\": {n},\n    \
+         \"permutations\": {count},\n    \"verified_on_faulted_simulator\": true,\n{}\n  }}",
+        fragments.join(",\n")
     )
 }

@@ -66,9 +66,15 @@ COMMANDS
                                              (rate-limited; ids echoed on responses)
             [--metrics-port P]               Prometheus sidecar listener; the main
                                              port answers GET /metrics regardless
+            [--fault DxG:c1,c2,...]          baseline failed couplers for one topology,
+                                             composed into every route for that shape
+                                             (must leave every group pair routable)
   request   --addr HOST:PORT [perm]          route one request via a server
             [--d D --g G]                    select a topology (multi-topology servers)
             [--kind K] [--stats] [--shutdown]
+            [--fault c1,c2,...]              treat couplers as failed for this request;
+                                             the schedule is refereed on a simulator
+                                             with the same couplers down
             [--batch-file FILE]              send one wire batch op from a JSON-lines file
                                              (each line: perm with optional d/g fields)
             [--cache save|load|stats]        plan-cache op (save/load need --cache-dir serve)
@@ -459,6 +465,88 @@ fn parse_topology_flag(value: &str) -> Result<(usize, usize), CliError> {
     Ok((d, g))
 }
 
+/// Parses one `--fault DxG:c1,c2,...` value (e.g. `4x4:1,5`): an
+/// operator-declared baseline fault set for one topology. Ids are
+/// sorted, deduped, and bounds-checked against the g^2 couplers.
+fn parse_fault_flag(value: &str) -> Result<((usize, usize), Vec<usize>), CliError> {
+    let (shape, list) = value.split_once(':').ok_or_else(|| {
+        err(format!(
+            "--fault expects DxG:c1,c2,... (e.g. 4x4:1,5), got '{value}'"
+        ))
+    })?;
+    let (d, g) = shape
+        .split_once(['x', 'X'])
+        .ok_or_else(|| err(format!("--fault '{value}': expected a DxG topology prefix")))?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| err(format!("--fault '{value}': '{s}' is not an integer")))
+    };
+    let (d, g) = (parse(d)?, parse(g)?);
+    if d == 0 || g == 0 {
+        return Err(err(format!(
+            "--fault '{value}': dimensions must be positive"
+        )));
+    }
+    if d.checked_mul(g).is_none_or(|n| n > 1 << 20) {
+        return Err(err(format!(
+            "--fault '{value}': network too large (n > 2^20)"
+        )));
+    }
+    let mut ids = list
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(parse)
+        .collect::<Result<Vec<usize>, _>>()?;
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return Err(err(format!(
+            "--fault '{value}': give at least one coupler id"
+        )));
+    }
+    let couplers = g * g;
+    for &c in &ids {
+        if c >= couplers {
+            return Err(err(format!(
+                "--fault '{value}': coupler {c} out of range \
+                 (POPS({d}, {g}) has {couplers} couplers)"
+            )));
+        }
+    }
+    Ok(((d, g), ids))
+}
+
+/// Parses a `--fault c1,c2,...` request-side value against one topology.
+fn parse_request_faults(opts: &Opts, t: &PopsTopology) -> Result<Vec<usize>, CliError> {
+    let Some(list) = opts.get("fault") else {
+        return Ok(Vec::new());
+    };
+    let mut ids = list
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| err(format!("--fault: '{s}' is not an integer")))
+        })
+        .collect::<Result<Vec<usize>, _>>()?;
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        return Err(err("--fault: give at least one coupler id"));
+    }
+    for &c in &ids {
+        if c >= t.coupler_count() {
+            return Err(err(format!(
+                "--fault: coupler {c} out of range ({t} has {} couplers)",
+                t.coupler_count()
+            )));
+        }
+    }
+    Ok(ids)
+}
+
 /// `pops serve`: the TCP/JSON-lines routing service. Prints the listening
 /// address immediately (stdout, flushed) so scripts can scrape an
 /// ephemeral port (`--port 0`), then blocks until a client sends a
@@ -496,10 +584,45 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     let cache_dir = opts.get("cache-dir").map(std::path::PathBuf::from);
     let max_in_flight = opts.usize_or("max-in-flight", defaults.max_in_flight)?;
     let server_defaults = ServerConfig::default();
+    // Baseline fault sets: operator-declared failed couplers the server
+    // composes into every theorem2/faults route for their topology. A
+    // baseline that disconnects a group pair is refused at boot — such a
+    // server could never answer a route request for that shape.
+    let mut baseline_faults: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+    for value in opts.get_all("fault") {
+        let ((d, g), ids) = parse_fault_flag(value)?;
+        match baseline_faults
+            .iter_mut()
+            .find(|((bd, bg), _)| (*bd, *bg) == (d, g))
+        {
+            Some((_, existing)) => {
+                existing.extend(ids);
+                existing.sort_unstable();
+                existing.dedup();
+            }
+            None => baseline_faults.push(((d, g), ids)),
+        }
+    }
+    // Repeated --fault flags for one shape union; the union is what must
+    // stay routable, so validate after merging.
+    for ((d, g), ids) in &baseline_faults {
+        let topology = PopsTopology::new(*d, *g);
+        let mut set = FaultSet::none(&topology);
+        for &c in ids.iter().filter(|&&c| c < topology.coupler_count()) {
+            set.fail_coupler(c);
+        }
+        if !set.fully_routable(&topology) {
+            return Err(err(format!(
+                "--fault {d}x{g}:... disconnects POPS({d}, {g}); a baseline \
+                 fault set must leave every group pair routable"
+            )));
+        }
+    }
     // Defaults come from ServerConfig::default() (one source of truth);
     // 0 on the command line disables a timeout.
     let as_ms = |t: Option<Duration>| t.map_or(0, |d| d.as_millis() as u64);
     let server_config = ServerConfig {
+        baseline_faults,
         read_timeout: timeout_ms(opts, "read-timeout-ms", as_ms(server_defaults.read_timeout))?,
         write_timeout: timeout_ms(
             opts,
@@ -662,6 +785,17 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     if let Some(port) = server_config.metrics_port {
         let _ = write!(obs_note, ", metrics sidecar on port {port}");
     }
+    if !server_config.baseline_faults.is_empty() {
+        let rendered: Vec<String> = server_config
+            .baseline_faults
+            .iter()
+            .map(|((d, g), ids)| {
+                let ids: Vec<String> = ids.iter().map(usize::to_string).collect();
+                format!("{d}x{g}:{}", ids.join(","))
+            })
+            .collect();
+        let _ = write!(obs_note, ", baseline faults [{}]", rendered.join(" "));
+    }
     println!(
         "pops-service listening on {addr} ({t} default, topologies [{}] of max {max_topologies}, \
          {shards} shard(s), cache {cache_capacity}, \
@@ -822,12 +956,26 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     let t = PopsTopology::new(d, g);
     let pi = spec::resolve(opts, d, g)?;
     let kind = opts.get("kind").unwrap_or("theorem2");
-    let reply = client
-        .route_permutation_on(kind, &pi, Some((d, g)))
-        .map_err(|e| err(e.to_string()))?;
+    let faults = parse_request_faults(opts, &t)?;
+    let reply = if faults.is_empty() {
+        client.route_permutation_on(kind, &pi, Some((d, g)))
+    } else {
+        client.route_permutation_with_faults(kind, &pi, Some((d, g)), &faults)
+    }
+    .map_err(|e| err(e.to_string()))?;
 
-    // Referee: the returned schedule must execute and deliver locally.
-    let mut sim = Simulator::with_unit_packets(t);
+    // Referee: the returned schedule must execute and deliver locally —
+    // with the same couplers failed, so a degraded plan that leans on
+    // dead hardware is caught right here.
+    let mut sim = if faults.is_empty() {
+        Simulator::with_unit_packets(t)
+    } else {
+        let mut set = FaultSet::none(&t);
+        for &c in faults.iter().filter(|&&c| c < t.coupler_count()) {
+            set.fail_coupler(c);
+        }
+        Simulator::with_unit_packets_and_faults(t, set)
+    };
     sim.execute_schedule(&reply.schedule)
         .map_err(|(slot, e)| err(format!("returned schedule illegal at slot {slot}: {e}")))?;
     sim.verify_delivery(pi.as_slice())
@@ -848,10 +996,15 @@ fn cmd_request(opts: &Opts) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "verified {}-slot schedule (kind {kind}, cache {}, {} µs server-side)",
+        "verified {}-slot schedule (kind {kind}, cache {}, {} µs server-side{})",
         reply.slots,
         if reply.cache_hit { "hit" } else { "miss" },
-        reply.micros
+        reply.micros,
+        if reply.degraded {
+            ", degraded: planned around the fault set"
+        } else {
+            ""
+        },
     );
     Ok(out)
 }
@@ -951,9 +1104,10 @@ fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
 
 /// `pops request --batch-file FILE`: reads a JSON-lines file — each
 /// non-empty line `{"perm":[...]}` with optional `"d"`/`"g"` shape fields
-/// — sends everything as **one** `{"op":"batch"}` request (schedules
-/// included), re-verifies every returned schedule on the local simulator
-/// referee for its own topology, and prints the summary.
+/// and an optional `"faults":[...]` coupler-id list — sends everything as
+/// **one** `{"op":"batch"}` request (schedules included), re-verifies
+/// every returned schedule on the local simulator referee for its own
+/// topology (with that item's faults injected), and prints the summary.
 ///
 /// ```text
 /// $ cat batch.jsonl
@@ -1010,7 +1164,28 @@ fn request_batch_file(
                 )))
             }
         };
-        items.push(BatchItem { pi, shape });
+        let faults = match doc.get("faults") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| {
+                    err(format!(
+                        "{path}:{}: 'faults' must be an array of coupler ids",
+                        line_no + 1
+                    ))
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_usize().ok_or_else(|| {
+                        err(format!(
+                            "{path}:{}: 'faults' entries must be integers",
+                            line_no + 1
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        items.push(BatchItem { pi, shape, faults });
     }
     if items.is_empty() {
         return Err(err(format!("--batch-file {path} holds no items")));
@@ -1027,7 +1202,16 @@ fn request_batch_file(
             }
             Ok(routed) => {
                 let t = PopsTopology::new(routed.d, routed.g);
-                let mut sim = Simulator::with_unit_packets(t);
+                // Degraded items are refereed with their own faults down.
+                let mut sim = if item.faults.is_empty() {
+                    Simulator::with_unit_packets(t)
+                } else {
+                    let mut set = FaultSet::none(&t);
+                    for &c in item.faults.iter().filter(|&&c| c < t.coupler_count()) {
+                        set.fail_coupler(c);
+                    }
+                    Simulator::with_unit_packets_and_faults(t, set)
+                };
                 sim.execute_schedule(&routed.schedule)
                     .map_err(|(slot, e)| {
                         err(format!(
@@ -1054,9 +1238,20 @@ fn request_batch_file(
         if s.topologies.len() == 1 { "y" } else { "ies" },
         s.micros,
     );
+    let degraded = reply
+        .items
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|i| i.degraded))
+        .count();
     let _ = writeln!(
         out,
-        "verified {verified} returned schedule(s) on the simulator referee"
+        "verified {verified} returned schedule(s) on the simulator referee\
+         {}",
+        if degraded == 0 {
+            String::new()
+        } else {
+            format!(" ({degraded} degraded, refereed with their faults down)")
+        },
     );
     Ok(out)
 }
@@ -1149,6 +1344,8 @@ mod tests {
             "--slow-ms",
             "--metrics-port",
             "--watch",
+            "--fault DxG:c1,c2,...",
+            "--fault c1,c2,...",
         ] {
             assert!(out.contains(flag), "missing {flag}");
         }
@@ -1607,6 +1804,81 @@ mod tests {
         .unwrap_err()
         .0
         .contains("--max-topologies"));
+    }
+
+    #[test]
+    fn serve_validates_fault_flags() {
+        // Malformed values.
+        for bad in ["4x4", "4x4:", "x4:1", "4x4:a", "0x4:1"] {
+            assert!(
+                run_words(&["serve", "--d", "4", "--g", "4", "--fault", bad]).is_err(),
+                "accepted --fault {bad}"
+            );
+        }
+        // Out-of-range coupler id: POPS(4, 4) has 16 couplers.
+        let e = run_words(&["serve", "--d", "4", "--g", "4", "--fault", "4x4:16"]).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        // A baseline that disconnects a group pair is refused at boot:
+        // c(1,0)=3, c(1,1)=4, c(1,2)=5 are every coupler into group 1.
+        let e = run_words(&["serve", "--d", "2", "--g", "3", "--fault", "2x3:3,4,5"]).unwrap_err();
+        assert!(e.0.contains("disconnects"), "{e}");
+        // ...even when the disconnecting union arrives as separate flags.
+        let e = run_words(&[
+            "serve", "--d", "2", "--g", "3", "--fault", "2x3:3,4", "--fault", "2x3:5",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("disconnects"), "{e}");
+    }
+
+    #[test]
+    fn request_with_faults_round_trips_through_a_live_server() {
+        use pops_service::{serve, RoutingService, ServiceConfig};
+        use std::net::TcpListener;
+        use std::sync::Arc;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(4, 4),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let server = std::thread::spawn(move || serve(listener, service).unwrap());
+
+        // Degraded request: the schedule is refereed with coupler 1 down.
+        let out = run_words(&[
+            "request", "--addr", &addr, "--family", "reversal", "--fault", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("cache miss"), "{out}");
+
+        // Same degraded request again: its own (fault-keyed) cache entry.
+        let out = run_words(&[
+            "request", "--addr", &addr, "--family", "reversal", "--fault", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("cache hit"), "{out}");
+
+        // The healthy twin does NOT alias the degraded plan: still a miss.
+        let out = run_words(&["request", "--addr", &addr, "--family", "reversal"]).unwrap();
+        assert!(out.contains("cache miss"), "{out}");
+        assert!(!out.contains("degraded"), "{out}");
+
+        // Out-of-range ids are refused client-side.
+        let e = run_words(&[
+            "request", "--addr", &addr, "--family", "reversal", "--fault", "16",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+
+        run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap();
     }
 
     #[test]

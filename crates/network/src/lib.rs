@@ -41,7 +41,7 @@ pub mod stats;
 pub mod topology;
 pub mod viz;
 
-pub use fault::FaultSet;
+pub use fault::{FaultSet, UNREACHABLE};
 pub use simulator::{DeliveryError, SimError, Simulator};
 pub use slot::{PacketId, Receivers, Schedule, SlotFrame, Transmission};
 pub use stats::{CouplerLoad, ScheduleStats, SlotRecord};

@@ -150,6 +150,11 @@ pub struct BatchItem {
     /// The `(d, g)` topology to route it on; `None` uses the server's
     /// default topology.
     pub shape: Option<(usize, usize)>,
+    /// Coupler ids to declare failed for this item (composed with any
+    /// baseline the server was started with). Empty routes the healthy
+    /// fabric. A batch carrying any faults rides the JSON body even on a
+    /// binary connection — the dense batch frame has no fault lists.
+    pub faults: Vec<usize>,
 }
 
 /// One successfully routed batch item.
@@ -163,6 +168,10 @@ pub struct BatchItemReply {
     pub slots: usize,
     /// The schedule itself (empty unless the batch asked for schedules).
     pub schedule: Schedule,
+    /// Whether the item was planned by the greedy fault router under a
+    /// non-empty fault set (always `false` for dense binary items, whose
+    /// reply frame carries no flag).
+    pub degraded: bool,
 }
 
 /// A per-item failure inside an otherwise-delivered batch.
@@ -214,6 +223,11 @@ pub struct RouteReply {
     /// The schedule itself (empty when requested with
     /// `want_schedule = false`).
     pub schedule: Schedule,
+    /// Whether the plan came from the greedy fault router under a
+    /// non-empty fault set (request faults, a server-side baseline, or
+    /// both). Dense binary replies carry no flag, so this is always
+    /// `false` on the binary route fast path.
+    pub degraded: bool,
 }
 
 /// A connected client. One request/response pair per [`ServiceClient::call`].
@@ -632,6 +646,23 @@ impl ServiceClient {
                 return self.route_permutation_binary(kind, pi, shape);
             }
         }
+        self.route_permutation_with_faults(kind, pi, shape, &[])
+    }
+
+    /// Routes `pi` with `faults` declared failed — the wire story of
+    /// `pops request --fault`. The fault ids are composed with any
+    /// baseline the server was started with; a non-empty effective set
+    /// routes through the greedy fault router and the reply's
+    /// [`RouteReply::degraded`] flag is set. Fault-carrying requests ride
+    /// the JSON body even on a binary connection (the dense route frame
+    /// has no fault list), so the degraded flag always round-trips.
+    pub fn route_permutation_with_faults(
+        &mut self,
+        kind: &str,
+        pi: &Permutation,
+        shape: Option<(usize, usize)>,
+        faults: &[usize],
+    ) -> Result<RouteReply, ClientError> {
         let perm = Json::Arr(pi.as_slice().iter().map(|&v| Json::num(v)).collect());
         let mut fields = vec![
             ("op".into(), Json::str("route")),
@@ -642,6 +673,12 @@ impl ServiceClient {
             fields.push(("g".into(), Json::num(g)));
         }
         fields.push(("perm".into(), perm));
+        if !faults.is_empty() {
+            fields.push((
+                "faults".into(),
+                Json::Arr(faults.iter().map(|&c| Json::num(c)).collect()),
+            ));
+        }
         let doc = self.call(&Json::Obj(fields))?;
         Self::decode_route(&doc)
     }
@@ -666,6 +703,7 @@ impl ServiceClient {
                     cache_hit: decoded.cache_hit,
                     micros: decoded.micros,
                     schedule: decoded.schedule,
+                    degraded: false,
                 })
             }
             _ => {
@@ -711,8 +749,10 @@ impl ServiceClient {
     /// let mut client = ServiceClient::connect("127.0.0.1:7077")?;
     /// let reply = client.batch(
     ///     &[
-    ///         BatchItem { pi: vector_reversal(16), shape: None },           // server default
-    ///         BatchItem { pi: vector_reversal(16), shape: Some((2, 8)) },   // another shape
+    ///         // server default topology, healthy fabric
+    ///         BatchItem { pi: vector_reversal(16), shape: None, faults: vec![] },
+    ///         // another shape, with coupler 3 declared failed
+    ///         BatchItem { pi: vector_reversal(16), shape: Some((2, 8)), faults: vec![3] },
     ///     ],
     ///     false, // no schedule bodies — slot counts and the summary only
     /// )?;
@@ -731,7 +771,12 @@ impl ServiceClient {
         items: &[BatchItem],
         want_schedule: bool,
     ) -> Result<BatchReply, ClientError> {
-        let reply = if self.format == WireFormat::Binary {
+        // The dense batch frame has no fault lists, so a fault-carrying
+        // batch rides the JSON body — wrapped in a TAG_JSON frame on a
+        // binary connection, where its responses come back as JSON frames
+        // that read_batch_stream decodes transparently via read_doc.
+        let any_faults = items.iter().any(|item| !item.faults.is_empty());
+        let reply = if self.format == WireFormat::Binary && !any_faults {
             let payload = frame::encode_batch_request(
                 want_schedule,
                 items.iter().map(|item| (item.shape, item.pi.clone())),
@@ -744,7 +789,7 @@ impl ServiceClient {
             let encoded: Vec<Json> = items
                 .iter()
                 .map(|item| {
-                    let mut fields = Vec::with_capacity(3);
+                    let mut fields = Vec::with_capacity(4);
                     if let Some((d, g)) = item.shape {
                         fields.push(("d".into(), Json::num(d)));
                         fields.push(("g".into(), Json::num(g)));
@@ -753,6 +798,12 @@ impl ServiceClient {
                         "perm".into(),
                         Json::Arr(item.pi.as_slice().iter().map(|&v| Json::num(v)).collect()),
                     ));
+                    if !item.faults.is_empty() {
+                        fields.push((
+                            "faults".into(),
+                            Json::Arr(item.faults.iter().map(|&c| Json::num(c)).collect()),
+                        ));
+                    }
                     Json::Obj(fields)
                 })
                 .collect();
@@ -761,7 +812,7 @@ impl ServiceClient {
                 ("items".into(), Json::Arr(encoded)),
                 ("want_schedule".into(), Json::Bool(want_schedule)),
             ]);
-            match self.write_line(&request.to_string()) {
+            match self.send_request(&request.to_string()) {
                 Err(e) => Err(e),
                 Ok(()) => self.read_batch_stream(items.len()),
             }
@@ -811,6 +862,7 @@ impl ServiceClient {
                     g: item.g,
                     slots: item.slots,
                     schedule: item.schedule,
+                    degraded: false,
                 }));
                 continue;
             }
@@ -902,6 +954,7 @@ impl ServiceClient {
             g: field("g")?,
             slots: field("slots")?,
             schedule,
+            degraded: doc.get("degraded").and_then(Json::as_bool).unwrap_or(false),
         }))
     }
 
@@ -937,6 +990,7 @@ impl ServiceClient {
             cache_hit,
             micros,
             schedule,
+            degraded: doc.get("degraded").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }

@@ -428,6 +428,43 @@ pub fn render(x: &Exposition<'_>) -> String {
 
     family(
         &mut out,
+        "pops_degraded_plans_total",
+        "counter",
+        "Plans computed by the greedy fault router under a non-empty fault set.",
+    );
+    sample(
+        &mut out,
+        "pops_degraded_plans_total",
+        &[],
+        snap.degraded_plans,
+    );
+    family(
+        &mut out,
+        "pops_degraded_hits_total",
+        "counter",
+        "Plan-cache hits answered from a degraded (fault-keyed) cache entry.",
+    );
+    sample(
+        &mut out,
+        "pops_degraded_hits_total",
+        &[],
+        snap.degraded_hits,
+    );
+    family(
+        &mut out,
+        "pops_unroutable_refusals_total",
+        "counter",
+        "Requests refused before planning because the fault set left the fabric not fully routable.",
+    );
+    sample(
+        &mut out,
+        "pops_unroutable_refusals_total",
+        &[],
+        snap.unroutable_refusals,
+    );
+
+    family(
+        &mut out,
         "pops_arena_bytes",
         "gauge",
         "Engine-arena bytes across every resident topology's pool.",
@@ -722,6 +759,10 @@ mod tests {
         m.record_shed(true);
         m.record_wire_error(WireErrorKind::Overloaded);
         m.record_wire_bytes(true, 10, 20);
+        m.record_degraded_plan();
+        m.record_degraded_hit();
+        m.record_degraded_hit();
+        m.record_unroutable();
         let aggregate = m.snapshot();
         let per_topology = vec![
             (4, 4, m.snapshot()),
@@ -820,6 +861,13 @@ mod tests {
         );
         assert!(
             text.contains("pops_sheds_total{cause=\"quota\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("pops_degraded_plans_total 1"), "{text}");
+        assert!(text.contains("pops_degraded_hits_total 2"), "{text}");
+        assert!(text.contains("pops_unroutable_refusals_total 1"), "{text}");
+        assert!(
+            text.contains("pops_wire_errors_total{error_kind=\"unroutable\"} 0"),
             "{text}"
         );
         assert!(

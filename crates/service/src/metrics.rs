@@ -172,6 +172,15 @@ pub struct ServiceMetrics {
     binary_bytes_in: AtomicU64,
     /// Response bytes written on binary-framed connections.
     binary_bytes_out: AtomicU64,
+    /// Degraded plans computed: level-1 misses planned by the greedy
+    /// fault router under a non-empty fault set (the fallback to the
+    /// Theorem-2 construction).
+    degraded_plans: AtomicU64,
+    /// Level-1 hits answered from a degraded (fault-keyed) cache entry.
+    degraded_hits: AtomicU64,
+    /// Requests refused because their effective fault set left the
+    /// fabric not fully routable.
+    unroutable_refusals: AtomicU64,
     per_kind: [KindMetrics; 6],
 }
 
@@ -298,6 +307,23 @@ impl ServiceMetrics {
         self.wire_errors[kind.index()].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a degraded plan: a miss planned by the greedy fault router
+    /// under a non-empty fault set.
+    pub fn record_degraded_plan(&self) {
+        self.degraded_plans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a level-1 hit on a degraded (fault-keyed) entry.
+    pub fn record_degraded_hit(&self) {
+        self.degraded_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request refused because its fault set left the fabric
+    /// not fully routable.
+    pub fn record_unroutable(&self) {
+        self.unroutable_refusals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a connection upgrading to the binary framing (a successful
     /// `hello` negotiation).
     pub fn record_binary_negotiated(&self) {
@@ -347,6 +373,9 @@ impl ServiceMetrics {
             json_bytes_out: self.json_bytes_out.load(Ordering::Relaxed),
             binary_bytes_in: self.binary_bytes_in.load(Ordering::Relaxed),
             binary_bytes_out: self.binary_bytes_out.load(Ordering::Relaxed),
+            degraded_plans: self.degraded_plans.load(Ordering::Relaxed),
+            degraded_hits: self.degraded_hits.load(Ordering::Relaxed),
+            unroutable_refusals: self.unroutable_refusals.load(Ordering::Relaxed),
             arena_bytes: 0,
             cache_entries: 0,
             cache_capacity: 0,
@@ -475,6 +504,12 @@ pub struct MetricsSnapshot {
     pub binary_bytes_in: u64,
     /// Response bytes written on binary-framed connections.
     pub binary_bytes_out: u64,
+    /// Degraded plans computed under a non-empty fault set.
+    pub degraded_plans: u64,
+    /// Level-1 hits answered from degraded (fault-keyed) entries.
+    pub degraded_hits: u64,
+    /// Requests refused because the fault set was not fully routable.
+    pub unroutable_refusals: u64,
     /// Engine-arena bytes across the pool (gauge; filled by
     /// [`crate::RoutingService::metrics`], 0 from a bare registry).
     pub arena_bytes: u64,
@@ -549,6 +584,9 @@ impl MetricsSnapshot {
         self.json_bytes_out += other.json_bytes_out;
         self.binary_bytes_in += other.binary_bytes_in;
         self.binary_bytes_out += other.binary_bytes_out;
+        self.degraded_plans += other.degraded_plans;
+        self.degraded_hits += other.degraded_hits;
+        self.unroutable_refusals += other.unroutable_refusals;
         self.arena_bytes += other.arena_bytes;
         self.cache_entries += other.cache_entries;
         self.cache_capacity += other.cache_capacity;
@@ -606,6 +644,11 @@ impl MetricsSnapshot {
         self.sheds_watermark + self.sheds_quota
     }
 
+    /// Degraded requests served (fault-keyed hits + degraded plans).
+    pub fn degraded_requests(&self) -> u64 {
+        self.degraded_plans + self.degraded_hits
+    }
+
     /// Wire-level error responses written, all kinds combined.
     pub fn wire_errors_total(&self) -> u64 {
         self.wire_errors.iter().sum()
@@ -634,6 +677,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "slots emitted: {}   batches: {} ({} plans)",
             self.slots_emitted, self.batches, self.batch_plans
+        )?;
+        writeln!(
+            f,
+            "degraded: {} plans, {} hits   unroutable refusals: {}",
+            self.degraded_plans, self.degraded_hits, self.unroutable_refusals
         )?;
         writeln!(
             f,

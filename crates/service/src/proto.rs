@@ -10,7 +10,7 @@
 //! {"op":"shutdown"}
 //! {"op":"route","kind":"theorem2","perm":[3,2,1,0]}
 //! {"op":"route","kind":"h-relation","requests":[[0,1],[1,0]]}
-//! {"op":"route","kind":"faults","perm":[...],"faults":[3,4]}
+//! {"op":"route","kind":"faults","perm":[...],"faults":[3,[0,2]]}
 //! {"op":"cache","action":"stats"}
 //! {"op":"cache","action":"save"}
 //! {"op":"cache","action":"load"}
@@ -37,7 +37,15 @@
 //! `{"ok":false,"kind":"...","error":"..."}` where `kind` is a machine-
 //! readable [`WireErrorKind`] category (`parse`, `bad-request`,
 //! `too-large`, `timeout`, `unavailable`, `routing`, `topology-limit`,
-//! `overloaded`).
+//! `overloaded`, `unroutable`).
+//!
+//! Permutation route requests (and batch items) may carry an optional
+//! `"faults"` array declaring failed couplers — each entry a coupler id
+//! or a `[src_group, dst_group]` pair — and the server composes it with
+//! its operator-declared baseline fault set. A non-empty effective fault
+//! set reroutes the request through the greedy fault-tolerant router and
+//! the response carries `"degraded": true`; a fault set under which the
+//! fabric is not fully routable is refused with kind `unroutable`.
 
 use pops_core::HRelation;
 use pops_network::{FaultSet, PopsTopology, Schedule, SlotFrame, Transmission};
@@ -73,12 +81,17 @@ pub enum WireErrorKind {
     /// watermark or a per-client quota); the error carries
     /// `retry-after-ms` — back off and retry.
     Overloaded,
+    /// The request's effective fault set (per-request faults composed
+    /// with the server's baseline) leaves the fabric not fully routable:
+    /// some ordered group pair has no surviving path. Refused before
+    /// planning — no degraded schedule exists for arbitrary traffic.
+    Unroutable,
 }
 
 impl WireErrorKind {
     /// All kinds, in wire-name order — the index into per-kind arrays
     /// (e.g. the wire-error counters of [`crate::ServiceMetrics`]).
-    pub const ALL: [WireErrorKind; 8] = [
+    pub const ALL: [WireErrorKind; 9] = [
         WireErrorKind::Parse,
         WireErrorKind::BadRequest,
         WireErrorKind::TooLarge,
@@ -87,6 +100,7 @@ impl WireErrorKind {
         WireErrorKind::Routing,
         WireErrorKind::TopologyLimit,
         WireErrorKind::Overloaded,
+        WireErrorKind::Unroutable,
     ];
 
     /// The kind's index into [`WireErrorKind::ALL`]-ordered arrays.
@@ -100,6 +114,7 @@ impl WireErrorKind {
             WireErrorKind::Routing => 5,
             WireErrorKind::TopologyLimit => 6,
             WireErrorKind::Overloaded => 7,
+            WireErrorKind::Unroutable => 8,
         }
     }
 
@@ -119,6 +134,7 @@ impl WireErrorKind {
             WireErrorKind::Routing => "routing",
             WireErrorKind::TopologyLimit => "topology-limit",
             WireErrorKind::Overloaded => "overloaded",
+            WireErrorKind::Unroutable => "unroutable",
         }
     }
 }
@@ -237,6 +253,56 @@ pub struct BatchItemRequest {
     pub g: usize,
     /// The permutation to route, or why this item cannot be routed.
     pub perm: Result<Permutation, String>,
+    /// The item's declared failed couplers: sorted, deduped coupler ids,
+    /// already validated against the item's `g²` coupler range. Empty
+    /// means a healthy fabric (the common case).
+    pub faults: Vec<usize>,
+}
+
+/// Resolves a wire `"faults"` array into sorted, deduped coupler ids on
+/// a fabric with `g` groups (`g²` couplers). Each entry is either a
+/// coupler id or a `[src_group, dst_group]` pair — the paper's coupler
+/// `c(b, a)` with `b = dst_group`, `a = src_group`, i.e. id
+/// `dst_group·g + src_group`.
+pub fn parse_fault_ids(value: &Json, g: usize) -> Result<Vec<usize>, String> {
+    let entries = value.as_arr().ok_or("'faults' must be an array")?;
+    let couplers = g
+        .checked_mul(g)
+        .ok_or_else(|| format!("{g} groups overflow the coupler range"))?;
+    let mut ids = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let c = if let Some(c) = entry.as_usize() {
+            if c >= couplers {
+                return Err(format!(
+                    "coupler {c} out of range (couplers: 0..{couplers})"
+                ));
+            }
+            c
+        } else if let Some(pair) = entry.as_arr().filter(|p| p.len() == 2) {
+            let src = pair
+                .first()
+                .and_then(Json::as_usize)
+                .ok_or("fault pair entries must be integers")?;
+            let dst = pair
+                .get(1)
+                .and_then(Json::as_usize)
+                .ok_or("fault pair entries must be integers")?;
+            if src >= g || dst >= g {
+                return Err(format!(
+                    "fault pair [{src}, {dst}] out of range (groups: 0..{g})"
+                ));
+            }
+            dst * g + src
+        } else {
+            return Err(
+                "'faults' entries must be coupler ids or [src_group, dst_group] pairs".into(),
+            );
+        };
+        ids.push(c);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    Ok(ids)
 }
 
 /// Parses one request document against the serving `topology`.
@@ -309,10 +375,11 @@ fn parse_batch_item(item: &Json, default: &PopsTopology) -> BatchItemRequest {
                 d: default.d(),
                 g: default.g(),
                 perm: Err(e),
+                faults: Vec::new(),
             }
         }
     };
-    let perm = (|| {
+    let parsed = (|| {
         let arr = item
             .get("perm")
             .and_then(Json::as_arr)
@@ -326,15 +393,35 @@ fn parse_batch_item(item: &Json, default: &PopsTopology) -> BatchItemRequest {
             .collect::<Result<Vec<_>, _>>()?;
         let pi = Permutation::new(image).map_err(|e| e.to_string())?;
         match d.checked_mul(g) {
-            Some(n) if n == pi.len() => Ok(pi),
-            _ => Err(format!(
-                "item permutation has length {}, POPS({d}, {g}) needs {}",
-                pi.len(),
-                d.saturating_mul(g)
-            )),
+            Some(n) if n == pi.len() => {}
+            _ => {
+                return Err(format!(
+                    "item permutation has length {}, POPS({d}, {g}) needs {}",
+                    pi.len(),
+                    d.saturating_mul(g)
+                ))
+            }
         }
+        let faults = match item.get("faults") {
+            None => Vec::new(),
+            Some(value) => parse_fault_ids(value, g)?,
+        };
+        Ok((pi, faults))
     })();
-    BatchItemRequest { d, g, perm }
+    match parsed {
+        Ok((pi, faults)) => BatchItemRequest {
+            d,
+            g,
+            perm: Ok(pi),
+            faults,
+        },
+        Err(e) => BatchItemRequest {
+            d,
+            g,
+            perm: Err(e),
+            faults: Vec::new(),
+        },
+    }
 }
 
 fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, String> {
@@ -370,8 +457,40 @@ fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, Strin
         Permutation::new(image).map_err(|e| e.to_string())
     };
 
+    // Degraded routing is only meaningful on the kinds the fault router
+    // plans (the production `theorem2` path and the explicit `faults`
+    // kind); the diagnostic baselines and h-relations keep their exact
+    // construction semantics and refuse the field outright.
+    if doc.get("faults").is_some()
+        && !matches!(kind, RequestKind::Theorem2 | RequestKind::WithFaults)
+    {
+        return Err(format!(
+            "kind '{kind_name}' does not support a 'faults' field; use kind 'theorem2' or 'faults'"
+        ));
+    }
+
     let req = match kind {
-        RequestKind::Theorem2 => ServiceRequest::Theorem2 { pi: parse_perm()? },
+        RequestKind::Theorem2 | RequestKind::WithFaults => {
+            let pi = parse_perm()?;
+            let ids = match doc.get("faults") {
+                Some(value) => parse_fault_ids(value, topology.g())?,
+                None if kind == RequestKind::WithFaults => {
+                    return Err("faults request needs an array field 'faults'".into())
+                }
+                None => Vec::new(),
+            };
+            if ids.is_empty() && kind == RequestKind::Theorem2 {
+                // An empty fault list is a healthy request: keep the
+                // Theorem-2 plan and the healthy cache key.
+                ServiceRequest::Theorem2 { pi }
+            } else {
+                let mut faults = FaultSet::none(topology);
+                for c in ids {
+                    faults.fail_coupler(c);
+                }
+                ServiceRequest::WithFaults { pi, faults }
+            }
+        }
         RequestKind::SingleSlot => ServiceRequest::SingleSlot { pi: parse_perm()? },
         RequestKind::Direct => ServiceRequest::Direct { pi: parse_perm()? },
         RequestKind::Structured => ServiceRequest::Structured { pi: parse_perm()? },
@@ -399,25 +518,6 @@ fn parse_route(doc: &Json, topology: &PopsTopology) -> Result<WireRequest, Strin
             ServiceRequest::HRelation {
                 relation: HRelation::new(topology.n(), pairs).map_err(|e| e.to_string())?,
             }
-        }
-        RequestKind::WithFaults => {
-            let pi = parse_perm()?;
-            let ids = doc
-                .get("faults")
-                .and_then(Json::as_arr)
-                .ok_or("faults request needs an array field 'faults'")?;
-            let mut faults = FaultSet::none(topology);
-            for id in ids {
-                let c = id.as_usize().ok_or("'faults' entries must be integers")?;
-                if c >= topology.coupler_count() {
-                    return Err(format!(
-                        "coupler {c} out of range (couplers: 0..{})",
-                        topology.coupler_count()
-                    ));
-                }
-                faults.fail_coupler(c);
-            }
-            ServiceRequest::WithFaults { pi, faults }
         }
     };
     Ok(WireRequest::Route { req, want_schedule })
@@ -613,6 +713,17 @@ pub fn stats_response(
             ]),
         ),
         (
+            "degraded".into(),
+            Json::Obj(vec![
+                ("plans".into(), Json::Num(snap.degraded_plans as f64)),
+                ("hits".into(), Json::Num(snap.degraded_hits as f64)),
+                (
+                    "unroutable_refusals".into(),
+                    Json::Num(snap.unroutable_refusals as f64),
+                ),
+            ]),
+        ),
+        (
             "wire_errors".into(),
             Json::Obj(
                 WireErrorKind::ALL
@@ -771,6 +882,11 @@ pub fn route_response(kind: RequestKind, reply: &ServiceReply, want_schedule: bo
         // (0 on a level-1 hit, where no phases were assembled at all).
         fields.push(("phase_hits".into(), Json::Num(reply.phase_hits as f64)));
     }
+    if reply.degraded {
+        // The plan came from the greedy fault router, not the Theorem-2
+        // construction — absent on healthy responses.
+        fields.push(("degraded".into(), Json::Bool(true)));
+    }
     if want_schedule {
         fields.push(("schedule".into(), schedule_to_json(schedule)));
     }
@@ -785,6 +901,7 @@ pub fn batch_item_response(
     g: usize,
     schedule: &Schedule,
     want_schedule: bool,
+    degraded: bool,
 ) -> Json {
     let mut fields = vec![
         ("ok".into(), Json::Bool(true)),
@@ -794,6 +911,9 @@ pub fn batch_item_response(
         ("g".into(), Json::num(g)),
         ("slots".into(), Json::num(schedule.slot_count())),
     ];
+    if degraded {
+        fields.push(("degraded".into(), Json::Bool(true)));
+    }
     if want_schedule {
         fields.push(("schedule".into(), schedule_to_json(schedule)));
     }
@@ -954,10 +1074,64 @@ mod tests {
             r#"{"op":"route","kind":"theorem2","perm":[0,0,1,2]}"#,
             r#"{"op":"route","kind":"h-relation","requests":[[0]]}"#,
             r#"{"op":"route","kind":"faults","perm":[0,1,2,3],"faults":[99]}"#,
+            r#"{"op":"route","kind":"faults","perm":[0,1,2,3],"faults":[[0,7]]}"#,
+            r#"{"op":"route","kind":"faults","perm":[0,1,2,3],"faults":[[0]]}"#,
+            r#"{"op":"route","kind":"faults","perm":[0,1,2,3]}"#,
+            r#"{"op":"route","kind":"single-slot","perm":[0,1,2,3],"faults":[1]}"#,
+            r#"{"op":"route","kind":"h-relation","requests":[[0,1]],"faults":[1]}"#,
         ] {
             let doc = Json::parse(doc).unwrap();
             assert!(parse_request(&doc, &t).is_err(), "{doc}");
         }
+    }
+
+    #[test]
+    fn faults_field_generalizes_across_route_kinds() {
+        let t = PopsTopology::new(2, 3);
+        // `theorem2` (the default kind) with a non-empty fault list is a
+        // degraded request; ids and [src_group, dst_group] pairs mix.
+        let doc = Json::parse(r#"{"op":"route","perm":[5,4,3,2,1,0],"faults":[4,[0,1]]}"#).unwrap();
+        let Ok(WireRequest::Route {
+            req: ServiceRequest::WithFaults { faults, .. },
+            ..
+        }) = parse_request(&doc, &t)
+        else {
+            panic!("theorem2 + faults must become a fault request");
+        };
+        // Pair [src 0, dst 1] is coupler c(1, 0) = 1·3 + 0 = 3.
+        assert_eq!(faults.iter_failed().collect::<Vec<_>>(), vec![3, 4]);
+
+        // An empty fault list keeps the healthy kind (and cache key).
+        let doc = Json::parse(r#"{"op":"route","perm":[5,4,3,2,1,0],"faults":[]}"#).unwrap();
+        assert!(matches!(
+            parse_request(&doc, &t),
+            Ok(WireRequest::Route {
+                req: ServiceRequest::Theorem2 { .. },
+                ..
+            })
+        ));
+
+        // The explicit `faults` kind stays on the fault path even empty.
+        let doc = Json::parse(r#"{"op":"route","kind":"faults","perm":[5,4,3,2,1,0],"faults":[]}"#)
+            .unwrap();
+        assert!(matches!(
+            parse_request(&doc, &t),
+            Ok(WireRequest::Route {
+                req: ServiceRequest::WithFaults { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_ids_canonicalize_duplicates_and_pairs() {
+        // Duplicates (including a pair aliasing an id) collapse; output
+        // is sorted — the wire form of the cache key's fault component.
+        let value = Json::parse(r#"[7,[1,2],7,[1,2],0]"#).unwrap();
+        assert_eq!(parse_fault_ids(&value, 3).unwrap(), vec![0, 7]);
+        assert!(parse_fault_ids(&Json::parse("[9]").unwrap(), 3).is_err());
+        assert!(parse_fault_ids(&Json::parse("[[3,0]]").unwrap(), 3).is_err());
+        assert!(parse_fault_ids(&Json::parse(r#"["x"]"#).unwrap(), 3).is_err());
     }
 
     #[test]
@@ -1109,6 +1283,13 @@ mod tests {
         let wire_errors = doc.get("wire_errors").unwrap();
         assert_eq!(wire_errors.get("overloaded").unwrap().as_u64(), Some(0));
         assert_eq!(wire_errors.get("parse").unwrap().as_u64(), Some(0));
+        assert_eq!(wire_errors.get("unroutable").unwrap().as_u64(), Some(0));
+        let degraded = doc.get("degraded").unwrap();
+        assert_eq!(degraded.get("plans").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            degraded.get("unroutable_refusals").unwrap().as_u64(),
+            Some(0)
+        );
     }
 
     #[test]
@@ -1121,7 +1302,9 @@ mod tests {
                 {{"d":2,"g":3,"perm":[5,4,3,2,1,0]}},
                 {{"d":2,"g":3,"perm":[{p16}]}},
                 {{"perm":[0,0,1,2]}},
-                {{"d":"x","perm":[0,1]}}
+                {{"d":"x","perm":[0,1]}},
+                {{"perm":[{p16}],"faults":[[0,1],4]}},
+                {{"perm":[{p16}],"faults":[99]}}
             ]}}"#,
             p16 = perm16.join(",")
         ))
@@ -1134,9 +1317,10 @@ mod tests {
             panic!("batch must parse");
         };
         assert!(!want_schedule, "batch defaults to no schedule bodies");
-        assert_eq!(items.len(), 5);
+        assert_eq!(items.len(), 7);
         assert_eq!((items[0].d, items[0].g), (4, 4), "defaults applied");
         assert!(items[0].perm.is_ok());
+        assert!(items[0].faults.is_empty(), "no faults field means healthy");
         assert_eq!((items[1].d, items[1].g), (2, 3));
         assert!(items[1].perm.is_ok());
         assert!(
@@ -1145,6 +1329,14 @@ mod tests {
         );
         assert!(items[3].perm.is_err(), "not a permutation");
         assert!(items[4].perm.is_err(), "ill-typed shape field");
+        assert!(items[5].perm.is_ok(), "per-item faults parse");
+        // Pair [src 0, dst 1] on g = 4 is coupler 1·4 + 0 = 4; it aliases
+        // the explicit id 4 and the two collapse.
+        assert_eq!(items[5].faults, vec![4]);
+        assert!(
+            items[6].perm.as_ref().unwrap_err().contains("out of range"),
+            "bad fault ids are per-item errors"
+        );
 
         // Top-level problems are request-level errors.
         for bad in [r#"{"op":"batch"}"#, r#"{"op":"batch","items":[]}"#] {
@@ -1162,12 +1354,18 @@ mod tests {
             })
             .unwrap();
         let schedule = reply.outcome.schedule();
-        let item = batch_item_response(3, 4, 4, schedule, false);
+        let item = batch_item_response(3, 4, 4, schedule, false, false);
         assert_eq!(item.get("op").unwrap().as_str(), Some("batch-item"));
         assert_eq!(item.get("index").unwrap().as_usize(), Some(3));
         assert_eq!(item.get("slots").unwrap().as_usize(), Some(2));
         assert!(item.get("schedule").is_none());
-        let with_schedule = batch_item_response(0, 4, 4, schedule, true);
+        assert!(
+            item.get("degraded").is_none(),
+            "healthy items omit the flag"
+        );
+        let degraded = batch_item_response(3, 4, 4, schedule, false, true);
+        assert_eq!(degraded.get("degraded"), Some(&Json::Bool(true)));
+        let with_schedule = batch_item_response(0, 4, 4, schedule, true, false);
         let decoded = schedule_from_json(with_schedule.get("schedule").unwrap()).unwrap();
         assert_eq!(&decoded, schedule);
 
@@ -1207,6 +1405,7 @@ mod tests {
             WireErrorKind::Routing,
             WireErrorKind::TopologyLimit,
             WireErrorKind::Overloaded,
+            WireErrorKind::Unroutable,
         ];
         let mut names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
         names.sort_unstable();

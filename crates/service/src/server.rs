@@ -47,7 +47,7 @@
 //! no socket crate), so dead-peer detection is subsumed by the read
 //! deadline; `tcp_nodelay` is available for latency-sensitive callers.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{IpAddr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -70,6 +70,8 @@ use crate::proto::{
 use crate::router::{RouterError, TopologyRouter, TopologyRouterConfig};
 use crate::service::{RoutingService, ServiceRequest};
 use crate::trace::{RequestTrace, SlowLog, SlowVerdict};
+use pops_core::{FaultRoutingError, RoutingError};
+use pops_network::{FaultSet, PopsTopology};
 use pops_permutation::Permutation;
 
 /// Limits and timeouts of one [`serve_with_config`] loop.
@@ -131,6 +133,15 @@ pub struct ServerConfig {
     /// (the main listener answers `GET /metrics` regardless, so scrapers
     /// work without this). `None` — the default — binds no sidecar.
     pub metrics_port: Option<u16>,
+    /// Operator-declared baseline fault sets, keyed by `(d, g)`: the
+    /// coupler ids listed for a shape are composed (set union) into every
+    /// `theorem2`/`faults` route and batch item served on that shape —
+    /// the wire story of `pops serve --fault DxG:c1,c2,...`. Diagnostic
+    /// kinds (`single-slot`, `direct`, `structured`, `h-relation`) probe
+    /// the *healthy* fabric and ignore the baseline. Ids must be in
+    /// `0..g²`; [`serve_router`] refuses to start otherwise. Empty — the
+    /// default — declares every topology healthy.
+    pub baseline_faults: Vec<((usize, usize), Vec<usize>)>,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +163,7 @@ impl Default for ServerConfig {
             quota_burst: None,
             slow_threshold: None,
             metrics_port: None,
+            baseline_faults: Vec::new(),
         }
     }
 }
@@ -400,6 +412,18 @@ pub fn serve_router(
     router: Arc<TopologyRouter>,
     config: ServerConfig,
 ) -> std::io::Result<ServerSummary> {
+    // Refuse a misconfigured baseline up front: `fail_coupler` panics on
+    // an out-of-range id, and a fault list that silently dropped entries
+    // would serve schedules that drive couplers the operator declared
+    // dead.
+    for ((d, g), ids) in &config.baseline_faults {
+        let couplers = g.saturating_mul(*g);
+        if let Some(&c) = ids.iter().find(|&&c| c >= couplers) {
+            return Err(std::io::Error::other(format!(
+                "baseline fault set for {d}x{g}: coupler {c} out of range (couplers: 0..{couplers})"
+            )));
+        }
+    }
     let metrics = Arc::new(ServiceMetrics::new());
     let listener_addr = listener.local_addr()?;
     let state = Arc::new(ServeState {
@@ -1085,6 +1109,63 @@ fn select_service(
     })
 }
 
+/// The operator-declared baseline fault ids for shape `(d, g)`, empty
+/// when the shape has none.
+fn baseline_fault_ids(config: &ServerConfig, d: usize, g: usize) -> &[usize] {
+    config
+        .baseline_faults
+        .iter()
+        .find(|((bd, bg), _)| (*bd, *bg) == (d, g))
+        .map(|(_, ids)| ids.as_slice())
+        .unwrap_or(&[])
+}
+
+/// Composes the baseline fault set into one route request: a `theorem2`
+/// request on a shape with declared faults becomes a fault-routing
+/// request, an explicit fault request gains the baseline's couplers (set
+/// union), and the diagnostic kinds pass through untouched — they probe
+/// the healthy fabric by definition. With an empty baseline this is the
+/// identity.
+fn compose_baseline_route(
+    req: ServiceRequest,
+    baseline: &[usize],
+    topology: &PopsTopology,
+) -> ServiceRequest {
+    if baseline.is_empty() {
+        return req;
+    }
+    // Out-of-range ids were refused at boot; the filter keeps this
+    // total (fail_coupler panics) whatever the config's provenance.
+    let add_baseline = |faults: &mut FaultSet| {
+        for &c in baseline.iter().filter(|&&c| c < topology.coupler_count()) {
+            faults.fail_coupler(c);
+        }
+    };
+    match req {
+        ServiceRequest::Theorem2 { pi } => {
+            let mut faults = FaultSet::none(topology);
+            add_baseline(&mut faults);
+            ServiceRequest::WithFaults { pi, faults }
+        }
+        ServiceRequest::WithFaults { pi, mut faults } => {
+            add_baseline(&mut faults);
+            ServiceRequest::WithFaults { pi, faults }
+        }
+        other => other,
+    }
+}
+
+/// The wire error kind for a routing failure: a fault set that
+/// disconnects a group pair is the typed `unroutable` refusal (the
+/// service's pre-flight check raises it before planning); everything
+/// else stays the generic `routing` kind.
+fn route_error_kind(e: &RoutingError) -> WireErrorKind {
+    match e {
+        RoutingError::Fault(FaultRoutingError::Disconnected { .. }) => WireErrorKind::Unroutable,
+        _ => WireErrorKind::Routing,
+    }
+}
+
 /// The fleet-wide aggregate snapshot plus the per-topology breakdown the
 /// `stats` op reports. The aggregate includes the **retired ledger** —
 /// counters of topologies evicted since boot — so fleet totals stay
@@ -1247,16 +1328,23 @@ fn respond(
         };
         return match parse_request(&doc, &service.topology()) {
             Err(e) => one(error_response(WireErrorKind::BadRequest, e)),
-            Ok(WireRequest::Route { req, want_schedule }) => match service.route(&req) {
-                Ok(reply) => {
-                    trace.stage(if reply.cache_hit { "cache" } else { "plan" });
-                    one(route_response(req.kind(), &reply, want_schedule))
+            Ok(WireRequest::Route { req, want_schedule }) => {
+                let req = compose_baseline_route(
+                    req,
+                    baseline_fault_ids(&state.config, d, g),
+                    &service.topology(),
+                );
+                match service.route(&req) {
+                    Ok(reply) => {
+                        trace.stage(if reply.cache_hit { "cache" } else { "plan" });
+                        one(route_response(req.kind(), &reply, want_schedule))
+                    }
+                    Err(e) => {
+                        trace.stage("plan");
+                        one(error_response(route_error_kind(&e), e.to_string()))
+                    }
                 }
-                Err(e) => {
-                    trace.stage("plan");
-                    one(error_response(WireErrorKind::Routing, e.to_string()))
-                }
-            },
+            }
             Ok(_) => one(error_response(
                 WireErrorKind::BadRequest,
                 "internal: op 'route' parsed to a non-route request",
@@ -1354,7 +1442,14 @@ fn respond_frame(
                                 d.saturating_mul(g)
                             )),
                         });
-                        BatchItemRequest { d, g, perm }
+                        // The dense batch body carries no fault lists;
+                        // a declared baseline still applies per item.
+                        BatchItemRequest {
+                            d,
+                            g,
+                            perm,
+                            faults: Vec::new(),
+                        }
                     })
                     .collect();
                 (
@@ -1428,10 +1523,18 @@ fn respond_route_frame(
             ))
         }
     };
+    // A declared baseline degrades dense theorem2 frames too; the binary
+    // reply has no degraded flag, but the schedule and the cache key are
+    // the fault-aware ones.
+    let req = compose_baseline_route(
+        req,
+        baseline_fault_ids(&state.config, d, g),
+        &service.topology(),
+    );
     match service.route(&req) {
         Err(e) => {
             trace.stage("plan");
-            one(error_response(WireErrorKind::Routing, e.to_string()))
+            one(error_response(route_error_kind(&e), e.to_string()))
         }
         Ok(reply) => {
             trace.stage(if reply.cache_hit { "cache" } else { "plan" });
@@ -1485,6 +1588,12 @@ fn respond_batch(
     let start = Instant::now();
     let mut lines: Vec<Option<Outgoing>> = (0..items.len()).map(|_| None).collect();
     let mut groups: BTreeMap<(usize, usize), Vec<(usize, Permutation)>> = BTreeMap::new();
+    // Items whose effective fault set (request faults ∪ the shape's
+    // declared baseline) is non-empty: they skip the no-artefacts fast
+    // path below and ride the cache-aware single-route path, so their
+    // plans live under fault-keyed cache entries and their responses
+    // carry the degraded flag.
+    let mut degraded_items: Vec<(usize, &BatchItemRequest, Permutation)> = Vec::new();
     for (index, item) in items.iter().enumerate() {
         match &item.perm {
             Err(e) => {
@@ -1495,29 +1604,39 @@ fn respond_batch(
                     e,
                 )))
             }
-            Ok(pi) => groups
-                .entry((item.d, item.g))
-                .or_default()
-                .push((index, pi.clone())),
+            Ok(pi) => {
+                if item.faults.is_empty()
+                    && baseline_fault_ids(&state.config, item.d, item.g).is_empty()
+                {
+                    groups
+                        .entry((item.d, item.g))
+                        .or_default()
+                        .push((index, pi.clone()));
+                } else {
+                    degraded_items.push((index, item, pi.clone()));
+                }
+            }
         }
     }
     // Cap the distinct shapes BEFORE any lookup: admission can construct
     // a warm service per shape, so a batch spraying novel shapes would
     // otherwise amplify one request line into hundreds of builds (and
     // churn every other client's warm topology out of the registry).
-    if groups.len() > state.config.max_batch_topologies {
+    let mut shapes: BTreeSet<(usize, usize)> = groups.keys().copied().collect();
+    shapes.extend(degraded_items.iter().map(|(_, item, _)| (item.d, item.g)));
+    if shapes.len() > state.config.max_batch_topologies {
         return vec![Outgoing::Json(error_response(
             WireErrorKind::TooLarge,
             format!(
                 "batch touches {} distinct topologies, exceeding the {}-topology cap",
-                groups.len(),
+                shapes.len(),
                 state.config.max_batch_topologies
             ),
         ))];
     }
     let mut routed = 0usize;
     let mut slots_total = 0usize;
-    let mut topologies: Vec<(usize, usize)> = Vec::new();
+    let mut topologies: BTreeSet<(usize, usize)> = BTreeSet::new();
     for ((d, g), members) in groups {
         match select_service(state, d, g) {
             Err((kind, msg)) => {
@@ -1529,7 +1648,7 @@ fn respond_batch(
             Ok(service) => {
                 let (indices, perms): (Vec<usize>, Vec<Permutation>) = members.into_iter().unzip();
                 let plans = service.route_batch(&perms, None, false);
-                topologies.push((d, g));
+                topologies.insert((d, g));
                 for (&index, plan) in indices.iter().zip(&plans) {
                     routed += 1;
                     slots_total += plan.schedule.slot_count();
@@ -1549,8 +1668,66 @@ fn respond_batch(
                             g,
                             &plan.schedule,
                             want_schedule,
+                            false,
                         ))
                     });
+                }
+            }
+        }
+    }
+    for (index, item, pi) in degraded_items {
+        match select_service(state, item.d, item.g) {
+            Err((kind, msg)) => {
+                // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
+                lines[index] = Some(Outgoing::Json(batch_item_error(index, kind, msg)));
+            }
+            Ok(service) => {
+                let topology = service.topology();
+                let mut faults = FaultSet::none(&topology);
+                // Item faults were validated in parsing and baseline ids
+                // at boot; the filter keeps this total regardless.
+                for &c in baseline_fault_ids(&state.config, item.d, item.g)
+                    .iter()
+                    .chain(&item.faults)
+                    .filter(|&&c| c < topology.coupler_count())
+                {
+                    faults.fail_coupler(c);
+                }
+                let req = ServiceRequest::WithFaults { pi, faults };
+                match service.route(&req) {
+                    Err(e) => {
+                        // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
+                        lines[index] = Some(Outgoing::Json(batch_item_error(
+                            index,
+                            route_error_kind(&e),
+                            e.to_string(),
+                        )));
+                    }
+                    Ok(reply) => {
+                        routed += 1;
+                        let schedule = reply.outcome.schedule();
+                        slots_total += schedule.slot_count();
+                        topologies.insert((item.d, item.g));
+                        // lint: allow(panic-freedom) -- `index` comes from enumerate() over `items`; lines.len() == items.len()
+                        lines[index] = Some(if binary {
+                            Outgoing::Frame(frame::encode_batch_item(
+                                index,
+                                item.d,
+                                item.g,
+                                schedule,
+                                want_schedule,
+                            ))
+                        } else {
+                            Outgoing::Json(batch_item_response(
+                                index,
+                                item.d,
+                                item.g,
+                                schedule,
+                                want_schedule,
+                                reply.degraded,
+                            ))
+                        });
+                    }
                 }
             }
         }
@@ -1571,6 +1748,7 @@ fn respond_batch(
             })
         })
         .collect();
+    let topologies: Vec<(usize, usize)> = topologies.into_iter().collect();
     out.push(Outgoing::Json(batch_summary_response(
         items.len(),
         routed,
@@ -1642,7 +1820,7 @@ mod tests {
     use crate::client::ServiceClient;
     use crate::service::ServiceConfig;
     use pops_bipartite::ColorerKind;
-    use pops_network::{PopsTopology, Simulator};
+    use pops_network::Simulator;
     use pops_permutation::families::vector_reversal;
 
     fn spawn_server(
@@ -1834,10 +2012,12 @@ mod tests {
             crate::client::BatchItem {
                 pi: pi.clone(),
                 shape: None,
+                faults: vec![],
             },
             crate::client::BatchItem {
                 pi: pi.clone(),
                 shape: Some((4, 4)),
+                faults: vec![],
             },
         ];
         let batch = client.batch(&items, true).unwrap();
@@ -2293,6 +2473,147 @@ mod tests {
         assert_eq!(wire_errors.get("too-large").unwrap().as_u64(), Some(1));
         client.shutdown().unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn baseline_faults_degrade_served_plans_and_key_them_apart() {
+        let t = PopsTopology::new(4, 4);
+        let (addr, handle) = spawn_server_with(
+            t,
+            ServerConfig {
+                baseline_faults: vec![((4, 4), vec![1])],
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let pi = vector_reversal(16);
+        // A plain theorem2 request degrades under the declared baseline,
+        // and its schedule verifies on the degraded fabric.
+        let reply = client.route_permutation("theorem2", &pi).unwrap();
+        assert!(reply.degraded, "baseline fault must degrade theorem2");
+        assert!(!reply.cache_hit);
+        let mut faults = FaultSet::none(&t);
+        faults.fail_coupler(1);
+        let mut sim = Simulator::with_unit_packets_and_faults(t, faults);
+        sim.execute_schedule(&reply.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        // Request faults compose with the baseline as a set union: the
+        // same effective set is the same cache key, a wider one is not.
+        let same = client
+            .route_permutation_with_faults("theorem2", &pi, None, &[1])
+            .unwrap();
+        assert!(same.cache_hit, "identical effective fault set must hit");
+        assert!(same.degraded);
+        let wider = client
+            .route_permutation_with_faults("theorem2", &pi, None, &[2])
+            .unwrap();
+        assert!(!wider.cache_hit, "a wider fault set is a distinct key");
+        assert!(wider.degraded);
+        let stats = client.stats().unwrap();
+        let degraded = stats.get("degraded").unwrap();
+        assert_eq!(degraded.get("plans").unwrap().as_u64(), Some(2));
+        assert_eq!(degraded.get("hits").unwrap().as_u64(), Some(1));
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn an_unroutable_fault_set_is_refused_with_the_typed_wire_error() {
+        let t = PopsTopology::new(2, 3);
+        let (addr, handle) = spawn_server(t);
+        let mut client = ServiceClient::connect(addr).unwrap();
+        // Kill every coupler into group 1 — c(1, src) = 1·g + src — so no
+        // packet can reach that group and the fabric is not fully
+        // routable.
+        let faults: Vec<usize> = (0..3).map(|src| 3 + src).collect();
+        let pi = vector_reversal(6);
+        let err = client
+            .route_permutation_with_faults("theorem2", &pi, None, &faults)
+            .unwrap_err();
+        assert_eq!(err.remote_kind(), Some("unroutable"), "{err}");
+        // The refusal reaches the stats document and the exposition.
+        let stats = client.stats().unwrap();
+        let wire_errors = stats.get("wire_errors").unwrap();
+        assert_eq!(wire_errors.get("unroutable").unwrap().as_u64(), Some(1));
+        let degraded = stats.get("degraded").unwrap();
+        assert_eq!(
+            degraded.get("unroutable_refusals").unwrap().as_u64(),
+            Some(1)
+        );
+        let page = http_get(addr, "/metrics");
+        assert!(page.contains("pops_unroutable_refusals_total 1"), "{page}");
+        assert!(
+            page.contains(r#"pops_wire_errors_total{error_kind="unroutable"} 1"#),
+            "{page}"
+        );
+        // The connection and the server survive; healthy traffic routes.
+        let healthy = client.route_permutation("theorem2", &pi).unwrap();
+        assert!(!healthy.degraded);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn batch_items_carry_their_own_fault_sets() {
+        let t = PopsTopology::new(4, 4);
+        let (addr, handle) = spawn_server(t);
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let pi = vector_reversal(16);
+        let items = vec![
+            crate::client::BatchItem {
+                pi: pi.clone(),
+                shape: None,
+                faults: vec![],
+            },
+            crate::client::BatchItem {
+                pi: pi.clone(),
+                shape: None,
+                faults: vec![5],
+            },
+        ];
+        let batch = client.batch(&items, true).unwrap();
+        assert_eq!(batch.summary.routed, 2);
+        let healthy = batch.items[0].as_ref().unwrap();
+        assert!(!healthy.degraded);
+        let degraded = batch.items[1].as_ref().unwrap();
+        assert!(degraded.degraded, "faulted item must be flagged");
+        // The degraded item's schedule verifies under its declared
+        // fault set; the healthy one on the pristine fabric.
+        let mut sim = Simulator::with_unit_packets(t);
+        sim.execute_schedule(&healthy.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        let mut faults = FaultSet::none(&t);
+        faults.fail_coupler(5);
+        let mut sim = Simulator::with_unit_packets_and_faults(t, faults);
+        sim.execute_schedule(&degraded.schedule).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn an_out_of_range_baseline_fault_refuses_to_serve() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let service = Arc::new(RoutingService::with_config(
+            PopsTopology::new(2, 2),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        ));
+        let err = serve_with_config(
+            listener,
+            service,
+            ServerConfig {
+                baseline_faults: vec![((2, 2), vec![99])],
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 
     #[test]

@@ -37,10 +37,10 @@ use std::time::Instant;
 
 use pops_bipartite::ColorerKind;
 use pops_core::{
-    BatchRouter, HRelation, HRelationRouting, Router, RoutingEngine, RoutingError, RoutingOutcome,
-    RoutingPlan, RoutingRequest,
+    BatchRouter, FaultRoutingError, HRelation, HRelationRouting, Router, RoutingEngine,
+    RoutingError, RoutingOutcome, RoutingPlan, RoutingRequest,
 };
-use pops_network::{FaultSet, PopsTopology, Schedule};
+use pops_network::{FaultSet, PopsTopology, Schedule, UNREACHABLE};
 use pops_permutation::Permutation;
 
 use crate::cache::{canonical_key, phase_key, CachedOutcome, CachedPhase, ShardedPlanCache};
@@ -161,6 +161,11 @@ pub struct ServiceReply {
     /// the relation's phases were answered by the level-2 phase cache
     /// (0 for every other kind and for level-1 hits).
     pub phase_hits: u64,
+    /// Whether the plan was produced by the greedy fault router under a
+    /// **non-empty** fault set — the degraded fallback to the Theorem-2
+    /// construction. Cache hits report the flag of the request that is
+    /// being answered, so a degraded repeat stays visibly degraded.
+    pub degraded: bool,
     /// Wall-clock service time in microseconds.
     pub micros: u64,
 }
@@ -360,17 +365,41 @@ impl RoutingService {
         let _slot = self.admission.acquire(&self.metrics);
         let start = Instant::now();
         let kind = req.kind();
+        let degraded =
+            matches!(req, ServiceRequest::WithFaults { faults, .. } if !faults.is_empty());
         let key = canonical_key(self.topology.d(), self.topology.g(), req);
 
         if let Some(outcome) = self.cache.get(&key) {
             let micros = start.elapsed().as_micros() as u64;
             self.metrics.record_hit(kind, micros);
+            if degraded {
+                self.metrics.record_degraded_hit();
+            }
             return Ok(ServiceReply {
                 outcome,
                 cache_hit: true,
                 phase_hits: 0,
+                degraded,
                 micros,
             });
+        }
+
+        // Pre-flight for degraded requests: a fault set under which some
+        // ordered group pair has no surviving path cannot route arbitrary
+        // permutations — refuse it with a typed error before planning
+        // instead of letting the greedy router fail (or worse, a bogus
+        // partial schedule escape).
+        if degraded {
+            if let ServiceRequest::WithFaults { faults, .. } = req {
+                if let Some((src_group, dst_group)) = disconnected_pair(faults, &self.topology) {
+                    self.metrics.record_error(kind);
+                    self.metrics.record_unroutable();
+                    return Err(RoutingError::Fault(FaultRoutingError::Disconnected {
+                        src_group,
+                        dst_group,
+                    }));
+                }
+            }
         }
 
         let planned = match req {
@@ -394,10 +423,14 @@ impl RoutingService {
                 self.cache.insert(key, outcome.clone());
                 let micros = start.elapsed().as_micros() as u64;
                 self.metrics.record_miss(kind, slots, micros);
+                if degraded {
+                    self.metrics.record_degraded_plan();
+                }
                 Ok(ServiceReply {
                     outcome,
                     cache_hit: false,
                     phase_hits,
+                    degraded,
                     micros,
                 })
             }
@@ -581,6 +614,22 @@ impl RoutingService {
     ) -> Result<RoutingOutcome, RoutingError> {
         RoutingEngine::with_colorer(topology, colorer).plan(&req.as_routing_request())
     }
+}
+
+/// The first ordered group pair that cannot communicate under `faults`
+/// (either no path at all, or no *non-empty* path for intra-group
+/// traffic), or `None` when the fabric is fully routable — the witness
+/// behind [`FaultSet::fully_routable`], needed here because the typed
+/// refusal names the severed pair.
+fn disconnected_pair(faults: &FaultSet, topology: &PopsTopology) -> Option<(usize, usize)> {
+    let dist = faults.group_distances(topology);
+    let g = topology.g();
+    (0..g)
+        .flat_map(|a| (0..g).map(move |b| (a, b)))
+        .find(|&(a, b)| {
+            dist[a][b] == UNREACHABLE
+                || faults.group_distance_ge1(topology, &dist, a, b) == UNREACHABLE
+        })
 }
 
 #[cfg(test)]
@@ -962,5 +1011,87 @@ mod tests {
             assert!(reply.outcome.schedule().slot_count() > 0);
             assert!(service.route(req).unwrap().cache_hit, "{:?}", req.kind());
         }
+    }
+
+    #[test]
+    fn degraded_plans_are_flagged_and_keyed_apart_from_healthy() {
+        let service = small_service();
+        let t = service.topology();
+        let pi = vector_reversal(16);
+
+        let healthy = service
+            .route(&ServiceRequest::Theorem2 { pi: pi.clone() })
+            .unwrap();
+        assert!(!healthy.degraded);
+
+        let mut faults = FaultSet::none(&t);
+        faults.fail_coupler(1);
+        let req = ServiceRequest::WithFaults {
+            pi: pi.clone(),
+            faults: faults.clone(),
+        };
+        let degraded = service.route(&req).unwrap();
+        assert!(degraded.degraded);
+        assert!(!degraded.cache_hit, "same pi, different fault set: new key");
+        assert_eq!(service.cached_plans(), 2, "healthy and degraded coexist");
+        // The degraded schedule avoids the failed coupler and delivers.
+        let mut sim = pops_network::Simulator::with_unit_packets_and_faults(t, faults);
+        sim.execute_schedule(degraded.outcome.schedule()).unwrap();
+        sim.verify_delivery(pi.as_slice()).unwrap();
+        // The repeat is a hit and stays flagged degraded.
+        let again = service.route(&req).unwrap();
+        assert!(again.cache_hit && again.degraded);
+
+        // An empty fault set is greedy-but-healthy: not degraded.
+        let empty = service
+            .route(&ServiceRequest::WithFaults {
+                pi,
+                faults: FaultSet::none(&t),
+            })
+            .unwrap();
+        assert!(!empty.degraded);
+
+        let snap = service.metrics();
+        assert_eq!(snap.degraded_plans, 1);
+        assert_eq!(snap.degraded_hits, 1);
+    }
+
+    #[test]
+    fn unroutable_fault_set_is_a_typed_error_not_a_panic() {
+        let service = RoutingService::with_config(
+            PopsTopology::new(2, 3),
+            ServiceConfig {
+                shards: 1,
+                cache_capacity: 8,
+                max_in_flight: 2,
+                colorer: ColorerKind::AlternatingPath,
+                ..ServiceConfig::default()
+            },
+        );
+        let t = service.topology();
+        // Sever every coupler into group 1: no permutation can route.
+        let mut faults = FaultSet::none(&t);
+        for src in 0..3 {
+            faults.fail_group_pair(&t, 1, src);
+        }
+        assert!(!faults.fully_routable(&t));
+        let err = service
+            .route(&ServiceRequest::WithFaults {
+                pi: vector_reversal(6),
+                faults,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RoutingError::Fault(FaultRoutingError::Disconnected { dst_group: 1, .. })
+        ));
+        assert_eq!(service.cached_plans(), 0, "refusals are never cached");
+        assert_eq!(service.metrics().unroutable_refusals, 1);
+        // The service still serves healthy traffic afterwards.
+        assert!(service
+            .route(&ServiceRequest::Theorem2 {
+                pi: vector_reversal(6),
+            })
+            .is_ok());
     }
 }

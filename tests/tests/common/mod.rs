@@ -4,7 +4,7 @@
 #![allow(dead_code)]
 
 use pops_core::{HRelation, RoutingOutcome};
-use pops_network::{PopsTopology, Schedule, Simulator};
+use pops_network::{FaultSet, PopsTopology, Schedule, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::{Permutation, SplitMix64};
 
@@ -48,6 +48,111 @@ pub fn verify_h_relation_outcome(t: PopsTopology, outcome: &RoutingOutcome) {
         };
         verify_permutation_schedule(t, &slice, &completed);
     }
+}
+
+/// Builds a [`FaultSet`] from coupler ids (each must be in range).
+pub fn fault_set(t: &PopsTopology, ids: &[usize]) -> FaultSet {
+    let mut set = FaultSet::none(t);
+    for &c in ids {
+        assert!(
+            c < t.coupler_count(),
+            "fault id {c} out of range for {t} ({} couplers)",
+            t.coupler_count()
+        );
+        set.fail_coupler(c);
+    }
+    set
+}
+
+/// Referee for (possibly) degraded schedules: the schedule must execute
+/// on a simulator with exactly the declared couplers failed — so a plan
+/// that leans on dead hardware trips [`pops_network::SimError::FailedCoupler`]
+/// here — and deliver every packet to `pi`. An empty `faults` list is the
+/// healthy referee.
+pub fn verify_schedule_under_faults(
+    t: PopsTopology,
+    faults: &[usize],
+    schedule: &Schedule,
+    pi: &Permutation,
+) {
+    let mut sim = Simulator::with_unit_packets_and_faults(t, fault_set(&t, faults));
+    sim.execute_schedule(schedule).unwrap_or_else(|(slot, e)| {
+        panic!("schedule illegal under faults {faults:?} at slot {slot}: {e}")
+    });
+    sim.verify_delivery(pi.as_slice())
+        .unwrap_or_else(|e| panic!("misdelivery under faults {faults:?}: {e}"));
+}
+
+/// One scripted step of fault-chaos traffic: route `pi` with `faults`
+/// declared failed (empty = healthy).
+#[derive(Debug, Clone)]
+pub struct ChaosStep {
+    /// The permutation to route.
+    pub pi: Permutation,
+    /// Coupler ids this request declares failed.
+    pub faults: Vec<usize>,
+}
+
+/// What one chaos client observed across its script.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosOutcome {
+    /// Steps answered from the server's plan cache.
+    pub cache_hits: usize,
+    /// Steps answered with a degraded (fault-aware) plan.
+    pub degraded: usize,
+}
+
+/// The reusable fault-chaos driver: one concurrent client per script,
+/// each walking its steps **in order** on a single connection — so a
+/// script that interleaves fault sets exercises mid-flight fault flips on
+/// live connections. Every returned schedule is refereed on a simulator
+/// with exactly that step's couplers failed, and the reply's `degraded`
+/// flag must agree with the declared set. Panics (in the client thread,
+/// surfaced by the join) on any wire error, referee failure, or flag
+/// mismatch; returns the aggregate of what the clients observed.
+pub fn run_fault_chaos(
+    addr: std::net::SocketAddr,
+    d: usize,
+    g: usize,
+    scripts: Vec<Vec<ChaosStep>>,
+) -> ChaosOutcome {
+    let handles: Vec<std::thread::JoinHandle<ChaosOutcome>> = scripts
+        .into_iter()
+        .map(|script| {
+            std::thread::spawn(move || {
+                let t = PopsTopology::new(d, g);
+                let mut client = pops_service::ServiceClient::connect(addr).unwrap();
+                let mut outcome = ChaosOutcome::default();
+                for step in &script {
+                    let reply = client
+                        .route_permutation_with_faults(
+                            "theorem2",
+                            &step.pi,
+                            Some((d, g)),
+                            &step.faults,
+                        )
+                        .unwrap_or_else(|e| panic!("route under {:?}: {e}", step.faults));
+                    assert_eq!(
+                        reply.degraded,
+                        !step.faults.is_empty(),
+                        "degraded flag must track the declared fault set {:?}",
+                        step.faults
+                    );
+                    verify_schedule_under_faults(t, &step.faults, &reply.schedule, &step.pi);
+                    outcome.cache_hits += reply.cache_hit as usize;
+                    outcome.degraded += reply.degraded as usize;
+                }
+                outcome
+            })
+        })
+        .collect();
+    let mut total = ChaosOutcome::default();
+    for handle in handles {
+        let one = handle.join().expect("chaos client panicked");
+        total.cache_hits += one.cache_hits;
+        total.degraded += one.degraded;
+    }
+    total
 }
 
 /// A fresh, uniquely named temp directory (caller removes it).

@@ -4,11 +4,16 @@
 //! this repository are trustworthy only because illegal schedules cannot
 //! execute.
 
+mod common;
+
+use std::sync::Arc;
+
 use pops_bipartite::ColorerKind;
 use pops_core::route;
 use pops_network::{PopsTopology, SimError, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::SplitMix64;
+use pops_service::{serve, ClientError, RoutingService, ServiceClient, ServiceConfig};
 
 fn valid_setup() -> (
     PopsTopology,
@@ -123,6 +128,82 @@ fn swapping_two_slots_is_caught() {
     let (slot, err) = sim.execute_schedule(&schedule).unwrap_err();
     assert_eq!(slot, 0);
     assert!(matches!(err, SimError::PacketNotHeld { .. }));
+}
+
+// --- Wire-level twins: the same coupler-kill scenarios, but through a
+// --- live server. The in-process tests above prove the referee catches
+// --- corruption; these prove the *served* degraded schedules survive the
+// --- same referee with the declared couplers actually failed.
+
+/// Spawns a tiny single-topology server on the failure-injection shape.
+fn spawn_faulted_twin_server(
+    d: usize,
+    g: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<pops_service::ServerSummary>,
+) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Arc::new(RoutingService::with_config(
+        PopsTopology::new(d, g),
+        ServiceConfig {
+            shards: 1,
+            cache_capacity: 8,
+            max_in_flight: 2,
+            colorer: ColorerKind::AlternatingPath,
+            ..ServiceConfig::default()
+        },
+    ));
+    let handle = std::thread::spawn(move || serve(listener, service).unwrap());
+    (addr, handle)
+}
+
+#[test]
+fn wire_twin_a_served_plan_routes_around_a_killed_coupler() {
+    // Kill coupler 6 = c(2, 0) on POPS(2, 3) — the direct path from
+    // group 0 into group 2 — and ask the server to route around it. The
+    // returned schedule must execute on a simulator with that coupler
+    // actually failed (driving it trips SimError::FailedCoupler).
+    let (d, g) = (2usize, 3usize);
+    let (addr, handle) = spawn_faulted_twin_server(d, g);
+    let mut rng = SplitMix64::new(8000);
+    let pi = random_permutation(d * g, &mut rng);
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let reply = client
+        .route_permutation_with_faults("faults", &pi, Some((d, g)), &[6])
+        .unwrap();
+    assert!(reply.degraded);
+    common::verify_schedule_under_faults(PopsTopology::new(d, g), &[6], &reply.schedule, &pi);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn wire_twin_killing_every_coupler_into_a_group_is_refused() {
+    // The wire twin of `faults_report_disconnection`: couplers 3, 4, 5
+    // are every coupler into group 1 of POPS(2, 3); a server asked to
+    // route through that fabric refuses with the typed `unroutable` wire
+    // error instead of panicking, and keeps serving afterwards.
+    let (d, g) = (2usize, 3usize);
+    let (addr, handle) = spawn_faulted_twin_server(d, g);
+    let mut rng = SplitMix64::new(8000);
+    let pi = random_permutation(d * g, &mut rng);
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let e = client
+        .route_permutation_with_faults("faults", &pi, Some((d, g)), &[3, 4, 5])
+        .unwrap_err();
+    match e {
+        ClientError::Remote { ref kind, .. } => assert_eq!(kind, "unroutable", "{e}"),
+        other => panic!("expected the typed unroutable error, got {other}"),
+    }
+    // The healthy twin of the same permutation still routes and verifies.
+    let reply = client
+        .route_permutation_with_faults("theorem2", &pi, Some((d, g)), &[])
+        .unwrap();
+    common::verify_schedule_under_faults(PopsTopology::new(d, g), &[], &reply.schedule, &pi);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
 }
 
 #[test]

@@ -230,6 +230,7 @@ fn malformed_batch_stream_poisons_the_client() {
             &[BatchItem {
                 pi: vector_reversal(16),
                 shape: None,
+                faults: Vec::new(),
             }],
             false,
         )
@@ -261,6 +262,7 @@ fn wire_batch_routes_mixed_topologies_in_input_order() {
             items.push(BatchItem {
                 pi: random_permutation(d * g, &mut rng),
                 shape: Some((d, g)),
+                faults: Vec::new(),
             });
         }
     }
@@ -268,11 +270,13 @@ fn wire_batch_routes_mixed_topologies_in_input_order() {
     items.push(BatchItem {
         pi: random_permutation(16, &mut rng),
         shape: None,
+        faults: Vec::new(),
     });
     let bad_index = items.len();
     items.push(BatchItem {
         pi: random_permutation(9, &mut rng),
         shape: Some((2, 8)),
+        faults: Vec::new(),
     });
 
     let reply = client.batch(&items, true).unwrap();
@@ -326,6 +330,7 @@ fn oversized_batch_is_refused_whole_not_truncated() {
         .map(|_| BatchItem {
             pi: random_permutation(16, &mut rng),
             shape: None,
+            faults: Vec::new(),
         })
         .collect();
     let err = client.batch(&items, false).unwrap_err();
@@ -361,6 +366,7 @@ fn batch_shape_spray_is_refused_at_the_topology_cap() {
         .map(|&(d, g)| BatchItem {
             pi: vector_reversal(d * g),
             shape: Some((d, g)),
+            faults: Vec::new(),
         })
         .collect();
     let err = client.batch(&items, false).unwrap_err();
@@ -391,10 +397,12 @@ fn batch_reports_topology_limit_per_item() {
         BatchItem {
             pi: random_permutation(16, &mut rng),
             shape: None,
+            faults: Vec::new(),
         },
         BatchItem {
             pi: random_permutation(16, &mut rng),
             shape: Some((2, 8)),
+            faults: Vec::new(),
         },
     ];
     let reply = client.batch(&items, false).unwrap();
