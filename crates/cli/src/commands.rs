@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::net::TcpListener;
+use std::net::{TcpListener, ToSocketAddrs as _};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -21,8 +21,9 @@ use pops_network::{viz, FaultSet, PopsTopology, Simulator};
 use pops_permutation::families::random_permutation;
 use pops_permutation::SplitMix64;
 use pops_service::{
-    serve_router, BatchItem, Json, ServerConfig, ServiceClient, ServiceConfig, TopologyRouter,
-    TopologyRouterConfig,
+    read_trace, record_proxy, run_replay, serve_router, synth_trace, BatchItem, Json,
+    ReplayOptions, ServerConfig, ServiceClient, ServiceConfig, SloGates, TopologyRouter,
+    TopologyRouterConfig, TraceRecorder,
 };
 
 use crate::opts::{err, CliError, Opts};
@@ -69,6 +70,8 @@ COMMANDS
             [--fault DxG:c1,c2,...]          baseline failed couplers for one topology,
                                              composed into every route for that shape
                                              (must leave every group pair routable)
+            [--record FILE]                  tee every decoded route/batch/cache request
+                                             to an append-only JSONL trace (see replay)
   request   --addr HOST:PORT [perm]          route one request via a server
             [--d D --g G]                    select a topology (multi-topology servers)
             [--kind K] [--stats] [--shutdown]
@@ -85,6 +88,23 @@ COMMANDS
                                              (plans/s, hit rate, sheds) until interrupted
             [--samples M]                    stop after M watch lines (default: forever)
             [--timeout-ms T]                 client timeout (default 30000, 0 disables)
+  record    --addr HOST:PORT --out FILE      recording proxy: forward wire traffic to a
+            [--port P]                       server, teeing decoded requests to a JSONL
+                                             trace (stops when a shutdown op passes through)
+  replay    --addr HOST:PORT                 drive a recorded trace back over real TCP,
+            (--trace FILE | --synth SPEC)    re-refereeing every schedule on the simulator
+            [--rate-multiplier R]            arrival-time speedup (default 1.0)
+            [--clients M]                    concurrent client threads (default 4)
+            [--duration SECS] [--loop]       wall-clock bound / repeat the trace
+            [--count N] [--seed S]           synthetic-trace size (default 256) and seed
+                                             (--synth mixed:DxG[,DxG...] when no recording)
+            [--no-verify]                    skip the simulator referee (raw latency only)
+            [--soak]                         loop with SLO gates; exits non-zero on breach
+            [--slo-p99-ms MS]                gate: p99 latency of successful requests
+            [--slo-shed-pct PCT]             gate: shed percentage of attempted requests
+            [--slo-verify-failures N]        gate: verification failures (soak default 0)
+            [--slo-failures N]               gate: hard failures (soak default 0)
+            [--timeout-ms T]                 client timeout (default 10000, 0 disables)
   collectives --d D --g G                    slot costs vs lower bounds
   families                                   list the permutation families
   help                                       this message
@@ -110,6 +130,8 @@ pub fn run(opts: &Opts) -> Result<String, CliError> {
         "serve" => cmd_serve(opts),
         "request" => cmd_request(opts),
         "stats" => cmd_stats(opts),
+        "record" => cmd_record(opts),
+        "replay" => cmd_replay(opts),
         "collectives" => cmd_collectives(opts),
         "families" => Ok(format!("families:\n{}\n", spec::FAMILY_HELP)),
         "" | "help" | "--help" | "-h" => Ok(HELP.to_string()),
@@ -668,6 +690,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
                 Some(port as u16)
             }
         },
+        record_path: opts.get("record").map(std::path::PathBuf::from),
     };
     if server_config.quota_rps == Some(0) {
         return Err(err("--quota-rps must be positive"));
@@ -784,6 +807,9 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     }
     if let Some(port) = server_config.metrics_port {
         let _ = write!(obs_note, ", metrics sidecar on port {port}");
+    }
+    if let Some(path) = &server_config.record_path {
+        let _ = write!(obs_note, ", recording to {}", path.display());
     }
     if !server_config.baseline_faults.is_empty() {
         let rendered: Vec<String> = server_config
@@ -1082,24 +1108,209 @@ fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
             stats_watch_line(None, &doc, Duration::ZERO)
         ));
     };
-    // Watch mode streams to stdout as samples arrive (the returned string
-    // would only surface after the loop ends).
+    watch_stats(
+        || client.stats().map_err(|e| err(e.to_string())),
+        interval,
+        samples,
+        &mut std::io::stdout(),
+    )
+}
+
+/// The `--watch` loop, factored over a `fetch` closure and an output sink
+/// so it is unit-testable. All but the final sample line stream to `sink`
+/// as they arrive (a watch can run for hours; the returned string only
+/// surfaces after the loop ends); the **final** line is returned as the
+/// command output — exactly one line with one trailing newline, never an
+/// empty string for `main` to print as a stray blank line. With
+/// `samples == 0` the loop runs until `fetch` fails (interrupt or server
+/// shutdown).
+fn watch_stats<F>(
+    mut fetch: F,
+    interval: Duration,
+    samples: u64,
+    sink: &mut dyn std::io::Write,
+) -> Result<String, CliError>
+where
+    F: FnMut() -> Result<Json, CliError>,
+{
     let mut prev: Option<Json> = None;
     let mut last = Instant::now();
     let mut taken = 0u64;
     loop {
-        let doc = client.stats().map_err(|e| err(e.to_string()))?;
+        let doc = fetch()?;
         let now = Instant::now();
-        println!("{}", stats_watch_line(prev.as_ref(), &doc, now - last));
-        let _ = std::io::stdout().flush();
+        let line = stats_watch_line(prev.as_ref(), &doc, now - last);
         last = now;
         prev = Some(doc);
         taken += 1;
         if samples != 0 && taken >= samples {
-            return Ok(String::new());
+            return Ok(format!("{line}\n"));
         }
+        let _ = writeln!(sink, "{line}");
+        let _ = sink.flush();
         std::thread::sleep(interval);
     }
+}
+
+/// `pops record`: a recording proxy. Listens locally, forwards every
+/// byte to the upstream server, and tees each decodable route/batch/cache
+/// request to an append-only JSONL trace (see `pops replay`). Responses
+/// are pumped back raw — the proxy never alters wire behavior. The proxy
+/// stops when a shutdown op passes through it.
+fn cmd_record(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| err("--addr HOST:PORT (the upstream server) is required"))?;
+    let out_path = opts
+        .get("out")
+        .ok_or_else(|| err("--out FILE (the trace to append to) is required"))?;
+    let port = opts.usize_or("port", 0)?;
+    if port > u16::MAX as usize {
+        return Err(err("--port must be at most 65535"));
+    }
+    let upstream = addr
+        .to_socket_addrs()
+        .map_err(|e| err(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| err(format!("{addr} resolves to no address")))?;
+    // Learn the upstream's default shape: dense binary batch items with
+    // the (0, 0) "server default" shape are recorded against it.
+    let timeout = timeout_ms(opts, "timeout-ms", 30_000)?;
+    let mut probe = ServiceClient::connect_with_timeout(addr, timeout)
+        .map_err(|e| err(format!("cannot connect to upstream {addr}: {e}")))?;
+    let info = probe
+        .info()
+        .map_err(|e| err(format!("upstream info failed: {e}")))?;
+    drop(probe);
+    let default = PopsTopology::new(info.d, info.g);
+    let recorder = Arc::new(
+        TraceRecorder::create(std::path::Path::new(out_path))
+            .map_err(|e| err(format!("cannot record to {out_path}: {e}")))?,
+    );
+    let listener = TcpListener::bind(("127.0.0.1", port as u16))
+        .map_err(|e| err(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| err(format!("cannot read bound address: {e}")))?;
+    println!(
+        "pops-record listening on {local}, forwarding to {addr} ({default} default), \
+         tracing to {out_path}"
+    );
+    let _ = std::io::stdout().flush();
+    let summary = record_proxy(listener, upstream, default, recorder)
+        .map_err(|e| err(format!("record proxy failed: {e}")))?;
+    let dropped = if summary.dropped == 0 {
+        String::new()
+    } else {
+        format!(" ({} dropped)", summary.dropped)
+    };
+    Ok(format!(
+        "recorded {} request(s) across {} connection(s) to {out_path}{dropped}\n",
+        summary.recorded, summary.connections,
+    ))
+}
+
+/// Parses an optional floating-point flag.
+fn f64_flag(opts: &Opts, key: &str) -> Result<Option<f64>, CliError> {
+    match opts.get(key) {
+        None => Ok(None),
+        Some(value) => value
+            .trim()
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|_| err(format!("--{key} must be a number, got '{value}'"))),
+    }
+}
+
+/// `pops replay`: drives a recorded (`--trace`) or synthetic (`--synth`)
+/// trace back at a live server from concurrent client threads, preserving
+/// per-request topology, faults, and wire format, and re-refereeing every
+/// returned schedule on the local simulator. `--soak` loops the trace
+/// under a duration bound and applies SLO gates (verification failures
+/// and hard failures default to zero tolerated); any breach prints the
+/// report and exits non-zero.
+fn cmd_replay(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts
+        .get("addr")
+        .ok_or_else(|| err("--addr HOST:PORT is required"))?;
+    let soak = opts.flag("soak");
+    let trace = match (opts.get("trace"), opts.get("synth")) {
+        (Some(_), Some(_)) => return Err(err("give --trace or --synth, not both")),
+        (Some(path), None) => read_trace(std::path::Path::new(path))
+            .map_err(|e| err(format!("cannot load --trace {path}: {e}")))?,
+        (None, Some(spec)) => {
+            let count = opts.usize_or("count", 256)?;
+            let seed = opts.u64_or("seed", 42)?;
+            synth_trace(spec, count, seed).map_err(err)?
+        }
+        (None, None) => return Err(err("give --trace FILE or --synth mixed:DxG[,DxG...]")),
+    };
+    let rate = f64_flag(opts, "rate-multiplier")?.unwrap_or(1.0);
+    let clients = opts.usize_or("clients", 4)?;
+    let duration = match opts.get("duration") {
+        Some(_) => {
+            let secs = opts.u64_or("duration", 0)?;
+            if secs == 0 {
+                return Err(err("--duration must be positive"));
+            }
+            Some(Duration::from_secs(secs))
+        }
+        // Soak mode needs a bound to terminate; 20 s is the smoke default.
+        None if soak => Some(Duration::from_secs(20)),
+        None => None,
+    };
+    let loop_trace = opts.flag("loop") || soak;
+    if loop_trace && duration.is_none() {
+        return Err(err("--loop needs --duration SECS"));
+    }
+    let gates = SloGates {
+        p99_ms: f64_flag(opts, "slo-p99-ms")?,
+        max_shed_rate: f64_flag(opts, "slo-shed-pct")?.map(|pct| pct / 100.0),
+        max_verify_failures: match opts.get("slo-verify-failures") {
+            Some(_) => Some(opts.u64_or("slo-verify-failures", 0)?),
+            None if soak => Some(0),
+            None => None,
+        },
+        max_failures: match opts.get("slo-failures") {
+            Some(_) => Some(opts.u64_or("slo-failures", 0)?),
+            None if soak => Some(0),
+            None => None,
+        },
+    };
+    let gated = gates.p99_ms.is_some()
+        || gates.max_shed_rate.is_some()
+        || gates.max_verify_failures.is_some()
+        || gates.max_failures.is_some();
+    let replay_opts = ReplayOptions {
+        clients,
+        rate_multiplier: rate,
+        duration,
+        loop_trace,
+        verify: !opts.flag("no-verify"),
+        timeout: timeout_ms(opts, "timeout-ms", 10_000)?,
+    };
+    println!(
+        "replaying {} record(s) against {addr} (x{rate} rate, {clients} client(s){})",
+        trace.len(),
+        if loop_trace { ", looping" } else { "" },
+    );
+    let _ = std::io::stdout().flush();
+    let report = run_replay(addr, &trace, &replay_opts).map_err(err)?;
+    let mut out = report.render();
+    let breaches = gates.breaches(&report);
+    if breaches.is_empty() {
+        if gated {
+            let _ = writeln!(out, "SLO gates: pass");
+        }
+        return Ok(out);
+    }
+    for breach in &breaches {
+        let _ = writeln!(out, "SLO breach: {breach}");
+    }
+    // The report still belongs on stdout; the breach summary is the error.
+    print!("{out}");
+    let _ = std::io::stdout().flush();
+    Err(err(format!("SLO gates breached: {}", breaches.join("; "))))
 }
 
 /// `pops request --batch-file FILE`: reads a JSON-lines file — each
@@ -1921,9 +2132,13 @@ mod tests {
         assert!(out.contains("hit rate 0.0%"), "{out}");
         assert!(out.contains("sheds 0"), "{out}");
 
-        // Watch mode streams to stdout and returns once --samples is hit.
+        // Watch mode streams all but the last sample to stdout and returns
+        // the final delta line once --samples is hit — never an empty
+        // string for main to print as a stray blank line.
         let out = run_words(&["stats", "--addr", &addr, "--watch", "0", "--samples", "2"]).unwrap();
-        assert!(out.is_empty(), "{out}");
+        assert!(out.starts_with("plans +"), "{out}");
+        assert!(out.ends_with('\n') && !out.ends_with("\n\n"), "{out:?}");
+        assert_eq!(out.lines().count(), 1, "{out:?}");
 
         run_words(&["request", "--addr", &addr, "--shutdown"]).unwrap();
         server.join().unwrap();
@@ -1953,6 +2168,53 @@ mod tests {
         let sparse = Json::parse(r#"{"hits":1,"misses":0}"#).unwrap();
         let line = stats_watch_line(None, &sparse, Duration::ZERO);
         assert!(line.contains("sheds 0"), "{line}");
+    }
+
+    #[test]
+    fn watch_stats_returns_the_final_line_not_an_empty_string() {
+        // The regression this pins: the old watch loop returned
+        // `Ok(String::new())` after its last sample, which main printed as
+        // a stray blank line. Now all but the final sample stream to the
+        // sink and the final line is the command output.
+        let docs = [
+            r#"{"hits":2,"misses":2,"errors":0,"sheds":{"total":0},"connections":{"active":1}}"#,
+            r#"{"hits":4,"misses":2,"errors":0,"sheds":{"total":0},"connections":{"active":1}}"#,
+            r#"{"hits":8,"misses":2,"errors":0,"sheds":{"total":1},"connections":{"active":1}}"#,
+        ];
+        let mut next = 0usize;
+        let mut sink: Vec<u8> = Vec::new();
+        let out = watch_stats(
+            || {
+                let doc = Json::parse(docs[next]).unwrap();
+                next += 1;
+                Ok(doc)
+            },
+            Duration::ZERO,
+            3,
+            &mut sink,
+        )
+        .unwrap();
+        assert!(!out.is_empty(), "the final sample must be the output");
+        assert!(out.ends_with('\n') && !out.ends_with("\n\n"), "{out:?}");
+        assert_eq!(out.lines().count(), 1, "{out:?}");
+        assert!(out.starts_with("plans +"), "{out:?}");
+        let streamed = String::from_utf8(sink).unwrap();
+        assert_eq!(streamed.lines().count(), 2, "{streamed:?}");
+        assert!(
+            streamed.lines().all(|l| !l.trim().is_empty()),
+            "{streamed:?}"
+        );
+
+        // A fetch failure (server shut down mid-watch) surfaces as the
+        // command error, not a panic or an empty success.
+        let mut sink: Vec<u8> = Vec::new();
+        let failed = watch_stats(
+            || Err(err("connection reset")),
+            Duration::ZERO,
+            0,
+            &mut sink,
+        );
+        assert!(failed.is_err());
     }
 
     #[test]

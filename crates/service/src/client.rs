@@ -367,7 +367,12 @@ impl ServiceClient {
             return Err(ClientError::Poisoned);
         }
         let sent = (|| -> Result<(), ClientError> {
-            writeln!(self.writer, "{line}")?;
+            // One write per line: a separate newline write lets Nagle
+            // stall the tail segment behind the server's delayed ACK.
+            let mut buf = Vec::with_capacity(line.len() + 1);
+            buf.extend_from_slice(line.as_bytes());
+            buf.push(b'\n');
+            self.writer.write_all(&buf)?;
             self.writer.flush()?;
             Ok(())
         })();
@@ -720,18 +725,34 @@ impl ServiceClient {
         &mut self,
         requests: &[(usize, usize)],
     ) -> Result<RouteReply, ClientError> {
+        self.route_h_relation_on(requests, None)
+    }
+
+    /// Routes an h-relation on an explicit topology (`None` uses the
+    /// server's default shape). H-relation bodies always ride JSON — even
+    /// on a binary connection the request travels as a `TAG_JSON` frame —
+    /// because the dense route frame has no request list.
+    pub fn route_h_relation_on(
+        &mut self,
+        requests: &[(usize, usize)],
+        shape: Option<(usize, usize)>,
+    ) -> Result<RouteReply, ClientError> {
         let pairs = Json::Arr(
             requests
                 .iter()
                 .map(|&(s, d)| Json::Arr(vec![Json::num(s), Json::num(d)]))
                 .collect(),
         );
-        let request = Json::Obj(vec![
+        let mut fields = vec![
             ("op".into(), Json::str("route")),
             ("kind".into(), Json::str("h-relation")),
-            ("requests".into(), pairs),
-        ]);
-        let doc = self.call(&request)?;
+        ];
+        if let Some((d, g)) = shape {
+            fields.push(("d".into(), Json::num(d)));
+            fields.push(("g".into(), Json::num(g)));
+        }
+        fields.push(("requests".into(), pairs));
+        let doc = self.call(&Json::Obj(fields))?;
         Self::decode_route(&doc)
     }
 

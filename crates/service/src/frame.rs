@@ -76,8 +76,13 @@ pub const FLAG_HAS_SCHEDULE: u8 = 0x02;
 
 /// Writes one frame: `u32 LE` payload length, then the payload.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)
+    // One write, not a header write followed by a payload write: on a
+    // raw socket without TCP_NODELAY, Nagle holds the second segment
+    // until the peer's delayed ACK (~40 ms) fires, stalling every frame.
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
 }
 
 /// Reads one frame payload, refusing lengths above `max_bytes`. Blocking;

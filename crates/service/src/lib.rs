@@ -27,6 +27,8 @@
 //! | [`json`], [`proto`] | dependency-free JSON and the wire protocol (per-request topology selection, the `batch` op) |
 //! | [`frame`] | opt-in length-prefixed binary framing, negotiated per connection with the `hello` op |
 //! | [`server`], [`client`] | TCP front door (`pops serve` / `pops request`): JSON lines by default, binary frames after negotiation |
+//! | [`record`] | versioned JSONL request traces: the `--record` tee, the `pops record` proxy, encode/parse |
+//! | [`replay`] | trace replay over real TCP with simulator re-refereeing, SLO gates, and the synthetic-trace generator (`pops replay` / soak) |
 //!
 //! # Quickstart
 //!
@@ -54,6 +56,8 @@ pub mod metrics;
 pub mod persist;
 pub mod pool;
 pub mod proto;
+pub mod record;
+pub mod replay;
 pub mod router;
 pub mod server;
 pub mod service;
@@ -71,6 +75,11 @@ pub use metrics::{MetricsSnapshot, PoolAcquisition, RequestKind, ServiceMetrics}
 pub use persist::{PersistError, PersistSummary};
 pub use pool::EnginePool;
 pub use proto::{WireErrorKind, WireFormat};
+pub use record::{
+    read_trace, record_proxy, RecordProxySummary, RecordedBatchItem, RecordedOp, RecordedRequest,
+    TraceError, TraceRecorder, TRACE_VERSION,
+};
+pub use replay::{run_replay, synth_trace, ReplayOptions, ReplayReport, SloGates};
 pub use router::{DirLoadReport, RouterError, RouterStats, TopologyRouter, TopologyRouterConfig};
 pub use server::{serve, serve_router, serve_with_config, ServerConfig, ServerSummary};
 pub use service::{RoutingService, ServiceConfig, ServiceReply, ServiceRequest};

@@ -142,6 +142,12 @@ pub struct ServerConfig {
     /// `0..g²`; [`serve_router`] refuses to start otherwise. Empty — the
     /// default — declares every topology healthy.
     pub baseline_faults: Vec<((usize, usize), Vec<usize>)>,
+    /// Append-only JSONL trace file every decoded route/batch/cache
+    /// request is teed to (see [`crate::record`]) — the wire story of
+    /// `pops serve --record trace.jsonl`. Recording is a pure observer:
+    /// responses, schedules, and errors are byte-identical with it on or
+    /// off. `None` — the default — records nothing.
+    pub record_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -164,6 +170,7 @@ impl Default for ServerConfig {
             slow_threshold: None,
             metrics_port: None,
             baseline_faults: Vec::new(),
+            record_path: None,
         }
     }
 }
@@ -346,6 +353,9 @@ struct ServeState {
     /// [`MAX_REJECT_THREADS`] so a connect flood against a full server
     /// cannot mint threads faster than they retire.
     reject_threads: AtomicU64,
+    /// The request-trace tee, present when `record_path` is set. Purely
+    /// observational: hooks fire after decode and never alter responses.
+    recorder: Option<crate::record::TraceRecorder>,
 }
 
 struct ConnHandle {
@@ -426,6 +436,14 @@ pub fn serve_router(
     }
     let metrics = Arc::new(ServiceMetrics::new());
     let listener_addr = listener.local_addr()?;
+    // Open the trace file before accepting anything: an unwritable
+    // recording target is a boot error, not a silently-dropped tee.
+    let recorder = match &config.record_path {
+        None => None,
+        Some(path) => Some(crate::record::TraceRecorder::create(path).map_err(|e| {
+            std::io::Error::other(format!("cannot record to {}: {e}", path.display()))
+        })?),
+    };
     let state = Arc::new(ServeState {
         router,
         server_metrics: metrics.clone(),
@@ -439,6 +457,7 @@ pub fn serve_router(
         finished: Mutex::new(Vec::new()),
         requests: AtomicU64::new(0),
         reject_threads: AtomicU64::new(0),
+        recorder,
     });
     // Optional metrics sidecar: a second listener on the same interface
     // that only ever answers HTTP GETs, so a scraper never competes with
@@ -646,8 +665,9 @@ fn close_after_error(writer: &mut TcpStream) {
     }
 }
 
-/// How reading one request line ended.
-enum LineOutcome {
+/// How reading one request line ended. Shared with the recording proxy
+/// ([`crate::record`]), which reads client traffic under the same caps.
+pub(crate) enum LineOutcome {
     /// A complete line (newline stripped, possibly invalid JSON).
     Line(String),
     /// The peer closed the connection (mid-line partials are dropped).
@@ -670,7 +690,7 @@ enum LineOutcome {
 /// request segment that was in flight when the flag flipped). A request
 /// line delivered before shutdown is therefore read and served, and no
 /// socket is ever torn down mid-request; only partial lines are dropped.
-fn read_bounded_line(
+pub(crate) fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     max_bytes: usize,
     deadline: Option<Duration>,
@@ -760,7 +780,7 @@ fn read_bounded_line(
 
 /// How reading one binary frame ended — the frame-mode mirror of
 /// [`LineOutcome`], under the same caps and deadlines.
-enum FrameOutcome {
+pub(crate) enum FrameOutcome {
     /// A complete frame payload (the 4-byte length prefix stripped).
     Frame(Vec<u8>),
     /// The peer closed the connection (mid-frame partials are dropped).
@@ -781,7 +801,7 @@ enum FrameOutcome {
 /// read and served; only partial frames are dropped. The cap is checked
 /// against the **declared** length as soon as the 4-byte prefix arrives,
 /// so an oversized frame is refused before buffering any of its payload.
-fn read_bounded_frame(
+pub(crate) fn read_bounded_frame(
     reader: &mut BufReader<TcpStream>,
     max_bytes: usize,
     deadline: Option<Duration>,
@@ -873,14 +893,16 @@ fn write_responses(
     format: WireFormat,
     responses: &[Outgoing],
 ) -> std::io::Result<u64> {
-    let mut bytes_out = 0u64;
+    // The whole batch goes out in ONE write: per-response (or worse,
+    // per-fragment) writes on a raw socket without TCP_NODELAY let
+    // Nagle hold the tail segment until the peer's delayed ACK fires —
+    // a ~40 ms stall per reply that the soak harness flags as p99.
+    let mut wire: Vec<u8> = Vec::new();
     for response in responses {
         match (format, response) {
             (WireFormat::Json, Outgoing::Json(doc)) => {
-                let text = doc.to_string();
-                bytes_out += text.len() as u64 + 1;
-                writer.write_all(text.as_bytes())?;
-                writer.write_all(b"\n")?;
+                wire.extend_from_slice(doc.to_string().as_bytes());
+                wire.push(b'\n');
             }
             (WireFormat::Json, Outgoing::Frame(_)) => {
                 // The JSON dispatcher never queues binary frames; refuse
@@ -891,17 +913,18 @@ fn write_responses(
             }
             (WireFormat::Binary, Outgoing::Json(doc)) => {
                 let payload = frame::json_payload(doc);
-                bytes_out += payload.len() as u64 + 4;
-                frame::write_frame(writer, &payload)?;
+                wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                wire.extend_from_slice(&payload);
             }
             (WireFormat::Binary, Outgoing::Frame(payload)) => {
-                bytes_out += payload.len() as u64 + 4;
-                frame::write_frame(writer, payload)?;
+                wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                wire.extend_from_slice(payload);
             }
         }
     }
+    writer.write_all(&wire)?;
     writer.flush()?;
-    Ok(bytes_out)
+    Ok(wire.len() as u64)
 }
 
 /// Records the typed `kind` of every `ok: false` JSON response about to
@@ -1329,6 +1352,12 @@ fn respond(
         return match parse_request(&doc, &service.topology()) {
             Err(e) => one(error_response(WireErrorKind::BadRequest, e)),
             Ok(WireRequest::Route { req, want_schedule }) => {
+                // Tee the request *as the client sent it* (request-level
+                // faults only, no baseline) so traces port across
+                // baseline configurations.
+                if let Some(recorder) = &state.recorder {
+                    recorder.record(format, crate::record::recorded_route(d, g, &req));
+                }
                 let req = compose_baseline_route(
                     req,
                     baseline_fault_ids(&state.config, d, g),
@@ -1377,15 +1406,27 @@ fn respond(
             one(stats_response(&aggregate, &per_topology, &router.stats()))
         }
         Ok(WireRequest::Shutdown) => (vec![Outgoing::Json(shutdown_response())], true, None),
-        Ok(WireRequest::Cache { action }) => one(respond_cache(action, state)),
+        Ok(WireRequest::Cache { action }) => {
+            if let Some(recorder) = &state.recorder {
+                recorder.record(format, crate::record::recorded_cache(action));
+            }
+            one(respond_cache(action, state))
+        }
         Ok(WireRequest::Batch {
             items,
             want_schedule,
-        }) => (
-            respond_batch(&items, want_schedule, state, false, peer, trace),
-            false,
-            None,
-        ),
+        }) => {
+            if let Some(recorder) = &state.recorder {
+                if let Some(op) = crate::record::recorded_batch(&items) {
+                    recorder.record(format, op);
+                }
+            }
+            (
+                respond_batch(&items, want_schedule, state, false, peer, trace),
+                false,
+                None,
+            )
+        }
         Ok(WireRequest::Route { .. }) => one(error_response(
             WireErrorKind::BadRequest,
             "internal: route op fell through its dedicated dispatcher",
@@ -1452,6 +1493,11 @@ fn respond_frame(
                         }
                     })
                     .collect();
+                if let Some(recorder) = &state.recorder {
+                    if let Some(op) = crate::record::recorded_batch(&items) {
+                        recorder.record(WireFormat::Binary, op);
+                    }
+                }
                 (
                     respond_batch(&items, want_schedule, state, true, peer, trace),
                     false,
@@ -1523,6 +1569,12 @@ fn respond_route_frame(
             ))
         }
     };
+    if let Some(recorder) = &state.recorder {
+        recorder.record(
+            WireFormat::Binary,
+            crate::record::recorded_route(d, g, &req),
+        );
+    }
     // A declared baseline degrades dense theorem2 frames too; the binary
     // reply has no degraded flag, but the schedule and the cache key are
     // the fault-aware ones.

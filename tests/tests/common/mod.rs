@@ -84,13 +84,36 @@ pub fn verify_schedule_under_faults(
 }
 
 /// One scripted step of fault-chaos traffic: route `pi` with `faults`
-/// declared failed (empty = healthy).
+/// declared failed (empty = healthy), optionally on its own topology.
 #[derive(Debug, Clone)]
 pub struct ChaosStep {
     /// The permutation to route.
     pub pi: Permutation,
     /// Coupler ids this request declares failed.
     pub faults: Vec<usize>,
+    /// Topology this step selects (`None` = the driver's default shape),
+    /// so one script can churn topologies mid-connection.
+    pub shape: Option<(usize, usize)>,
+}
+
+impl ChaosStep {
+    /// A step on the driver's default topology.
+    pub fn new(pi: Permutation, faults: Vec<usize>) -> Self {
+        Self {
+            pi,
+            faults,
+            shape: None,
+        }
+    }
+
+    /// A step pinned to its own `(d, g)` topology.
+    pub fn on(pi: Permutation, faults: Vec<usize>, d: usize, g: usize) -> Self {
+        Self {
+            pi,
+            faults,
+            shape: Some((d, g)),
+        }
+    }
 }
 
 /// What one chaos client observed across its script.
@@ -100,6 +123,11 @@ pub struct ChaosOutcome {
     pub cache_hits: usize,
     /// Steps answered with a degraded (fault-aware) plan.
     pub degraded: usize,
+    /// Steps whose returned schedule passed the simulator referee. The
+    /// driver panics on any referee failure, so after a clean return this
+    /// equals the total step count — callers assert it to prove zero
+    /// schedules went unverified under churn.
+    pub verified: usize,
 }
 
 /// The reusable fault-chaos driver: one concurrent client per script,
@@ -120,15 +148,16 @@ pub fn run_fault_chaos(
         .into_iter()
         .map(|script| {
             std::thread::spawn(move || {
-                let t = PopsTopology::new(d, g);
                 let mut client = pops_service::ServiceClient::connect(addr).unwrap();
                 let mut outcome = ChaosOutcome::default();
                 for step in &script {
+                    let (sd, sg) = step.shape.unwrap_or((d, g));
+                    let t = PopsTopology::new(sd, sg);
                     let reply = client
                         .route_permutation_with_faults(
                             "theorem2",
                             &step.pi,
-                            Some((d, g)),
+                            Some((sd, sg)),
                             &step.faults,
                         )
                         .unwrap_or_else(|e| panic!("route under {:?}: {e}", step.faults));
@@ -141,6 +170,7 @@ pub fn run_fault_chaos(
                     verify_schedule_under_faults(t, &step.faults, &reply.schedule, &step.pi);
                     outcome.cache_hits += reply.cache_hit as usize;
                     outcome.degraded += reply.degraded as usize;
+                    outcome.verified += 1;
                 }
                 outcome
             })
@@ -151,6 +181,7 @@ pub fn run_fault_chaos(
         let one = handle.join().expect("chaos client panicked");
         total.cache_hits += one.cache_hits;
         total.degraded += one.degraded;
+        total.verified += one.verified;
     }
     total
 }

@@ -80,9 +80,11 @@ fn concurrent_mixed_traffic_with_midflight_fault_flips() {
     let scripts: Vec<Vec<ChaosStep>> = (0..4)
         .map(|client| {
             (0..12)
-                .map(|step| ChaosStep {
-                    pi: perms[(client + step) % perms.len()].clone(),
-                    faults: menus[(client * 5 + step) % menus.len()].clone(),
+                .map(|step| {
+                    ChaosStep::new(
+                        perms[(client + step) % perms.len()].clone(),
+                        menus[(client * 5 + step) % menus.len()].clone(),
+                    )
                 })
                 .collect()
         })
@@ -98,6 +100,11 @@ fn concurrent_mixed_traffic_with_midflight_fault_flips() {
         outcome.cache_hits
     );
     assert!(outcome.degraded > 0);
+    assert_eq!(
+        outcome.verified,
+        4 * 12,
+        "every schedule must pass the referee"
+    );
     let snap = service.metrics();
     assert!(snap.degraded_plans > 0, "degraded misses must be counted");
     assert!(snap.degraded_hits > 0, "degraded hits must be counted");
